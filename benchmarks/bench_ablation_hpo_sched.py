@@ -1,0 +1,78 @@
+"""Ablation 4 — k-means HPO work scheduling.
+
+DESIGN.md §5.4: the distributed HPO benchmark assigns k values to ranks
+with a cost-balanced (LPT) schedule rather than contiguous blocks, because
+the per-k cost grows with k.  This ablation quantifies the makespan gap
+analytically and runs both schedules live.
+"""
+
+import time
+
+import pytest
+
+from repro.ml.datasets import make_blobs
+from repro.ml.distributed.kmeans_hpo import _fit_inertias
+from repro.ml.distributed.scheduler import (
+    balanced_assignment,
+    makespan,
+    naive_block_assignment,
+)
+from repro.mpi.world import run_on_threads
+
+
+def test_ablation_schedule_makespan_model(benchmark, report):
+    """Analytic: LPT vs naive block split under linear cost(k) = k."""
+    def produce():
+        out = {}
+        for k_max, nparts in ((10, 4), (28, 8), (56, 8), (112, 28)):
+            ks = list(range(1, k_max + 1))
+            lpt = makespan(balanced_assignment(ks, nparts))
+            naive = makespan(naive_block_assignment(ks, nparts))
+            out[(k_max, nparts)] = (lpt, naive)
+        return out
+
+    results = benchmark(produce)
+    report.section("Ablation: HPO schedule makespan (cost units)")
+    for (k_max, nparts), (lpt, naive) in results.items():
+        report.table(
+            f"  k_max={k_max:<4} ranks={nparts:<3} "
+            f"LPT={lpt:<8.0f} naive={naive:<8.0f} "
+            f"gain={naive / lpt:.2f}x"
+        )
+        assert lpt <= naive
+    # The naive split's straggler (the block of largest ks) costs
+    # meaningfully more whenever several ks land per rank.
+    lpt, naive = results[(28, 8)]
+    assert naive / lpt > 1.3
+
+
+def test_ablation_schedule_live(benchmark, report):
+    """Live: wall-clock of balanced vs naive assignment on 4 ranks."""
+    X, _ = make_blobs(n_samples=1500, centers=4, seed=41)
+    ks = list(range(1, 13))
+
+    def run_schedule(assign_fn) -> float:
+        parts = assign_fn(ks, 4)
+
+        def work(comm):
+            t0 = time.perf_counter()
+            _fit_inertias(X, parts[comm.rank], max_iter=25, random_state=0)
+            comm.barrier()
+            return time.perf_counter() - t0
+
+        return max(run_on_threads(4, work, timeout=300))
+
+    def produce():
+        return (
+            run_schedule(balanced_assignment),
+            run_schedule(naive_block_assignment),
+        )
+
+    balanced_s, naive_s = benchmark.pedantic(produce, rounds=1, iterations=1)
+    report.section("Ablation: HPO schedule live wall clock (4 ranks)")
+    report.row("balanced (LPT)", "-", f"{balanced_s:.2f}", "s")
+    report.row("naive blocks", "-", f"{naive_s:.2f}", "s")
+    # On a single-core box both serialize, so wall-clock parity is
+    # expected; the live check only asserts both complete with the same
+    # total work (covered by equality tests elsewhere) and sane timings.
+    assert balanced_s > 0 and naive_s > 0

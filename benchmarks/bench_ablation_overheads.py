@@ -1,0 +1,60 @@
+"""Ablation 3 — binding-overhead decomposition.
+
+DESIGN.md §5.3: the simulator models the OMB-Py-vs-OMB delta as a fixed
+per-call cost plus a per-byte touch cost.  This ablation zeroes each
+component in turn and shows which paper observation each one carries:
+the fixed cost explains the small-message overhead, the byte cost the
+large-message overhead.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from figure_common import LARGE, SMALL
+from repro.core.results import average_overhead
+from repro.simulator import FRONTERA
+from repro.simulator.api import simulate_pt2pt
+from repro.simulator.clusters import ClusterModel
+
+
+def _variant(call_us=None, byte_us=None) -> ClusterModel:
+    binding = FRONTERA.binding_intra
+    binding = replace(
+        binding,
+        call_us=binding.call_us if call_us is None else call_us,
+        byte_us=binding.byte_us if byte_us is None else byte_us,
+    )
+    return replace(FRONTERA, binding_intra=binding)
+
+
+def test_ablation_overhead_components(benchmark, report):
+    def produce():
+        out = {}
+        for label, cluster in (
+            ("full", FRONTERA),
+            ("no_call_cost", _variant(call_us=0.0)),
+            ("no_byte_cost", _variant(byte_us=0.0)),
+        ):
+            omb = simulate_pt2pt(cluster, "intra", api="native")
+            py = simulate_pt2pt(cluster, "intra", api="buffer")
+            out[label] = (
+                average_overhead(omb, py, SMALL),
+                average_overhead(omb, py, LARGE),
+            )
+        return out
+
+    results = benchmark(produce)
+    report.section("Ablation: binding-overhead decomposition (Frontera)")
+    for label, (small, large) in results.items():
+        report.table(f"  {label:<14} small={small:.3f}us large={large:.3f}us")
+
+    full_s, full_l = results["full"]
+    # Removing the per-call cost kills nearly all small-message overhead.
+    assert results["no_call_cost"][0] < 0.15 * full_s
+    # Removing the per-byte cost kills most large-message overhead but
+    # leaves the small-message overhead intact.
+    assert results["no_byte_cost"][1] < 0.25 * full_l
+    assert results["no_byte_cost"][0] == pytest.approx(
+        2 * FRONTERA.binding_intra.call_us, rel=0.05
+    )

@@ -1,0 +1,66 @@
+"""Ablation 2 — pickle protocol cost decomposition.
+
+DESIGN.md §5.2: how much of the lower-case methods' cost is serialization
+(protocol version, payload size) vs transport.  Measures the real codec.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bindings.pickle_codec import PickleCodec
+
+
+def _codec_time_us(codec: PickleCodec, payload, iters: int = 200) -> float:
+    t0 = time.perf_counter_ns()
+    for _ in range(iters):
+        codec.loads(codec.dumps(payload))
+    return (time.perf_counter_ns() - t0) / iters / 1e3
+
+
+def test_ablation_pickle_protocols(benchmark, report):
+    sizes = (64, 4096, 262144, 1 << 20)
+
+    def produce():
+        out = {}
+        for protocol in (2, 4, 5):
+            codec = PickleCodec(protocol=protocol)
+            out[protocol] = {
+                n: _codec_time_us(codec, np.zeros(n, dtype=np.uint8))
+                for n in sizes
+            }
+        return out
+
+    times = benchmark.pedantic(produce, rounds=1, iterations=1)
+    report.section("Ablation: pickle round-trip cost by protocol (us)")
+    for protocol, by_size in times.items():
+        row = "  ".join(f"{n}B={v:.1f}" for n, v in by_size.items())
+        report.table(f"  protocol {protocol}: {row}")
+
+    # Protocol 5 (out-of-band buffers path in real mpi4py) must not be
+    # slower than protocol 2 for large arrays.
+    assert times[5][1 << 20] <= times[2][1 << 20] * 1.5
+    # Cost grows superlinearly in bytes somewhere past 64 KB — the
+    # mechanism behind the paper's Fig 33 divergence.
+    for protocol, by_size in times.items():
+        assert by_size[1 << 20] > by_size[64]
+
+
+def test_ablation_pickle_framing_overhead(benchmark, report):
+    """Wire-size overhead of pickling vs raw buffer bytes."""
+    def produce():
+        codec = PickleCodec()
+        out = {}
+        for n in (16, 1024, 65536):
+            arr = np.zeros(n, dtype=np.uint8)
+            out[n] = codec.overhead_bytes(arr.nbytes, arr)
+        return out
+
+    overheads = benchmark(produce)
+    report.section("Ablation: pickle framing bytes over payload")
+    for n, ovh in overheads.items():
+        report.table(f"  payload {n:>6} B: +{ovh} B framing")
+    # Framing is roughly constant: dtype/shape metadata, not data-scaled.
+    assert overheads[65536] < overheads[16] + 200
+    assert all(v > 0 for v in overheads.values())

@@ -1,0 +1,41 @@
+"""Figs 4/5 — intra-node CPU latency, OMB vs OMB-Py, Frontera.
+
+Paper: identical trends; OMB-Py overhead 0.44 us (small) / 2.31 us (large).
+Also runs the live runtime (native vs bindings ping-pong on threads) to
+confirm the same qualitative ordering on real execution.
+"""
+
+from figure_common import (
+    check_overhead,
+    live_latency_table,
+    relative_overhead_shrinks,
+)
+from repro.core.results import average_overhead
+from repro.simulator import FRONTERA, simulate_pt2pt
+
+
+def test_fig04_05_intra_frontera(benchmark, report):
+    def produce():
+        omb = simulate_pt2pt(FRONTERA, "intra", api="native")
+        py = simulate_pt2pt(FRONTERA, "intra", api="buffer")
+        return omb, py
+
+    omb, py = benchmark(produce)
+    check_overhead(
+        report, "Fig 4/5: intra-node latency, Frontera",
+        omb, py, paper_small=0.44, paper_large=2.31,
+    )
+    relative_overhead_shrinks(omb, py)
+
+
+def test_fig04_05_live_shape(benchmark, report):
+    """Live cross-check: bindings add overhead over native, shrinking
+    relatively with size, on the real runtime."""
+    native, buffered = benchmark.pedantic(
+        lambda: (live_latency_table("native"), live_latency_table("buffer")),
+        rounds=1, iterations=1,
+    )
+    small = average_overhead(native, buffered, [1, 2, 4, 8, 16])
+    report.section("Fig 4/5 live: native vs bindings ping-pong (threads)")
+    report.row("live small-msg overhead (>0 expected)", ">0", f"{small:.2f}")
+    assert small > 0

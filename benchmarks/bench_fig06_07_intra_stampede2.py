@@ -1,0 +1,46 @@
+"""Figs 6/7 — intra-node CPU latency, OMB vs OMB-Py, Stampede2.
+
+Paper: 0.41 us small / 4.13 us large average overhead; same trend as the
+other clusters (paper insight 2: the three CPU architectures differ only
+slightly in overhead, never in trend).
+"""
+
+from figure_common import check_overhead, relative_overhead_shrinks
+from repro.simulator import FRONTERA, RI2, STAMPEDE2, simulate_pt2pt
+
+
+def test_fig06_07_intra_stampede2(benchmark, report):
+    def produce():
+        omb = simulate_pt2pt(STAMPEDE2, "intra", api="native")
+        py = simulate_pt2pt(STAMPEDE2, "intra", api="buffer")
+        return omb, py
+
+    omb, py = benchmark(produce)
+    check_overhead(
+        report, "Fig 6/7: intra-node latency, Stampede2",
+        omb, py, paper_small=0.41, paper_large=4.13,
+    )
+    relative_overhead_shrinks(omb, py)
+
+
+def test_same_trend_across_architectures(benchmark, report):
+    """Paper insight 2: trends agree across Frontera/Stampede2/RI2."""
+    def produce():
+        out = {}
+        for cluster in (FRONTERA, STAMPEDE2, RI2):
+            omb = simulate_pt2pt(cluster, "intra", api="native")
+            py = simulate_pt2pt(cluster, "intra", api="buffer")
+            out[cluster.name] = (omb, py)
+        return out
+
+    curves = benchmark(produce)
+    report.section("Cross-architecture trend check")
+    for name, (omb, py) in curves.items():
+        deltas = [
+            py.row_for(s).value - omb.row_for(s).value for s in omb.sizes()
+        ]
+        # Overhead positive everywhere and grows (weakly) with size.
+        assert all(d > 0 for d in deltas), name
+        assert deltas[-1] >= deltas[0], name
+        report.row(f"{name}: overhead span", "positive",
+                   f"{deltas[0]:.2f}..{deltas[-1]:.2f}")

@@ -1,0 +1,21 @@
+"""Figs 8/9 — intra-node CPU latency, OMB vs OMB-Py, RI2.
+
+Paper: 0.41 us small / 1.76 us large average overhead.
+"""
+
+from figure_common import check_overhead, relative_overhead_shrinks
+from repro.simulator import RI2, simulate_pt2pt
+
+
+def test_fig08_09_intra_ri2(benchmark, report):
+    def produce():
+        omb = simulate_pt2pt(RI2, "intra", api="native")
+        py = simulate_pt2pt(RI2, "intra", api="buffer")
+        return omb, py
+
+    omb, py = benchmark(produce)
+    check_overhead(
+        report, "Fig 8/9: intra-node latency, RI2",
+        omb, py, paper_small=0.41, paper_large=1.76,
+    )
+    relative_overhead_shrinks(omb, py)

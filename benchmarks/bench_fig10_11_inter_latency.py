@@ -1,0 +1,33 @@
+"""Figs 10/11 — inter-node CPU latency, OMB vs OMB-Py, Frontera.
+
+Paper: 0.43 us small / 0.63 us large average overhead.  Inter-node large
+overhead is far below intra-node large overhead (both paths cross the
+NIC, so the Python side forces no extra copy the C side avoids).
+"""
+
+from figure_common import check_overhead
+from repro.core.results import average_overhead
+from repro.simulator import FRONTERA, simulate_pt2pt
+from repro.simulator.api import DEFAULT_LARGE_SIZES
+
+
+def test_fig10_11_inter_latency(benchmark, report):
+    def produce():
+        omb = simulate_pt2pt(FRONTERA, "inter", api="native")
+        py = simulate_pt2pt(FRONTERA, "inter", api="buffer")
+        return omb, py
+
+    omb, py = benchmark(produce)
+    check_overhead(
+        report, "Fig 10/11: inter-node latency, Frontera",
+        omb, py, paper_small=0.43, paper_large=0.63,
+    )
+
+    # Inter-node large overhead << intra-node large overhead.
+    intra_omb = simulate_pt2pt(FRONTERA, "intra", api="native")
+    intra_py = simulate_pt2pt(FRONTERA, "intra", api="buffer")
+    inter_large = average_overhead(omb, py, DEFAULT_LARGE_SIZES)
+    intra_large = average_overhead(intra_omb, intra_py, DEFAULT_LARGE_SIZES)
+    report.row("large ovh inter vs intra", "0.63 < 2.31",
+               f"{inter_large:.2f} < {intra_large:.2f}")
+    assert inter_large < intra_large / 2

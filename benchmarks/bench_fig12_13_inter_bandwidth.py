@@ -1,0 +1,47 @@
+"""Figs 12/13 — inter-node CPU bandwidth, OMB vs OMB-Py, Frontera.
+
+Paper: curves agree up to ~32 B; OMB-Py deficit peaks at ~1.05 GB/s in the
+512 B - 8 KB band and shrinks to ~331 MB/s for large messages.
+"""
+
+import pytest
+
+from figure_common import LARGE
+from repro.core.output import format_comparison
+from repro.core.results import average_overhead
+from repro.simulator import FRONTERA, simulate_pt2pt
+
+MID_BAND = [2 ** k for k in range(9, 14)]    # 512 B .. 8 KB
+TINY = [1, 2, 4, 8, 16, 32]
+
+
+def test_fig12_13_inter_bandwidth(benchmark, report):
+    def produce():
+        omb = simulate_pt2pt(
+            FRONTERA, "inter", api="native", metric="bandwidth"
+        )
+        py = simulate_pt2pt(
+            FRONTERA, "inter", api="buffer", metric="bandwidth"
+        )
+        return omb, py
+
+    omb, py = benchmark(produce)
+    report.section("Fig 12/13: inter-node bandwidth, Frontera (MB/s)")
+    report.table(format_comparison([omb, py], ["OMB (native)", "OMB-Py"]))
+
+    tiny_deficit = -average_overhead(omb, py, TINY)
+    mid_deficit = -average_overhead(omb, py, MID_BAND)
+    large_deficit = -average_overhead(omb, py, LARGE)
+    report.row("deficit, tiny msgs (similar)", "~0", f"{tiny_deficit:.0f}",
+               "MB/s")
+    report.row("deficit, 512B-8KB band", 1050, f"{mid_deficit:.0f}", "MB/s")
+    report.row("deficit, large msgs", 331, f"{large_deficit:.0f}", "MB/s")
+
+    assert mid_deficit == pytest.approx(1050, rel=0.25)
+    assert large_deficit == pytest.approx(331, rel=0.25)
+    # Shape: small sizes nearly identical; mid band worst; large recovers.
+    assert tiny_deficit < mid_deficit / 4
+    assert large_deficit < mid_deficit
+    # OMB-Py never exceeds native bandwidth.
+    for size in omb.sizes():
+        assert py.row_for(size).value <= omb.row_for(size).value

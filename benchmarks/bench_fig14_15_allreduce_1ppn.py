@@ -1,0 +1,24 @@
+"""Figs 14/15 — Allreduce latency, 16 nodes x 1 PPN, Frontera.
+
+Paper: OMB-Py overhead 0.93 us (small) / 14.13 us (large).
+"""
+
+from figure_common import check_overhead
+from repro.simulator import FRONTERA, simulate_collective
+
+
+def test_fig14_15_allreduce_1ppn(benchmark, report):
+    def produce():
+        omb = simulate_collective(
+            "allreduce", FRONTERA, nodes=16, ppn=1, api="native"
+        )
+        py = simulate_collective(
+            "allreduce", FRONTERA, nodes=16, ppn=1, api="buffer"
+        )
+        return omb, py
+
+    omb, py = benchmark(produce)
+    check_overhead(
+        report, "Fig 14/15: Allreduce 16 nodes x 1 PPN, Frontera",
+        omb, py, paper_small=0.93, paper_large=14.13,
+    )

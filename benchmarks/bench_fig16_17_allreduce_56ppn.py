@@ -1,0 +1,66 @@
+"""Figs 16/17 — Allreduce latency, 16 nodes x 56 PPN (full subscription).
+
+Paper: 4.21 us overhead for small messages; large messages degrade because
+mpi4py initializes THREAD_MULTIPLE (OMB's C tests use THREAD_SINGLE) and
+the extra progress threads oversubscribe the fully-subscribed cores during
+the reduction computation.
+"""
+
+import pytest
+
+from figure_common import LARGE, SMALL
+from repro.core.output import format_comparison
+from repro.core.results import average_overhead
+from repro.mpi import constants as C
+from repro.simulator import FRONTERA, simulate_collective
+
+
+def test_fig16_17_allreduce_56ppn(benchmark, report):
+    def produce():
+        omb = simulate_collective(
+            "allreduce", FRONTERA, nodes=16, ppn=56, api="native"
+        )
+        py = simulate_collective(
+            "allreduce", FRONTERA, nodes=16, ppn=56, api="buffer"
+        )
+        return omb, py
+
+    omb, py = benchmark(produce)
+    report.section("Fig 16/17: Allreduce 16 nodes x 56 PPN, Frontera")
+    report.table(format_comparison([omb, py], ["OMB (native)", "OMB-Py"]))
+
+    small = average_overhead(omb, py, SMALL)
+    report.row("avg overhead, small msgs", 4.21, f"{small:.2f}")
+    assert small == pytest.approx(4.21, rel=0.25)
+
+    # Large-message degradation: overhead grows far beyond the small-range
+    # constant once the reduction computation is descheduled.
+    large = average_overhead(omb, py, LARGE)
+    report.row("avg overhead, large msgs (degraded)", ">> small",
+               f"{large:.1f}")
+    assert large > 10 * small
+
+    # The 1-PPN run shows no such degradation factor.
+    one_omb = simulate_collective(
+        "allreduce", FRONTERA, nodes=16, ppn=1, api="native"
+    )
+    one_py = simulate_collective(
+        "allreduce", FRONTERA, nodes=16, ppn=1, api="buffer"
+    )
+    one_large = average_overhead(one_omb, one_py, LARGE)
+    assert large > 5 * one_large
+
+
+def test_thread_level_default_is_multiple(benchmark):
+    """The root cause the paper names: mpi4py defaults THREAD_MULTIPLE."""
+    from repro.bindings import init
+
+    def check():
+        world = init()
+        try:
+            return world.runtime.thread_level
+        finally:
+            world.finalize()
+
+    level = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert level == C.THREAD_MULTIPLE

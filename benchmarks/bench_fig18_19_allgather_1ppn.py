@@ -1,0 +1,24 @@
+"""Figs 18/19 — Allgather latency, 16 nodes x 1 PPN, Frontera.
+
+Paper: OMB-Py overhead 0.92 us (small) / 23.4 us (large).
+"""
+
+from figure_common import check_overhead
+from repro.simulator import FRONTERA, simulate_collective
+
+
+def test_fig18_19_allgather_1ppn(benchmark, report):
+    def produce():
+        omb = simulate_collective(
+            "allgather", FRONTERA, nodes=16, ppn=1, api="native"
+        )
+        py = simulate_collective(
+            "allgather", FRONTERA, nodes=16, ppn=1, api="buffer"
+        )
+        return omb, py
+
+    omb, py = benchmark(produce)
+    check_overhead(
+        report, "Fig 18/19: Allgather 16 nodes x 1 PPN, Frontera",
+        omb, py, paper_small=0.92, paper_large=23.4,
+    )

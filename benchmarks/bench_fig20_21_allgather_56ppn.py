@@ -1,0 +1,48 @@
+"""Figs 20/21 — Allgather latency, 16 nodes x 56 PPN (full subscription).
+
+Paper: overhead grows with message size — 8 us at 1 B up to 345 us at
+8 KB; past the rendezvous switch it blows up to 41 ms at 32 KB and
+averages ~16 ms over the large range.
+"""
+
+import pytest
+
+from figure_common import LARGE
+from repro.core.output import format_comparison
+from repro.core.results import average_overhead
+from repro.simulator import FRONTERA, simulate_collective
+
+
+def test_fig20_21_allgather_56ppn(benchmark, report):
+    def produce():
+        omb = simulate_collective(
+            "allgather", FRONTERA, nodes=16, ppn=56, api="native"
+        )
+        py = simulate_collective(
+            "allgather", FRONTERA, nodes=16, ppn=56, api="buffer"
+        )
+        return omb, py
+
+    omb, py = benchmark(produce)
+    report.section("Fig 20/21: Allgather 16 nodes x 56 PPN, Frontera")
+    report.table(format_comparison([omb, py], ["OMB (native)", "OMB-Py"]))
+
+    def delta(n):
+        return py.row_for(n).value - omb.row_for(n).value
+
+    report.row("overhead @ 1 B", 8, f"{delta(1):.1f}")
+    report.row("overhead @ 8 KB", 345, f"{delta(8192):.0f}")
+    report.row("overhead @ 32 KB (peak)", 41000, f"{delta(32768):.0f}")
+    large_avg = average_overhead(omb, py, LARGE)
+    report.row("avg overhead, large msgs", 16000, f"{large_avg:.0f}")
+
+    assert delta(1) == pytest.approx(8.0, rel=0.25)
+    assert delta(8192) == pytest.approx(345.0, rel=0.20)
+    assert delta(32768) == pytest.approx(41000.0, rel=0.20)
+    assert large_avg == pytest.approx(16000.0, rel=0.35)
+    # Shape: monotone growth through the small range, peak at 32 KB.
+    small_deltas = [delta(2 ** k) for k in range(0, 14)]
+    assert all(b >= a for a, b in zip(small_deltas, small_deltas[1:]))
+    assert delta(32768) == max(
+        delta(s) for s in omb.sizes()
+    )

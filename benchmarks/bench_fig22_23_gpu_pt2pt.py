@@ -1,0 +1,80 @@
+"""Figs 22/23 — GPU point-to-point latency, three device-buffer libraries
+vs OMB-GPU, RI2.
+
+Paper: small-range average overheads 3.54 / 3.44 / 5.85 us and large-range
+8.35 / 7.92 / 11.4 us for CuPy / PyCUDA / Numba; CuPy ~= PyCUDA < Numba,
+with Numba's latency overhead ~2x.  Also runs the live runtime with the
+three simulated array libraries to confirm the ordering emerges from the
+real binding code paths (Numba's per-access CAI rebuild).
+"""
+
+import pytest
+
+from figure_common import LARGE, SMALL, live_latency_table
+from repro.core.output import format_comparison
+from repro.core.results import average_overhead
+from repro.simulator import RI2_GPU, simulate_pt2pt
+
+PAPER = {
+    "cupy": (3.54, 8.35),
+    "pycuda": (3.44, 7.92),
+    "numba": (5.85, 11.4),
+}
+
+
+def test_fig22_23_gpu_pt2pt(benchmark, report):
+    def produce():
+        omb = simulate_pt2pt(RI2_GPU, api="native", device="gpu")
+        curves = {
+            buf: simulate_pt2pt(RI2_GPU, api="buffer", buffer=buf)
+            for buf in PAPER
+        }
+        return omb, curves
+
+    omb, curves = benchmark(produce)
+    report.section("Fig 22/23: GPU pt2pt latency, RI2 (8 nodes, V100)")
+    report.table(format_comparison(
+        [omb] + list(curves.values()),
+        ["OMB-GPU"] + list(curves),
+    ))
+
+    for buf, (paper_small, paper_large) in PAPER.items():
+        small = average_overhead(omb, curves[buf], SMALL)
+        large = average_overhead(omb, curves[buf], LARGE)
+        report.row(f"{buf} small overhead", paper_small, f"{small:.2f}")
+        report.row(f"{buf} large overhead", paper_large, f"{large:.2f}")
+        assert small == pytest.approx(paper_small, rel=0.12)
+        assert large == pytest.approx(paper_large, rel=0.12)
+
+    # Ordering: CuPy ~= PyCUDA < Numba, Numba ~2x (paper insight 3).
+    cupy_small = average_overhead(omb, curves["cupy"], SMALL)
+    pycuda_small = average_overhead(omb, curves["pycuda"], SMALL)
+    numba_small = average_overhead(omb, curves["numba"], SMALL)
+    assert abs(cupy_small - pycuda_small) < 0.2 * cupy_small
+    assert 1.4 < numba_small / cupy_small < 2.1
+
+
+def test_fig22_23_live_gpu_ordering(benchmark, report):
+    """Live check: the real bindings + simulated device libraries give
+    CuPy/PyCUDA cheaper communication than Numba."""
+    def produce():
+        return {
+            buf: live_latency_table(
+                "buffer", buffer=buf, device="gpu", max_size=256,
+                iterations=60,
+            )
+            for buf in ("cupy", "pycuda", "numba")
+        }
+
+    tables = benchmark.pedantic(produce, rounds=1, iterations=1)
+    small_sizes = [1, 4, 16, 64, 256]
+    means = {
+        buf: sum(t.row_for(s).value for s in small_sizes) / len(small_sizes)
+        for buf, t in tables.items()
+    }
+    report.section("Fig 22/23 live: small-message latency by GPU buffer")
+    for buf, v in means.items():
+        report.row(f"{buf} live mean latency", "-", f"{v:.2f}")
+    # Numba's layered CAI export must cost more than CuPy's cached one.
+    assert means["numba"] > means["cupy"]
+    assert means["numba"] > means["pycuda"]

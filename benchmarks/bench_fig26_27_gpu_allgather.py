@@ -1,0 +1,49 @@
+"""Figs 26/27 — GPU Allgather latency, 8 nodes (1 V100 per node), RI2.
+
+Paper small-range overheads: 12.139 / 11.94 / 17.24 us for CuPy / PyCUDA /
+Numba; large-range: 15.28 / 16.54 / 19.72 us.
+"""
+
+import pytest
+
+from figure_common import LARGE, SMALL
+from repro.core.output import format_comparison
+from repro.core.results import average_overhead
+from repro.simulator import RI2_GPU, simulate_collective
+
+PAPER_SMALL = {"cupy": 12.139, "pycuda": 11.94, "numba": 17.24}
+PAPER_LARGE = {"cupy": 15.28, "pycuda": 16.54, "numba": 19.72}
+
+
+def test_fig26_27_gpu_allgather(benchmark, report):
+    def produce():
+        omb = simulate_collective(
+            "allgather", RI2_GPU, nodes=8, api="native", buffer="cupy"
+        )
+        curves = {
+            buf: simulate_collective(
+                "allgather", RI2_GPU, nodes=8, api="buffer", buffer=buf
+            )
+            for buf in PAPER_SMALL
+        }
+        return omb, curves
+
+    omb, curves = benchmark(produce)
+    report.section("Fig 26/27: GPU Allgather, 8 nodes, RI2")
+    report.table(format_comparison(
+        [omb] + list(curves.values()), ["OMB-GPU"] + list(curves)
+    ))
+
+    for buf in PAPER_SMALL:
+        small = average_overhead(omb, curves[buf], SMALL)
+        large = average_overhead(omb, curves[buf], LARGE)
+        report.row(f"{buf} small overhead", PAPER_SMALL[buf], f"{small:.2f}")
+        report.row(f"{buf} large overhead", PAPER_LARGE[buf], f"{large:.2f}")
+        assert small == pytest.approx(PAPER_SMALL[buf], rel=0.12)
+        assert large == pytest.approx(PAPER_LARGE[buf], rel=0.30)
+
+    # CuPy and PyCUDA within ~15% of each other at every size.
+    for size in omb.sizes():
+        c = curves["cupy"].row_for(size).value
+        p = curves["pycuda"].row_for(size).value
+        assert abs(c - p) < 0.15 * c

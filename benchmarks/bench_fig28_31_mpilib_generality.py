@@ -1,0 +1,63 @@
+"""Figs 28-31 — OMB-Py generality: MVAPICH2 vs Intel MPI on Frontera.
+
+Paper: average latency difference 0.36 us across all message sizes
+(Figs 28/29); average bandwidth difference 856 MB/s (Figs 30/31).
+"""
+
+import pytest
+
+from figure_common import LARGE, SMALL
+from repro.core.output import format_comparison
+from repro.core.results import average_overhead
+from repro.simulator import FRONTERA, INTEL_MPI, MVAPICH2, simulate_pt2pt
+
+ALL_SIZES = SMALL + LARGE
+
+
+def test_fig28_29_mpilib_latency(benchmark, report):
+    def produce():
+        mv = simulate_pt2pt(
+            FRONTERA, "inter", api="buffer", mpilib=MVAPICH2
+        )
+        im = simulate_pt2pt(
+            FRONTERA, "inter", api="buffer", mpilib=INTEL_MPI
+        )
+        return mv, im
+
+    mv, im = benchmark(produce)
+    report.section("Fig 28/29: OMB-Py latency, MVAPICH2 vs Intel MPI")
+    report.table(format_comparison([mv, im], ["MVAPICH2", "IntelMPI"]))
+
+    diff = average_overhead(mv, im, ALL_SIZES)
+    report.row("avg latency difference (all sizes)", 0.36, f"{diff:.3f}")
+    assert diff == pytest.approx(0.36, abs=0.03)
+    # Flat difference: constant across the sweep, per the paper.
+    deltas = [
+        im.row_for(s).value - mv.row_for(s).value for s in mv.sizes()
+    ]
+    assert max(deltas) - min(deltas) < 0.05
+
+
+def test_fig30_31_mpilib_bandwidth(benchmark, report):
+    def produce():
+        mv = simulate_pt2pt(
+            FRONTERA, "inter", api="buffer", metric="bandwidth",
+            mpilib=MVAPICH2,
+        )
+        im = simulate_pt2pt(
+            FRONTERA, "inter", api="buffer", metric="bandwidth",
+            mpilib=INTEL_MPI,
+        )
+        return mv, im
+
+    mv, im = benchmark(produce)
+    report.section("Fig 30/31: OMB-Py bandwidth, MVAPICH2 vs Intel MPI")
+    report.table(format_comparison([mv, im], ["MVAPICH2", "IntelMPI"]))
+
+    diff = -average_overhead(mv, im, ALL_SIZES)
+    report.row("avg bandwidth difference (all sizes)", 856, f"{diff:.0f}",
+               "MB/s")
+    assert diff == pytest.approx(856, rel=0.25)
+    # MVAPICH2 never slower than Intel MPI in this calibration.
+    for size in mv.sizes():
+        assert mv.row_for(size).value >= im.row_for(size).value

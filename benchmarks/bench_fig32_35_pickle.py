@@ -1,0 +1,100 @@
+"""Figs 32-35 — pickle (lower-case) vs direct buffer (upper-case) methods.
+
+Paper: latency overhead 1.07 us small; curves diverge past 64 KB up to
+~1510 us at 1 MB (Figs 32/33).  Bandwidth similar up to ~1 KB, pickle
+deficit growing to ~2.4 GB/s at 8 KB, partial recovery, then dropping
+again past 64 KB (Figs 34/35).  The live section measures the real
+pickle codec against real buffer sends on the runtime.
+"""
+
+import pytest
+
+from figure_common import SMALL, live_latency_table
+from repro.core.output import format_comparison
+from repro.core.results import average_overhead
+from repro.simulator import FRONTERA, simulate_pt2pt
+
+
+def test_fig32_33_pickle_latency(benchmark, report):
+    def produce():
+        direct = simulate_pt2pt(FRONTERA, "inter", api="buffer")
+        pickled = simulate_pt2pt(FRONTERA, "inter", api="pickle")
+        return direct, pickled
+
+    direct, pickled = benchmark(produce)
+    report.section("Fig 32/33: pickle vs direct-buffer latency")
+    report.table(format_comparison(
+        [direct, pickled], ["direct buffer", "pickle"]
+    ))
+
+    small = average_overhead(direct, pickled, SMALL)
+    at_1m = pickled.row_for(1 << 20).value - direct.row_for(1 << 20).value
+    at_64k = pickled.row_for(65536).value - direct.row_for(65536).value
+    report.row("small-range overhead", 1.07, f"{small:.2f}")
+    report.row("overhead @ 1 MB", 1510, f"{at_1m:.0f}")
+    assert small == pytest.approx(1.07, rel=0.15)
+    assert at_1m == pytest.approx(1510, rel=0.15)
+    # Divergence starts after 64 KB.
+    assert at_1m > 10 * at_64k
+
+
+def test_fig34_35_pickle_bandwidth(benchmark, report):
+    def produce():
+        direct = simulate_pt2pt(
+            FRONTERA, "inter", api="buffer", metric="bandwidth"
+        )
+        pickled = simulate_pt2pt(
+            FRONTERA, "inter", api="pickle", metric="bandwidth"
+        )
+        return direct, pickled
+
+    direct, pickled = benchmark(produce)
+    report.section("Fig 34/35: pickle vs direct-buffer bandwidth")
+    report.table(format_comparison(
+        [direct, pickled], ["direct buffer", "pickle"]
+    ))
+
+    def deficit(n):
+        return direct.row_for(n).value - pickled.row_for(n).value
+
+    report.row("deficit @ 256 B (similar)", "~small", f"{deficit(256):.0f}",
+               "MB/s")
+    report.row("deficit @ 8 KB", "~2400", f"{deficit(8192):.0f}", "MB/s")
+    # Similar at tiny sizes; worst around 8 KB; pickle below everywhere.
+    assert deficit(256) < deficit(8192) / 3
+    assert deficit(8192) == pytest.approx(2400, rel=0.5)
+    for size in direct.sizes():
+        assert pickled.row_for(size).value <= direct.row_for(size).value
+    # Large messages drop again after the partial recovery (>=64 KB).
+    assert deficit(1 << 20) > deficit(32768) * 0.5
+
+
+def test_fig32_33_live_pickle_overhead(benchmark, report):
+    """Live: the real pickle path is slower than the buffer path.
+
+    Scheduling jitter on this 1-core box is several microseconds, so the
+    check uses 4 MB payloads — where pickling's extra copy is hundreds of
+    microseconds — and takes the median of repeated trials.
+    """
+    import statistics
+
+    size = 4 << 20
+
+    def produce():
+        deltas = []
+        for _ in range(3):
+            direct = live_latency_table(
+                "buffer", max_size=size, iterations=10
+            )
+            pickled = live_latency_table(
+                "pickle", max_size=size, iterations=10
+            )
+            deltas.append(
+                pickled.row_for(size).value - direct.row_for(size).value
+            )
+        return statistics.median(deltas)
+
+    delta = benchmark.pedantic(produce, rounds=1, iterations=1)
+    report.section("Fig 32/33 live: pickle overhead at 4 MB")
+    report.row("live pickle overhead @ 4 MB (>0)", ">0", f"{delta:.0f}")
+    assert delta > 0

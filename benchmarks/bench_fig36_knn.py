@@ -1,0 +1,64 @@
+"""Fig 36 — distributed k-NN execution time and speedup, 1-224 processes.
+
+Paper: Dota2 dataset (102,944 x 116); 112.9 s sequential -> 1.07 s on
+224 processes (105.6x).  The full-scale curve is reproduced through the
+calibrated Amdahl model (this machine has 1 core — see EXPERIMENTS.md);
+the live section runs the real distributed algorithm on a scaled-down
+synthetic Dota2 and checks accuracy equivalence plus timing sanity.
+"""
+
+import pytest
+
+from repro.ml.datasets import dota2_like, train_test_split
+from repro.ml.distributed import (
+    distributed_knn,
+    run_sequential_vs_distributed,
+    sequential_knn,
+)
+from repro.simulator import simulate_ml
+
+
+def test_fig36_knn_speedup_curve(benchmark, report):
+    series = benchmark(lambda: simulate_ml("knn"))
+
+    report.section("Fig 36: distributed k-NN, RI2 (simulated full scale)")
+    report.table(f"  {'procs':>6} {'time_s':>10} {'speedup':>9}")
+    for p, t, s in series:
+        report.table(f"  {p:>6} {t:>10.2f} {s:>9.1f}")
+
+    by_procs = {p: (t, s) for p, t, s in series}
+    report.row("sequential time", 112.9, f"{by_procs[1][0]:.1f}", "s")
+    report.row("time @ 224 procs", 1.07, f"{by_procs[224][0]:.2f}", "s")
+    report.row("speedup @ 224 procs", 105.6, f"{by_procs[224][1]:.1f}", "x")
+    assert by_procs[1][0] == pytest.approx(112.9, rel=0.01)
+    assert by_procs[224][0] == pytest.approx(1.07, rel=0.10)
+    assert by_procs[224][1] == pytest.approx(105.6, rel=0.10)
+    # Near-linear within a node, sublinear beyond (the figure's shape).
+    assert by_procs[2][1] > 1.9
+    assert by_procs[28][1] > 20
+    assert by_procs[224][1] < 224 * 0.55
+
+
+def test_fig36_knn_live_scaled(benchmark, report):
+    """Live run at laptop scale: identical accuracy, mechanism exercised."""
+    X, y = dota2_like(n_samples=2000, seed=36)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, seed=36)
+
+    def produce():
+        return run_sequential_vs_distributed(
+            "knn",
+            lambda: sequential_knn(Xtr, ytr, Xte, yte),
+            lambda c: distributed_knn(c, Xtr, ytr, Xte, yte),
+            processes=4,
+        )
+
+    res = benchmark.pedantic(produce, rounds=1, iterations=1)
+    report.section("Fig 36 live: scaled k-NN on 4 ranks (1-core machine)")
+    report.row("accuracy distributed == sequential", "equal",
+               f"{res.result_distributed:.4f}=={res.result_sequential:.4f}")
+    report.row("live speedup (bounded by 1 core)", "-",
+               f"{res.speedup:.2f}", "x")
+    assert res.result_distributed == pytest.approx(
+        res.result_sequential, abs=1e-12
+    )
+    assert res.distributed_s > 0

@@ -1,0 +1,56 @@
+"""Fig 37 — distributed k-means hyper-parameter optimization, 1-224 procs.
+
+Paper: 7,000-point 2-D synthetic set; 1059.45 s sequential -> 11.15 s on
+224 processes (95x).  Full scale via the calibrated model; live section
+runs the real balanced-k sweep on the paper's dataset shape.
+"""
+
+import pytest
+
+from repro.ml.datasets import make_blobs
+from repro.ml.distributed import (
+    distributed_kmeans_hpo,
+    run_sequential_vs_distributed,
+    sequential_kmeans_hpo,
+)
+from repro.simulator import simulate_ml
+
+
+def test_fig37_kmeans_hpo_speedup_curve(benchmark, report):
+    series = benchmark(lambda: simulate_ml("kmeans_hpo"))
+
+    report.section("Fig 37: k-means HPO, RI2 (simulated full scale)")
+    report.table(f"  {'procs':>6} {'time_s':>10} {'speedup':>9}")
+    for p, t, s in series:
+        report.table(f"  {p:>6} {t:>10.2f} {s:>9.1f}")
+
+    by_procs = {p: (t, s) for p, t, s in series}
+    report.row("sequential time", 1059.45, f"{by_procs[1][0]:.1f}", "s")
+    report.row("time @ 224 procs", 11.15, f"{by_procs[224][0]:.2f}", "s")
+    report.row("speedup @ 224 procs", 95.0, f"{by_procs[224][1]:.1f}", "x")
+    assert by_procs[1][0] == pytest.approx(1059.45, rel=0.01)
+    assert by_procs[224][0] == pytest.approx(11.15, rel=0.10)
+    assert by_procs[224][1] == pytest.approx(95.0, rel=0.10)
+
+
+def test_fig37_kmeans_hpo_live_scaled(benchmark, report):
+    """Live run on the paper's dataset shape (7,000 x 2) at small k_max."""
+    X, _ = make_blobs(n_samples=7000, n_features=2, centers=5, seed=37)
+
+    def produce():
+        return run_sequential_vs_distributed(
+            "kmeans_hpo",
+            lambda: sequential_kmeans_hpo(X, k_max=8, max_iter=25),
+            lambda c: distributed_kmeans_hpo(c, X, k_max=8, max_iter=25),
+            processes=4,
+        )
+
+    res = benchmark.pedantic(produce, rounds=1, iterations=1)
+    report.section("Fig 37 live: 7,000x2 HPO sweep on 4 ranks")
+    seq, dist = res.result_sequential, res.result_distributed
+    assert set(seq) == set(dist)
+    for k in seq:
+        assert dist[k] == pytest.approx(seq[k], rel=1e-12)
+    report.row("inertia curves identical", "yes", "yes")
+    report.row("live speedup (bounded by 1 core)", "-",
+               f"{res.speedup:.2f}", "x")

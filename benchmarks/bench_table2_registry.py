@@ -1,0 +1,49 @@
+"""Table II — the benchmark list OMB-Py supports, regenerated from the
+registry and exercised live (every benchmark runs a minimal sweep)."""
+
+from repro.core import Options, available_benchmarks, get_benchmark
+from repro.core.registry import CATEGORIES
+from repro.core.runner import BenchContext
+from repro.mpi.world import run_on_threads
+
+_PAPER_TABLE2 = {
+    "pt2pt": {
+        "osu_bibw", "osu_bw", "osu_latency", "osu_multi_lat",
+    },
+    "collective": {
+        "osu_allgather", "osu_allreduce", "osu_alltoall", "osu_barrier",
+        "osu_bcast", "osu_gather", "osu_reduce_scatter", "osu_reduce",
+        "osu_scatter",
+    },
+    "vector": {
+        "osu_allgatherv", "osu_alltoallv", "osu_gatherv", "osu_scatterv",
+    },
+}
+
+
+def test_table2_supported_benchmarks(benchmark, report):
+    opts = Options(min_size=1, max_size=16, iterations=2, warmup=0)
+
+    def run_all():
+        results = {}
+        for name in available_benchmarks():
+            bench = get_benchmark(name)
+            tables = run_on_threads(
+                4, lambda c, b=bench: b.run(BenchContext(c, opts)),
+                timeout=60,
+            )
+            results[name] = len(tables[0])
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report.section("Table II: supported benchmarks (rows per sweep)")
+    for category, names in CATEGORIES.items():
+        report.table(f"  {category}: {', '.join(names)}")
+
+    # Registry must match the paper's Table II exactly, and every entry
+    # must produce measurements.
+    for category, expected in _PAPER_TABLE2.items():
+        assert set(CATEGORIES[category]) == expected, category
+    for name, nrows in results.items():
+        assert nrows >= 1, name

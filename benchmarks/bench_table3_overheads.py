@@ -1,0 +1,77 @@
+"""Table III — the paper's summary of average OMB-Py overheads.
+
+Columns: CPU intra / CPU inter / CPU Allreduce, GPU CuPy / PyCUDA / Numba
+(pt2pt), each with a small-range and a large-range row.  Regenerated from
+the same simulations as the per-figure benches and asserted as one block.
+"""
+
+import pytest
+
+from figure_common import LARGE, SMALL
+from repro.core.results import average_overhead
+from repro.simulator import (
+    FRONTERA,
+    RI2_GPU,
+    simulate_collective,
+    simulate_pt2pt,
+)
+
+# (label, paper_small, paper_large) in microseconds.
+PAPER = {
+    "cpu_intra": (0.44, 2.31),
+    "cpu_inter": (0.43, 0.63),
+    "cpu_allreduce": (0.93, 14.13),
+    "gpu_cupy": (3.54, 8.35),
+    "gpu_pycuda": (3.44, 7.92),
+    "gpu_numba": (5.85, 11.4),
+}
+
+
+def _measure():
+    out = {}
+    omb = simulate_pt2pt(FRONTERA, "intra", api="native")
+    py = simulate_pt2pt(FRONTERA, "intra", api="buffer")
+    out["cpu_intra"] = (
+        average_overhead(omb, py, SMALL), average_overhead(omb, py, LARGE)
+    )
+    omb = simulate_pt2pt(FRONTERA, "inter", api="native")
+    py = simulate_pt2pt(FRONTERA, "inter", api="buffer")
+    out["cpu_inter"] = (
+        average_overhead(omb, py, SMALL), average_overhead(omb, py, LARGE)
+    )
+    omb = simulate_collective("allreduce", FRONTERA, nodes=16, api="native")
+    py = simulate_collective("allreduce", FRONTERA, nodes=16, api="buffer")
+    out["cpu_allreduce"] = (
+        average_overhead(omb, py, SMALL), average_overhead(omb, py, LARGE)
+    )
+    gpu_omb = simulate_pt2pt(RI2_GPU, api="native", device="gpu")
+    for buf in ("cupy", "pycuda", "numba"):
+        py = simulate_pt2pt(RI2_GPU, api="buffer", buffer=buf)
+        out[f"gpu_{buf}"] = (
+            average_overhead(gpu_omb, py, SMALL),
+            average_overhead(gpu_omb, py, LARGE),
+        )
+    return out
+
+
+def test_table3_overhead_summary(benchmark, report):
+    measured = benchmark(_measure)
+
+    report.section("Table III: average OMB-Py overheads (us)")
+    report.table(
+        f"  {'column':<16} {'paper S':>9} {'meas S':>9} "
+        f"{'paper L':>9} {'meas L':>9}"
+    )
+    for key, (paper_s, paper_l) in PAPER.items():
+        meas_s, meas_l = measured[key]
+        report.table(
+            f"  {key:<16} {paper_s:>9.2f} {meas_s:>9.2f} "
+            f"{paper_l:>9.2f} {meas_l:>9.2f}"
+        )
+        assert meas_s == pytest.approx(paper_s, rel=0.15), key
+        assert meas_l == pytest.approx(paper_l, rel=0.15), key
+
+    # Paper insight: CPU average overheads ~30% latency; the GPU buffers
+    # rank CuPy ~= PyCUDA < Numba.
+    assert measured["gpu_numba"][0] > measured["gpu_cupy"][0]
+    assert measured["gpu_numba"][0] > measured["gpu_pycuda"][0]

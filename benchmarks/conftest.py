@@ -1,0 +1,37 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Every ``bench_*`` file reproduces one table or figure from the paper.  Run
+the full harness with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark prints the regenerated series (OSU-style columns) plus a
+paper-vs-measured comparison block, and asserts the *shape* criteria from
+DESIGN.md §4 — who wins, by roughly what factor, where crossovers fall.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report():
+    """Collect comparison lines and print them at the end of the bench."""
+    lines: list[str] = []
+
+    class Reporter:
+        def row(self, label: str, paper, measured, unit: str = "us") -> None:
+            lines.append(
+                f"  {label:<42} paper={paper:>10}  "
+                f"measured={measured:>12}  [{unit}]"
+            )
+
+        def section(self, title: str) -> None:
+            lines.append(f"== {title} ==")
+
+        def table(self, text: str) -> None:
+            lines.append(text)
+
+    yield Reporter()
+    print()
+    for line in lines:
+        print(line)

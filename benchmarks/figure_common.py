@@ -1,0 +1,76 @@
+"""Shared machinery for the figure-reproduction benchmarks.
+
+Each ``bench_figNN_*`` file regenerates one figure's curve family through
+the calibrated cluster simulator (the paper's hardware does not exist
+here; see DESIGN.md §2), prints the series side by side, reports
+paper-vs-measured overhead statistics, and asserts the shape criteria.
+Several benches additionally run the *live* runtime at laptop scale to
+check that the qualitative ordering holds on real execution.
+"""
+
+from __future__ import annotations
+
+from repro.core.output import format_comparison
+from repro.core.results import ResultTable, average_overhead
+from repro.simulator.api import DEFAULT_LARGE_SIZES, DEFAULT_SMALL_SIZES
+
+SMALL = DEFAULT_SMALL_SIZES
+LARGE = DEFAULT_LARGE_SIZES
+
+
+def check_overhead(
+    report,
+    title: str,
+    base: ResultTable,
+    other: ResultTable,
+    paper_small: float,
+    paper_large: float,
+    rel: float = 0.15,
+    unit: str = "us",
+) -> None:
+    """Print + assert small/large-range average overheads vs the paper."""
+    small = average_overhead(base, other, SMALL)
+    large = average_overhead(base, other, LARGE)
+    report.section(title)
+    report.table(format_comparison([base, other], ["OMB (native)", "OMB-Py"]))
+    report.row("avg overhead, small msgs", paper_small, f"{small:.3f}", unit)
+    report.row("avg overhead, large msgs", paper_large, f"{large:.3f}", unit)
+    assert small == approx(paper_small, rel)
+    assert large == approx(paper_large, rel)
+    # Structural shape: OMB-Py never beats the native baseline.
+    for size in base.sizes():
+        assert other.row_for(size).value >= base.row_for(size).value
+
+
+def approx(target: float, rel: float):
+    import pytest
+
+    return pytest.approx(target, rel=rel)
+
+
+def relative_overhead_shrinks(base: ResultTable, other: ResultTable) -> None:
+    """Paper insight 1: overhead noticeable small, negligible large."""
+    small_rel = other.row_for(1).value / base.row_for(1).value
+    largest = base.sizes()[-1]
+    large_rel = other.row_for(largest).value / base.row_for(largest).value
+    assert small_rel > large_rel
+    assert large_rel < 1.15
+
+
+def live_latency_table(api: str, buffer: str = "numpy", device: str = "cpu",
+                       ranks: int = 2, max_size: int = 4096,
+                       iterations: int = 30) -> ResultTable:
+    """Run the real osu_latency benchmark on ranks-as-threads."""
+    from repro.core import Options, get_benchmark
+    from repro.core.runner import BenchContext
+    from repro.mpi.world import run_on_threads
+
+    opts = Options(
+        device=device, buffer=buffer, api=api, min_size=1,
+        max_size=max_size, iterations=iterations, warmup=5,
+    )
+    bench = get_benchmark("osu_latency")
+    tables = run_on_threads(
+        ranks, lambda c: bench.run(BenchContext(c, opts)), timeout=120
+    )
+    return tables[0]

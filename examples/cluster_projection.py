@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Project OMB-Py performance onto the paper's HPC clusters.
+
+Uses the calibrated simulator to answer "what would this benchmark report
+on Frontera / Stampede2 / RI2?" — the tool the figure benchmarks are built
+on.  Prints the paper's headline comparisons:
+
+* intra-node latency, OMB vs OMB-Py, on all three clusters (Figs 4-9);
+* Allreduce at 1 vs 56 processes per node (Figs 14-17);
+* GPU pt2pt latency for the three device-buffer libraries (Figs 22/23);
+* the projected distributed-ML speedup curve (Figs 36-38).
+
+Usage::
+
+    python examples/cluster_projection.py [--cluster Frontera]
+"""
+
+import argparse
+
+from repro.core.output import format_comparison
+from repro.simulator import (
+    CLUSTERS,
+    RI2_GPU,
+    simulate_collective,
+    simulate_ml,
+    simulate_pt2pt,
+)
+
+SIZES = [2 ** k for k in range(0, 21, 2)]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cluster", default="Frontera",
+        choices=[c for c in CLUSTERS if c != "RI2-GPU"],
+    )
+    args = parser.parse_args()
+    cluster = CLUSTERS[args.cluster]
+
+    print(f"=== {cluster.name}: intra-node latency, OMB vs OMB-Py (us) ===")
+    omb = simulate_pt2pt(cluster, "intra", api="native", sizes=SIZES)
+    py = simulate_pt2pt(cluster, "intra", api="buffer", sizes=SIZES)
+    pickled = simulate_pt2pt(cluster, "intra", api="pickle", sizes=SIZES)
+    print(format_comparison([omb, py, pickled],
+                            ["OMB (C)", "OMB-Py buffer", "OMB-Py pickle"]))
+
+    print(f"=== {cluster.name}: Allreduce, {cluster.max_nodes} nodes, "
+          f"1 vs {cluster.node.cores} PPN (us) ===")
+    one = simulate_collective(
+        "allreduce", cluster, nodes=cluster.max_nodes, ppn=1,
+        api="buffer", sizes=SIZES,
+    )
+    full = simulate_collective(
+        "allreduce", cluster, nodes=cluster.max_nodes,
+        ppn=cluster.node.cores, api="buffer", sizes=SIZES,
+    )
+    print(format_comparison([one, full], ["1 PPN", "full PPN"]))
+
+    print("=== RI2 GPU pt2pt latency by device buffer (us) ===")
+    gpu_tables = [
+        simulate_pt2pt(RI2_GPU, api="buffer", buffer=buf, sizes=SIZES)
+        for buf in ("cupy", "pycuda", "numba")
+    ]
+    print(format_comparison(gpu_tables, ["cupy", "pycuda", "numba"]))
+
+    print("=== Projected distributed-ML speedups on RI2 (Figs 36-38) ===")
+    print(f"{'procs':>6} {'knn':>8} {'kmeans':>8} {'matmul':>8}")
+    curves = {w: dict((p, s) for p, _t, s in simulate_ml(w))
+              for w in ("knn", "kmeans_hpo", "matmul")}
+    for procs in sorted(curves["knn"]):
+        print(f"{procs:>6} {curves['knn'][procs]:>7.1f}x "
+              f"{curves['kmeans_hpo'][procs]:>7.1f}x "
+              f"{curves['matmul'][procs]:>7.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Package definition.
+
+This project deliberately ships **no pyproject.toml**: with one present,
+``pip install -e .`` takes the PEP 517 path, whose build isolation
+downloads the build backend — impossible on the air-gapped machines this
+reproduction targets.  A plain ``setup.py`` keeps editable installs on
+the legacy ``setup.py develop`` path, which needs nothing but the
+setuptools already in the environment.  Supplementary metadata lives in
+``setup.cfg``; pytest configuration in ``pytest.ini``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "OMB-Py reproduction: Python MPI micro-benchmarks with a "
+        "pure-Python MPI runtime and calibrated cluster simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={
+        "console_scripts": [
+            "ombpy=repro.core.cli:main",
+            "ombpy-run=repro.mpi.launcher:main",
+            "ombpy-compare=repro.core.compare:main",
+        ],
+    },
+)

@@ -1,0 +1,18 @@
+"""OMB-Py reproduction.
+
+Reproduces "OMB-Py: Python Micro-Benchmarks for Evaluating Performance of
+MPI Libraries on HPC Systems" (IPDPS-W 2022) together with every substrate
+it depends on:
+
+* :mod:`repro.mpi` — a message-passing runtime (the MPI library),
+* :mod:`repro.bindings` — an mpi4py-workalike Python binding layer,
+* :mod:`repro.native` — the "OMB in C" fast-path baseline,
+* :mod:`repro.gpu` — simulated CuPy/PyCUDA/Numba device-array libraries,
+* :mod:`repro.core` — the OMB-Py benchmark suite itself,
+* :mod:`repro.simulator` — calibrated cluster models reproducing the
+  paper's Frontera/Stampede2/RI2 figures,
+* :mod:`repro.ml` — the distributed ML benchmarks (k-NN, k-means HPO,
+  matrix multiplication) and their from-scratch substrate.
+"""
+
+__version__ = "1.0.0"

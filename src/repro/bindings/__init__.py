@@ -1,0 +1,29 @@
+"""``repro.bindings`` — an mpi4py-workalike Python binding layer.
+
+This package plays the role mpi4py plays in the paper: it sits between
+Python user code and the MPI runtime (:mod:`repro.mpi`) and provides the
+two API families the paper benchmarks against each other:
+
+* **lower-case methods** (``send``, ``recv``, ``bcast`` ...) communicate
+  arbitrary Python objects by pickling them — convenient but with a
+  serialization cost that the paper's Figs. 32-35 measure;
+* **upper-case methods** (``Send``, ``Recv``, ``Bcast`` ...) communicate
+  buffer-provider objects (bytearray, NumPy arrays, CUDA-array-interface
+  device arrays) with near-zero-copy semantics.
+
+Like mpi4py, initialization defaults to ``THREAD_MULTIPLE`` — the detail
+behind the paper's Allreduce full-subscription anomaly (Figs. 16-17).
+"""
+
+from .buffers import BufferSpec, resolve_buffer
+from .comm_api import Comm, CommWorld, init
+from .pickle_codec import PickleCodec
+
+__all__ = [
+    "BufferSpec",
+    "Comm",
+    "CommWorld",
+    "PickleCodec",
+    "init",
+    "resolve_buffer",
+]

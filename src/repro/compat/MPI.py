@@ -1,0 +1,126 @@
+"""The ``MPI`` namespace mpi4py programs import.
+
+Provides mpi4py's module-level surface over :mod:`repro`'s runtime:
+``COMM_WORLD`` (created lazily on first touch, exactly like mpi4py's
+import-time init), wildcard/thread-level constants, predefined reduction
+ops and datatypes, ``Status``, ``Wtime``, and ``Finalize``.
+
+Keyword-argument conventions match mpi4py: ``send(obj, dest=..., tag=...)``,
+``recv(source=..., tag=...)``, ``Send(buf, dest=...)``, &c. — the
+underlying :class:`repro.bindings.Comm` already uses those names.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..bindings.comm_api import CommWorld
+from ..bindings.comm_api import init as _bindings_init
+from ..core.timing import Wtime  # noqa: F401  (re-export)
+from ..mpi import constants as _c
+from ..mpi import datatypes as _dt
+from ..mpi import ops as _ops
+from ..mpi.status import Status  # noqa: F401  (re-export)
+
+# -- constants ---------------------------------------------------------------
+ANY_SOURCE = _c.ANY_SOURCE
+ANY_TAG = _c.ANY_TAG
+PROC_NULL = _c.PROC_NULL
+UNDEFINED = _c.UNDEFINED
+
+THREAD_SINGLE = _c.THREAD_SINGLE
+THREAD_FUNNELED = _c.THREAD_FUNNELED
+THREAD_SERIALIZED = _c.THREAD_SERIALIZED
+THREAD_MULTIPLE = _c.THREAD_MULTIPLE
+
+IDENT = _c.IDENT
+CONGRUENT = _c.CONGRUENT
+SIMILAR = _c.SIMILAR
+UNEQUAL = _c.UNEQUAL
+
+# -- predefined ops -----------------------------------------------------------
+SUM = _ops.SUM
+PROD = _ops.PROD
+MAX = _ops.MAX
+MIN = _ops.MIN
+LAND = _ops.LAND
+LOR = _ops.LOR
+LXOR = _ops.LXOR
+BAND = _ops.BAND
+BOR = _ops.BOR
+BXOR = _ops.BXOR
+MAXLOC = _ops.MAXLOC
+MINLOC = _ops.MINLOC
+
+# -- predefined datatypes -------------------------------------------------------
+BYTE = _dt.BYTE
+CHAR = _dt.CHAR
+SHORT = _dt.SHORT
+INT = _dt.INT
+LONG = _dt.LONG
+FLOAT = _dt.FLOAT
+DOUBLE = _dt.DOUBLE
+C_BOOL = _dt.C_BOOL
+DOUBLE_COMPLEX = _dt.DOUBLE_COMPLEX
+
+# -- world management ------------------------------------------------------------
+_world_lock = threading.Lock()
+_world: CommWorld | None = None
+
+
+class _LazyCommWorld:
+    """Proxy that initializes the world on first attribute access.
+
+    mpi4py initializes MPI at import; doing it lazily here keeps plain
+    ``import repro.compat`` side-effect-free while preserving the
+    ``MPI.COMM_WORLD`` usage pattern.
+    """
+
+    def _real(self) -> CommWorld:
+        global _world
+        with _world_lock:
+            if _world is None:
+                _world = _bindings_init()
+            return _world
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._real(), name)
+
+    @property
+    def rank(self) -> int:
+        return self._real().rank
+
+    @property
+    def size(self) -> int:
+        return self._real().size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MPI.COMM_WORLD (repro.compat)>"
+
+
+COMM_WORLD = _LazyCommWorld()
+
+
+def Is_initialized() -> bool:
+    """Whether COMM_WORLD has been touched yet."""
+    return _world is not None
+
+
+def Finalize() -> None:
+    """Tear down the world (idempotent)."""
+    global _world
+    with _world_lock:
+        if _world is not None:
+            _world.finalize()
+            _world = None
+
+
+def Get_version() -> tuple[int, int]:
+    """The MPI standard level this runtime approximates."""
+    return (3, 1)
+
+
+def Query_thread() -> int:
+    """Thread level of the initialized world (mpi4py default: MULTIPLE)."""
+    return COMM_WORLD._real().runtime.thread_level

@@ -1,0 +1,20 @@
+"""mpi4py source-compatibility layer.
+
+``from repro.compat import MPI`` gives a module-like object with the
+names mpi4py programs use — ``MPI.COMM_WORLD``, wildcard constants,
+predefined ops and datatypes, ``MPI.Status``, ``MPI.Wtime`` — backed by
+this package's runtime.  The mpi4py tutorial snippets the paper's
+Background section cites run unmodified:
+
+    from repro.compat import MPI
+    comm = MPI.COMM_WORLD
+    rank = comm.Get_rank()
+    if rank == 0:
+        comm.send({'a': 7, 'b': 3.14}, dest=1, tag=11)
+    elif rank == 1:
+        data = comm.recv(source=0, tag=11)
+"""
+
+from . import MPI
+
+__all__ = ["MPI"]

@@ -1,0 +1,37 @@
+"""``repro.core`` — the OMB-Py micro-benchmark suite.
+
+The paper's primary contribution: Python ports of the OSU Micro-Benchmarks
+built on the mpi4py-workalike bindings.  Point-to-point tests (latency,
+bandwidth, bi-directional bandwidth, multi-pair latency), all blocking
+collectives (Table II), and their vector variants, each runnable over:
+
+* ``buffer`` — upper-case direct-buffer methods (the OMB-Py default),
+* ``pickle`` — lower-case object-serialization methods,
+* ``native`` — the bindings-free baseline standing in for C OMB,
+
+and over every supported buffer type (bytearray, NumPy, and the simulated
+CuPy/PyCUDA/Numba device arrays).
+"""
+
+from .compare import compare_report
+from .export import figure_to_csv, table_to_csv, table_to_json
+from .options import Options
+from .registry import available_benchmarks, get_benchmark
+from .results import ResultRow, ResultTable, average_overhead
+from .runner import run_benchmark
+from .tuning import tune
+
+__all__ = [
+    "Options",
+    "ResultRow",
+    "ResultTable",
+    "available_benchmarks",
+    "average_overhead",
+    "compare_report",
+    "figure_to_csv",
+    "get_benchmark",
+    "run_benchmark",
+    "table_to_csv",
+    "table_to_json",
+    "tune",
+]

@@ -1,0 +1,180 @@
+"""``ombpy`` — the OMB-Py command-line driver.
+
+Run a benchmark under the multi-process launcher::
+
+    ombpy-run -n 2 ombpy osu_latency -b numpy
+    ombpy-run -n 4 ombpy osu_allreduce --api buffer -m 4:65536
+
+or self-hosted on ranks-as-threads (no launcher needed)::
+
+    ombpy osu_latency --threads 2 -b bytearray
+    ombpy osu_allreduce --threads 4 -d gpu -b cupy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..mpi import init as runtime_init
+from ..mpi.world import run_on_threads
+from . import options as opt_mod
+from .output import print_table
+from .registry import available_benchmarks, get_benchmark
+from .runner import BenchContext
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ombpy",
+        description="OMB-Py: MPI micro-benchmarks for Python.",
+    )
+    parser.add_argument(
+        "benchmark",
+        help="benchmark name (use 'list' to enumerate)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=None, metavar="N",
+        help="self-host on N ranks-as-threads instead of the launcher",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the result table to FILE (.csv or .json by "
+        "extension)",
+    )
+    parser.add_argument(
+        "--simulate", default=None, metavar="CLUSTER",
+        help="instead of running live, project the benchmark onto a "
+        "modelled cluster (Frontera, Stampede2, RI2, RI2-GPU); "
+        "--simulate-nodes/--simulate-ppn control the layout",
+    )
+    parser.add_argument("--simulate-nodes", type=int, default=2)
+    parser.add_argument("--simulate-ppn", type=int, default=1)
+    opt_mod.add_arguments(parser)
+    return parser
+
+
+_SIM_COLLECTIVES = {
+    "osu_allreduce": "allreduce",
+    "osu_allgather": "allgather",
+    "osu_alltoall": "alltoall",
+    "osu_bcast": "bcast",
+    "osu_reduce": "reduce",
+    "osu_gather": "gather",
+    "osu_scatter": "scatter",
+    "osu_reduce_scatter": "reduce_scatter",
+    "osu_barrier": "barrier",
+}
+
+
+def _simulate(args, options) -> int:
+    """Project a benchmark onto a modelled cluster (no live ranks)."""
+    from ..simulator import CLUSTERS, simulate_collective, simulate_pt2pt
+
+    try:
+        cluster = CLUSTERS[args.simulate]
+    except KeyError:
+        print(
+            f"ombpy: unknown cluster {args.simulate!r}; choose from "
+            f"{', '.join(CLUSTERS)}", file=sys.stderr,
+        )
+        return 2
+    sizes = [
+        s for s in _power_sizes(options.min_size, options.max_size)
+    ]
+    api = options.api if options.api != "native" else "native"
+    buffer = options.buffer
+    if args.benchmark == "osu_latency":
+        placement = "intra" if args.simulate_nodes <= 1 else "inter"
+        table = simulate_pt2pt(
+            cluster, placement, api=api, buffer=buffer, sizes=sizes
+        )
+    elif args.benchmark in ("osu_bw", "osu_bibw"):
+        placement = "intra" if args.simulate_nodes <= 1 else "inter"
+        table = simulate_pt2pt(
+            cluster, placement, api=api, buffer=buffer,
+            metric="bandwidth", sizes=sizes,
+        )
+        if args.benchmark == "osu_bibw":
+            table.rows = [r.scaled(2.0) for r in table.rows]
+    elif args.benchmark in _SIM_COLLECTIVES:
+        table = simulate_collective(
+            _SIM_COLLECTIVES[args.benchmark], cluster,
+            nodes=args.simulate_nodes, ppn=args.simulate_ppn,
+            api=api, buffer=buffer, sizes=sizes,
+        )
+    else:
+        print(
+            f"ombpy: {args.benchmark} has no simulation mapping",
+            file=sys.stderr,
+        )
+        return 2
+    print_table(table, options.full_stats)
+    if args.output:
+        _write_output(table, args.output, options.full_stats)
+    return 0
+
+
+def _power_sizes(lo: int, hi: int):
+    size = max(lo, 1)
+    # Round up to a power of two, as the live sweep does.
+    while size & (size - 1):
+        size += 1
+    while size <= hi:
+        yield size
+        size <<= 1
+
+
+def _write_output(table, path: str, full_stats: bool) -> None:
+    from pathlib import Path
+
+    from .export import table_to_csv, table_to_json
+
+    target = Path(path)
+    if target.suffix == ".json":
+        target.write_text(table_to_json(table))
+    else:
+        target.write_text(table_to_csv(table, full_stats))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.benchmark == "list":
+        for name in available_benchmarks():
+            print(name)
+        return 0
+
+    try:
+        bench = get_benchmark(args.benchmark)
+        options = opt_mod.from_args(args)
+    except (KeyError, ValueError) as exc:
+        print(f"ombpy: {exc}", file=sys.stderr)
+        return 2
+
+    if args.simulate is not None:
+        return _simulate(args, options)
+
+    if args.threads is not None:
+        tables = run_on_threads(
+            args.threads, lambda comm: bench.run(BenchContext(comm, options))
+        )
+        print_table(tables[0], options.full_stats)
+        if args.output:
+            _write_output(tables[0], args.output, options.full_stats)
+        return 0
+
+    world = runtime_init()
+    try:
+        table = bench.run(BenchContext(world.comm, options))
+        if world.rank == 0:
+            print_table(table, options.full_stats)
+            if args.output:
+                _write_output(table, args.output, options.full_stats)
+    finally:
+        world.finalize()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

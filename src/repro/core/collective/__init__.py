@@ -1,0 +1,44 @@
+"""Blocking-collective benchmarks (paper Table II, rows 2-3).
+
+Latency tests for Allgather, Allreduce, Alltoall, Barrier, Bcast, Gather,
+Reduce, Reduce_scatter, and Scatter, plus the vector variants Allgatherv,
+Alltoallv, Gatherv, and Scatterv.
+"""
+
+from .barrier import BarrierBenchmark
+from .base import CollectiveBenchmark
+from .bcast import BcastBenchmark
+from .gather_scatter import (
+    AllgatherBenchmark,
+    AlltoallBenchmark,
+    GatherBenchmark,
+    ScatterBenchmark,
+)
+from .reduce_ops import (
+    AllreduceBenchmark,
+    ReduceBenchmark,
+    ReduceScatterBenchmark,
+)
+from .vector import (
+    AllgathervBenchmark,
+    AlltoallvBenchmark,
+    GathervBenchmark,
+    ScattervBenchmark,
+)
+
+__all__ = [
+    "AllgatherBenchmark",
+    "AllgathervBenchmark",
+    "AllreduceBenchmark",
+    "AlltoallBenchmark",
+    "AlltoallvBenchmark",
+    "BarrierBenchmark",
+    "BcastBenchmark",
+    "CollectiveBenchmark",
+    "GatherBenchmark",
+    "GathervBenchmark",
+    "ReduceBenchmark",
+    "ReduceScatterBenchmark",
+    "ScatterBenchmark",
+    "ScattervBenchmark",
+]

@@ -1,0 +1,34 @@
+"""osu_barrier — barrier latency.
+
+Size-independent: the sweep collapses to a single row (OSU prints no size
+column for barrier; we report one row at size 0 for table uniformity).
+"""
+
+from __future__ import annotations
+
+from ..options import Options
+from ..results import ResultRow, ResultTable
+from ..runner import BenchContext
+from .base import CollectiveBenchmark, CollectiveBody
+
+
+class BarrierBenchmark(CollectiveBenchmark):
+    name = "osu_barrier"
+    apis = ("buffer", "native")
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        if ctx.options.api == "native":
+            return ctx.ncomm.barrier
+        return ctx.bcomm.Barrier
+
+    def run(self, ctx: BenchContext) -> ResultTable:
+        self.check(ctx)
+        opt: Options = ctx.options
+        table = ResultTable(
+            benchmark=self.name, metric=self.metric, ranks=ctx.size,
+            buffer=opt.buffer, api=opt.api,
+        )
+        value = self.run_size(ctx, 0, opt.iterations, opt.warmup)
+        avg, mn, mx, _count = ctx.reduce_stats(value)
+        table.add(ResultRow(0, avg, mn, mx, opt.iterations))
+        return table

@@ -1,0 +1,44 @@
+"""Shared driver for collective latency benchmarks.
+
+Every rank participates; the timed loop runs the collective back-to-back
+(OSU style: one barrier before the loop, none inside), and each rank
+reports its own average per-call latency.  The runner then reduces
+avg/min/max across ranks — the paper: "with collective benchmarks we need
+to find the average latency across all participating processes; thus, we
+use MPI_Reduce to find that average then report the latency."
+"""
+
+from __future__ import annotations
+
+import time
+from abc import abstractmethod
+from typing import Callable
+
+from ..runner import BenchContext, Benchmark
+
+CollectiveBody = Callable[[], None]
+
+
+class CollectiveBenchmark(Benchmark):
+    """Base class: subclasses build one zero-argument body per size."""
+
+    metric = "latency_us"
+    min_ranks = 2
+    apis = ("buffer", "pickle", "native")
+
+    @abstractmethod
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        """Allocate buffers and return the per-iteration callable."""
+
+    def run_size(
+        self, ctx: BenchContext, size: int, iterations: int, warmup: int
+    ) -> float | None:
+        body = self.prepare(ctx, size)
+        for _ in range(warmup):
+            body()
+        ctx.barrier()
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            body()
+        elapsed = time.perf_counter_ns() - start
+        return elapsed / iterations / 1e3

@@ -1,0 +1,31 @@
+"""osu_bcast — broadcast latency from rank 0."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runner import BenchContext
+from ..util import allocate
+from .base import CollectiveBenchmark, CollectiveBody
+
+
+class BcastBenchmark(CollectiveBenchmark):
+    name = "osu_bcast"
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        api = ctx.options.api
+        if api == "pickle":
+            payload = np.zeros(max(size, 1), dtype=np.uint8)
+            comm = ctx.bcomm
+            root_payload = payload if ctx.rank == 0 else None
+            return lambda: comm.bcast(root_payload, 0)
+        if api == "native":
+            from ...native.api import RegisteredBuffer
+
+            n = max(size, 1)
+            buf = RegisteredBuffer(bytearray(n))
+            comm = ctx.ncomm
+            return lambda: comm.bcast(buf, n, 0)
+        buf = allocate(ctx.options.buffer, size).obj
+        comm = ctx.bcomm
+        return lambda: comm.Bcast(buf, 0)

@@ -1,0 +1,124 @@
+"""Data-movement collectives: osu_allgather, osu_alltoall, osu_gather,
+osu_scatter.
+
+The reported message size is the per-rank contribution; aggregate buffers
+(receive side of gather/allgather, both sides of alltoall) are ``size *
+nprocs`` bytes, as in OSU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runner import BenchContext
+from ..util import allocate
+from .base import CollectiveBenchmark, CollectiveBody
+
+
+class AllgatherBenchmark(CollectiveBenchmark):
+    name = "osu_allgather"
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        api = ctx.options.api
+        nprocs = ctx.size
+        if api == "pickle":
+            payload = np.zeros(max(size, 1), dtype=np.uint8)
+            comm = ctx.bcomm
+            return lambda: comm.allgather(payload)
+        if api == "native":
+            from ...native.api import RegisteredBuffer
+
+            n = max(size, 1)
+            sbuf = RegisteredBuffer(bytearray(n))
+            rbuf = RegisteredBuffer(bytearray(n * nprocs))
+            comm = ctx.ncomm
+            return lambda: comm.allgather(sbuf, rbuf, n)
+        sbuf = allocate(ctx.options.buffer, size).obj
+        rbuf = allocate(ctx.options.buffer, max(size, 1) * nprocs).obj
+        comm = ctx.bcomm
+        return lambda: comm.Allgather(sbuf, rbuf)
+
+
+class AlltoallBenchmark(CollectiveBenchmark):
+    name = "osu_alltoall"
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        api = ctx.options.api
+        nprocs = ctx.size
+        n = max(size, 1)
+        if api == "pickle":
+            payloads = [
+                np.zeros(n, dtype=np.uint8) for _ in range(nprocs)
+            ]
+            comm = ctx.bcomm
+            return lambda: comm.alltoall(payloads)
+        if api == "native":
+            from ...native.api import RegisteredBuffer
+
+            sbuf = RegisteredBuffer(bytearray(n * nprocs))
+            rbuf = RegisteredBuffer(bytearray(n * nprocs))
+            comm = ctx.ncomm
+            return lambda: comm.alltoall(sbuf, rbuf, n)
+        sbuf = allocate(ctx.options.buffer, n * nprocs).obj
+        rbuf = allocate(ctx.options.buffer, n * nprocs).obj
+        comm = ctx.bcomm
+        return lambda: comm.Alltoall(sbuf, rbuf)
+
+
+class GatherBenchmark(CollectiveBenchmark):
+    name = "osu_gather"
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        api = ctx.options.api
+        nprocs = ctx.size
+        n = max(size, 1)
+        if api == "pickle":
+            payload = np.zeros(n, dtype=np.uint8)
+            comm = ctx.bcomm
+            return lambda: comm.gather(payload, 0)
+        if api == "native":
+            from ...native.api import RegisteredBuffer
+
+            sbuf = RegisteredBuffer(bytearray(n))
+            rbuf = RegisteredBuffer(bytearray(n * nprocs))
+            comm = ctx.ncomm
+            return lambda: comm.gather(sbuf, rbuf, n, 0)
+        sbuf = allocate(ctx.options.buffer, size).obj
+        comm = ctx.bcomm
+        if ctx.rank == 0:
+            rbuf = allocate(ctx.options.buffer, n * nprocs).obj
+            return lambda: comm.Gather(sbuf, rbuf, 0)
+        return lambda: comm.Gather(sbuf, None, 0)
+
+
+class ScatterBenchmark(CollectiveBenchmark):
+    name = "osu_scatter"
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        api = ctx.options.api
+        nprocs = ctx.size
+        n = max(size, 1)
+        if api == "pickle":
+            comm = ctx.bcomm
+            if ctx.rank == 0:
+                payloads = [
+                    np.zeros(n, dtype=np.uint8) for _ in range(nprocs)
+                ]
+                return lambda: comm.scatter(payloads, 0)
+            return lambda: comm.scatter(None, 0)
+        if api == "native":
+            from ...native.api import RegisteredBuffer
+
+            sbuf = (
+                RegisteredBuffer(bytearray(n * nprocs))
+                if ctx.rank == 0 else None
+            )
+            rbuf = RegisteredBuffer(bytearray(n))
+            comm = ctx.ncomm
+            return lambda: comm.scatter(sbuf, rbuf, n, 0)
+        rbuf = allocate(ctx.options.buffer, size).obj
+        comm = ctx.bcomm
+        if ctx.rank == 0:
+            sbuf = allocate(ctx.options.buffer, n * nprocs).obj
+            return lambda: comm.Scatter(sbuf, rbuf, 0)
+        return lambda: comm.Scatter(None, rbuf, 0)

@@ -1,0 +1,103 @@
+"""Reduction collectives: osu_allreduce, osu_reduce, osu_reduce_scatter.
+
+Like OSU, these operate on MPI_FLOAT elements (element size 4), so the
+sweep skips byte sizes below 4; the message size reported is the byte size
+of the contribution vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mpi import ops
+from ..runner import BenchContext
+from ..util import allocate
+from .base import CollectiveBenchmark, CollectiveBody
+
+_FLOAT = "MPI_FLOAT"
+
+
+def _typed_pair(ctx: BenchContext, size: int):
+    """(send, recv) buffers of `size` bytes viewed as MPI_FLOATs."""
+    sbuf = allocate(ctx.options.buffer, size).obj
+    rbuf = allocate(ctx.options.buffer, size).obj
+    return [sbuf, _FLOAT], [rbuf, _FLOAT]
+
+
+class AllreduceBenchmark(CollectiveBenchmark):
+    name = "osu_allreduce"
+    min_message_size = 4
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        api = ctx.options.api
+        if api == "pickle":
+            payload = np.zeros(size // 4, dtype=np.float32)
+            comm = ctx.bcomm
+            return lambda: comm.allreduce(payload, ops.SUM)
+        if api == "native":
+            send = np.zeros(size // 4, dtype=np.float32)
+            recv = np.zeros(size // 4, dtype=np.float32)
+            comm = ctx.ncomm
+            count = size // 4
+            return lambda: comm.allreduce(send, recv, count, ops.SUM)
+        sspec, rspec = _typed_pair(ctx, size)
+        comm = ctx.bcomm
+        return lambda: comm.Allreduce(sspec, rspec, ops.SUM)
+
+
+class ReduceBenchmark(CollectiveBenchmark):
+    name = "osu_reduce"
+    min_message_size = 4
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        api = ctx.options.api
+        if api == "pickle":
+            payload = np.zeros(size // 4, dtype=np.float32)
+            comm = ctx.bcomm
+            return lambda: comm.reduce(payload, ops.SUM, 0)
+        if api == "native":
+            send = np.zeros(size // 4, dtype=np.float32)
+            recv = np.zeros(size // 4, dtype=np.float32)
+            comm = ctx.ncomm
+            count = size // 4
+            return lambda: comm.reduce(send, recv, count, ops.SUM, 0)
+        sspec, rspec = _typed_pair(ctx, size)
+        comm = ctx.bcomm
+        if ctx.rank == 0:
+            return lambda: comm.Reduce(sspec, rspec, ops.SUM, 0)
+        return lambda: comm.Reduce(sspec, None, ops.SUM, 0)
+
+
+class ReduceScatterBenchmark(CollectiveBenchmark):
+    name = "osu_reduce_scatter"
+    min_message_size = 4
+    apis = ("buffer", "native")
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        # Total vector of size bytes; each rank receives an equal share
+        # (remainder elements go to the last rank, OSU-style block counts).
+        count = size // 4
+        nprocs = ctx.size
+        base = count // nprocs
+        counts = [base] * nprocs
+        counts[-1] += count - base * nprocs
+        api = ctx.options.api
+        if api == "native":
+            send = np.zeros(count, dtype=np.float32)
+            recv = np.zeros(max(counts[ctx.rank], 1), dtype=np.float32)
+            comm = ctx.ncomm
+            return lambda: comm.reduce_scatter(send, recv, counts, ops.SUM)
+        sbuf = allocate(ctx.options.buffer, size).obj
+        rbuf = allocate(
+            ctx.options.buffer, max(counts[ctx.rank] * 4, 4)
+        ).obj
+        comm = ctx.bcomm
+        return lambda: comm.Reduce_scatter(
+            [sbuf, _FLOAT], [rbuf, _FLOAT], counts, ops.SUM
+        )
+
+    # reduce_scatter needs at least one element per rank to be meaningful;
+    # clamp smaller requested sizes up to one float per rank.
+    def run_size(self, ctx, size, iterations, warmup):
+        size = max(size, ctx.size * 4)
+        return super().run_size(ctx, size, iterations, warmup)

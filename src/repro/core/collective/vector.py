@@ -1,0 +1,73 @@
+"""Vector-variant collectives: osu_allgatherv, osu_alltoallv, osu_gatherv,
+osu_scatterv.
+
+As in OSU, every rank contributes the same nominal size (the v-machinery is
+exercised with uniform counts, which is what lets the latency be compared
+against the non-v tests), with the count arrays spelled out explicitly.
+"""
+
+from __future__ import annotations
+
+from ..runner import BenchContext
+from ..util import allocate
+from .base import CollectiveBenchmark, CollectiveBody
+
+
+class GathervBenchmark(CollectiveBenchmark):
+    name = "osu_gatherv"
+    apis = ("buffer",)
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        nprocs = ctx.size
+        n = max(size, 1)
+        counts = [n] * nprocs
+        sbuf = allocate(ctx.options.buffer, size).obj
+        comm = ctx.bcomm
+        if ctx.rank == 0:
+            rbuf = allocate(ctx.options.buffer, n * nprocs).obj
+            return lambda: comm.Gatherv(sbuf, [rbuf, counts], 0)
+        return lambda: comm.Gatherv(sbuf, None, 0)
+
+
+class ScattervBenchmark(CollectiveBenchmark):
+    name = "osu_scatterv"
+    apis = ("buffer",)
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        nprocs = ctx.size
+        n = max(size, 1)
+        counts = [n] * nprocs
+        rbuf = allocate(ctx.options.buffer, size).obj
+        comm = ctx.bcomm
+        if ctx.rank == 0:
+            sbuf = allocate(ctx.options.buffer, n * nprocs).obj
+            return lambda: comm.Scatterv([sbuf, counts], rbuf, 0)
+        return lambda: comm.Scatterv(None, rbuf, 0)
+
+
+class AllgathervBenchmark(CollectiveBenchmark):
+    name = "osu_allgatherv"
+    apis = ("buffer",)
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        nprocs = ctx.size
+        n = max(size, 1)
+        counts = [n] * nprocs
+        sbuf = allocate(ctx.options.buffer, size).obj
+        rbuf = allocate(ctx.options.buffer, n * nprocs).obj
+        comm = ctx.bcomm
+        return lambda: comm.Allgatherv(sbuf, [rbuf, counts])
+
+
+class AlltoallvBenchmark(CollectiveBenchmark):
+    name = "osu_alltoallv"
+    apis = ("buffer",)
+
+    def prepare(self, ctx: BenchContext, size: int) -> CollectiveBody:
+        nprocs = ctx.size
+        n = max(size, 1)
+        counts = [n] * nprocs
+        sbuf = allocate(ctx.options.buffer, n * nprocs).obj
+        rbuf = allocate(ctx.options.buffer, n * nprocs).obj
+        comm = ctx.bcomm
+        return lambda: comm.Alltoallv([sbuf, counts], [rbuf, counts])

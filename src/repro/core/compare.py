@@ -1,0 +1,107 @@
+"""``ombpy-compare`` — compare two saved benchmark runs.
+
+The paper's core methodology is exactly this comparison: run OMB (C) and
+OMB-Py on the same system, subtract, and report the average overhead per
+size class.  This tool does it for any two result files produced with
+``ombpy ... --output file.json``::
+
+    ombpy osu_latency --threads 2 --api native --output omb.json
+    ombpy osu_latency --threads 2 --api buffer --output ombpy.json
+    ombpy-compare omb.json ombpy.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .export import table_from_json
+from .output import format_comparison
+from .results import ResultTable, average_overhead
+
+
+def split_ranges(
+    base: ResultTable, other: ResultTable, threshold: int = 8192
+) -> tuple[list[int], list[int]]:
+    """Common sizes split into (small, large) at the OSU threshold."""
+    common = sorted(set(base.sizes()) & set(other.sizes()))
+    return (
+        [s for s in common if s <= threshold],
+        [s for s in common if s > threshold],
+    )
+
+
+def compare_report(
+    base: ResultTable,
+    other: ResultTable,
+    labels: tuple[str, str] = ("baseline", "candidate"),
+    threshold: int = 8192,
+) -> str:
+    """Human-readable overhead report between two runs."""
+    if base.metric != other.metric:
+        raise ValueError(
+            f"metric mismatch: {base.metric} vs {other.metric}"
+        )
+    lines = [
+        f"# compare: {labels[0]} ({base.benchmark}, {base.api}/{base.buffer})"
+        f" vs {labels[1]} ({other.benchmark}, {other.api}/{other.buffer})",
+        format_comparison([base, other], list(labels)).rstrip(),
+    ]
+    small, large = split_ranges(base, other, threshold)
+    higher_is_better = base.metric == "bandwidth_mbs"
+    for label, sizes in (("small", small), ("large", large)):
+        if not sizes:
+            continue
+        delta = average_overhead(base, other, sizes)
+        if higher_is_better:
+            delta = -delta
+            kind = "deficit"
+        else:
+            kind = "overhead"
+        lines.append(
+            f"avg {kind}, {label} msgs (n={len(sizes)}): {delta:+.3f} "
+            f"({base.metric})"
+        )
+    return "\n".join(lines)
+
+
+def load_table(path: str | Path) -> ResultTable:
+    """Load a table saved by ``ombpy --output`` (JSON only)."""
+    path = Path(path)
+    if path.suffix != ".json":
+        raise ValueError(
+            f"{path} is not a .json result (CSV lacks the metadata needed "
+            "for comparison; re-run with --output file.json)"
+        )
+    return table_from_json(path.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ombpy-compare",
+        description="Compare two saved OMB-Py result files.",
+    )
+    parser.add_argument("baseline", help="baseline .json result")
+    parser.add_argument("candidate", help="candidate .json result")
+    parser.add_argument(
+        "--threshold", type=int, default=8192,
+        help="small/large split point in bytes",
+    )
+    args = parser.parse_args(argv)
+    try:
+        base = load_table(args.baseline)
+        other = load_table(args.candidate)
+        print(compare_report(
+            base, other,
+            labels=(Path(args.baseline).stem, Path(args.candidate).stem),
+            threshold=args.threshold,
+        ))
+    except (OSError, ValueError) as exc:
+        print(f"ombpy-compare: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Result export: CSV and JSON serialization of benchmark tables.
+
+The OSU suite is routinely post-processed by plotting scripts; this
+module provides the stable machine-readable form — one CSV per table, or
+one CSV per figure with the curve family side by side (the layout the
+paper's figures plot).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .results import ResultRow, ResultTable
+
+
+def table_to_csv(table: ResultTable, full_stats: bool = False) -> str:
+    """One table as CSV text (size, value[, min, max, iterations])."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    header = ["size", table.metric]
+    if full_stats:
+        header += ["min", "max", "iterations"]
+    writer.writerow(header)
+    for row in table.rows:
+        record = [row.size, f"{row.value:.6g}"]
+        if full_stats:
+            record += [
+                f"{row.minimum:.6g}", f"{row.maximum:.6g}", row.iterations
+            ]
+        writer.writerow(record)
+    return out.getvalue()
+
+
+def figure_to_csv(
+    tables: Sequence[ResultTable], labels: Sequence[str] | None = None
+) -> str:
+    """A curve family as CSV: size column + one value column per table."""
+    if not tables:
+        raise ValueError("no tables to export")
+    labels = list(labels) if labels else [
+        f"{t.api}/{t.buffer}" for t in tables
+    ]
+    if len(labels) != len(tables):
+        raise ValueError(
+            f"{len(labels)} labels for {len(tables)} tables"
+        )
+    sizes = tables[0].sizes()
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["size"] + labels)
+    for size in sizes:
+        record: list[str | int] = [size]
+        for t in tables:
+            try:
+                record.append(f"{t.row_for(size).value:.6g}")
+            except KeyError:
+                record.append("")
+        writer.writerow(record)
+    return out.getvalue()
+
+
+def table_to_json(table: ResultTable) -> str:
+    """One table as JSON (metadata + rows)."""
+    return json.dumps(
+        {
+            "benchmark": table.benchmark,
+            "metric": table.metric,
+            "ranks": table.ranks,
+            "buffer": table.buffer,
+            "api": table.api,
+            "rows": [
+                {
+                    "size": r.size,
+                    "value": r.value,
+                    "min": r.minimum,
+                    "max": r.maximum,
+                    "iterations": r.iterations,
+                }
+                for r in table.rows
+            ],
+        },
+        indent=2,
+    )
+
+
+def table_from_json(text: str) -> ResultTable:
+    """Inverse of :func:`table_to_json`."""
+    data = json.loads(text)
+    table = ResultTable(
+        benchmark=data["benchmark"],
+        metric=data["metric"],
+        ranks=data["ranks"],
+        buffer=data["buffer"],
+        api=data["api"],
+    )
+    for r in data["rows"]:
+        table.add(ResultRow(
+            r["size"], r["value"], r["min"], r["max"], r["iterations"]
+        ))
+    return table
+
+
+def write_figure(
+    path: str | Path,
+    tables: Sequence[ResultTable],
+    labels: Sequence[str] | None = None,
+) -> Path:
+    """Write a curve-family CSV; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(figure_to_csv(tables, labels))
+    return path

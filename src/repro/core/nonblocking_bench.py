@@ -1,0 +1,90 @@
+"""Non-blocking collective benchmarks: osu_ibcast, osu_iallreduce.
+
+Mirrors OMB's osu_i* tests.  Two quantities are reported per size:
+
+* the row value is pure latency — ``i<op>`` immediately followed by
+  ``wait()``;
+* communication/computation **overlap** (the point of non-blocking
+  collectives) is computed OSU-style from a run with matching compute
+  injected between start and wait::
+
+      overlap% = max(0, 100 * (1 - (t_total - t_compute) / t_pure))
+
+  and stored per size in ``table_extra`` (exposed for the ablation bench).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..mpi import ops
+from ..mpi.collectives.nonblocking import NonBlockingCollectives
+from .runner import BenchContext, Benchmark
+
+
+def _busy_compute(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        pass
+
+
+class _NonBlockingCollective(Benchmark):
+    metric = "latency_us"
+    min_ranks = 2
+    apis = ("buffer",)
+
+    def __init__(self) -> None:
+        self.overlap_percent: dict[int, float] = {}
+
+    def _start(self, nb: NonBlockingCollectives, ctx: BenchContext,
+               size: int):
+        raise NotImplementedError
+
+    def run_size(
+        self, ctx: BenchContext, size: int, iterations: int, warmup: int
+    ) -> float | None:
+        nb = NonBlockingCollectives(ctx.runtime)
+        for _ in range(warmup):
+            self._start(nb, ctx, size).wait()
+        ctx.barrier()
+
+        # Pure latency: start + wait back to back.
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            self._start(nb, ctx, size).wait()
+        pure_us = (time.perf_counter_ns() - start) / iterations / 1e3
+
+        # Overlap: inject compute equal to the pure latency.
+        compute_s = pure_us / 1e6
+        ctx.barrier()
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            req = self._start(nb, ctx, size)
+            _busy_compute(compute_s)
+            req.wait()
+        total_us = (time.perf_counter_ns() - start) / iterations / 1e3
+        compute_us = compute_s * 1e6
+        if pure_us > 0:
+            overlap = 100.0 * (1.0 - (total_us - compute_us) / pure_us)
+            self.overlap_percent[size] = max(0.0, min(100.0, overlap))
+        return pure_us
+
+
+class IbcastBenchmark(_NonBlockingCollective):
+    name = "osu_ibcast"
+
+    def _start(self, nb, ctx, size):
+        payload = bytes(max(size, 1)) if ctx.rank == 0 else None
+        return nb.ibcast(payload, 0)
+
+
+class IallreduceBenchmark(_NonBlockingCollective):
+    name = "osu_iallreduce"
+    min_message_size = 4
+
+    def _start(self, nb, ctx, size):
+        return nb.iallreduce(
+            np.zeros(max(size // 4, 1), dtype=np.float32), ops.SUM
+        )

@@ -1,0 +1,75 @@
+"""One-sided benchmarks: osu_put_latency, osu_get_latency, osu_acc_latency.
+
+Mirrors OMB's one-sided suite: rank 0 is the origin, rank 1 the passive
+target; each iteration performs one remotely-completed RMA operation on
+the target's window.  These extend the paper's v1 scope (its Table II is
+pt2pt + blocking collectives) along the axis OMB itself already covers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..mpi.rma import Win
+from .runner import BenchContext, Benchmark
+
+
+class _OneSidedLatency(Benchmark):
+    """Common driver: window setup, per-size op loop, teardown."""
+
+    metric = "latency_us"
+    min_ranks = 2
+    apis = ("buffer",)
+
+    def _operate(self, win: Win, payload, sink, size: int) -> None:
+        raise NotImplementedError
+
+    def run_size(
+        self, ctx: BenchContext, size: int, iterations: int, warmup: int
+    ) -> float | None:
+        rank = ctx.rank
+        n = max(size, 4)
+        window_mem = bytearray(n)
+        win = Win(ctx.runtime, window_mem)
+        payload = bytearray(b"\x01" * n)
+        sink = bytearray(n)
+        try:
+            value: float | None = None
+            if rank == 0:
+                for _ in range(warmup):
+                    self._operate(win, payload, sink, n)
+            win.Fence()
+            if rank == 0:
+                start = time.perf_counter_ns()
+                for _ in range(iterations):
+                    self._operate(win, payload, sink, n)
+                value = (time.perf_counter_ns() - start) / iterations / 1e3
+            win.Fence()
+            return value
+        finally:
+            win.Free()
+
+
+class PutLatencyBenchmark(_OneSidedLatency):
+    name = "osu_put_latency"
+
+    def _operate(self, win, payload, sink, size):
+        win.Put(payload, 1)
+
+
+class GetLatencyBenchmark(_OneSidedLatency):
+    name = "osu_get_latency"
+
+    def _operate(self, win, payload, sink, size):
+        win.Get(sink, 1)
+
+
+class AccLatencyBenchmark(_OneSidedLatency):
+    name = "osu_acc_latency"
+    min_message_size = 4  # accumulates MPI_FLOAT elements
+
+    def _operate(self, win, payload, sink, size):
+        arr = np.frombuffer(payload, dtype="f4")
+        win.Accumulate(arr, 1)

@@ -1,0 +1,148 @@
+"""User options for OMB-Py runs (paper §IV-F).
+
+The paper lists five user-facing knobs — device, buffer type, message-size
+range, iteration count, warm-up count — plus the OSU convention of cutting
+iterations for large messages.  :class:`Options` carries all of them along
+with the API family selector this reproduction adds for its baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field, replace
+
+DEVICES = ("cpu", "gpu")
+CPU_BUFFERS = ("bytearray", "numpy")
+GPU_BUFFERS = ("cupy", "pycuda", "numba")
+BUFFERS = CPU_BUFFERS + GPU_BUFFERS
+APIS = ("buffer", "pickle", "native")
+
+# OSU defaults.
+DEFAULT_MIN_SIZE = 1
+DEFAULT_MAX_SIZE = 1 << 20          # 1 MB keeps laptop runs quick
+DEFAULT_ITERATIONS = 100
+DEFAULT_WARMUP = 10
+LARGE_MESSAGE_SIZE = 8192           # OSU's threshold for trimming iterations
+DEFAULT_ITERATIONS_LARGE = 20
+DEFAULT_WARMUP_LARGE = 2
+
+
+@dataclass(frozen=True)
+class Options:
+    """Validated benchmark options."""
+
+    device: str = "cpu"
+    buffer: str = "numpy"
+    api: str = "buffer"
+    min_size: int = DEFAULT_MIN_SIZE
+    max_size: int = DEFAULT_MAX_SIZE
+    iterations: int = DEFAULT_ITERATIONS
+    warmup: int = DEFAULT_WARMUP
+    iterations_large: int = DEFAULT_ITERATIONS_LARGE
+    warmup_large: int = DEFAULT_WARMUP_LARGE
+    large_message_size: int = LARGE_MESSAGE_SIZE
+    validate: bool = False
+    full_stats: bool = False        # print min/max columns too
+    window_size: int = 64           # bandwidth-test in-flight window
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.device not in DEVICES:
+            raise ValueError(f"device must be one of {DEVICES}")
+        if self.buffer not in BUFFERS:
+            raise ValueError(f"buffer must be one of {BUFFERS}")
+        if self.api not in APIS:
+            raise ValueError(f"api must be one of {APIS}")
+        if self.device == "cpu" and self.buffer in GPU_BUFFERS:
+            raise ValueError(
+                f"buffer {self.buffer!r} requires device='gpu'"
+            )
+        if self.device == "gpu" and self.buffer in CPU_BUFFERS:
+            raise ValueError(
+                f"buffer {self.buffer!r} requires device='cpu'"
+            )
+        if self.min_size < 0 or self.max_size < self.min_size:
+            raise ValueError(
+                f"invalid size range [{self.min_size}, {self.max_size}]"
+            )
+        if self.iterations < 1 or self.warmup < 0:
+            raise ValueError("iterations must be >= 1 and warmup >= 0")
+        if self.window_size < 1:
+            raise ValueError("window size must be >= 1")
+
+    def iterations_for(self, size: int) -> tuple[int, int]:
+        """(iterations, warmup) for a message size — OSU trims large sizes."""
+        if size > self.large_message_size:
+            return self.iterations_large, self.warmup_large
+        return self.iterations, self.warmup
+
+    def with_(self, **kw) -> "Options":
+        """Functional update."""
+        return replace(self, **kw)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the OMB-Py option flags to an argparse parser."""
+    parser.add_argument(
+        "-d", "--device", choices=DEVICES, default="cpu",
+        help="run on CPU or (simulated) GPU buffers",
+    )
+    parser.add_argument(
+        "-b", "--buffer", choices=BUFFERS, default=None,
+        help="communication buffer type (default: numpy for cpu, "
+        "cupy for gpu)",
+    )
+    parser.add_argument(
+        "--api", choices=APIS, default="buffer",
+        help="buffer = upper-case direct methods, pickle = lower-case "
+        "object methods, native = bindings-free baseline",
+    )
+    parser.add_argument(
+        "-m", "--message-sizes", default=None, metavar="MIN:MAX",
+        help=f"message size range in bytes "
+        f"(default {DEFAULT_MIN_SIZE}:{DEFAULT_MAX_SIZE})",
+    )
+    parser.add_argument(
+        "-i", "--iterations", type=int, default=DEFAULT_ITERATIONS,
+        help="timed iterations per message size",
+    )
+    parser.add_argument(
+        "-x", "--warmup", type=int, default=DEFAULT_WARMUP,
+        help="untimed warm-up iterations per message size",
+    )
+    parser.add_argument(
+        "-W", "--window-size", type=int, default=64,
+        help="in-flight window for bandwidth tests",
+    )
+    parser.add_argument(
+        "-c", "--validate", action="store_true",
+        help="verify received data after each size sweep",
+    )
+    parser.add_argument(
+        "-f", "--full", action="store_true", dest="full_stats",
+        help="report min/max latency columns as well",
+    )
+
+
+def from_args(args: argparse.Namespace) -> Options:
+    """Build validated :class:`Options` from parsed CLI arguments."""
+    buffer = args.buffer
+    if buffer is None:
+        buffer = "numpy" if args.device == "cpu" else "cupy"
+    min_size, max_size = DEFAULT_MIN_SIZE, DEFAULT_MAX_SIZE
+    if args.message_sizes:
+        lo, _, hi = args.message_sizes.partition(":")
+        min_size = int(lo)
+        max_size = int(hi) if hi else min_size
+    return Options(
+        device=args.device,
+        buffer=buffer,
+        api=args.api,
+        min_size=min_size,
+        max_size=max_size,
+        iterations=args.iterations,
+        warmup=args.warmup,
+        window_size=args.window_size,
+        validate=args.validate,
+        full_stats=args.full_stats,
+    )

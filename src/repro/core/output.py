@@ -1,0 +1,72 @@
+"""OSU-style stdout formatting.
+
+The OSU benchmarks print a commented header followed by aligned columns
+("# OSU MPI Latency Test", "# Size        Latency (us)"); OMB-Py keeps
+that format so downstream tooling that parses OSU output keeps working.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .results import ResultTable
+
+_FIELD = 18
+
+_METRIC_HEADERS = {
+    "latency_us": "Latency (us)",
+    "bandwidth_mbs": "Bandwidth (MB/s)",
+}
+
+
+def format_table(table: ResultTable, full_stats: bool = False) -> str:
+    """Render one result table in OSU layout."""
+    out = io.StringIO()
+    title = table.benchmark.replace("_", " ").title()
+    out.write(f"# OMB-Py {title} Test\n")
+    out.write(
+        f"# ranks: {table.ranks}  buffer: {table.buffer}  api: {table.api}\n"
+    )
+    metric = _METRIC_HEADERS.get(table.metric, table.metric)
+    header = f"{'# Size':<10}{metric:>{_FIELD}}"
+    if full_stats:
+        header += f"{'Min':>{_FIELD}}{'Max':>{_FIELD}}{'Iters':>{10}}"
+    out.write(header + "\n")
+    for row in table.rows:
+        line = f"{row.size:<10}{row.value:>{_FIELD}.2f}"
+        if full_stats:
+            line += (
+                f"{row.minimum:>{_FIELD}.2f}{row.maximum:>{_FIELD}.2f}"
+                f"{row.iterations:>10}"
+            )
+        out.write(line + "\n")
+    return out.getvalue()
+
+
+def print_table(table: ResultTable, full_stats: bool = False) -> None:
+    """Print a table to stdout (rank-0 only in benchmark drivers)."""
+    print(format_table(table, full_stats), end="")
+
+
+def format_comparison(
+    tables: list[ResultTable], labels: list[str] | None = None
+) -> str:
+    """Side-by-side rendering of several runs over the same sizes."""
+    if not tables:
+        return ""
+    labels = labels or [f"{t.api}/{t.buffer}" for t in tables]
+    sizes = tables[0].sizes()
+    out = io.StringIO()
+    out.write(f"{'# Size':<10}")
+    for label in labels:
+        out.write(f"{label:>{_FIELD}}")
+    out.write("\n")
+    for size in sizes:
+        out.write(f"{size:<10}")
+        for t in tables:
+            try:
+                out.write(f"{t.row_for(size).value:>{_FIELD}.2f}")
+            except KeyError:
+                out.write(f"{'-':>{_FIELD}}")
+        out.write("\n")
+    return out.getvalue()

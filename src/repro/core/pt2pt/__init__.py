@@ -1,0 +1,18 @@
+"""Point-to-point benchmarks (paper Table II, first row).
+
+* ``osu_latency`` — blocking ping-pong latency (Algorithm 1);
+* ``osu_bw`` — windowed uni-directional bandwidth;
+* ``osu_bibw`` — windowed bi-directional bandwidth;
+* ``osu_multi_lat`` — concurrent ping-pong latency over rank pairs.
+"""
+
+from .bandwidth import BandwidthBenchmark, BiBandwidthBenchmark
+from .latency import LatencyBenchmark
+from .multi_lat import MultiLatencyBenchmark
+
+__all__ = [
+    "BandwidthBenchmark",
+    "BiBandwidthBenchmark",
+    "LatencyBenchmark",
+    "MultiLatencyBenchmark",
+]

@@ -1,0 +1,156 @@
+"""Windowed bandwidth benchmarks (osu_bw, osu_bibw).
+
+``osu_bw``: rank 0 posts a window of non-blocking sends, rank 1 a window of
+non-blocking receives; the receiver acknowledges each window with a 4-byte
+message.  Bandwidth = bytes moved / sender elapsed time, in MB/s.
+
+``osu_bibw``: both ranks post a full window in each direction concurrently,
+so the reported figure is the sum of both directions.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ...mpi.request import waitall
+from ..runner import BenchContext, Benchmark
+from ..util import allocate
+
+
+class BandwidthBenchmark(Benchmark):
+    name = "osu_bw"
+    metric = "bandwidth_mbs"
+    min_ranks = 2
+    apis = ("buffer", "pickle", "native")
+
+    TAG = 2
+    ACK_TAG = 3
+    bidirectional = False
+
+    def run_size(
+        self, ctx: BenchContext, size: int, iterations: int, warmup: int
+    ) -> float | None:
+        rank = ctx.rank
+        if rank > 1:
+            ctx.barrier()
+            return None
+        window = ctx.options.window_size
+        body = self._make_body(ctx, size, window)
+
+        for _ in range(warmup):
+            body(rank)
+        ctx.barrier()
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            body(rank)
+        elapsed_s = (time.perf_counter_ns() - start) / 1e9
+        nbytes = size * window * iterations
+        if self.bidirectional:
+            nbytes *= 2
+        # MB/s with MB = 1e6 bytes, the OSU convention.
+        return nbytes / elapsed_s / 1e6
+
+    # -- window bodies -------------------------------------------------------
+    def _make_body(self, ctx: BenchContext, size: int, window: int):
+        api = ctx.options.api
+        if api == "pickle":
+            return self._pickle_body(ctx, size, window)
+        if api == "native":
+            return self._native_body(ctx, size, window)
+        return self._buffer_body(ctx, size, window)
+
+    def _buffer_body(self, ctx: BenchContext, size: int, window: int):
+        sbuf = allocate(ctx.options.buffer, size).obj
+        rbufs = [allocate(ctx.options.buffer, size).obj for _ in range(window)]
+        ack = np.zeros(1, dtype="i4")
+        comm = ctx.bcomm
+        bidir = self.bidirectional
+
+        def body(rank: int) -> None:
+            if rank == 0:
+                reqs = [comm.Isend(sbuf, 1, self.TAG) for _ in range(window)]
+                if bidir:
+                    rr = [comm.Irecv(rbufs[i], 1, self.TAG)
+                          for i in range(window)]
+                    for q in rr:
+                        q.Wait()
+                waitall(reqs)
+                comm.Recv(ack, 1, self.ACK_TAG)
+            elif rank == 1:
+                rr = [comm.Irecv(rbufs[i], 0, self.TAG)
+                      for i in range(window)]
+                if bidir:
+                    reqs = [comm.Isend(sbuf, 0, self.TAG)
+                            for _ in range(window)]
+                    waitall(reqs)
+                for q in rr:
+                    q.Wait()
+                comm.Send(ack, 0, self.ACK_TAG)
+
+        return body
+
+    def _pickle_body(self, ctx: BenchContext, size: int, window: int):
+        payload = np.zeros(max(size, 1), dtype=np.uint8)
+        comm = ctx.bcomm
+        bidir = self.bidirectional
+
+        def body(rank: int) -> None:
+            if rank == 0:
+                reqs = [comm.isend(payload, 1, self.TAG)
+                        for _ in range(window)]
+                if bidir:
+                    futs = [comm.irecv(1, self.TAG) for _ in range(window)]
+                    for f in futs:
+                        f.wait()
+                waitall(reqs)
+                comm.recv(1, self.ACK_TAG)
+            elif rank == 1:
+                futs = [comm.irecv(0, self.TAG) for _ in range(window)]
+                if bidir:
+                    reqs = [comm.isend(payload, 0, self.TAG)
+                            for _ in range(window)]
+                    waitall(reqs)
+                for f in futs:
+                    f.wait()
+                comm.send(0, 0, self.ACK_TAG)
+
+        return body
+
+    def _native_body(self, ctx: BenchContext, size: int, window: int):
+        from ...native.api import RegisteredBuffer
+
+        n = max(size, 1)
+        sbuf = RegisteredBuffer(bytearray(n))
+        rbufs = [RegisteredBuffer(bytearray(n)) for _ in range(window)]
+        ack = RegisteredBuffer(bytearray(4))
+        comm = ctx.ncomm
+        bidir = self.bidirectional
+
+        def body(rank: int) -> None:
+            if rank == 0:
+                reqs = [comm.isend(sbuf, n, 1, self.TAG)
+                        for _ in range(window)]
+                if bidir:
+                    rr = [comm.irecv(rbufs[i], n, 1, self.TAG)
+                          for i in range(window)]
+                    waitall(rr)
+                waitall(reqs)
+                comm.recv(ack, 4, 1, self.ACK_TAG)
+            elif rank == 1:
+                rr = [comm.irecv(rbufs[i], n, 0, self.TAG)
+                      for i in range(window)]
+                if bidir:
+                    reqs = [comm.isend(sbuf, n, 0, self.TAG)
+                            for _ in range(window)]
+                    waitall(reqs)
+                waitall(rr)
+                comm.send(ack, 4, 0, self.ACK_TAG)
+
+        return body
+
+
+class BiBandwidthBenchmark(BandwidthBenchmark):
+    name = "osu_bibw"
+    bidirectional = True

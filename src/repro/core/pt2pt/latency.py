@@ -1,0 +1,124 @@
+"""Blocking send/recv ping-pong latency — the paper's Algorithm 1.
+
+Rank 0 sends and waits for the echo; rank 1 echoes.  Latency is the
+round-trip time halved, averaged over the iterations.  Only ranks 0 and 1
+participate; any further ranks idle through the barrier and statistics
+reduction (OSU's osu_latency behaves identically).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..runner import BenchContext, Benchmark
+from ..util import allocate
+
+
+class LatencyBenchmark(Benchmark):
+    name = "osu_latency"
+    metric = "latency_us"
+    min_ranks = 2
+    apis = ("buffer", "pickle", "native")
+
+    TAG = 1
+
+    def run_size(
+        self, ctx: BenchContext, size: int, iterations: int, warmup: int
+    ) -> float | None:
+        rank = ctx.rank
+        api = ctx.options.api
+        if api == "pickle":
+            body = self._pickle_body(ctx, size)
+        elif api == "native":
+            body = self._native_body(ctx, size)
+        else:
+            body = self._buffer_body(ctx, size)
+
+        if rank > 1:
+            ctx.barrier()
+            if ctx.options.validate:
+                ctx.barrier()
+            return None
+
+        for _ in range(warmup):
+            body(rank)
+        ctx.barrier()
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            body(rank)
+        elapsed = time.perf_counter_ns() - start
+        if ctx.options.validate:
+            self._validate(ctx, size)
+        # Halve the round trip: one-way latency, in microseconds.
+        return elapsed / (2 * iterations) / 1e3
+
+    def _validate(self, ctx: BenchContext, size: int) -> None:
+        """Post-sweep data check (the -c option): rank 0 sends a known
+        pattern; rank 1 verifies it arrived intact through whatever
+        buffer type and API the sweep used."""
+        from ..util import allocate
+
+        n = max(size, 1)
+        if ctx.rank == 0:
+            pattern = allocate(ctx.options.buffer, n)
+            pattern.fill(seed=size & 0xFF)
+            ctx.bcomm.Send(pattern.obj, 1, self.TAG + 1)
+        elif ctx.rank == 1:
+            sink = allocate(ctx.options.buffer, n)
+            ctx.bcomm.Recv(sink.obj, 0, self.TAG + 1)
+            if not sink.verify(seed=size & 0xFF):
+                raise RuntimeError(
+                    f"validation failed for {ctx.options.buffer} buffer "
+                    f"at message size {size}"
+                )
+        ctx.barrier()
+
+    # -- API bodies ---------------------------------------------------------
+    def _buffer_body(self, ctx: BenchContext, size: int):
+        sbuf = allocate(ctx.options.buffer, size).obj
+        rbuf = allocate(ctx.options.buffer, size).obj
+        comm, tag = ctx.bcomm, self.TAG
+
+        def body(rank: int) -> None:
+            if rank == 0:
+                comm.Send(sbuf, 1, tag)
+                comm.Recv(rbuf, 1, tag)
+            elif rank == 1:
+                comm.Recv(rbuf, 0, tag)
+                comm.Send(sbuf, 0, tag)
+
+        return body
+
+    def _pickle_body(self, ctx: BenchContext, size: int):
+        payload = np.zeros(max(size, 1), dtype=np.uint8)
+        comm, tag = ctx.bcomm, self.TAG
+
+        def body(rank: int) -> None:
+            if rank == 0:
+                comm.send(payload, 1, tag)
+                comm.recv(1, tag)
+            elif rank == 1:
+                comm.recv(0, tag)
+                comm.send(payload, 0, tag)
+
+        return body
+
+    def _native_body(self, ctx: BenchContext, size: int):
+        from ...native.api import RegisteredBuffer
+
+        n = max(size, 1)
+        sbuf = RegisteredBuffer(bytearray(n))
+        rbuf = RegisteredBuffer(bytearray(n))
+        comm, tag = ctx.ncomm, self.TAG
+
+        def body(rank: int) -> None:
+            if rank == 0:
+                comm.send(sbuf, n, 1, tag)
+                comm.recv(rbuf, n, 1, tag)
+            elif rank == 1:
+                comm.recv(rbuf, n, 0, tag)
+                comm.send(sbuf, n, 0, tag)
+
+        return body

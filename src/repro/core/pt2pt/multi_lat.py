@@ -1,0 +1,82 @@
+"""Multi-pair latency (osu_multi_lat).
+
+Ranks split into pairs (i, i + p/2); all pairs ping-pong concurrently, so
+the figure captures latency under fabric load.  Every rank reports its
+pair's latency; the table records the average/min/max across pairs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..runner import BenchContext, Benchmark
+from ..util import allocate
+
+
+class MultiLatencyBenchmark(Benchmark):
+    name = "osu_multi_lat"
+    metric = "latency_us"
+    min_ranks = 2
+    apis = ("buffer", "native")
+
+    TAG = 4
+
+    def check(self, ctx: BenchContext) -> None:
+        super().check(ctx)
+        if ctx.size % 2 != 0:
+            raise ValueError(
+                f"{self.name} needs an even number of ranks, got {ctx.size}"
+            )
+
+    def run_size(
+        self, ctx: BenchContext, size: int, iterations: int, warmup: int
+    ) -> float | None:
+        rank, nprocs = ctx.rank, ctx.size
+        half = nprocs // 2
+        is_sender = rank < half
+        partner = rank + half if is_sender else rank - half
+        body = self._make_body(ctx, size, partner, is_sender)
+
+        for _ in range(warmup):
+            body()
+        ctx.barrier()
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            body()
+        elapsed = time.perf_counter_ns() - start
+        return elapsed / (2 * iterations) / 1e3
+
+    def _make_body(
+        self, ctx: BenchContext, size: int, partner: int, is_sender: bool
+    ):
+        if ctx.options.api == "native":
+            from ...native.api import RegisteredBuffer
+
+            n = max(size, 1)
+            sbuf = RegisteredBuffer(bytearray(n))
+            rbuf = RegisteredBuffer(bytearray(n))
+            comm = ctx.ncomm
+
+            def native_body() -> None:
+                if is_sender:
+                    comm.send(sbuf, n, partner, self.TAG)
+                    comm.recv(rbuf, n, partner, self.TAG)
+                else:
+                    comm.recv(rbuf, n, partner, self.TAG)
+                    comm.send(sbuf, n, partner, self.TAG)
+
+            return native_body
+
+        sbuf = allocate(ctx.options.buffer, size).obj
+        rbuf = allocate(ctx.options.buffer, size).obj
+        comm = ctx.bcomm
+
+        def buffer_body() -> None:
+            if is_sender:
+                comm.Send(sbuf, partner, self.TAG)
+                comm.Recv(rbuf, partner, self.TAG)
+            else:
+                comm.Recv(rbuf, partner, self.TAG)
+                comm.Send(sbuf, partner, self.TAG)
+
+        return buffer_body

@@ -1,0 +1,79 @@
+"""Multi-threaded latency (osu_latency_mt).
+
+OMB's osu_latency_mt measures ping-pong latency when several threads per
+rank communicate concurrently — exactly the THREAD_MULTIPLE regime the
+paper identifies behind the full-subscription anomaly (mpi4py initializes
+THREAD_MULTIPLE; OMB's single-threaded tests use THREAD_SINGLE).  Each of
+T threads on rank 0 ping-pongs with a partner thread on rank 1 over a
+private tag; the reported latency is the mean across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..runner import BenchContext, Benchmark
+from ..util import allocate
+
+
+class MultiThreadLatencyBenchmark(Benchmark):
+    name = "osu_latency_mt"
+    metric = "latency_us"
+    min_ranks = 2
+    apis = ("buffer",)
+
+    BASE_TAG = 32
+    DEFAULT_THREADS = 4
+
+    def run_size(
+        self, ctx: BenchContext, size: int, iterations: int, warmup: int
+    ) -> float | None:
+        rank = ctx.rank
+        nthreads = int(ctx.options.extra.get("threads", self.DEFAULT_THREADS))
+        if rank > 1:
+            ctx.barrier()
+            return None
+
+        comm = ctx.bcomm
+        results = [0.0] * nthreads
+        errors: list[BaseException | None] = [None] * nthreads
+
+        def pingpong(tid: int) -> None:
+            try:
+                tag = self.BASE_TAG + tid
+                sbuf = allocate(ctx.options.buffer, size).obj
+                rbuf = allocate(ctx.options.buffer, size).obj
+                for _ in range(warmup):
+                    self._one(comm, rank, sbuf, rbuf, tag)
+                start = time.perf_counter_ns()
+                for _ in range(iterations):
+                    self._one(comm, rank, sbuf, rbuf, tag)
+                elapsed = time.perf_counter_ns() - start
+                results[tid] = elapsed / (2 * iterations) / 1e3
+            except BaseException as exc:  # noqa: BLE001 - joined below
+                errors[tid] = exc
+
+        threads = [
+            threading.Thread(target=pingpong, args=(t,), daemon=True)
+            for t in range(nthreads)
+        ]
+        # All communicating threads start after the barrier, together.
+        ctx.barrier()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        for err in errors:
+            if err is not None:
+                raise err
+        return sum(results) / nthreads
+
+    @staticmethod
+    def _one(comm, rank: int, sbuf, rbuf, tag: int) -> None:
+        if rank == 0:
+            comm.Send(sbuf, 1, tag)
+            comm.Recv(rbuf, 1, tag)
+        else:
+            comm.Recv(rbuf, 0, tag)
+            comm.Send(sbuf, 0, tag)

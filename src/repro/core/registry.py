@@ -1,0 +1,128 @@
+"""Benchmark registry — the machine-readable form of the paper's Table II.
+
+Maps OSU-style names to benchmark classes and records the feature matrix
+(Table I) that positions OMB-Py against mpi4py demo codes, IMB, and SMB.
+"""
+
+from __future__ import annotations
+
+from .collective import (
+    AllgatherBenchmark,
+    AllgathervBenchmark,
+    AllreduceBenchmark,
+    AlltoallBenchmark,
+    AlltoallvBenchmark,
+    BarrierBenchmark,
+    BcastBenchmark,
+    GatherBenchmark,
+    GathervBenchmark,
+    ReduceBenchmark,
+    ReduceScatterBenchmark,
+    ScatterBenchmark,
+    ScattervBenchmark,
+)
+from .nonblocking_bench import IallreduceBenchmark, IbcastBenchmark
+from .onesided import (
+    AccLatencyBenchmark,
+    GetLatencyBenchmark,
+    PutLatencyBenchmark,
+)
+from .pt2pt import (
+    BandwidthBenchmark,
+    BiBandwidthBenchmark,
+    LatencyBenchmark,
+    MultiLatencyBenchmark,
+)
+from .pt2pt.mbw_mr import MultiBandwidthBenchmark
+from .pt2pt.multi_thread import MultiThreadLatencyBenchmark
+from .runner import Benchmark
+
+_BENCHMARKS: dict[str, type[Benchmark]] = {
+    cls.name: cls
+    for cls in (
+        # Point-to-point (Table II row 1)
+        LatencyBenchmark,
+        BandwidthBenchmark,
+        BiBandwidthBenchmark,
+        MultiLatencyBenchmark,
+        # Blocking collectives (Table II row 2)
+        AllgatherBenchmark,
+        AllreduceBenchmark,
+        AlltoallBenchmark,
+        BarrierBenchmark,
+        BcastBenchmark,
+        GatherBenchmark,
+        ReduceScatterBenchmark,
+        ReduceBenchmark,
+        ScatterBenchmark,
+        # Vector variants (Table II row 3)
+        AllgathervBenchmark,
+        AlltoallvBenchmark,
+        GathervBenchmark,
+        ScattervBenchmark,
+        # Extensions beyond the paper's v1 scope (its planned work):
+        # non-blocking collectives and one-sided operations, both of
+        # which the original C OMB already covers.
+        IbcastBenchmark,
+        IallreduceBenchmark,
+        MultiThreadLatencyBenchmark,
+        MultiBandwidthBenchmark,
+        PutLatencyBenchmark,
+        GetLatencyBenchmark,
+        AccLatencyBenchmark,
+    )
+}
+
+CATEGORIES: dict[str, tuple[str, ...]] = {
+    "pt2pt": ("osu_latency", "osu_bw", "osu_bibw", "osu_multi_lat"),
+    "collective": (
+        "osu_allgather", "osu_allreduce", "osu_alltoall", "osu_barrier",
+        "osu_bcast", "osu_gather", "osu_reduce_scatter", "osu_reduce",
+        "osu_scatter",
+    ),
+    "vector": (
+        "osu_allgatherv", "osu_alltoallv", "osu_gatherv", "osu_scatterv",
+    ),
+    "nonblocking": ("osu_ibcast", "osu_iallreduce"),
+    "multithreaded": ("osu_latency_mt",),
+    "aggregate": ("osu_mbw_mr",),
+    "onesided": ("osu_put_latency", "osu_get_latency", "osu_acc_latency"),
+}
+
+# Table I: feature comparison.  Keys are features; values flag support in
+# (OMB-Py, mpi4py demo codes, IMB, SMB).
+FEATURE_MATRIX: dict[str, tuple[str, str, str, str]] = {
+    "point_to_point": ("yes", "yes", "yes", "yes"),
+    "blocking_collectives": ("yes", "partially", "yes", "no"),
+    "vector_collectives": ("yes", "partially", "yes", "no"),
+    "python_support": ("yes", "yes", "no", "no"),
+    "gpu_buffers": ("yes", "no", "no", "no"),
+    "pickle_and_buffer_apis": ("yes", "yes", "no", "no"),
+    "ml_workload_benchmarks": ("yes", "no", "no", "no"),
+    "multiple_python_buffer_libraries": ("yes", "no", "no", "no"),
+}
+FEATURE_COLUMNS = ("OMB-Py", "mpi4py demos", "IMB", "SMB")
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Instantiate a benchmark by registry name."""
+    try:
+        return _BENCHMARKS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: "
+            f"{', '.join(sorted(_BENCHMARKS))}"
+        ) from None
+
+
+def available_benchmarks(category: str | None = None) -> list[str]:
+    """Registry names, optionally restricted to one Table-II category."""
+    if category is None:
+        return sorted(_BENCHMARKS)
+    try:
+        return list(CATEGORIES[category])
+    except KeyError:
+        raise KeyError(
+            f"unknown category {category!r}; available: "
+            f"{', '.join(sorted(CATEGORIES))}"
+        ) from None

@@ -1,0 +1,77 @@
+"""Benchmark result records.
+
+A benchmark produces one :class:`ResultRow` per message size, with
+avg/min/max statistics reduced across the participating ranks (the paper:
+"we run the measured MPI operations for multiple iterations and find the
+average, max, and min performance across all participating processes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One message-size measurement."""
+
+    size: int
+    value: float            # latency in us, or bandwidth in MB/s
+    minimum: float = 0.0
+    maximum: float = 0.0
+    iterations: int = 0
+
+    def scaled(self, factor: float) -> "ResultRow":
+        """Row with all statistics multiplied by ``factor``."""
+        return ResultRow(
+            self.size,
+            self.value * factor,
+            self.minimum * factor,
+            self.maximum * factor,
+            self.iterations,
+        )
+
+
+@dataclass
+class ResultTable:
+    """All rows of one benchmark run plus identifying metadata."""
+
+    benchmark: str
+    metric: str                  # "latency_us" | "bandwidth_mbs"
+    ranks: int
+    buffer: str
+    api: str
+    rows: list[ResultRow] = field(default_factory=list)
+
+    def add(self, row: ResultRow) -> None:
+        self.rows.append(row)
+
+    def sizes(self) -> list[int]:
+        return [r.size for r in self.rows]
+
+    def values(self) -> list[float]:
+        return [r.value for r in self.rows]
+
+    def row_for(self, size: int) -> ResultRow:
+        for r in self.rows:
+            if r.size == size:
+                return r
+        raise KeyError(f"no row for message size {size}")
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def average_overhead(
+    base: ResultTable, other: ResultTable, sizes: list[int] | None = None
+) -> float:
+    """Mean of (other - base) over common sizes — the paper's overhead stat."""
+    pick = sizes or sorted(set(base.sizes()) & set(other.sizes()))
+    if not pick:
+        raise ValueError("tables share no message sizes")
+    deltas = [other.row_for(s).value - base.row_for(s).value for s in pick]
+    return sum(deltas) / len(deltas)

@@ -1,0 +1,137 @@
+"""Benchmark driver.
+
+:class:`Benchmark` implements the measurement pipeline of the paper's
+Algorithm 1: per message size — allocate buffers, warm up, barrier so all
+ranks start together, run the timed loop, then reduce per-rank statistics
+(avg/min/max) across participating ranks with an (untimed) allreduce.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..bindings.comm_api import Comm as BindingsComm
+from ..mpi import ops
+from ..mpi.comm import Comm as RuntimeComm
+from ..native.api import NativeComm
+from .options import Options
+from .results import ResultRow, ResultTable
+from .util import message_sizes
+
+
+class BenchContext:
+    """Everything a benchmark body needs: the three API surfaces + options."""
+
+    def __init__(self, runtime: RuntimeComm, options: Options) -> None:
+        self.runtime = runtime
+        self.bcomm = BindingsComm(runtime)
+        self.ncomm = NativeComm(runtime)
+        self.options = options
+
+    @property
+    def rank(self) -> int:
+        return self.runtime.rank
+
+    @property
+    def size(self) -> int:
+        return self.runtime.size
+
+    def barrier(self) -> None:
+        self.runtime.barrier()
+
+    def reduce_stats(self, value: float | None) -> tuple[float, float, float, int]:
+        """(avg, min, max, count) of per-rank values across participants.
+
+        Ranks that did not participate in the measurement pass None and
+        contribute nothing; every rank receives the statistics.
+        """
+        val = 0.0 if value is None else float(value)
+        flag = 0.0 if value is None else 1.0
+        sums = self.runtime.allreduce_array(
+            np.array([val, flag], dtype="f8"), ops.SUM
+        )
+        mn = self.runtime.allreduce_array(
+            np.array([val if value is not None else math.inf], dtype="f8"),
+            ops.MIN,
+        )
+        mx = self.runtime.allreduce_array(
+            np.array([val if value is not None else -math.inf], dtype="f8"),
+            ops.MAX,
+        )
+        count = int(sums[1])
+        if count == 0:
+            return 0.0, 0.0, 0.0, 0
+        return sums[0] / count, float(mn[0]), float(mx[0]), count
+
+
+class Benchmark(ABC):
+    """Base class for all OMB-Py benchmarks."""
+
+    #: registry key, e.g. "osu_latency"
+    name: str = ""
+    #: "latency_us" or "bandwidth_mbs"
+    metric: str = "latency_us"
+    #: smallest meaningful message (reduction tests need >= element size)
+    min_message_size: int = 1
+    #: smallest communicator that can run this benchmark
+    min_ranks: int = 2
+    #: which API families this benchmark supports
+    apis: tuple[str, ...] = ("buffer", "pickle", "native")
+
+    @abstractmethod
+    def run_size(
+        self, ctx: BenchContext, size: int, iterations: int, warmup: int
+    ) -> float | None:
+        """Measure one message size; return this rank's metric or None."""
+
+    def check(self, ctx: BenchContext) -> None:
+        """Validate the run configuration before sweeping."""
+        if ctx.size < self.min_ranks:
+            raise ValueError(
+                f"{self.name} needs at least {self.min_ranks} ranks, "
+                f"got {ctx.size}"
+            )
+        if ctx.options.api not in self.apis:
+            raise ValueError(
+                f"{self.name} does not support api={ctx.options.api!r} "
+                f"(supported: {self.apis})"
+            )
+
+    def run(self, ctx: BenchContext) -> ResultTable:
+        """Sweep all message sizes; every rank returns the full table."""
+        self.check(ctx)
+        opt = ctx.options
+        table = ResultTable(
+            benchmark=self.name,
+            metric=self.metric,
+            ranks=ctx.size,
+            buffer=opt.buffer,
+            api=opt.api,
+        )
+        for size in message_sizes(opt.min_size, opt.max_size):
+            if size < self.min_message_size:
+                continue
+            iters, warm = opt.iterations_for(size)
+            value = self.run_size(ctx, size, iters, warm)
+            avg, mn, mx, count = ctx.reduce_stats(value)
+            if count == 0:
+                raise RuntimeError(
+                    f"{self.name}: no rank reported a measurement for "
+                    f"size {size}"
+                )
+            table.add(ResultRow(size, avg, mn, mx, iters))
+        return table
+
+
+def run_benchmark(
+    name: str, runtime: RuntimeComm, options: Options | None = None
+) -> ResultTable:
+    """Look up a benchmark by name and run it; returns the result table."""
+    from .registry import get_benchmark
+
+    bench = get_benchmark(name)
+    ctx = BenchContext(runtime, options or Options())
+    return bench.run(ctx)

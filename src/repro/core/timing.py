@@ -1,0 +1,45 @@
+"""Timing primitives for the benchmark loops.
+
+OSU reports microseconds; everything here is ``perf_counter_ns``-based and
+converted at the edge.  ``Wtime`` mirrors ``MPI_Wtime`` for user code.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def Wtime() -> float:
+    """Seconds from a monotonic high-resolution clock (MPI_Wtime)."""
+    return time.perf_counter()
+
+
+class Timer:
+    """Accumulating stopwatch used inside the measurement loops."""
+
+    __slots__ = ("_start", "elapsed_ns")
+
+    def __init__(self) -> None:
+        self._start = 0
+        self.elapsed_ns = 0
+
+    def start(self) -> None:
+        self._start = time.perf_counter_ns()
+
+    def stop(self) -> None:
+        self.elapsed_ns += time.perf_counter_ns() - self._start
+
+    def reset(self) -> None:
+        self.elapsed_ns = 0
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.elapsed_ns / 1e3
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_ns / 1e9
+
+
+def ns_to_us(ns: int | float) -> float:
+    return ns / 1e3

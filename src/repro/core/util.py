@@ -1,0 +1,123 @@
+"""Buffer allocation and message-size sweeps.
+
+OSU benchmarks sweep powers of two from the minimum to the maximum size
+and allocate character buffers; OMB-Py mirrors that per buffer type —
+bytearray and NumPy on the CPU, CuPy/PyCUDA/Numba device arrays on the
+(simulated) GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from .options import Options
+
+
+def message_sizes(min_size: int, max_size: int) -> Iterator[int]:
+    """Powers of two in [min_size, max_size], starting at 1 for min 0/1.
+
+    Size 0 is emitted first when requested (OSU reports a 0-byte row for
+    latency tests).
+    """
+    if min_size == 0:
+        yield 0
+        size = 1
+    else:
+        size = 1
+        while size < min_size:
+            size <<= 1
+    while size <= max_size:
+        yield size
+        size <<= 1
+
+
+def _fill_pattern(nbytes: int, seed: int) -> np.ndarray:
+    """Deterministic byte pattern for validation."""
+    return ((np.arange(nbytes) + seed) % 251).astype(np.uint8)
+
+
+class BufferHandle:
+    """A benchmark buffer with uniform fill/readback across buffer types."""
+
+    def __init__(self, obj: Any, kind: str, nbytes: int) -> None:
+        self.obj = obj
+        self.kind = kind
+        self.nbytes = nbytes
+
+    def fill(self, seed: int) -> None:
+        """Write the deterministic pattern (used when validating)."""
+        pattern = _fill_pattern(self.nbytes, seed)
+        if self.kind == "bytearray":
+            self.obj[:] = pattern.tobytes()
+        elif self.kind == "numpy":
+            self.obj[:] = pattern
+        elif self.kind == "cupy":
+            self.obj.set(pattern)
+        elif self.kind == "pycuda":
+            self.obj.set(pattern)
+        elif self.kind == "numba":
+            self.obj.copy_to_device(pattern)
+        else:  # pragma: no cover - allocate() validates kinds
+            raise ValueError(f"unknown buffer kind {self.kind}")
+
+    def to_numpy(self) -> np.ndarray:
+        """Read the buffer back to a host array."""
+        if self.kind == "bytearray":
+            return np.frombuffer(bytes(self.obj), dtype=np.uint8)
+        if self.kind == "numpy":
+            return self.obj.copy()
+        if self.kind in ("cupy", "pycuda"):
+            return self.obj.get()
+        if self.kind == "numba":
+            return self.obj.copy_to_host()
+        raise ValueError(f"unknown buffer kind {self.kind}")
+
+    def verify(self, seed: int) -> bool:
+        """Check the buffer holds the pattern written by ``fill(seed)``."""
+        return bool(
+            np.array_equal(self.to_numpy(), _fill_pattern(self.nbytes, seed))
+        )
+
+
+_ALLOCATORS: dict[str, Callable[[int], Any]] = {}
+
+
+def _register_cpu_allocators() -> None:
+    _ALLOCATORS["bytearray"] = bytearray
+    _ALLOCATORS["numpy"] = lambda n: np.zeros(n, dtype=np.uint8)
+
+
+def _register_gpu_allocators() -> None:
+    from ..gpu import cupy_sim, numba_sim, pycuda_sim
+
+    _ALLOCATORS["cupy"] = lambda n: cupy_sim.zeros(n, dtype=np.uint8)
+    _ALLOCATORS["pycuda"] = lambda n: pycuda_sim.gpuarray.zeros(
+        n, dtype=np.uint8
+    )
+    _ALLOCATORS["numba"] = lambda n: numba_sim.cuda.device_array(
+        n, dtype=np.uint8
+    )
+
+
+_register_cpu_allocators()
+_register_gpu_allocators()
+
+
+def allocate(buffer_kind: str, nbytes: int) -> BufferHandle:
+    """Allocate one benchmark buffer of ``nbytes`` bytes."""
+    try:
+        factory = _ALLOCATORS[buffer_kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown buffer kind {buffer_kind!r}; "
+            f"choose from {sorted(_ALLOCATORS)}"
+        ) from None
+    # Zero-size communication still needs a live object to introspect.
+    return BufferHandle(factory(max(nbytes, 1)), buffer_kind, max(nbytes, 1))
+
+
+def allocate_pair(options: Options, nbytes: int) -> tuple[BufferHandle, BufferHandle]:
+    """(send, recv) buffers per the options' buffer type."""
+    return allocate(options.buffer, nbytes), allocate(options.buffer, nbytes)

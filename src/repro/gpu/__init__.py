@@ -1,0 +1,22 @@
+"""``repro.gpu`` — a simulated CUDA device and GPU array libraries.
+
+The paper's GPU benchmarks communicate CuPy, PyCUDA, and Numba device
+arrays through CUDA-aware MPI.  This environment has no GPU, so this
+package provides:
+
+* :mod:`repro.gpu.device` — a software device: an address space of
+  "device" allocations (NumPy-backed), streams, DMA transfer accounting,
+  and per-library host-access overhead injection;
+* :mod:`repro.gpu.cai` — the CUDA Array Interface (CAI) protocol: building
+  ``__cuda_array_interface__`` dicts and resolving them back to device
+  memory, exactly the handshake mpi4py uses to accept GPU buffers;
+* :mod:`repro.gpu.cupy_sim`, :mod:`repro.gpu.pycuda_sim`,
+  :mod:`repro.gpu.numba_sim` — three array libraries with the respective
+  upstream APIs.  The Numba simulation routes every buffer export through
+  the same descriptor-validation layers that make real Numba's CAI path
+  measurably slower than CuPy/PyCUDA — the ordering the paper reports.
+"""
+
+from . import cai, cupy_sim, device, numba_sim, pycuda_sim
+
+__all__ = ["cai", "cupy_sim", "device", "numba_sim", "pycuda_sim"]

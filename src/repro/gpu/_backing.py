@@ -1,0 +1,73 @@
+"""Shared backing-store helpers for the simulated GPU array libraries.
+
+Each library wraps one device :class:`~repro.gpu.device.Allocation` and a
+typed NumPy view of it.  Arithmetic executes eagerly on the view while the
+device accounts a kernel launch — functional behaviour plus realistic
+bookkeeping, without pretending to model kernel *performance* (the paper's
+benchmarks only move buffers; they never time kernels).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from .device import Allocation, Device, current_device
+
+
+def typestr_of(dtype: np.dtype) -> str:
+    """NumPy dtype -> CAI typestr (little-endian form, e.g. '<f8')."""
+    return dtype.newbyteorder("<").str
+
+
+def alloc_typed(
+    shape: tuple[int, ...], dtype: np.dtype, device: Device | None = None
+) -> tuple[Allocation, np.ndarray]:
+    """Allocate device memory for ``shape``/``dtype``; return typed view."""
+    dev = device or current_device()
+    dtype = np.dtype(dtype)
+    count = math.prod(shape) if shape else 1
+    alloc = dev.malloc(count * dtype.itemsize)
+    view = alloc.backing[: count * dtype.itemsize].view(dtype).reshape(shape)
+    return alloc, view
+
+
+def copy_in(
+    alloc: Allocation,
+    view: np.ndarray,
+    host: np.ndarray,
+    device: Device | None = None,
+) -> None:
+    """Host array -> device allocation (accounted as one H2D DMA)."""
+    dev = device or current_device()
+    host = np.ascontiguousarray(host, dtype=view.dtype)
+    if host.shape != view.shape:
+        raise ValueError(
+            f"shape mismatch copying to device: {host.shape} != {view.shape}"
+        )
+    dev.memcpy_htod(alloc, host.tobytes())
+
+
+def copy_out(
+    alloc: Allocation,
+    view: np.ndarray,
+    device: Device | None = None,
+) -> np.ndarray:
+    """Device allocation -> new host array (accounted as one D2H DMA)."""
+    dev = device or current_device()
+    out = bytearray(view.nbytes)
+    dev.memcpy_dtoh(out, alloc, view.nbytes)
+    return np.frombuffer(bytes(out), dtype=view.dtype).reshape(view.shape).copy()
+
+
+def coerce_operand(other: Any, like: np.ndarray) -> np.ndarray | float:
+    """Pull a host value out of a scalar / ndarray / device-array operand."""
+    if hasattr(other, "_view"):  # any of our simulated device arrays
+        return other._view
+    if isinstance(other, (int, float, complex, np.ndarray)):
+        return other
+    raise TypeError(
+        f"unsupported operand type for device arithmetic: {type(other)}"
+    )

@@ -1,0 +1,111 @@
+"""CUDA Array Interface (CAI) protocol.
+
+The CAI is the contract that lets mpi4py accept device arrays from any GPU
+library: the object exposes a ``__cuda_array_interface__`` dict with the
+device pointer, shape, and typestr.  This module builds such dicts for the
+simulated libraries and resolves them back to device memory — the exact
+code path a CUDA-aware binding layer runs when handed a GPU buffer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from .device import Allocation, Device, current_device
+
+CAI_VERSION = 3
+
+
+class CAIError(TypeError):
+    """Malformed or unsupported ``__cuda_array_interface__`` contents."""
+
+
+def make_cai(
+    ptr: int,
+    shape: tuple[int, ...],
+    typestr: str,
+    read_only: bool = False,
+    stream: int | None = None,
+) -> dict[str, Any]:
+    """Build a version-3 CAI dict for a C-contiguous device array."""
+    cai: dict[str, Any] = {
+        "shape": tuple(int(s) for s in shape),
+        "typestr": typestr,
+        "data": (int(ptr), bool(read_only)),
+        "version": CAI_VERSION,
+        "strides": None,  # None means C-contiguous
+        "descr": [("", typestr)],
+    }
+    if stream is not None:
+        cai["stream"] = stream
+    return cai
+
+
+def is_device_array(obj: Any) -> bool:
+    """Return True if ``obj`` exposes a CUDA array interface."""
+    return hasattr(obj, "__cuda_array_interface__")
+
+
+def _validate(cai: dict[str, Any]) -> None:
+    for key in ("shape", "typestr", "data", "version"):
+        if key not in cai:
+            raise CAIError(f"CAI dict missing required key {key!r}")
+    if not isinstance(cai["shape"], tuple):
+        raise CAIError("CAI shape must be a tuple")
+    data = cai["data"]
+    if not (isinstance(data, tuple) and len(data) == 2):
+        raise CAIError("CAI data must be a (pointer, read_only) pair")
+    strides = cai.get("strides")
+    if strides is not None:
+        # Only contiguous layouts are supported, same restriction as
+        # mpi4py's GPU buffer support.
+        shape = cai["shape"]
+        itemsize = np.dtype(cai["typestr"]).itemsize
+        expect = []
+        acc = itemsize
+        for dim in reversed(shape):
+            expect.append(acc)
+            acc *= dim
+        if tuple(strides) != tuple(reversed(expect)):
+            raise CAIError(
+                "only C-contiguous device arrays are supported "
+                f"(strides={strides}, shape={shape})"
+            )
+
+
+def resolve_cai(
+    obj: Any, device: Device | None = None
+) -> tuple[Allocation, int, np.dtype, tuple[int, ...]]:
+    """Resolve a CAI object to (allocation, nbytes, dtype, shape).
+
+    Raises :class:`CAIError` on protocol violations — unknown pointer,
+    non-contiguous layout, or a malformed dict.
+    """
+    if not is_device_array(obj):
+        raise CAIError(f"{type(obj).__name__} has no __cuda_array_interface__")
+    cai = obj.__cuda_array_interface__
+    _validate(cai)
+    dev = device or current_device()
+    ptr, _read_only = cai["data"]
+    alloc = dev.resolve(ptr)
+    dtype = np.dtype(cai["typestr"])
+    shape = cai["shape"]
+    nbytes = dtype.itemsize * math.prod(shape) if shape else dtype.itemsize
+    if nbytes > alloc.nbytes:
+        raise CAIError(
+            f"CAI claims {nbytes} bytes but allocation holds {alloc.nbytes}"
+        )
+    return alloc, nbytes, dtype, shape
+
+
+def device_bytes(obj: Any, device: Device | None = None) -> memoryview:
+    """Return a host view of a device array's bytes (staging read).
+
+    Charges a device-to-host style access; used by the bindings layer to
+    feed device buffers into the wire path.
+    """
+    alloc, nbytes, _dtype, _shape = resolve_cai(obj, device)
+    return memoryview(alloc.backing[:nbytes])

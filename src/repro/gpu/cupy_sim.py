@@ -1,0 +1,173 @@
+"""CuPy-workalike array library on the simulated device.
+
+Implements the subset of the ``cupy`` API that the paper's benchmarks (and
+mpi4py's GPU tutorial) use: ``zeros/ones/empty/arange/array/asnumpy``, the
+``ndarray`` type with ``get``/``set``/``fill`` and elementwise arithmetic,
+and ``cuda.get_current_stream()``.  Buffer export via the CUDA Array
+Interface is a thin property — one dict build per access — which is why
+CuPy sits at the fast end of the paper's GPU-buffer comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from . import _backing
+from .cai import make_cai
+from .device import Stream, current_device
+
+_LIBRARY = "cupy"
+
+
+class ndarray:
+    """A device-resident n-dimensional array (CuPy-style API)."""
+
+    def __init__(self, shape: tuple[int, ...] | int, dtype: Any = np.float64):
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self._alloc, self._view = _backing.alloc_typed(self.shape, self.dtype)
+        # Cache the CAI dict: CuPy's export path is effectively constant-time.
+        self._cai = make_cai(
+            self._alloc.ptr, self.shape, _backing.typestr_of(self.dtype)
+        )
+
+    # -- CAI export --------------------------------------------------------
+    @property
+    def __cuda_array_interface__(self) -> dict:
+        current_device().account_access(_LIBRARY)
+        return self._cai
+
+    # -- shape/size ----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    # -- host transfers --------------------------------------------------------
+    def get(self) -> np.ndarray:
+        """Device -> host copy (cupy.ndarray.get)."""
+        return _backing.copy_out(self._alloc, self._view)
+
+    def set(self, host: np.ndarray) -> None:
+        """Host -> device copy (cupy.ndarray.set)."""
+        _backing.copy_in(self._alloc, self._view, host)
+
+    def fill(self, value) -> None:
+        current_device().launch_kernel()
+        self._view.fill(value)
+
+    # -- arithmetic (eager "kernels") -----------------------------------------
+    def _binary(self, other: Any, fn) -> "ndarray":
+        current_device().launch_kernel()
+        result = fn(self._view, _backing.coerce_operand(other, self._view))
+        out = ndarray(result.shape, result.dtype)
+        out._view[...] = result
+        return out
+
+    def __add__(self, other): return self._binary(other, np.add)
+    def __radd__(self, other): return self._binary(other, np.add)
+    def __sub__(self, other): return self._binary(other, np.subtract)
+    def __mul__(self, other): return self._binary(other, np.multiply)
+    def __rmul__(self, other): return self._binary(other, np.multiply)
+    def __truediv__(self, other): return self._binary(other, np.divide)
+
+    def __matmul__(self, other) -> "ndarray":
+        current_device().launch_kernel()
+        result = self._view @ _backing.coerce_operand(other, self._view)
+        out = ndarray(result.shape, result.dtype)
+        out._view[...] = result
+        return out
+
+    def sum(self):
+        current_device().launch_kernel()
+        return float(self._view.sum())
+
+    def astype(self, dtype) -> "ndarray":
+        current_device().launch_kernel()
+        out = ndarray(self.shape, dtype)
+        out._view[...] = self._view.astype(dtype)
+        return out
+
+    def reshape(self, *shape) -> "ndarray":
+        if len(shape) == 1 and isinstance(shape[0], tuple):
+            shape = shape[0]
+        out = ndarray(shape, self.dtype)
+        out._view[...] = self._view.reshape(shape)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"cupy_sim.ndarray(shape={self.shape}, dtype={self.dtype})"
+
+
+# -- module-level constructors (cupy API surface) ---------------------------
+def empty(shape, dtype=np.float64) -> ndarray:
+    """Uninitialized device array (contents are zeroed in simulation)."""
+    return ndarray(shape, dtype)
+
+
+def zeros(shape, dtype=np.float64) -> ndarray:
+    out = ndarray(shape, dtype)
+    out._view.fill(0)
+    return out
+
+
+def ones(shape, dtype=np.float64) -> ndarray:
+    out = ndarray(shape, dtype)
+    out._view.fill(1)
+    return out
+
+
+def arange(n, dtype=None) -> ndarray:
+    host = np.arange(n, dtype=dtype)
+    out = ndarray(host.shape, host.dtype)
+    out.set(host)
+    return out
+
+
+def array(obj, dtype=None) -> ndarray:
+    host = np.array(obj, dtype=dtype)
+    out = ndarray(host.shape, host.dtype)
+    out.set(host)
+    return out
+
+
+def asarray(obj, dtype=None) -> ndarray:
+    if isinstance(obj, ndarray) and dtype is None:
+        return obj
+    return array(obj.get() if isinstance(obj, ndarray) else obj, dtype)
+
+
+def asnumpy(arr: ndarray) -> np.ndarray:
+    """Device array -> host NumPy array (cupy.asnumpy)."""
+    return arr.get()
+
+
+def allclose(a, b, **kw) -> bool:
+    a_host = a.get() if isinstance(a, ndarray) else a
+    b_host = b.get() if isinstance(b, ndarray) else b
+    return bool(np.allclose(a_host, b_host, **kw))
+
+
+class _Cuda:
+    """The ``cupy.cuda`` namespace subset."""
+
+    Stream = Stream
+
+    @staticmethod
+    def get_current_stream() -> Stream:
+        return current_device().default_stream
+
+
+cuda = _Cuda()

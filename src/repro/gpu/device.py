@@ -1,0 +1,225 @@
+"""Simulated CUDA device.
+
+Device memory is modelled as a table of NumPy-backed allocations keyed by
+fake device pointers.  The device tracks DMA traffic (host-to-device,
+device-to-host, device-to-device byte counts and call counts), supports
+streams with synchronization semantics, and can inject a calibrated
+per-access host overhead per client library — the knob that models why
+communicating Numba buffers costs more than CuPy/PyCUDA buffers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class DeviceError(RuntimeError):
+    """Invalid device operation (bad pointer, out-of-bounds copy, ...)."""
+
+
+@dataclass
+class TransferStats:
+    """Cumulative DMA accounting for one device."""
+
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    d2d_bytes: int = 0
+    h2d_calls: int = 0
+    d2h_calls: int = 0
+    d2d_calls: int = 0
+    kernel_launches: int = 0
+
+    def reset(self) -> None:
+        self.h2d_bytes = self.d2h_bytes = self.d2d_bytes = 0
+        self.h2d_calls = self.d2h_calls = self.d2d_calls = 0
+        self.kernel_launches = 0
+
+
+@dataclass
+class Allocation:
+    """One device allocation: fake pointer + NumPy backing store."""
+
+    ptr: int
+    backing: np.ndarray  # always a flat uint8 view of the allocation
+    nbytes: int
+    freed: bool = False
+
+
+def _spin(seconds: float) -> None:
+    """Busy-wait with sub-millisecond resolution (sleep() is too coarse)."""
+    if seconds <= 0:
+        return
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        pass
+
+
+class Stream:
+    """A CUDA stream.  Work is executed eagerly, so synchronize() only
+    verifies the stream is still valid — but user code must still call it
+    before MPI operations, matching the real CUDA-aware-MPI contract."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, device: "Device") -> None:
+        self.device = device
+        self.id = next(self._ids)
+        self.destroyed = False
+
+    def synchronize(self) -> None:
+        if self.destroyed:
+            raise DeviceError("synchronize on destroyed stream")
+        self.device.note_sync()
+
+
+class Device:
+    """One simulated GPU."""
+
+    # Fake device pointers start high so they never collide with ids used
+    # elsewhere; spacing leaves room to detect interior pointers.
+    _PTR_BASE = 0xDEAD_0000_0000
+
+    def __init__(self, device_id: int = 0, memory_bytes: int = 32 << 30) -> None:
+        self.device_id = device_id
+        self.memory_bytes = memory_bytes  # V100 in the paper: 32 GB
+        self.stats = TransferStats()
+        self._allocations: dict[int, Allocation] = {}
+        self._next_ptr = itertools.count(self._PTR_BASE, 256)
+        self._allocated = 0
+        self._lock = threading.RLock()
+        self._sync_count = 0
+        self.default_stream = Stream(self)
+        # Per-library host-access overhead in seconds, injected on each
+        # buffer export (see repro.gpu.cai).  Zero by default: live tests
+        # measure real Python-path costs; benchmarks may calibrate these.
+        self._access_overhead: dict[str, float] = {}
+
+    # -- memory management -------------------------------------------------
+    def malloc(self, nbytes: int) -> Allocation:
+        """Allocate ``nbytes`` of device memory."""
+        if nbytes < 0:
+            raise DeviceError(f"negative allocation size {nbytes}")
+        with self._lock:
+            if self._allocated + nbytes > self.memory_bytes:
+                raise DeviceError(
+                    f"out of device memory: {self._allocated + nbytes} > "
+                    f"{self.memory_bytes}"
+                )
+            ptr = next(self._next_ptr)
+            alloc = Allocation(ptr, np.zeros(nbytes, dtype=np.uint8), nbytes)
+            self._allocations[ptr] = alloc
+            self._allocated += nbytes
+            return alloc
+
+    def free(self, ptr: int) -> None:
+        """Free a device allocation."""
+        with self._lock:
+            alloc = self._allocations.pop(ptr, None)
+            if alloc is None or alloc.freed:
+                raise DeviceError(f"free of unknown device pointer {ptr:#x}")
+            alloc.freed = True
+            self._allocated -= alloc.nbytes
+
+    def resolve(self, ptr: int) -> Allocation:
+        """Look up the allocation containing ``ptr`` (base pointers only)."""
+        with self._lock:
+            alloc = self._allocations.get(ptr)
+            if alloc is None or alloc.freed:
+                raise DeviceError(
+                    f"device pointer {ptr:#x} does not name a live allocation"
+                )
+            return alloc
+
+    def allocated_bytes(self) -> int:
+        with self._lock:
+            return self._allocated
+
+    def live_allocations(self) -> int:
+        with self._lock:
+            return len(self._allocations)
+
+    # -- transfers ----------------------------------------------------------
+    def memcpy_htod(self, dst: Allocation, src: bytes | memoryview,
+                    offset: int = 0) -> None:
+        """Host-to-device copy."""
+        data = np.frombuffer(src, dtype=np.uint8)
+        if offset + data.nbytes > dst.nbytes:
+            raise DeviceError(
+                f"h2d copy of {data.nbytes} bytes at offset {offset} "
+                f"overruns allocation of {dst.nbytes}"
+            )
+        dst.backing[offset:offset + data.nbytes] = data
+        with self._lock:
+            self.stats.h2d_bytes += data.nbytes
+            self.stats.h2d_calls += 1
+
+    def memcpy_dtoh(self, dst: bytearray | memoryview, src: Allocation,
+                    nbytes: int, offset: int = 0) -> None:
+        """Device-to-host copy."""
+        if offset + nbytes > src.nbytes:
+            raise DeviceError(
+                f"d2h copy of {nbytes} bytes at offset {offset} overruns "
+                f"allocation of {src.nbytes}"
+            )
+        view = memoryview(dst).cast("B")
+        view[:nbytes] = src.backing[offset:offset + nbytes].tobytes()
+        with self._lock:
+            self.stats.d2h_bytes += nbytes
+            self.stats.d2h_calls += 1
+
+    def memcpy_dtod(self, dst: Allocation, src: Allocation, nbytes: int) -> None:
+        """Device-to-device copy."""
+        if nbytes > dst.nbytes or nbytes > src.nbytes:
+            raise DeviceError("d2d copy overruns an allocation")
+        dst.backing[:nbytes] = src.backing[:nbytes]
+        with self._lock:
+            self.stats.d2d_bytes += nbytes
+            self.stats.d2d_calls += 1
+
+    # -- kernels / sync -------------------------------------------------------
+    def launch_kernel(self) -> None:
+        """Account one simulated kernel launch."""
+        with self._lock:
+            self.stats.kernel_launches += 1
+
+    def note_sync(self) -> None:
+        with self._lock:
+            self._sync_count += 1
+
+    @property
+    def sync_count(self) -> int:
+        return self._sync_count
+
+    # -- overhead injection ----------------------------------------------------
+    def set_access_overhead(self, library: str, seconds: float) -> None:
+        """Set the per-export host overhead charged to ``library``."""
+        if seconds < 0:
+            raise DeviceError("negative access overhead")
+        self._access_overhead[library] = seconds
+
+    def account_access(self, library: str) -> None:
+        """Charge one buffer-export access for ``library`` (may busy-wait)."""
+        _spin(self._access_overhead.get(library, 0.0))
+
+
+# The process-wide device, mirroring CUDA's "current device" notion.
+_current = Device(0)
+_current_lock = threading.Lock()
+
+
+def current_device() -> Device:
+    """Return the process-wide simulated device."""
+    return _current
+
+
+def reset_device(memory_bytes: int = 32 << 30) -> Device:
+    """Replace the process-wide device (test isolation helper)."""
+    global _current
+    with _current_lock:
+        _current = Device(0, memory_bytes)
+    return _current

@@ -1,0 +1,164 @@
+"""Numba-CUDA-workalike library on the simulated device.
+
+Mirrors ``numba.cuda``: ``to_device``/``device_array`` constructors and a
+``DeviceNDArray`` with ``copy_to_host``/``copy_to_device``.
+
+Unlike the CuPy/PyCUDA simulations, the CAI export here is **deliberately
+layered**: each access walks a descriptor chain, re-derives strides,
+revalidates dimensions, and rebuilds the dict — the same work real Numba's
+``DeviceNDArray.__cuda_array_interface__`` performs per access.  That
+per-access Python cost is exactly why the paper measures roughly twice the
+communication-latency overhead for Numba buffers versus CuPy/PyCUDA.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from . import _backing
+from .cai import CAI_VERSION
+from .device import current_device
+
+_LIBRARY = "numba"
+
+
+class _MemoryPointer:
+    """Descriptor layer 1: owns the device pointer (numba's MemoryPointer)."""
+
+    def __init__(self, ptr: int, size: int) -> None:
+        self.device_pointer = ptr
+        self.size = size
+
+    @property
+    def device_ctypes_pointer(self) -> int:
+        return self.device_pointer
+
+
+class _DummyArrayDescriptor:
+    """Descriptor layer 2: dimension bookkeeping (numba's Dim machinery)."""
+
+    def __init__(self, shape: tuple[int, ...], itemsize: int) -> None:
+        self.shape = shape
+        self.itemsize = itemsize
+
+    def compute_strides(self) -> tuple[int, ...]:
+        strides = []
+        acc = self.itemsize
+        for dim in reversed(self.shape):
+            strides.append(acc)
+            acc *= dim
+        return tuple(reversed(strides))
+
+    def is_c_contiguous(self, strides: tuple[int, ...]) -> bool:
+        return strides == self.compute_strides()
+
+    def validate(self) -> None:
+        for dim in self.shape:
+            if dim < 0:
+                raise ValueError(f"negative dimension {dim}")
+
+
+class DeviceNDArray:
+    """A device array in the style of ``numba.cuda.cudadrv.DeviceNDArray``."""
+
+    def __init__(self, shape, dtype: Any = np.float64, strides=None):
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self._alloc, self._view = _backing.alloc_typed(self.shape, self.dtype)
+        self._descriptor = _DummyArrayDescriptor(
+            self.shape, self.dtype.itemsize
+        )
+        self.gpu_data = _MemoryPointer(self._alloc.ptr, self.nbytes)
+        self.strides = strides or self._descriptor.compute_strides()
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def __cuda_array_interface__(self) -> dict:
+        # Rebuilt and revalidated on every access, as in real Numba.
+        current_device().account_access(_LIBRARY)
+        self._descriptor.validate()
+        strides = self._descriptor.compute_strides()
+        if not self._descriptor.is_c_contiguous(strides):
+            raise ValueError("only C-contiguous device arrays are supported")
+        ptr = self.gpu_data.device_ctypes_pointer
+        typestr = _backing.typestr_of(self.dtype)
+        return {
+            "shape": tuple(self.shape),
+            "strides": None if self._contiguous(strides) else strides,
+            "typestr": typestr,
+            "data": (int(ptr), False),
+            "version": CAI_VERSION,
+            "descr": [("", typestr)],
+        }
+
+    def _contiguous(self, strides: tuple[int, ...]) -> bool:
+        return self._descriptor.is_c_contiguous(strides)
+
+    # -- host transfers ----------------------------------------------------
+    def copy_to_host(self, ary: np.ndarray | None = None) -> np.ndarray:
+        """Device -> host (numba's copy_to_host)."""
+        host = _backing.copy_out(self._alloc, self._view)
+        if ary is not None:
+            ary[...] = host
+            return ary
+        return host
+
+    def copy_to_device(self, ary: np.ndarray | "DeviceNDArray") -> None:
+        """Host-or-device -> this device array."""
+        if isinstance(ary, DeviceNDArray):
+            current_device().memcpy_dtod(self._alloc, ary._alloc, self.nbytes)
+        else:
+            _backing.copy_in(self._alloc, self._view, ary)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"numba_sim.DeviceNDArray(shape={self.shape}, dtype={self.dtype})"
+        )
+
+
+class _CudaModule:
+    """The ``numba.cuda`` namespace subset."""
+
+    DeviceNDArray = DeviceNDArray
+
+    @staticmethod
+    def to_device(host: np.ndarray) -> DeviceNDArray:
+        host = np.ascontiguousarray(host)
+        out = DeviceNDArray(host.shape, host.dtype)
+        out.copy_to_device(host)
+        return out
+
+    @staticmethod
+    def device_array(shape, dtype=np.float64) -> DeviceNDArray:
+        return DeviceNDArray(shape, dtype)
+
+    @staticmethod
+    def device_array_like(ary) -> DeviceNDArray:
+        return DeviceNDArray(ary.shape, ary.dtype)
+
+    @staticmethod
+    def synchronize() -> None:
+        current_device().note_sync()
+
+    @staticmethod
+    def is_cuda_array(obj: Any) -> bool:
+        return hasattr(obj, "__cuda_array_interface__")
+
+
+cuda = _CudaModule()

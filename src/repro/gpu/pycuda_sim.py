@@ -1,0 +1,136 @@
+"""PyCUDA-workalike library on the simulated device.
+
+Mirrors the ``pycuda.gpuarray`` / ``pycuda.driver`` split: ``GPUArray``
+with ``get``/``set``/``gpudata``, module helpers ``to_gpu``/``zeros``/
+``empty``, and explicit driver-level ``memcpy_htod``/``memcpy_dtoh``.
+Like CuPy (and unlike Numba), the CAI export is a cached, constant-cost
+property — matching the paper's finding that CuPy and PyCUDA buffers
+perform nearly identically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from . import _backing
+from .cai import make_cai
+from .device import current_device
+
+_LIBRARY = "pycuda"
+
+
+class GPUArray:
+    """A device array in the style of ``pycuda.gpuarray.GPUArray``."""
+
+    def __init__(self, shape: tuple[int, ...] | int, dtype: Any = np.float64):
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self._alloc, self._view = _backing.alloc_typed(self.shape, self.dtype)
+        self._cai = make_cai(
+            self._alloc.ptr, self.shape, _backing.typestr_of(self.dtype)
+        )
+
+    @property
+    def __cuda_array_interface__(self) -> dict:
+        current_device().account_access(_LIBRARY)
+        return self._cai
+
+    @property
+    def gpudata(self) -> int:
+        """The raw device pointer (pycuda exposes the DeviceAllocation)."""
+        return self._alloc.ptr
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    def get(self) -> np.ndarray:
+        """Device -> host copy."""
+        return _backing.copy_out(self._alloc, self._view)
+
+    def set(self, host: np.ndarray) -> None:
+        """Host -> device copy."""
+        _backing.copy_in(self._alloc, self._view, host)
+
+    def fill(self, value) -> "GPUArray":
+        current_device().launch_kernel()
+        self._view.fill(value)
+        return self
+
+    def _binary(self, other: Any, fn) -> "GPUArray":
+        current_device().launch_kernel()
+        result = fn(self._view, _backing.coerce_operand(other, self._view))
+        out = GPUArray(result.shape, result.dtype)
+        out._view[...] = result
+        return out
+
+    def __add__(self, other): return self._binary(other, np.add)
+    def __sub__(self, other): return self._binary(other, np.subtract)
+    def __mul__(self, other): return self._binary(other, np.multiply)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"pycuda_sim.GPUArray(shape={self.shape}, dtype={self.dtype})"
+
+
+class _GpuArrayModule:
+    """The ``pycuda.gpuarray`` namespace subset."""
+
+    GPUArray = GPUArray
+
+    @staticmethod
+    def to_gpu(host: np.ndarray) -> GPUArray:
+        host = np.ascontiguousarray(host)
+        out = GPUArray(host.shape, host.dtype)
+        out.set(host)
+        return out
+
+    @staticmethod
+    def empty(shape, dtype=np.float64) -> GPUArray:
+        return GPUArray(shape, dtype)
+
+    @staticmethod
+    def zeros(shape, dtype=np.float64) -> GPUArray:
+        out = GPUArray(shape, dtype)
+        out._view.fill(0)
+        return out
+
+
+class _DriverModule:
+    """The ``pycuda.driver`` namespace subset."""
+
+    @staticmethod
+    def memcpy_htod(dest: GPUArray | int, src: np.ndarray) -> None:
+        """Explicit host-to-device copy (accepts array or raw pointer)."""
+        dev = current_device()
+        if isinstance(dest, GPUArray):
+            alloc = dest._alloc
+        else:
+            alloc = dev.resolve(dest)
+        dev.memcpy_htod(alloc, np.ascontiguousarray(src).tobytes())
+
+    @staticmethod
+    def memcpy_dtoh(dest: np.ndarray, src: GPUArray | int) -> None:
+        """Explicit device-to-host copy."""
+        dev = current_device()
+        if isinstance(src, GPUArray):
+            alloc, nbytes = src._alloc, src.nbytes
+        else:
+            alloc = dev.resolve(src)
+            nbytes = dest.nbytes
+        buf = bytearray(nbytes)
+        dev.memcpy_dtoh(buf, alloc, nbytes)
+        flat = np.frombuffer(bytes(buf), dtype=dest.dtype)
+        dest[...] = flat.reshape(dest.shape)
+
+
+gpuarray = _GpuArrayModule()
+driver = _DriverModule()

@@ -1,0 +1,21 @@
+"""``repro.ml`` — machine-learning substrate + distributed ML benchmarks.
+
+The paper's ML benchmarks use scikit-learn's KNeighborsClassifier and
+KMeans and the UCI Dota2 dataset; none are available here, so this package
+implements the algorithms from scratch on NumPy (:mod:`repro.ml.knn`,
+:mod:`repro.ml.kmeans`), generates shape-compatible synthetic data
+(:mod:`repro.ml.datasets`), and builds the three distributed benchmarks of
+paper §IV-G on the MPI runtime (:mod:`repro.ml.distributed`).
+"""
+
+from .datasets import dota2_like, make_blobs, random_matrix
+from .kmeans import KMeans
+from .knn import KNeighborsClassifier
+
+__all__ = [
+    "KMeans",
+    "KNeighborsClassifier",
+    "dota2_like",
+    "make_blobs",
+    "random_matrix",
+]

@@ -1,0 +1,29 @@
+"""Distributed ML benchmarks (paper §IV-G, Figs. 2-3 and 36-38).
+
+* :mod:`repro.ml.distributed.knn` — training set fitted on every rank,
+  test set split; accuracies reduced at the root;
+* :mod:`repro.ml.distributed.kmeans_hpo` — hyper-parameter sweep over k
+  with cost-balanced assignment of k values to ranks; inertias gathered;
+* :mod:`repro.ml.distributed.matmul` — row-partitioned dot product,
+  blocks gathered at the root;
+* :mod:`repro.ml.distributed.scheduler` — the balanced k assignment;
+* :mod:`repro.ml.distributed.harness` — sequential-vs-distributed timing.
+"""
+
+from .harness import MLResult, run_sequential_vs_distributed
+from .kmeans_hpo import distributed_kmeans_hpo, sequential_kmeans_hpo
+from .knn import distributed_knn, sequential_knn
+from .matmul import distributed_matmul, sequential_matmul
+from .scheduler import balanced_assignment
+
+__all__ = [
+    "MLResult",
+    "balanced_assignment",
+    "distributed_kmeans_hpo",
+    "distributed_knn",
+    "distributed_matmul",
+    "run_sequential_vs_distributed",
+    "sequential_kmeans_hpo",
+    "sequential_knn",
+    "sequential_matmul",
+]

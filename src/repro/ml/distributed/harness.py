@@ -1,0 +1,69 @@
+"""Sequential-vs-distributed timing harness for the ML benchmarks.
+
+Runs a workload once on a single process and once on ``n`` ranks (threads
+transport by default — NumPy releases the GIL inside the hot kernels, so
+real speedups are observable on a multicore laptop), and reports the
+paper's metric: execution time and speedup vs sequential.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ...mpi.comm import Comm
+from ...mpi.world import run_on_threads
+
+
+@dataclass(frozen=True)
+class MLResult:
+    """One sequential-vs-distributed comparison."""
+
+    workload: str
+    processes: int
+    sequential_s: float
+    distributed_s: float
+    result_sequential: Any = None
+    result_distributed: Any = None
+
+    @property
+    def speedup(self) -> float:
+        if self.distributed_s <= 0:
+            raise ValueError("non-positive distributed time")
+        return self.sequential_s / self.distributed_s
+
+
+def run_sequential_vs_distributed(
+    workload: str,
+    sequential_fn: Callable[[], Any],
+    distributed_fn: Callable[[Comm], Any],
+    processes: int,
+    timeout: float = 600.0,
+) -> MLResult:
+    """Time ``sequential_fn()`` once and ``distributed_fn(comm)`` on
+    ``processes`` ranks-as-threads; the distributed time is the wall time
+    of the slowest rank (all ranks run inside one timed region)."""
+    t0 = time.perf_counter()
+    seq_result = sequential_fn()
+    seq_s = time.perf_counter() - t0
+
+    dist_result: list[Any] = [None]
+
+    def ranked(comm: Comm) -> None:
+        out = distributed_fn(comm)
+        if comm.rank == 0:
+            dist_result[0] = out
+
+    t0 = time.perf_counter()
+    run_on_threads(processes, ranked, timeout=timeout)
+    dist_s = time.perf_counter() - t0
+
+    return MLResult(
+        workload=workload,
+        processes=processes,
+        sequential_s=seq_s,
+        distributed_s=dist_s,
+        result_sequential=seq_result,
+        result_distributed=dist_result[0],
+    )

@@ -1,0 +1,105 @@
+"""Distributed k-means hyper-parameter optimization (paper §IV-G-2, Fig 3).
+
+Sequential: fit k-means for k = 1..k_max and record the inertia of each,
+producing the elbow curve.  Distributed: the k values are partitioned
+across ranks with the cost-balanced scheduler (cost of a Lloyd sweep grows
+with k), each rank fits its ks, and the (k, inertia) pairs are gathered at
+the root.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mpi.comm import Comm
+from ..kmeans import KMeans
+from .scheduler import balanced_assignment
+
+# Lloyd's per-iteration cost is O(n * k * d); cost(k) ~ k balances well.
+_COST = float
+
+
+def _fit_inertias(
+    X: np.ndarray, ks: list[int], max_iter: int, random_state: int
+) -> dict[int, float]:
+    out: dict[int, float] = {}
+    for k in ks:
+        model = KMeans(
+            n_clusters=k, max_iter=max_iter, random_state=random_state
+        )
+        model.fit(X)
+        out[k] = model.inertia_
+    return out
+
+
+def sequential_kmeans_hpo(
+    X: np.ndarray,
+    k_max: int = 10,
+    max_iter: int = 50,
+    random_state: int = 0,
+) -> dict[int, float]:
+    """{k: inertia} for k = 1..k_max on one process."""
+    if k_max < 1:
+        raise ValueError(f"k_max must be >= 1, got {k_max}")
+    return _fit_inertias(
+        X, list(range(1, k_max + 1)), max_iter, random_state
+    )
+
+
+def distributed_kmeans_hpo(
+    comm: Comm,
+    X: np.ndarray,
+    k_max: int = 10,
+    max_iter: int = 50,
+    random_state: int = 0,
+) -> dict[int, float] | None:
+    """Balanced split of the k sweep; gathered {k: inertia} on rank 0.
+
+    The fixed k_max "in order to reproduce the exact experiments when
+    running on different number of nodes" (paper) means every layout
+    computes the same sweep, just faster.
+    """
+    rank, size = comm.rank, comm.size
+    assignment = balanced_assignment(
+        list(range(1, k_max + 1)), size, cost=_COST
+    )
+    mine = _fit_inertias(X, assignment[rank], max_iter, random_state)
+
+    # Serialize local results as (k, inertia) float pairs and Gatherv.
+    flat = np.array(
+        [v for kv in sorted(mine.items()) for v in kv], dtype="f8"
+    )
+    blocks = comm.gatherv_bytes(flat.tobytes(), None, 0)
+    if blocks is None:
+        return None
+    merged: dict[int, float] = {}
+    for block in blocks:
+        pairs = np.frombuffer(block, dtype="f8").reshape(-1, 2)
+        for k, inertia in pairs:
+            merged[int(k)] = float(inertia)
+    return dict(sorted(merged.items()))
+
+
+def find_elbow(inertias: dict[int, float]) -> int:
+    """The k after which inertia improvement flattens (max curvature).
+
+    Distance-to-chord heuristic on the *log*-inertia curve: k-means
+    inertia drops by orders of magnitude before the elbow, so linear-space
+    chords are dominated by the first drop and fire one k early.
+    """
+    if not inertias:
+        raise ValueError("empty inertia curve")
+    ks = np.array(sorted(inertias))
+    vals = np.array([inertias[int(k)] for k in ks])
+    if len(ks) <= 2:
+        return int(ks[0])
+    logs = np.log(np.maximum(vals, 1e-300))
+    x = (ks - ks[0]) / max(ks[-1] - ks[0], 1)
+    span = logs[0] - logs[-1]
+    if span <= 0:
+        return int(ks[0])
+    y = (logs - logs[-1]) / span
+    # Chord from (0, 1) to (1, 0) is the line x + y = 1; the elbow is the
+    # point furthest below it (most negative x + y - 1).
+    below = x + y - 1.0
+    return int(ks[int(np.argmin(below))])

@@ -1,0 +1,46 @@
+"""Distributed matrix multiplication (paper §IV-G-3, Fig. 38).
+
+Rows of A are divided equally across ranks; each computes its row block
+against the full B; blocks are gathered at the root with Gatherv (row
+counts differ when p does not divide n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mpi.comm import Comm
+
+
+def sequential_matmul(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """numpy.dot on one process — the paper's sequential baseline."""
+    return np.dot(A, B)
+
+
+def _row_bounds(n: int, parts: int, idx: int) -> tuple[int, int]:
+    base, extra = divmod(n, parts)
+    lo = idx * base + min(idx, extra)
+    return lo, lo + base + (1 if idx < extra else 0)
+
+
+def distributed_matmul(
+    comm: Comm, A: np.ndarray, B: np.ndarray
+) -> np.ndarray | None:
+    """Row-partitioned A @ B; full product on rank 0, None elsewhere.
+
+    Every rank passes the full operands (replicated data, matching the
+    paper's benchmark design); each multiplies only its row slice.
+    """
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+        raise ValueError(
+            f"incompatible shapes for matmul: {A.shape} x {B.shape}"
+        )
+    rank, size = comm.rank, comm.size
+    lo, hi = _row_bounds(A.shape[0], size, rank)
+    block = np.ascontiguousarray(A[lo:hi] @ B, dtype=np.float64)
+
+    blocks = comm.gatherv_bytes(block.tobytes(), None, 0)
+    if blocks is None:
+        return None
+    out = np.frombuffer(b"".join(blocks), dtype=np.float64)
+    return out.reshape(A.shape[0], B.shape[1]).copy()

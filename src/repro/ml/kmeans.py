@@ -1,0 +1,135 @@
+"""k-means clustering (scikit-learn workalike).
+
+Lloyd's algorithm with k-means++ initialization, convergence on center
+movement, and the ``inertia_`` attribute the paper's hyper-parameter
+optimization benchmark sweeps to find the elbow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's k-means.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids (the ``k`` the HPO benchmark sweeps).
+    max_iter / tol:
+        Lloyd iteration limit and center-movement convergence threshold.
+    n_init:
+        Restarts; the best inertia wins (sklearn semantics).
+    random_state:
+        Seed for reproducible initialization.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iter: int = 300,
+        tol: float = 1e-4,
+        n_init: int = 1,
+        random_state: int | None = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        if n_init < 1:
+            raise ValueError(f"n_init must be >= 1, got {n_init}")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = n_init
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = float("inf")
+        self.n_iter_: int = 0
+
+    # -- internals -----------------------------------------------------------
+    @staticmethod
+    def _sq_dists(X: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        d2 = (
+            np.einsum("ij,ij->i", X, X)[:, None]
+            + np.einsum("ij,ij->i", centers, centers)[None, :]
+            - 2.0 * (X @ centers.T)
+        )
+        np.maximum(d2, 0.0, out=d2)
+        return d2
+
+    def _init_centers(
+        self, X: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """k-means++ seeding."""
+        n = len(X)
+        centers = np.empty((self.n_clusters, X.shape[1]))
+        centers[0] = X[rng.integers(n)]
+        closest = self._sq_dists(X, centers[:1]).ravel()
+        for c in range(1, self.n_clusters):
+            total = closest.sum()
+            if total <= 0:
+                centers[c:] = X[rng.integers(n, size=self.n_clusters - c)]
+                break
+            probs = closest / total
+            centers[c] = X[rng.choice(n, p=probs)]
+            closest = np.minimum(
+                closest, self._sq_dists(X, centers[c:c + 1]).ravel()
+            )
+        return centers
+
+    def _lloyd(
+        self, X: np.ndarray, centers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        for it in range(1, self.max_iter + 1):
+            d2 = self._sq_dists(X, centers)
+            labels = np.argmin(d2, axis=1)
+            new_centers = np.empty_like(centers)
+            for c in range(self.n_clusters):
+                members = X[labels == c]
+                if len(members) == 0:
+                    # Re-seed an empty cluster at the worst-served point.
+                    new_centers[c] = X[np.argmax(np.min(d2, axis=1))]
+                else:
+                    new_centers[c] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        d2 = self._sq_dists(X, centers)
+        labels = np.argmin(d2, axis=1)
+        inertia = float(d2[np.arange(len(X)), labels].sum())
+        return centers, labels, inertia, it
+
+    # -- public API ------------------------------------------------------------
+    def fit(self, X: np.ndarray) -> "KMeans":
+        """Cluster X; sets cluster_centers_/labels_/inertia_/n_iter_."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) < self.n_clusters:
+            raise ValueError(
+                f"{len(X)} samples cannot form {self.n_clusters} clusters"
+            )
+        rng = np.random.default_rng(self.random_state)
+        best: tuple | None = None
+        for _ in range(self.n_init):
+            centers = self._init_centers(X, rng)
+            centers, labels, inertia, iters = self._lloyd(X, centers)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia, iters)
+        assert best is not None
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-center labels for new points."""
+        if self.cluster_centers_ is None:
+            raise RuntimeError("fit() must be called before predict()")
+        X = np.asarray(X, dtype=np.float64)
+        return np.argmin(self._sq_dists(X, self.cluster_centers_), axis=1)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).labels_  # type: ignore[return-value]

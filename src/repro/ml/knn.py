@@ -1,0 +1,116 @@
+"""k-nearest-neighbours classifier (scikit-learn workalike).
+
+Brute-force search with the vectorized squared-distance identity
+``||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b`` and chunked query batches so
+memory stays bounded — the same strategy sklearn's brute backend uses.
+Majority vote with lowest-label tie-break.  The computation is dominated
+by one big matmul per chunk, so NumPy releases the GIL and the distributed
+benchmark parallelizes well even on the threads transport.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """predict/score called before fit."""
+
+
+class KNeighborsClassifier:
+    """Brute-force k-NN classifier.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours in the vote.
+    chunk_size:
+        Query rows scored per distance-matrix block.
+    """
+
+    def __init__(self, n_neighbors: int = 5, chunk_size: int = 512) -> None:
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.n_neighbors = n_neighbors
+        self.chunk_size = chunk_size
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._classes: np.ndarray | None = None
+        self._y_encoded: np.ndarray | None = None
+        self._train_sq: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Store the training set (k-NN is lazy; all work is in predict)."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError(
+                f"X has {len(X)} rows but y has {len(y)} labels"
+            )
+        if len(X) < self.n_neighbors:
+            raise ValueError(
+                f"need at least n_neighbors={self.n_neighbors} training "
+                f"samples, got {len(X)}"
+            )
+        self._X = X
+        self._y = y
+        self._classes, self._y_encoded = np.unique(y, return_inverse=True)
+        self._train_sq = np.einsum("ij,ij->i", X, X)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._X is None:
+            raise NotFittedError("fit() must be called before predict()")
+
+    def kneighbors(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(distances, indices) of the k nearest training points."""
+        self._check_fitted()
+        assert self._X is not None and self._train_sq is not None
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"query shape {X.shape} incompatible with training "
+                f"dimension {self._X.shape[1]}"
+            )
+        k = self.n_neighbors
+        all_idx = np.empty((len(X), k), dtype=np.int64)
+        all_dist = np.empty((len(X), k), dtype=np.float64)
+        for lo in range(0, len(X), self.chunk_size):
+            chunk = X[lo:lo + self.chunk_size]
+            d2 = (
+                np.einsum("ij,ij->i", chunk, chunk)[:, None]
+                + self._train_sq[None, :]
+                - 2.0 * (chunk @ self._X.T)
+            )
+            np.maximum(d2, 0.0, out=d2)  # numerical floor
+            idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            part = np.take_along_axis(d2, idx, axis=1)
+            order = np.argsort(part, axis=1)
+            all_idx[lo:lo + len(chunk)] = np.take_along_axis(idx, order, axis=1)
+            all_dist[lo:lo + len(chunk)] = np.sqrt(
+                np.take_along_axis(part, order, axis=1)
+            )
+        return all_dist, all_idx
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-vote labels for each query row."""
+        self._check_fitted()
+        assert self._classes is not None and self._y_encoded is not None
+        _dist, idx = self.kneighbors(X)
+        votes = self._y_encoded[idx]
+        n_classes = len(self._classes)
+        counts = np.apply_along_axis(
+            lambda row: np.bincount(row, minlength=n_classes), 1, votes
+        )
+        return self._classes[np.argmax(counts, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on (X, y)."""
+        y = np.asarray(y)
+        if len(X) == 0:
+            raise ValueError("cannot score an empty test set")
+        return float(np.mean(self.predict(X) == y))

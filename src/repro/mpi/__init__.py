@@ -1,0 +1,43 @@
+"""``repro.mpi`` — a message-passing runtime in pure Python.
+
+This package stands in for the MPI library (MVAPICH2 / Intel MPI in the
+paper): communicators and groups, tagged point-to-point messaging with MPI
+matching semantics, the full set of blocking collectives the paper's
+benchmarks exercise (plus their vector variants), reduction operations,
+datatypes, a threads-in-one-process transport for tests, a TCP mesh
+transport for real multi-process runs, and an ``ombpy-run`` launcher.
+"""
+
+from . import constants, datatypes, ops
+from .comm import Comm, Endpoint
+from .exceptions import MPIError
+from .group import Group
+from .request import Request, testall, waitall, waitany
+from .status import Status
+from .world import World, init, run_on_processes, run_on_threads
+
+ANY_SOURCE = constants.ANY_SOURCE
+ANY_TAG = constants.ANY_TAG
+PROC_NULL = constants.PROC_NULL
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "Comm",
+    "Endpoint",
+    "Group",
+    "MPIError",
+    "Request",
+    "Status",
+    "World",
+    "constants",
+    "datatypes",
+    "init",
+    "ops",
+    "run_on_processes",
+    "run_on_threads",
+    "testall",
+    "waitall",
+    "waitany",
+]

@@ -1,0 +1,25 @@
+"""Blocking collective algorithms.
+
+Each module implements the textbook algorithms the MVAPICH2 family uses for
+that operation (binomial trees, recursive doubling/halving, ring, Bruck,
+pairwise exchange) plus a dispatch function that picks one via
+:mod:`repro.mpi.collectives.selector`.  All algorithms are written against
+the byte-level point-to-point API of :class:`repro.mpi.comm.Comm`, so they
+run unchanged on every transport.
+"""
+
+from . import (  # noqa: F401
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    base,
+    bcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    scan,
+    scatter,
+    selector,
+    vector,
+)

@@ -1,0 +1,87 @@
+"""Allgather of equal-size blocks.
+
+Algorithms:
+
+* ``recursive_doubling`` — log2(p) rounds exchanging doubling block ranges
+  (power-of-two communicator sizes; others fall back to ring);
+* ``ring`` — p-1 neighbour steps circulating one block at a time,
+  bandwidth-optimal for long messages;
+* ``linear`` — gather to rank 0 then broadcast (baseline/ablation only).
+"""
+
+from __future__ import annotations
+
+from ..comm import Comm
+from . import selector
+from .base import check_equal_blocks  # noqa: F401 (re-exported for tests)
+from .base import csendrecv, ctag, is_power_of_two
+
+
+def _recursive_doubling(
+    comm: Comm, payload: bytes, tag: int
+) -> list[bytes]:
+    rank, size = comm.rank, comm.size
+    block = len(payload)
+    blocks: list[bytes | None] = [None] * size
+    blocks[rank] = payload
+
+    mask = 1
+    while mask < size:
+        partner = rank ^ mask
+        # I currently hold the aligned group of `mask` blocks containing me.
+        my_lo = (rank // mask) * mask
+        their_lo = (partner // mask) * mask
+        chunk = b"".join(blocks[my_lo + i] for i in range(mask))  # type: ignore[misc]
+        got = csendrecv(comm, chunk, partner, partner, tag, mask * block)
+        for i in range(mask):
+            blocks[their_lo + i] = got[i * block:(i + 1) * block]
+        mask <<= 1
+    return blocks  # type: ignore[return-value]
+
+
+def _ring(comm: Comm, payload: bytes, tag: int) -> list[bytes]:
+    rank, size = comm.rank, comm.size
+    block = len(payload)
+    blocks: list[bytes | None] = [None] * size
+    blocks[rank] = payload
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for step in range(size - 1):
+        send_idx = (rank - step) % size
+        recv_idx = (rank - step - 1) % size
+        out = blocks[send_idx]
+        assert out is not None
+        blocks[recv_idx] = csendrecv(comm, out, right, left, tag, block)
+    return blocks  # type: ignore[return-value]
+
+
+def _linear(comm: Comm, payload: bytes, tag: int) -> list[bytes]:
+    from .bcast import bcast
+    from .gather import gather
+
+    gathered = gather(comm, payload, root=0)
+    flat = bcast(
+        comm, b"".join(gathered) if gathered is not None else None, 0
+    )
+    block = len(payload)
+    return [
+        flat[i * block:(i + 1) * block] for i in range(comm.size)
+    ]
+
+
+_ALGORITHMS = {
+    "recursive_doubling": _recursive_doubling,
+    "ring": _ring,
+    "linear": _linear,
+}
+
+
+def allgather(comm: Comm, payload: bytes) -> list[bytes]:
+    """Every rank returns the ordered list of all ranks' blocks."""
+    if comm.size == 1:
+        return [payload]
+    alg = selector.pick("allgather", len(payload), comm.size)
+    if alg == "recursive_doubling" and not is_power_of_two(comm.size):
+        alg = "ring"
+    tag = ctag(comm)
+    return _ALGORITHMS[alg](comm, payload, tag)

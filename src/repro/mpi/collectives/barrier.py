@@ -1,0 +1,27 @@
+"""Dissemination barrier.
+
+``ceil(log2 p)`` rounds; in round ``k`` each rank sends a zero-byte token to
+``(rank + 2^k) mod p`` and waits for one from ``(rank - 2^k) mod p``.  After
+the last round every rank transitively depends on every other, which is the
+barrier property.
+"""
+
+from __future__ import annotations
+
+from ..comm import Comm
+from .base import csendrecv, ctag
+
+
+def barrier(comm: Comm) -> None:
+    """Block until all ranks of ``comm`` have entered."""
+    size = comm.size
+    if size == 1:
+        return
+    tag = ctag(comm)
+    rank = comm.rank
+    dist = 1
+    while dist < size:
+        dest = (rank + dist) % size
+        source = (rank - dist) % size
+        csendrecv(comm, b"", dest, source, tag, 0)
+        dist <<= 1

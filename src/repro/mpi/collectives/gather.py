@@ -1,0 +1,78 @@
+"""Gather of equal-size blocks to a root.
+
+Algorithms:
+
+* ``binomial`` — subtree blocks flow up a binomial tree; each internal node
+  forwards a contiguous range of blocks, so messages stay single-copy;
+* ``linear`` — every rank sends straight to the root.
+"""
+
+from __future__ import annotations
+
+from ..comm import Comm
+from . import selector
+from .base import crecv, csend, ctag, rank_of, vrank_of
+
+
+def _binomial(
+    comm: Comm, payload: bytes, root: int, tag: int
+) -> list[bytes] | None:
+    rank, size = comm.rank, comm.size
+    vrank = vrank_of(rank, root, size)
+    block = len(payload)
+
+    # held[i] is the block of vrank (my_vrank + i); grows as children report.
+    held: list[bytes] = [payload]
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            # Send my whole subtree range [vrank, vrank + mask) to parent.
+            parent = rank_of(vrank - mask, root, size)
+            csend(comm, parent, tag, b"".join(held))
+            held = []
+            break
+        child_v = vrank | mask
+        if child_v < size:
+            span = min(mask, size - child_v)
+            child = rank_of(child_v, root, size)
+            data = crecv(comm, child, tag, span * block)
+            held.extend(
+                data[i * block:(i + 1) * block] for i in range(span)
+            )
+        mask <<= 1
+
+    if vrank != 0:
+        return None
+    # Root: held is ordered by vrank; restore comm-rank order.
+    out: list[bytes] = [b""] * size
+    for v, blk in enumerate(held):
+        out[rank_of(v, root, size)] = blk
+    return out
+
+
+def _linear(
+    comm: Comm, payload: bytes, root: int, tag: int
+) -> list[bytes] | None:
+    rank, size = comm.rank, comm.size
+    if rank != root:
+        csend(comm, root, tag, payload)
+        return None
+    out: list[bytes] = [b""] * size
+    out[root] = payload
+    block = len(payload)
+    for src in range(size):
+        if src != root:
+            out[src] = crecv(comm, src, tag, block)
+    return out
+
+
+_ALGORITHMS = {"binomial": _binomial, "linear": _linear}
+
+
+def gather(comm: Comm, payload: bytes, root: int) -> list[bytes] | None:
+    """Gather every rank's equal-size block to ``root`` (None elsewhere)."""
+    if comm.size == 1:
+        return [payload]
+    tag = ctag(comm)
+    alg = selector.pick("gather", len(payload), comm.size)
+    return _ALGORITHMS[alg](comm, payload, root, tag)

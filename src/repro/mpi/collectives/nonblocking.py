@@ -1,0 +1,181 @@
+"""Non-blocking collectives (MPI-3 I-collectives).
+
+The paper's first OMB-Py release covers blocking collectives and names
+non-blocking support as planned work; this module provides it.  Each
+``i<collective>`` returns a :class:`CollectiveRequest` immediately and
+progresses the operation on a background progress thread — the same
+execution model single-threaded MPI implementations approximate with
+progress engines, and the model that makes communication/computation
+*overlap* measurable (see ``osu_iallreduce``-style benchmarks).
+
+Correct usage mirrors MPI: all ranks must start the same non-blocking
+collectives in the same order, and each rank must eventually complete
+every request.  Operations run on an internally duplicated communicator
+clone (fresh context), so in-flight i-collectives can never cross-match
+blocking traffic issued while they progress.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..comm import Comm
+from ..exceptions import MPIError
+from ..ops import Op
+
+
+class CollectiveRequest:
+    """Handle for an in-flight non-blocking collective."""
+
+    __slots__ = ("_thread", "_result", "_error", "_done")
+
+    def __init__(self, fn: Callable[[], Any]) -> None:
+        self._result: Any = None
+        self._error: BaseException | None = None
+        self._done = threading.Event()
+
+        def runner() -> None:
+            try:
+                self._result = fn()
+            except BaseException as exc:  # noqa: BLE001 - re-raised in wait
+                self._error = exc
+            finally:
+                self._done.set()
+
+        self._thread = threading.Thread(target=runner, daemon=True)
+        self._thread.start()
+
+    def done(self) -> bool:
+        """Non-blocking completion check."""
+        return self._done.is_set()
+
+    def test(self) -> tuple[bool, Any]:
+        """(done, result-or-None) without blocking."""
+        if not self._done.is_set():
+            return False, None
+        return True, self.wait()
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until the collective completes; return its result."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("non-blocking collective timed out")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class NonBlockingCollectives:
+    """Factory bound to one communicator.
+
+    Lazily duplicates the communicator once; all i-collectives issued
+    through this object run on the duplicate, in issue order (serialized
+    by a per-factory lock so overlapping requests cannot interleave
+    *between* ranks differently).
+    """
+
+    def __init__(self, comm: Comm) -> None:
+        self._parent = comm
+        self._clone: Comm | None = None
+        # Issue-order tickets: MPI requires all ranks to *start* the same
+        # i-collectives in the same order, so executing strictly in ticket
+        # order keeps the progress threads globally aligned even when the
+        # OS schedules them differently on each rank.
+        self._next_ticket = 0
+        self._served = 0
+        self._order_cv = threading.Condition()
+
+    def _comm(self) -> Comm:
+        # Dup is collective: every rank's factory performs it as part of
+        # its first i-collective, which all ranks must start in the same
+        # order anyway.
+        if self._clone is None:
+            self._clone = self._parent.Dup()
+        return self._clone
+
+    def _launch(self, fn: Callable[[Comm], Any]) -> CollectiveRequest:
+        with self._order_cv:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            if ticket == 0:
+                # First i-collective performs the collective Dup before
+                # any progress thread runs.
+                self._comm()
+        comm = self._clone
+        assert comm is not None
+
+        def in_issue_order() -> Any:
+            with self._order_cv:
+                while self._served != ticket:
+                    self._order_cv.wait()
+            try:
+                return fn(comm)
+            finally:
+                with self._order_cv:
+                    self._served += 1
+                    self._order_cv.notify_all()
+
+        return CollectiveRequest(in_issue_order)
+
+    # -- the i-collectives -------------------------------------------------
+    def ibarrier(self) -> CollectiveRequest:
+        """Non-blocking barrier; completion implies all ranks entered."""
+        return self._launch(lambda c: c.barrier())
+
+    def ibcast(
+        self, payload: bytes | None, root: int
+    ) -> CollectiveRequest:
+        """Non-blocking broadcast; result is the payload bytes."""
+        return self._launch(lambda c: c.bcast_bytes(payload, root))
+
+    def ireduce(
+        self, send: np.ndarray, op: Op, root: int
+    ) -> CollectiveRequest:
+        """Non-blocking reduce; result is the array at root, None else."""
+        send = np.ascontiguousarray(send).copy()
+        return self._launch(lambda c: c.reduce_array(send, op, root))
+
+    def iallreduce(self, send: np.ndarray, op: Op) -> CollectiveRequest:
+        """Non-blocking allreduce; result is the reduced array."""
+        send = np.ascontiguousarray(send).copy()
+        return self._launch(lambda c: c.allreduce_array(send, op))
+
+    def igather(self, payload: bytes, root: int) -> CollectiveRequest:
+        """Non-blocking gather; result is the block list at root."""
+        return self._launch(lambda c: c.gather_bytes(payload, root))
+
+    def iscatter(
+        self, blocks: Sequence[bytes] | None, root: int
+    ) -> CollectiveRequest:
+        """Non-blocking scatter; result is this rank's block."""
+        return self._launch(lambda c: c.scatter_bytes(blocks, root))
+
+    def iallgather(self, payload: bytes) -> CollectiveRequest:
+        """Non-blocking allgather; result is the ordered block list."""
+        return self._launch(lambda c: c.allgather_bytes(payload))
+
+    def ialltoall(self, blocks: Sequence[bytes]) -> CollectiveRequest:
+        """Non-blocking alltoall; result is the received block list."""
+        blocks = [bytes(b) for b in blocks]
+        return self._launch(lambda c: c.alltoall_bytes(blocks))
+
+    def ireduce_scatter(
+        self, send: np.ndarray, counts: Sequence[int], op: Op
+    ) -> CollectiveRequest:
+        """Non-blocking reduce_scatter; result is this rank's segment."""
+        send = np.ascontiguousarray(send).copy()
+        counts = list(counts)
+        return self._launch(
+            lambda c: c.reduce_scatter_array(send, counts, op)
+        )
+
+
+def waitall_collectives(
+    requests: Sequence[CollectiveRequest], timeout: float | None = None
+) -> list[Any]:
+    """Wait for several i-collectives; results in order."""
+    if not requests:
+        raise MPIError("waitall on empty collective request list")
+    return [r.wait(timeout) for r in requests]

@@ -1,0 +1,123 @@
+"""Reduce to a root.
+
+Algorithms:
+
+* ``binomial`` — partial results flow up a binomial tree (commutative ops);
+* ``rabenseifner`` — pairwise reduce-scatter followed by a gather of result
+  segments to the root; bandwidth-optimal for long messages;
+* ``linear`` — every rank sends to the root, which folds contributions in
+  rank order.  Used automatically for non-commutative operations, where
+  combining order must match ``x0 op x1 op ... op x(p-1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm import Comm
+from ..ops import Op
+from . import selector
+from .base import crecv, csend, ctag, rank_of, to_bytes, vrank_of
+
+
+def _binomial(
+    comm: Comm, send: np.ndarray, op: Op, root: int, tag: int
+) -> np.ndarray | None:
+    rank, size = comm.rank, comm.size
+    vrank = vrank_of(rank, root, size)
+    acc = send.copy()
+    nbytes = acc.nbytes
+
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = rank_of(vrank - mask, root, size)
+            csend(comm, parent, tag, to_bytes(acc))
+            return None
+        child_v = vrank | mask
+        if child_v < size:
+            child = rank_of(child_v, root, size)
+            part = np.frombuffer(
+                crecv(comm, child, tag, nbytes), dtype=send.dtype
+            )
+            acc = op(acc, part)
+        mask <<= 1
+    return acc
+
+
+def _linear(
+    comm: Comm, send: np.ndarray, op: Op, root: int, tag: int
+) -> np.ndarray | None:
+    """Rank-ordered fold at the root — valid for non-commutative ops."""
+    rank, size = comm.rank, comm.size
+    if rank != root:
+        csend(comm, root, tag, to_bytes(send))
+        return None
+    parts: list[np.ndarray] = []
+    for src in range(size):
+        if src == root:
+            parts.append(send)
+        else:
+            parts.append(
+                np.frombuffer(
+                    crecv(comm, src, tag, send.nbytes), dtype=send.dtype
+                )
+            )
+    acc = parts[0].copy()
+    for part in parts[1:]:
+        acc = op(acc, part)
+    return acc
+
+
+def _rabenseifner(
+    comm: Comm, send: np.ndarray, op: Op, root: int, tag: int
+) -> np.ndarray | None:
+    """Pairwise reduce-scatter of equal segments, then gather to root."""
+    from .reduce_scatter import _pairwise_segments
+
+    rank, size = comm.rank, comm.size
+    n = send.shape[0]
+    # Pad so every rank owns an equal segment.
+    seg = -(-n // size)
+    padded = np.zeros(seg * size, dtype=send.dtype)
+    padded[:n] = send
+    counts = [seg] * size
+    my_seg = _pairwise_segments(comm, padded, counts, op, tag)
+
+    # Gather segments to the root (linear; segment messages are n/p-sized).
+    if rank == root:
+        out = np.empty(seg * size, dtype=send.dtype)
+        out[root * seg:(root + 1) * seg] = my_seg
+        for src in range(size):
+            if src != root:
+                data = crecv(comm, src, tag, seg * send.dtype.itemsize)
+                out[src * seg:(src + 1) * seg] = np.frombuffer(
+                    data, dtype=send.dtype
+                )
+        return out[:n]
+    csend(comm, root, tag, to_bytes(my_seg))
+    return None
+
+
+_ALGORITHMS = {
+    "binomial": _binomial,
+    "rabenseifner": _rabenseifner,
+    "linear": _linear,
+}
+
+
+def reduce(
+    comm: Comm, send: np.ndarray, op: Op, root: int
+) -> np.ndarray | None:
+    """Elementwise reduce to ``root``; non-roots return None."""
+    send = np.ascontiguousarray(send)
+    if comm.size == 1:
+        return send.copy()
+    tag = ctag(comm)
+    if not op.Is_commutative():
+        alg = "linear"
+    else:
+        alg = selector.pick("reduce", send.nbytes, comm.size)
+        if alg == "rabenseifner" and send.shape[0] < comm.size:
+            alg = "binomial"  # too few elements to segment
+    return _ALGORITHMS[alg](comm, send, op, root, tag)

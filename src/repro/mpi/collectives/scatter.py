@@ -1,0 +1,115 @@
+"""Scatter of equal-size blocks from a root.
+
+Algorithms:
+
+* ``binomial`` — the mirror image of binomial gather: the root pushes
+  contiguous subtree ranges down the tree;
+* ``linear`` — root sends each rank its block directly.
+
+As with broadcast, a small length header tells non-roots the block size.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+from ..comm import Comm
+from ..exceptions import CountError, RootError
+from . import selector
+from .base import ceil_pow2, check_equal_blocks, crecv, csend, rank_of, vrank_of
+from .bcast import _binomial as _bcast_binomial
+
+_LEN = struct.Struct("<q")
+
+
+def _binomial(
+    comm: Comm,
+    blocks: Sequence[bytes] | None,
+    root: int,
+    tag: int,
+    block: int,
+) -> bytes:
+    rank, size = comm.rank, comm.size
+    vrank = vrank_of(rank, root, size)
+
+    # Each rank ends up holding the contiguous vrank range [vrank, hi).
+    if vrank == 0:
+        assert blocks is not None
+        # Reorder root's blocks into vrank order.
+        held = b"".join(
+            blocks[rank_of(v, root, size)] for v in range(size)
+        )
+        held_lo = 0
+        recv_mask = ceil_pow2(size)
+    else:
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                parent = rank_of(vrank - mask, root, size)
+                span = min(mask, size - vrank)
+                held = crecv(comm, parent, tag, span * block)
+                held_lo = vrank
+                recv_mask = mask
+                break
+            mask <<= 1
+        else:  # pragma: no cover - unreachable for vrank > 0
+            raise RootError("binomial scatter bit scan failed")
+
+    mask = recv_mask >> 1
+    while mask > 0:
+        child_v = vrank + mask
+        if child_v < size:
+            span = min(mask, size - child_v)
+            lo = (child_v - held_lo) * block
+            csend(
+                comm, rank_of(child_v, root, size), tag,
+                held[lo:lo + span * block],
+            )
+        mask >>= 1
+    return held[:block]
+
+
+def _linear(
+    comm: Comm,
+    blocks: Sequence[bytes] | None,
+    root: int,
+    tag: int,
+    block: int,
+) -> bytes:
+    rank, size = comm.rank, comm.size
+    if rank == root:
+        assert blocks is not None
+        for dest in range(size):
+            if dest != root:
+                csend(comm, dest, tag, blocks[dest])
+        return blocks[root]
+    return crecv(comm, root, tag, block)
+
+
+_ALGORITHMS = {"binomial": _binomial, "linear": _linear}
+
+
+def scatter(
+    comm: Comm, blocks: Sequence[bytes] | None, root: int
+) -> bytes:
+    """Scatter one equal-size block to each rank; returns the local block."""
+    rank, size = comm.rank, comm.size
+    if rank == root:
+        if blocks is None:
+            raise RootError("root must supply the scatter blocks")
+        block = check_equal_blocks(blocks, size)
+        if size == 1:
+            return blocks[0]
+        hdr = _LEN.pack(block)
+    else:
+        if size == 1:
+            raise CountError("non-root rank in a size-1 scatter")
+        hdr = b""
+    tag = comm.next_collective_tag()
+    hdr = _bcast_binomial(
+        comm, hdr if rank == root else None, root, tag, _LEN.size
+    )
+    (block,) = _LEN.unpack(hdr)
+    alg = selector.pick("scatter", block, size)
+    return _ALGORITHMS[alg](comm, blocks, root, tag, block)

@@ -1,0 +1,102 @@
+"""Algorithm selection for collectives.
+
+Real MPI libraries (the paper uses MVAPICH2) switch collective algorithms
+on message size and communicator size via tuning tables.  This module is a
+small, inspectable version of such a table, with a global override hook the
+ablation benchmarks use to force a particular algorithm across a sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+# Switch points (bytes), modelled on common MVAPICH2/MPICH defaults.
+BCAST_SHORT_MSG = 16384          # binomial below, scatter+allgather above
+ALLREDUCE_SHORT_MSG = 8192       # recursive doubling below, ring above
+ALLGATHER_SHORT_MSG = 32768      # recursive doubling below, ring above
+ALLTOALL_SHORT_MSG = 256         # Bruck below, pairwise above
+REDUCE_SHORT_MSG = 16384         # binomial below, reduce-scatter+gather above
+REDUCE_SCATTER_SHORT_MSG = 8192  # recursive halving below, pairwise above
+
+_forced: dict[str, str] = {}
+_lock = threading.Lock()
+
+
+def force(op: str, algorithm: str | None) -> None:
+    """Force (or clear, with None) the algorithm used for ``op``.
+
+    Used by ablation benchmarks; also settable via the environment as
+    ``OMBPY_COLL_<OP>=<algorithm>`` at import time.
+    """
+    with _lock:
+        if algorithm is None:
+            _forced.pop(op, None)
+        else:
+            _forced[op] = algorithm
+
+
+def forced(op: str) -> str | None:
+    """Return the forced algorithm for ``op`` if any."""
+    with _lock:
+        if op in _forced:
+            return _forced[op]
+    env = os.environ.get(f"OMBPY_COLL_{op.upper()}")
+    return env or None
+
+
+def pick(op: str, nbytes: int, size: int) -> str:
+    """Select the algorithm name for one collective invocation."""
+    override = forced(op)
+    if override is not None:
+        return override
+    if op == "bcast":
+        if size <= 2 or nbytes <= BCAST_SHORT_MSG:
+            return "binomial"
+        return "scatter_allgather"
+    if op == "allreduce":
+        if nbytes <= ALLREDUCE_SHORT_MSG or size <= 2:
+            return "recursive_doubling"
+        return "ring"
+    if op == "allgather":
+        if nbytes * size <= ALLGATHER_SHORT_MSG:
+            return "recursive_doubling"
+        return "ring"
+    if op == "alltoall":
+        if nbytes <= ALLTOALL_SHORT_MSG and size > 2:
+            return "bruck"
+        return "pairwise"
+    if op == "reduce":
+        if nbytes <= REDUCE_SHORT_MSG or size <= 2:
+            return "binomial"
+        return "rabenseifner"
+    if op == "reduce_scatter":
+        if nbytes <= REDUCE_SCATTER_SHORT_MSG:
+            return "recursive_halving"
+        return "pairwise"
+    if op == "gather":
+        return "binomial"
+    if op == "scatter":
+        return "binomial"
+    if op == "barrier":
+        return "dissemination"
+    if op == "scan":
+        return "recursive_doubling"
+    raise ValueError(f"unknown collective op {op!r}")
+
+
+def available(op: str) -> tuple[str, ...]:
+    """List the algorithms implemented for ``op`` (for ablations/tests)."""
+    table = {
+        "bcast": ("binomial", "scatter_allgather", "linear"),
+        "allreduce": ("recursive_doubling", "ring", "reduce_bcast"),
+        "allgather": ("recursive_doubling", "ring", "linear"),
+        "alltoall": ("bruck", "pairwise"),
+        "reduce": ("binomial", "rabenseifner", "linear"),
+        "reduce_scatter": ("recursive_halving", "pairwise"),
+        "gather": ("binomial", "linear"),
+        "scatter": ("binomial", "linear"),
+        "barrier": ("dissemination",),
+        "scan": ("recursive_doubling", "linear"),
+    }
+    return table[op]

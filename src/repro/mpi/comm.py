@@ -1,0 +1,392 @@
+"""Communicators: the central runtime object.
+
+A :class:`Comm` couples a :class:`~repro.mpi.group.Group` (which world ranks
+participate and in what order), a *context id* (isolating its traffic from
+every other communicator in the matching engine), and the per-process
+endpoint (transport + matching engine).
+
+The byte-level API here (``send_bytes``/``recv_bytes``/...) is what both the
+mpi4py-workalike bindings layer and the "native" baseline build on; the
+collectives in :mod:`repro.mpi.collectives` are implemented against it too.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from . import constants as C
+from .exceptions import CommError, RankError, RootError, TagError
+from .group import Group
+from .matching import Envelope, MatchingEngine, RecvTicket
+from .request import Request, RecvRequest, SendRequest
+from .status import Status
+from .transport.base import Transport
+
+# Bits of context id consumed per derivation level.
+_CTX_SHIFT = 16
+_CTX_MASK = (1 << _CTX_SHIFT) - 1
+
+
+class Endpoint:
+    """Per-process communication endpoint: one transport + one engine."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self.engine = MatchingEngine()
+        transport.attach(self.engine)
+        self.world_rank = transport.world_rank
+        self.world_size = transport.world_size
+
+    def close(self) -> None:
+        self.transport.close()
+
+
+class Comm:
+    """A communicator over a group of world ranks."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        group: Group,
+        context: int = 0,
+        thread_level: int = C.THREAD_MULTIPLE,
+    ) -> None:
+        my_rank = group.rank_of(endpoint.world_rank)
+        if my_rank == C.UNDEFINED:
+            raise CommError(
+                f"world rank {endpoint.world_rank} not in communicator group"
+            )
+        self._endpoint = endpoint
+        self._group = group
+        self._context = context
+        self._rank = my_rank
+        self._freed = False
+        self.thread_level = thread_level
+        # Per-communicator derived-context counter; creation operations are
+        # collective, so this stays identical across all member ranks.
+        self._derive_counter = itertools.count(1)
+        # Per-communicator collective sequence number for internal tags.
+        self._coll_seq = itertools.count()
+        self._coll_lock = threading.Lock()
+
+    # -- identity --------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._group.size
+
+    def Get_rank(self) -> int:
+        """Return this process's rank within the communicator."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """Return the number of processes in the communicator."""
+        return self._group.size
+
+    def Get_group(self) -> Group:
+        """Return the communicator's process group."""
+        return self._group
+
+    @property
+    def context(self) -> int:
+        return self._context
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return self._endpoint
+
+    def _check_alive(self) -> None:
+        if self._freed:
+            raise CommError("operation on freed communicator")
+
+    def _world_rank(self, comm_rank: int) -> int:
+        return self._group.world_rank(comm_rank)
+
+    # -- point-to-point (byte level) --------------------------------------
+    def send_bytes(self, payload: bytes, dest: int, tag: int) -> None:
+        """Blocking buffered send of raw bytes."""
+        self.isend_bytes(payload, dest, tag).wait()
+
+    def isend_bytes(self, payload: bytes, dest: int, tag: int) -> Request:
+        """Non-blocking buffered send; returns a completed request."""
+        self._check_alive()
+        if dest == C.PROC_NULL:
+            return SendRequest(dest, tag, 0)
+        if not 0 <= dest < self.size:
+            raise RankError(
+                f"destination rank {dest} out of range [0, {self.size})"
+            )
+        if not C.is_valid_user_tag(tag) and tag < C.INTERNAL_TAG_BASE:
+            raise TagError(f"invalid send tag {tag}")
+        env = Envelope(self._context, self._rank, dest, tag, len(payload))
+        self._endpoint.transport.send(self._world_rank(dest), env, payload)
+        return SendRequest(dest, tag, len(payload))
+
+    def irecv_bytes(
+        self, source: int, tag: int, max_bytes: int, sink=None
+    ) -> RecvRequest:
+        """Post a non-blocking receive for up to ``max_bytes`` bytes."""
+        self._check_alive()
+        if source == C.PROC_NULL:
+            # Matches MPI semantics: completes immediately with zero bytes.
+            # The ticket must never be posted to the matching engine — a
+            # posted-then-cancelled wildcard could swallow a real message
+            # arriving in between.
+            ticket = RecvTicket(self._context, C.ANY_SOURCE, tag, 0, -1)
+            ticket.cancel()
+            return RecvRequest(ticket, sink)
+        if not C.is_valid_recv_source(source, self.size):
+            raise RankError(f"receive source {source} out of range")
+        if not C.is_valid_recv_tag(tag) and tag < C.INTERNAL_TAG_BASE:
+            raise TagError(f"invalid receive tag {tag}")
+        ticket = self._endpoint.engine.post_recv(
+            self._context, source, tag, max_bytes
+        )
+        return RecvRequest(ticket, sink)
+
+    def recv_bytes(
+        self,
+        source: int,
+        tag: int,
+        max_bytes: int,
+        timeout: float | None = None,
+    ) -> tuple[bytes, Status]:
+        """Blocking receive; returns (payload, status)."""
+        req = self.irecv_bytes(source, tag, max_bytes)
+        req._ticket.wait(timeout)
+        req._finish()
+        return req.payload(), req._ticket.status
+
+    def sendrecv_bytes(
+        self,
+        payload: bytes,
+        dest: int,
+        sendtag: int,
+        source: int,
+        recvtag: int,
+        max_bytes: int,
+    ) -> tuple[bytes, Status]:
+        """Combined send+receive; deadlock-free (recv posted first)."""
+        req = self.irecv_bytes(source, recvtag, max_bytes)
+        self.send_bytes(payload, dest, sendtag)
+        req.wait()
+        return req.payload(), req._ticket.status
+
+    # -- probing -----------------------------------------------------------
+    def probe(self, source: int, tag: int, timeout: float | None = None) -> Status:
+        """Blocking probe for a matching unexpected message."""
+        self._check_alive()
+        return self._endpoint.engine.probe(self._context, source, tag, timeout)
+
+    def iprobe(self, source: int, tag: int) -> Status | None:
+        """Non-blocking probe; None if nothing is queued."""
+        self._check_alive()
+        return self._endpoint.engine.iprobe(self._context, source, tag)
+
+    # -- internal collective plumbing ---------------------------------------
+    def next_collective_tag(self) -> int:
+        """Reserve a fresh internal tag for one collective instance.
+
+        All ranks call collectives in the same order (an MPI requirement),
+        so the per-communicator counter yields matching tags everywhere.
+        """
+        with self._coll_lock:
+            seq = next(self._coll_seq)
+        return C.INTERNAL_TAG_BASE + (seq % (1 << 20))
+
+    # -- collectives (delegate to the algorithms package) -------------------
+    def barrier(self) -> None:
+        """Block until all ranks have entered the barrier."""
+        from .collectives import barrier
+
+        barrier.barrier(self)
+
+    def bcast_bytes(self, payload: bytes | None, root: int) -> bytes:
+        """Broadcast raw bytes from ``root``; all ranks return the data."""
+        from .collectives import bcast
+
+        self._check_root(root)
+        return bcast.bcast(self, payload, root)
+
+    def reduce_array(
+        self, send: np.ndarray, op, root: int
+    ) -> np.ndarray | None:
+        """Reduce arrays elementwise to ``root``; non-roots return None."""
+        from .collectives import reduce as reduce_mod
+
+        self._check_root(root)
+        return reduce_mod.reduce(self, send, op, root)
+
+    def allreduce_array(self, send: np.ndarray, op) -> np.ndarray:
+        """Reduce arrays elementwise; every rank returns the result."""
+        from .collectives import allreduce
+
+        return allreduce.allreduce(self, send, op)
+
+    def gather_bytes(self, payload: bytes, root: int) -> list[bytes] | None:
+        """Gather equal-size byte blocks to ``root``."""
+        from .collectives import gather
+
+        self._check_root(root)
+        return gather.gather(self, payload, root)
+
+    def scatter_bytes(
+        self, blocks: Sequence[bytes] | None, root: int
+    ) -> bytes:
+        """Scatter one byte block per rank from ``root``."""
+        from .collectives import scatter
+
+        self._check_root(root)
+        return scatter.scatter(self, blocks, root)
+
+    def allgather_bytes(self, payload: bytes) -> list[bytes]:
+        """All ranks gather every rank's equal-size block."""
+        from .collectives import allgather
+
+        return allgather.allgather(self, payload)
+
+    def alltoall_bytes(self, blocks: Sequence[bytes]) -> list[bytes]:
+        """Personalized all-to-all exchange of byte blocks."""
+        from .collectives import alltoall
+
+        return alltoall.alltoall(self, blocks)
+
+    def reduce_scatter_array(
+        self, send: np.ndarray, counts: Sequence[int], op
+    ) -> np.ndarray:
+        """Reduce then scatter segments of ``counts`` elements per rank."""
+        from .collectives import reduce_scatter
+
+        return reduce_scatter.reduce_scatter(self, send, counts, op)
+
+    def scan_array(self, send: np.ndarray, op) -> np.ndarray:
+        """Inclusive prefix reduction over ranks."""
+        from .collectives import scan
+
+        return scan.scan(self, send, op)
+
+    def gatherv_bytes(
+        self, payload: bytes, counts: Sequence[int] | None, root: int
+    ) -> list[bytes] | None:
+        """Gather variable-size byte blocks to ``root``."""
+        from .collectives import vector
+
+        self._check_root(root)
+        return vector.gatherv(self, payload, counts, root)
+
+    def scatterv_bytes(
+        self, blocks: Sequence[bytes] | None, root: int
+    ) -> bytes:
+        """Scatter variable-size byte blocks from ``root``."""
+        from .collectives import vector
+
+        self._check_root(root)
+        return vector.scatterv(self, blocks, root)
+
+    def allgatherv_bytes(
+        self, payload: bytes, counts: Sequence[int]
+    ) -> list[bytes]:
+        """All-gather of variable-size byte blocks."""
+        from .collectives import vector
+
+        return vector.allgatherv(self, payload, counts)
+
+    def alltoallv_bytes(self, blocks: Sequence[bytes]) -> list[bytes]:
+        """Personalized all-to-all of variable-size byte blocks."""
+        from .collectives import vector
+
+        return vector.alltoallv(self, blocks)
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise RootError(f"root rank {root} out of range [0, {self.size})")
+
+    # -- communicator management --------------------------------------------
+    def _derive_context(self) -> int:
+        ctr = next(self._derive_counter)
+        if ctr > _CTX_MASK:
+            raise CommError("derived-communicator counter overflow")
+        new_ctx = (self._context << _CTX_SHIFT) | ctr
+        if new_ctx >= 1 << 62:
+            raise CommError("communicator derivation too deep")
+        return new_ctx
+
+    def Dup(self) -> "Comm":
+        """Duplicate: same group, fresh context (collective)."""
+        self._check_alive()
+        ctx = self._derive_context()
+        # Synchronize so no rank races ahead and sends on the new context
+        # before peers have created it (harmless here — matching buffers
+        # unexpected messages — but Barrier mirrors MPI's collective nature).
+        self.barrier()
+        return Comm(self._endpoint, self._group, ctx, self.thread_level)
+
+    def Split(self, color: int, key: int = 0) -> "Comm | None":
+        """Partition into sub-communicators by color, ordered by key.
+
+        Returns None for ``color < 0`` (the MPI_UNDEFINED convention).
+        """
+        self._check_alive()
+        ctx = self._derive_context()
+        # Allgather (color, key, world_rank) triples over the parent comm.
+        mine = np.array(
+            [color, key, self._endpoint.world_rank], dtype="<i8"
+        ).tobytes()
+        gathered = self.allgather_bytes(mine)
+        triples = [
+            tuple(int(x) for x in np.frombuffer(b, dtype="<i8"))
+            for b in gathered
+        ]
+        if color < 0:
+            return None
+        members = sorted(
+            (
+                (k, wr)
+                for c, k, wr in triples
+                if c == color
+            ),
+        )
+        new_group = Group([wr for _k, wr in members])
+        # Distinguish same-context color groups by folding color into ctx.
+        sub_ctx = (ctx << _CTX_SHIFT) | (color & _CTX_MASK)
+        return Comm(self._endpoint, new_group, sub_ctx, self.thread_level)
+
+    def Create_from_group(self, group: Group) -> "Comm | None":
+        """Create a sub-communicator from a subgroup (collective).
+
+        Ranks outside ``group`` receive None.
+        """
+        self._check_alive()
+        ctx = self._derive_context()
+        self.barrier()
+        if group.rank_of(self._endpoint.world_rank) == C.UNDEFINED:
+            return None
+        return Comm(self._endpoint, group, ctx, self.thread_level)
+
+    def Free(self) -> None:
+        """Mark the communicator freed; later operations raise CommError."""
+        self._freed = True
+
+    def Compare(self, other: "Comm") -> int:
+        """Compare with another communicator (IDENT/CONGRUENT/...)."""
+        if self is other or (
+            self._context == other._context and self._group == other._group
+        ):
+            return C.IDENT
+        group_cmp = self._group.Compare(other._group)
+        if group_cmp == C.IDENT:
+            return C.CONGRUENT
+        return group_cmp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Comm(rank={self._rank}, size={self.size}, "
+            f"context={self._context:#x})"
+        )

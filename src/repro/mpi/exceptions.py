@@ -1,0 +1,133 @@
+"""Error hierarchy for the message-passing runtime.
+
+Mirrors the MPI error-class structure: every failure raised by the runtime
+derives from :class:`MPIError` and carries an MPI-style error class so
+callers can branch on the *kind* of failure rather than string-matching.
+"""
+
+from __future__ import annotations
+
+# MPI error classes (subset of the MPI standard's MPI_ERR_* constants).
+ERR_BUFFER = 1
+ERR_COUNT = 2
+ERR_TYPE = 3
+ERR_TAG = 4
+ERR_COMM = 5
+ERR_RANK = 6
+ERR_REQUEST = 7
+ERR_ROOT = 8
+ERR_GROUP = 9
+ERR_OP = 10
+ERR_TOPOLOGY = 11
+ERR_DIMS = 12
+ERR_ARG = 13
+ERR_UNKNOWN = 14
+ERR_TRUNCATE = 15
+ERR_OTHER = 16
+ERR_INTERN = 17
+ERR_PENDING = 18
+ERR_IN_STATUS = 19
+
+
+class MPIError(Exception):
+    """Base class for all runtime errors.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    error_class:
+        One of the ``ERR_*`` constants in this module.
+    """
+
+    def __init__(self, message: str, error_class: int = ERR_OTHER) -> None:
+        super().__init__(message)
+        self.error_class = error_class
+
+    def Get_error_class(self) -> int:
+        """Return the MPI error class associated with this error."""
+        return self.error_class
+
+
+class RankError(MPIError):
+    """An out-of-range or otherwise invalid rank was supplied."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_RANK)
+
+
+class TagError(MPIError):
+    """An invalid tag (negative, non-wildcard) was supplied."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_TAG)
+
+
+class CommError(MPIError):
+    """Operation on an invalid or freed communicator."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_COMM)
+
+
+class TruncationError(MPIError):
+    """An incoming message was larger than the posted receive buffer."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_TRUNCATE)
+
+
+class CountError(MPIError):
+    """A negative or inconsistent element count was supplied."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_COUNT)
+
+
+class DatatypeError(MPIError):
+    """An unknown or mismatched datatype was supplied."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_TYPE)
+
+
+class OpError(MPIError):
+    """An invalid reduction operation was supplied."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_OP)
+
+
+class RootError(MPIError):
+    """An invalid root rank was supplied to a rooted collective."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_ROOT)
+
+
+class GroupError(MPIError):
+    """An invalid group operation was attempted."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_GROUP)
+
+
+class RequestError(MPIError):
+    """Operation on an invalid or already-completed request."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_REQUEST)
+
+
+class BufferError_(MPIError):
+    """A buffer argument could not be interpreted."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_BUFFER)
+
+
+class InternalError(MPIError):
+    """The runtime reached an inconsistent internal state."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ERR_INTERN)

@@ -1,0 +1,167 @@
+"""``MPIPoolExecutor`` — an mpi4py.futures-style task pool.
+
+Rank 0 acts as the master; every other rank runs a worker loop executing
+pickled ``(fn, args, kwargs)`` tasks and returning pickled results.  This
+mirrors ``mpi4py.futures.MPIPoolExecutor``, which the mpi4py project
+positions as the high-level interface OMB-Py-style applications build on.
+
+Usage (all ranks call the constructor; only the master gets an executor)::
+
+    with MPIPoolExecutor(comm) as pool:
+        if pool is not None:               # master (rank 0)
+            futs = [pool.submit(f, i) for i in range(32)]
+            results = [f.result() for f in futs]
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Any, Callable, Iterable
+
+from .comm import Comm
+from .exceptions import MPIError
+
+_TASK_TAG = 91
+_RESULT_TAG = 92
+_STOP = b"\x00STOP"
+
+
+class TaskFuture:
+    """Result handle for one submitted task."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError("task result timed out")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _complete(self, value: Any = None,
+                  error: BaseException | None = None) -> None:
+        self._value = value
+        self._error = error
+        self._event.set()
+
+
+class _RemoteError(MPIError):
+    """A task raised on a worker; carries the original representation."""
+
+
+class MPIPoolExecutor:
+    """Master/worker task pool over a communicator.
+
+    Collective constructor: rank 0 returns a usable executor; other ranks
+    enter the worker loop inside ``__enter__`` and leave it when the
+    master shuts down (their ``with`` body sees ``None``).
+    """
+
+    def __init__(self, comm: Comm) -> None:
+        if comm.size < 2:
+            raise MPIError("MPIPoolExecutor needs at least 2 ranks")
+        self._comm = comm.Dup()
+        self._is_master = comm.rank == 0
+        self._futures: dict[int, TaskFuture] = {}
+        self._futures_lock = threading.Lock()
+        self._next_task = 0
+        self._idle: list[int] = []
+        self._idle_cv = threading.Condition()
+        self._shutdown = False
+        self._collector: threading.Thread | None = None
+        if self._is_master:
+            self._idle = list(range(1, self._comm.size))
+            self._collector = threading.Thread(
+                target=self._collect, daemon=True, name="pool-collector"
+            )
+            self._collector.start()
+
+    # -- worker side ---------------------------------------------------------
+    def _worker_loop(self) -> None:
+        comm = self._comm
+        while True:
+            payload, _st = comm.recv_bytes(0, _TASK_TAG, 1 << 62)
+            if payload == _STOP:
+                return
+            task_id, fn, args, kwargs = pickle.loads(payload)
+            try:
+                result = (task_id, True, fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - shipped back
+                result = (task_id, False, repr(exc))
+            comm.send_bytes(pickle.dumps(result), 0, _RESULT_TAG)
+
+    # -- master side -----------------------------------------------------------
+    def _collect(self) -> None:
+        comm = self._comm
+        while not self._shutdown:
+            try:
+                payload, st = comm.recv_bytes(-1, _RESULT_TAG, 1 << 62)
+            except Exception:
+                return
+            task_id, ok, value = pickle.loads(payload)
+            with self._futures_lock:
+                fut = self._futures.pop(task_id, None)
+            if fut is not None:
+                if ok:
+                    fut._complete(value)
+                else:
+                    fut._complete(error=_RemoteError(value))
+            with self._idle_cv:
+                self._idle.append(st.Get_source())
+                self._idle_cv.notify()
+
+    def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> TaskFuture:
+        """Schedule ``fn(*args, **kwargs)`` on the next idle worker."""
+        if not self._is_master:
+            raise MPIError("submit() on a worker rank")
+        if self._shutdown:
+            raise MPIError("submit() after shutdown")
+        with self._idle_cv:
+            while not self._idle:
+                self._idle_cv.wait()
+            worker = self._idle.pop(0)
+        task_id = self._next_task
+        self._next_task += 1
+        fut = TaskFuture()
+        with self._futures_lock:
+            self._futures[task_id] = fut
+        self._comm.send_bytes(
+            pickle.dumps((task_id, fn, args, kwargs)), worker, _TASK_TAG
+        )
+        return fut
+
+    def map(self, fn: Callable, iterable: Iterable[Any]) -> list[Any]:
+        """Parallel map; preserves input order."""
+        futures = [self.submit(fn, item) for item in iterable]
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        """Stop all workers (master only; idempotent)."""
+        if not self._is_master or self._shutdown:
+            return
+        # Wait for in-flight tasks so STOP never overtakes a task result.
+        with self._futures_lock:
+            pending = list(self._futures.values())
+        for fut in pending:
+            fut._event.wait(60)
+        self._shutdown = True
+        for worker in range(1, self._comm.size):
+            self._comm.send_bytes(_STOP, worker, _TASK_TAG)
+
+    # -- context manager ----------------------------------------------------
+    def __enter__(self) -> "MPIPoolExecutor | None":
+        if self._is_master:
+            return self
+        self._worker_loop()
+        return None
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._is_master:
+            self.shutdown()

@@ -1,0 +1,132 @@
+"""Process groups, the analogue of ``MPI_Group``.
+
+A group is an ordered set of world ranks.  Communicators are built from
+groups; ``Comm_split`` and friends are expressed as group algebra here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .constants import IDENT, SIMILAR, UNDEFINED, UNEQUAL
+from .exceptions import GroupError
+
+
+class Group:
+    """An immutable ordered set of world ranks."""
+
+    __slots__ = ("_ranks", "_index")
+
+    def __init__(self, world_ranks: Sequence[int]) -> None:
+        seen: set[int] = set()
+        for r in world_ranks:
+            if r < 0:
+                raise GroupError(f"negative world rank {r}")
+            if r in seen:
+                raise GroupError(f"duplicate world rank {r} in group")
+            seen.add(r)
+        self._ranks: tuple[int, ...] = tuple(world_ranks)
+        self._index: dict[int, int] = {wr: i for i, wr in enumerate(self._ranks)}
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    def Get_size(self) -> int:
+        """Return the number of processes in the group."""
+        return self.size
+
+    def world_ranks(self) -> tuple[int, ...]:
+        """Return the ordered tuple of world ranks in this group."""
+        return self._ranks
+
+    def rank_of(self, world_rank: int) -> int:
+        """Return this group's rank for ``world_rank`` or ``UNDEFINED``."""
+        return self._index.get(world_rank, UNDEFINED)
+
+    def world_rank(self, group_rank: int) -> int:
+        """Return the world rank for a rank in this group."""
+        if not 0 <= group_rank < self.size:
+            raise GroupError(
+                f"group rank {group_rank} out of range [0, {self.size})"
+            )
+        return self._ranks[group_rank]
+
+    def Translate_ranks(
+        self, ranks: Iterable[int], other: "Group"
+    ) -> list[int]:
+        """Translate ranks in this group to ranks in ``other``.
+
+        Ranks that do not appear in ``other`` translate to ``UNDEFINED``.
+        """
+        out = []
+        for r in ranks:
+            out.append(other.rank_of(self.world_rank(r)))
+        return out
+
+    def Compare(self, other: "Group") -> int:
+        """Compare two groups: IDENT, SIMILAR, or UNEQUAL."""
+        if self._ranks == other._ranks:
+            return IDENT
+        if set(self._ranks) == set(other._ranks):
+            return SIMILAR
+        return UNEQUAL
+
+    # -- algebra ---------------------------------------------------------
+    def Incl(self, ranks: Sequence[int]) -> "Group":
+        """Return the subgroup containing ``ranks`` of this group, in order."""
+        return Group([self.world_rank(r) for r in ranks])
+
+    def Excl(self, ranks: Sequence[int]) -> "Group":
+        """Return the subgroup excluding ``ranks`` of this group."""
+        drop = set(ranks)
+        for r in drop:
+            if not 0 <= r < self.size:
+                raise GroupError(f"excluded rank {r} out of range")
+        return Group(
+            [wr for i, wr in enumerate(self._ranks) if i not in drop]
+        )
+
+    def Union(self, other: "Group") -> "Group":
+        """Ranks of self in order, then ranks of other not already present."""
+        merged = list(self._ranks)
+        have = set(merged)
+        for wr in other._ranks:
+            if wr not in have:
+                merged.append(wr)
+                have.add(wr)
+        return Group(merged)
+
+    def Intersection(self, other: "Group") -> "Group":
+        """Ranks present in both, ordered as in self."""
+        keep = set(other._ranks)
+        return Group([wr for wr in self._ranks if wr in keep])
+
+    def Difference(self, other: "Group") -> "Group":
+        """Ranks in self but not other, ordered as in self."""
+        drop = set(other._ranks)
+        return Group([wr for wr in self._ranks if wr not in drop])
+
+    def Range_incl(self, ranges: Sequence[tuple[int, int, int]]) -> "Group":
+        """Include ranks given as (first, last, stride) triplets."""
+        picked: list[int] = []
+        for first, last, stride in ranges:
+            if stride == 0:
+                raise GroupError("zero stride in range")
+            step = stride
+            stop = last + (1 if step > 0 else -1)
+            picked.extend(range(first, stop, step))
+        return self.Incl(picked)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._ranks == other._ranks
+
+    def __hash__(self) -> int:
+        return hash(self._ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Group({list(self._ranks)})"

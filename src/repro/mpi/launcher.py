@@ -1,0 +1,168 @@
+"""``ombpy-run`` — the mpiexec analogue.
+
+Spawns N copies of a Python program as OS processes, coordinates the TCP
+rendezvous (each child reports its listening port; the launcher broadcasts
+the full rank->port map), then waits for all children and propagates the
+first non-zero exit code.
+
+Usage::
+
+    ombpy-run -n 4 python script.py [args...]
+    ombpy-run -n 4 script.py        # 'python' is implied for .py files
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+
+from .world import ENV_COORD, ENV_JOB, ENV_RANK, ENV_SIZE, ENV_TRANSPORT
+
+
+def _coordinate(server: socket.socket, n: int, timeout: float) -> None:
+    """Accept n rendezvous connections; broadcast the port map to all."""
+    server.settimeout(timeout)
+    conns: list[tuple[int, socket.socket]] = []
+    port_map: dict[int, int] = {}
+    try:
+        while len(conns) < n:
+            conn, _addr = server.accept()
+            conn.settimeout(timeout)
+            buf = b""
+            while not buf.endswith(b"\n"):
+                chunk = conn.recv(4096)
+                if not chunk:
+                    raise ConnectionError("child closed during rendezvous")
+                buf += chunk
+            rank_s, port_s = buf.decode().split()
+            port_map[int(rank_s)] = int(port_s)
+            conns.append((int(rank_s), conn))
+        payload = (json.dumps(port_map) + "\n").encode()
+        for _rank, conn in conns:
+            conn.sendall(payload)
+    finally:
+        for _rank, conn in conns:
+            conn.close()
+
+
+def launch(
+    n: int,
+    command: list[str],
+    timeout: float = 300.0,
+    env_extra: dict[str, str] | None = None,
+    transport: str = "tcp",
+) -> int:
+    """Run ``command`` as ``n`` coordinated rank processes.
+
+    ``transport`` selects the inter-process fabric: ``"tcp"`` (localhost
+    mesh with a port-map rendezvous) or ``"uds"`` (Unix-domain-socket
+    mesh, path-addressed by rank — no rendezvous needed).
+    """
+    if n < 1:
+        raise ValueError(f"process count must be >= 1, got {n}")
+    if not command:
+        raise ValueError("no program given")
+    if transport not in ("tcp", "uds", "shm"):
+        raise ValueError(f"unknown transport {transport!r}")
+    if command[0].endswith(".py"):
+        command = [sys.executable] + command
+
+    coordinator = None
+    server = None
+    shm_segments = None
+    coord_env: dict[str, str] = {ENV_TRANSPORT: transport}
+    if transport == "tcp":
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(n)
+        coord_env[ENV_COORD] = f"127.0.0.1:{server.getsockname()[1]}"
+        coordinator = threading.Thread(
+            target=_coordinate, args=(server, n, timeout), daemon=True
+        )
+        coordinator.start()
+    else:
+        coord_env[ENV_JOB] = f"{os.getpid()}-{os.urandom(4).hex()}"
+        if transport == "shm":
+            from .transport.shm import create_job_segments
+
+            capacity = int(os.environ.get("OMBPY_SHM_CAPACITY", 1 << 20))
+            shm_segments = create_job_segments(
+                coord_env[ENV_JOB], n, capacity
+            )
+
+    procs: list[subprocess.Popen] = []
+    try:
+        for rank in range(n):
+            env = os.environ.copy()
+            env[ENV_RANK] = str(rank)
+            env[ENV_SIZE] = str(n)
+            env.update(coord_env)
+            if env_extra:
+                env.update(env_extra)
+            procs.append(subprocess.Popen(command, env=env))
+        exit_code = 0
+        for rank, proc in enumerate(procs):
+            rc = proc.wait(timeout=timeout)
+            if rc != 0 and exit_code == 0:
+                exit_code = rc
+        return exit_code
+    except subprocess.TimeoutExpired:
+        for proc in procs:
+            proc.kill()
+        raise
+    finally:
+        if coordinator is not None:
+            coordinator.join(timeout=5)
+        if server is not None:
+            server.close()
+        if transport == "uds":
+            import shutil
+
+            from .transport.uds import socket_dir
+
+            shutil.rmtree(socket_dir(coord_env[ENV_JOB]), ignore_errors=True)
+        if shm_segments is not None:
+            from .transport.shm import destroy_job_segments
+
+            destroy_job_segments(shm_segments)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ombpy-run",
+        description="Launch a Python MPI program on N local processes.",
+    )
+    parser.add_argument(
+        "-n", "--np", type=int, required=True, dest="n",
+        help="number of rank processes",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="seconds before the whole job is killed",
+    )
+    parser.add_argument(
+        "--transport", choices=("tcp", "uds", "shm"), default="tcp",
+        help="inter-process fabric: localhost TCP mesh, Unix-domain "
+        "sockets, or shared-memory rings",
+    )
+    parser.add_argument(
+        "command", nargs=argparse.REMAINDER,
+        help="program and its arguments",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return launch(args.n, args.command, timeout=args.timeout,
+                      transport=args.transport)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"ombpy-run: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

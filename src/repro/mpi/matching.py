@@ -1,0 +1,217 @@
+"""Message-matching engine.
+
+Implements MPI receive-matching semantics for one rank:
+
+* an incoming message matches the *earliest* posted receive whose
+  ``(context, source, tag)`` pattern it satisfies;
+* a newly posted receive matches the *earliest* unexpected message it
+  satisfies;
+* messages between the same (sender, receiver, context) pair are
+  non-overtaking — transports must deliver in per-sender order, and both
+  queues here are FIFO-scanned, which together preserve MPI ordering.
+
+The engine is thread-safe: transports deliver from their reader threads
+while application threads post receives and block in :meth:`RecvTicket.wait`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from .constants import ANY_SOURCE, ANY_TAG
+from .exceptions import TruncationError
+from .status import Status
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Wire-level message envelope."""
+
+    context: int  # communicator context id
+    source: int   # sender's rank within the communicator
+    dest: int     # receiver's rank within the communicator
+    tag: int
+    nbytes: int
+
+
+@dataclass
+class _Unexpected:
+    envelope: Envelope
+    payload: bytes
+    order: int
+
+
+class RecvTicket:
+    """Handle for one posted receive; completed by the matching engine."""
+
+    __slots__ = (
+        "context", "source", "tag", "max_bytes", "order",
+        "_event", "payload", "status", "error", "cancelled",
+    )
+
+    def __init__(
+        self, context: int, source: int, tag: int, max_bytes: int, order: int
+    ) -> None:
+        self.context = context
+        self.source = source
+        self.tag = tag
+        self.max_bytes = max_bytes
+        self.order = order
+        self._event = threading.Event()
+        self.payload: bytes | None = None
+        self.status = Status()
+        self.error: Exception | None = None
+        self.cancelled = False
+
+    def matches(self, env: Envelope) -> bool:
+        """Return True if ``env`` satisfies this receive's pattern."""
+        if env.context != self.context:
+            return False
+        if self.source != ANY_SOURCE and env.source != self.source:
+            return False
+        if self.tag != ANY_TAG and env.tag != self.tag:
+            return False
+        return True
+
+    def complete(self, env: Envelope, payload: bytes) -> None:
+        """Deliver a matched message into this ticket and wake the waiter."""
+        if env.nbytes > self.max_bytes:
+            self.error = TruncationError(
+                f"message of {env.nbytes} bytes truncates receive buffer "
+                f"of {self.max_bytes} bytes (source={env.source}, "
+                f"tag={env.tag})"
+            )
+        self.payload = payload
+        self.status._fill(env.source, env.tag, env.nbytes)
+        self._event.set()
+
+    def cancel(self) -> None:
+        """Mark cancelled and wake the waiter (engine removes the ticket)."""
+        self.cancelled = True
+        self.status.cancelled = True
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bytes:
+        """Block until matched; return the payload.
+
+        Raises the recorded error (e.g. truncation) if one occurred.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"receive (source={self.source}, tag={self.tag}) timed out "
+                f"after {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        if self.cancelled:
+            return b""
+        assert self.payload is not None
+        return self.payload
+
+
+class MatchingEngine:
+    """Per-rank matching state: posted receives + unexpected messages."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._posted: list[RecvTicket] = []
+        self._unexpected: list[_Unexpected] = []
+        self._order = itertools.count()
+        # Probe waiters: condition signalled on every delivery.
+        self._delivered = threading.Condition(self._lock)
+
+    # -- receiver side ---------------------------------------------------
+    def post_recv(
+        self, context: int, source: int, tag: int, max_bytes: int
+    ) -> RecvTicket:
+        """Post a receive; match immediately against unexpected messages."""
+        with self._lock:
+            ticket = RecvTicket(
+                context, source, tag, max_bytes, next(self._order)
+            )
+            for i, um in enumerate(self._unexpected):
+                if ticket.matches(um.envelope):
+                    del self._unexpected[i]
+                    ticket.complete(um.envelope, um.payload)
+                    return ticket
+            self._posted.append(ticket)
+            return ticket
+
+    def cancel_recv(self, ticket: RecvTicket) -> bool:
+        """Cancel a posted receive if it has not already matched."""
+        with self._lock:
+            try:
+                self._posted.remove(ticket)
+            except ValueError:
+                return False
+            ticket.cancel()
+            return True
+
+    # -- transport side --------------------------------------------------
+    def deliver(self, env: Envelope, payload: bytes) -> None:
+        """Deliver an incoming message (called from transport threads)."""
+        with self._lock:
+            for i, ticket in enumerate(self._posted):
+                if ticket.matches(env):
+                    del self._posted[i]
+                    ticket.complete(env, payload)
+                    self._delivered.notify_all()
+                    return
+            self._unexpected.append(
+                _Unexpected(env, payload, next(self._order))
+            )
+            self._delivered.notify_all()
+
+    # -- probing ---------------------------------------------------------
+    def iprobe(
+        self, context: int, source: int, tag: int
+    ) -> Status | None:
+        """Non-blocking probe of the unexpected queue."""
+        probe = RecvTicket(context, source, tag, 0, -1)
+        with self._lock:
+            for um in self._unexpected:
+                if probe.matches(um.envelope):
+                    st = Status()
+                    st._fill(
+                        um.envelope.source, um.envelope.tag,
+                        um.envelope.nbytes,
+                    )
+                    return st
+        return None
+
+    def probe(
+        self, context: int, source: int, tag: int,
+        timeout: float | None = None,
+    ) -> Status:
+        """Blocking probe: wait until a matching message is unexpected."""
+        probe = RecvTicket(context, source, tag, 0, -1)
+        with self._delivered:
+            while True:
+                for um in self._unexpected:
+                    if probe.matches(um.envelope):
+                        st = Status()
+                        st._fill(
+                            um.envelope.source, um.envelope.tag,
+                            um.envelope.nbytes,
+                        )
+                        return st
+                if not self._delivered.wait(timeout):
+                    raise TimeoutError(
+                        f"probe (source={source}, tag={tag}) timed out"
+                    )
+
+    # -- introspection (tests / debugging) --------------------------------
+    def pending_unexpected(self) -> int:
+        """Number of queued unexpected messages."""
+        with self._lock:
+            return len(self._unexpected)
+
+    def pending_posted(self) -> int:
+        """Number of posted-but-unmatched receives."""
+        with self._lock:
+            return len(self._posted)

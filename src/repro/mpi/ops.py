@@ -1,0 +1,117 @@
+"""Reduction operations.
+
+Each :class:`Op` reduces two same-shaped NumPy arrays elementwise.  The
+collective algorithms apply ops to *typed views* of wire bytes, so ops never
+see raw byte strings.  Commutativity matters: non-commutative user ops force
+the tree-based reduce algorithms to combine contributions in rank order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .exceptions import OpError
+
+Reducer = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Op:
+    """A reduction operation.
+
+    Attributes
+    ----------
+    name:
+        MPI-style name, e.g. ``"MPI_SUM"``.
+    fn:
+        Callable combining two arrays; must not mutate its inputs.
+    commutative:
+        Whether operand order is irrelevant.  The collective layer uses this
+        to decide whether rank-order must be preserved.
+    """
+
+    name: str
+    fn: Reducer
+    commutative: bool = True
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.fn(a, b)
+
+    def Is_commutative(self) -> bool:
+        """Return whether this op is commutative."""
+        return self.commutative
+
+
+def _logical_and(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.logical_and(a, b).astype(a.dtype)
+
+
+def _logical_or(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.logical_or(a, b).astype(a.dtype)
+
+
+def _logical_xor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.logical_xor(a, b).astype(a.dtype)
+
+
+def _maxloc(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """MAXLOC on structured (value, index) pairs: max value, lowest index ties."""
+    out = a.copy()
+    take_b = (b["f0"] > a["f0"]) | ((b["f0"] == a["f0"]) & (b["f1"] < a["f1"]))
+    out[take_b] = b[take_b]
+    return out
+
+
+def _minloc(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """MINLOC on structured (value, index) pairs: min value, lowest index ties."""
+    out = a.copy()
+    take_b = (b["f0"] < a["f0"]) | ((b["f0"] == a["f0"]) & (b["f1"] < a["f1"]))
+    out[take_b] = b[take_b]
+    return out
+
+
+SUM = Op("MPI_SUM", np.add)
+PROD = Op("MPI_PROD", np.multiply)
+MAX = Op("MPI_MAX", np.maximum)
+MIN = Op("MPI_MIN", np.minimum)
+LAND = Op("MPI_LAND", _logical_and)
+LOR = Op("MPI_LOR", _logical_or)
+LXOR = Op("MPI_LXOR", _logical_xor)
+BAND = Op("MPI_BAND", np.bitwise_and)
+BOR = Op("MPI_BOR", np.bitwise_or)
+BXOR = Op("MPI_BXOR", np.bitwise_xor)
+MAXLOC = Op("MPI_MAXLOC", _maxloc)
+MINLOC = Op("MPI_MINLOC", _minloc)
+# REPLACE keeps the second operand — used by accumulate-style operations.
+REPLACE = Op("MPI_REPLACE", lambda a, b: b.copy())
+
+_PREDEFINED: dict[str, Op] = {
+    op.name: op
+    for op in (
+        SUM, PROD, MAX, MIN, LAND, LOR, LXOR, BAND, BOR, BXOR,
+        MAXLOC, MINLOC, REPLACE,
+    )
+}
+
+
+def lookup(name: str) -> Op:
+    """Return a predefined op by MPI name; raise :class:`OpError` if unknown."""
+    try:
+        return _PREDEFINED[name]
+    except KeyError:
+        raise OpError(f"unknown reduction op {name!r}") from None
+
+
+def create(fn: Reducer, commute: bool = True, name: str = "MPI_OP_USER") -> Op:
+    """Create a user-defined op (the analogue of ``MPI_Op_create``)."""
+    if not callable(fn):
+        raise OpError("user op must be callable")
+    return Op(name, fn, commutative=commute)
+
+
+def predefined_names() -> list[str]:
+    """Return the names of all predefined ops (stable order)."""
+    return sorted(_PREDEFINED)

@@ -1,0 +1,256 @@
+"""One-sided communication (RMA), the analogue of ``MPI_Win``.
+
+OMB's C suite includes one-sided benchmarks (osu_put_latency &c.); the
+paper's OMB-Py v1 ships point-to-point and blocking collectives and lists
+the rest as planned.  This module supplies the substrate: a window
+exposes a byte region of local memory; remote ranks access it with
+``Put``/``Get``/``Accumulate`` without the target's code participating.
+
+Implementation: window creation is collective and spins up one *service
+thread* per rank, listening on a dedicated duplicated communicator.  Put
+and Accumulate are fire-and-forget messages the target's service applies;
+Get is a request/reply.  ``Fence`` drains remote completion (every origin
+waits for acknowledgements of its own accesses, then barriers), which
+gives the standard active-target epoch semantics; ``Lock``/``Unlock``
+provide passive-target exclusive access per target rank.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+import threading
+from typing import Any
+
+import numpy as np
+
+from . import ops as mpi_ops
+from .comm import Comm
+from .exceptions import MPIError, RankError
+
+# RMA wire ops.
+_OP_PUT = 1
+_OP_GET = 2
+_OP_ACC = 3
+_OP_GET_REPLY = 4
+_OP_ACK = 5
+_OP_SHUTDOWN = 6
+_OP_LOCK = 7
+_OP_UNLOCK = 8
+
+_HDR = struct.Struct("<iqqi")  # op, offset, nbytes, token
+_SERVICE_TAG = 77
+_REPLY_TAG = 78
+
+
+class WinError(MPIError):
+    """Invalid window operation (bad range, epoch misuse, ...)."""
+
+
+class Win:
+    """A one-sided communication window over ``comm``.
+
+    Parameters
+    ----------
+    comm:
+        Communicator whose ranks participate (creation is collective).
+    local:
+        Writable buffer this rank exposes (bytearray or NumPy array); may
+        be zero-sized for ranks exposing nothing.
+    """
+
+    def __init__(self, comm: Comm, local: Any) -> None:
+        self._comm = comm.Dup()
+        view = memoryview(local).cast("B") if local is not None else memoryview(b"")
+        if view.readonly:
+            raise WinError("window memory must be writable")
+        self._memory = view
+        self._tokens = itertools.count(1)
+        # Origin-side operations are serialized per window: one in-flight
+        # op means its reply is the next _REPLY_TAG message, so replies
+        # can never be consumed by the wrong thread under THREAD_MULTIPLE.
+        self._origin_mutex = threading.Lock()
+        # Passive-target lock state (held at the *target*).
+        self._lock_holder: int | None = None
+        self._lock_waiters: list[int] = []
+        self._deferred_tokens: dict[int, int] = {}
+        self._lock_mutex = threading.Lock()
+        self._closed = False
+        self._service = threading.Thread(
+            target=self._serve, name=f"rma-win-r{comm.rank}", daemon=True
+        )
+        self._service.start()
+        # Window is usable once every rank's service is up.
+        self._comm.barrier()
+
+    # -- target-side service ------------------------------------------------
+    def _serve(self) -> None:
+        comm = self._comm
+        while True:
+            payload, status = comm.recv_bytes(
+                -1, _SERVICE_TAG, 1 << 62
+            )
+            hdr = _HDR.unpack(payload[:_HDR.size])
+            op, offset, nbytes, token = hdr
+            body = payload[_HDR.size:]
+            origin = status.Get_source()
+            if op == _OP_SHUTDOWN:
+                return
+            if op == _OP_PUT:
+                self._memory[offset:offset + nbytes] = body
+                self._ack(origin, token)
+            elif op == _OP_GET:
+                data = bytes(self._memory[offset:offset + nbytes])
+                comm.send_bytes(
+                    _HDR.pack(_OP_GET_REPLY, offset, nbytes, token) + data,
+                    origin, _REPLY_TAG,
+                )
+            elif op == _OP_ACC:
+                op_name = body[:16].rstrip(b"\0").decode()
+                dtype = body[16:24].rstrip(b"\0").decode()
+                incoming = np.frombuffer(body[24:], dtype=dtype)
+                target = np.frombuffer(
+                    self._memory[offset:offset + nbytes], dtype=dtype
+                )
+                result = mpi_ops.lookup(op_name)(target, incoming)
+                self._memory[offset:offset + nbytes] = (
+                    np.ascontiguousarray(result).tobytes()
+                )
+                self._ack(origin, token)
+            elif op == _OP_LOCK:
+                self._grant_or_queue_lock(origin, token)
+            elif op == _OP_UNLOCK:
+                self._release_lock(origin)
+                self._ack(origin, token)
+
+    def _ack(self, origin: int, token: int) -> None:
+        self._comm.send_bytes(
+            _HDR.pack(_OP_ACK, 0, 0, token), origin, _REPLY_TAG
+        )
+
+    def _grant_or_queue_lock(self, origin: int, token: int) -> None:
+        with self._lock_mutex:
+            if self._lock_holder is None:
+                self._lock_holder = origin
+                self._ack(origin, token)
+            else:
+                # ACK deferred until the lock frees (grant = delayed ACK).
+                self._lock_waiters.append(origin)
+                self._deferred_tokens[origin] = token
+
+    def _release_lock(self, origin: int) -> None:
+        with self._lock_mutex:
+            if self._lock_holder != origin:
+                raise WinError(
+                    f"rank {origin} unlocked a window it does not hold"
+                )
+            if self._lock_waiters:
+                nxt = self._lock_waiters.pop(0)
+                self._lock_holder = nxt
+                token = self._deferred_tokens.pop(nxt)
+                self._ack(nxt, token)
+            else:
+                self._lock_holder = None
+
+    # -- origin-side operations ---------------------------------------------
+    def _check_target(self, rank: int) -> None:
+        if not 0 <= rank < self._comm.size:
+            raise RankError(f"target rank {rank} out of range")
+        if self._closed:
+            raise WinError("operation on freed window")
+
+    def _transact(self, target_rank: int, request: bytes) -> bytes:
+        """Send one RMA request and wait for its ACK/reply."""
+        with self._origin_mutex:
+            self._comm.send_bytes(request, target_rank, _SERVICE_TAG)
+            payload, _st = self._comm.recv_bytes(-1, _REPLY_TAG, 1 << 62)
+        op, _off, _n, _tok = _HDR.unpack(payload[:_HDR.size])
+        if op == _OP_GET_REPLY:
+            return payload[_HDR.size:]
+        return b""
+
+    def Put(self, data: Any, target_rank: int, offset: int = 0) -> None:
+        """Write ``data`` into the target's window at a byte offset."""
+        self._check_target(target_rank)
+        body = bytes(memoryview(data).cast("B"))
+        token = next(self._tokens)
+        self._transact(
+            target_rank,
+            _HDR.pack(_OP_PUT, offset, len(body), token) + body,
+        )
+
+    def Get(self, sink: Any, target_rank: int, offset: int = 0) -> None:
+        """Read from the target's window into writable ``sink``."""
+        self._check_target(target_rank)
+        view = memoryview(sink).cast("B")
+        token = next(self._tokens)
+        data = self._transact(
+            target_rank, _HDR.pack(_OP_GET, offset, view.nbytes, token)
+        )
+        view[:len(data)] = data
+
+    def Accumulate(
+        self,
+        data: np.ndarray,
+        target_rank: int,
+        op=mpi_ops.SUM,
+        offset: int = 0,
+    ) -> None:
+        """Elementwise-combine ``data`` into the target's window."""
+        self._check_target(target_rank)
+        arr = np.ascontiguousarray(data)
+        meta = (
+            op.name.encode().ljust(16, b"\0")
+            + arr.dtype.str.encode().ljust(8, b"\0")
+        )
+        token = next(self._tokens)
+        self._transact(
+            target_rank,
+            _HDR.pack(_OP_ACC, offset, arr.nbytes, token) + meta
+            + arr.tobytes(),
+        )
+
+    # -- synchronization -----------------------------------------------------
+    def Fence(self) -> None:
+        """Close the current access epoch (active-target).
+
+        Each origin already waits for per-op acknowledgements, so all this
+        rank's accesses are remotely complete; the barrier then makes the
+        epoch boundary collective.
+        """
+        if self._closed:
+            raise WinError("fence on freed window")
+        self._comm.barrier()
+
+    def Lock(self, target_rank: int) -> None:
+        """Acquire exclusive passive-target access to one target."""
+        self._check_target(target_rank)
+        token = next(self._tokens)
+        self._transact(
+            target_rank, _HDR.pack(_OP_LOCK, 0, 0, token)
+        )
+
+    def Unlock(self, target_rank: int) -> None:
+        """Release passive-target access."""
+        self._check_target(target_rank)
+        token = next(self._tokens)
+        self._transact(
+            target_rank, _HDR.pack(_OP_UNLOCK, 0, 0, token)
+        )
+
+    def Free(self) -> None:
+        """Tear the window down (collective)."""
+        if self._closed:
+            return
+        self._comm.barrier()
+        self._closed = True
+        # Stop our own service thread.
+        self._comm.send_bytes(
+            _HDR.pack(_OP_SHUTDOWN, 0, 0, 0), self._comm.rank, _SERVICE_TAG
+        )
+        self._service.join(timeout=10)
+
+    @property
+    def size(self) -> int:
+        """Exposed window size in bytes."""
+        return self._memory.nbytes

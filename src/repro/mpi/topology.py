@@ -1,0 +1,202 @@
+"""Cartesian process topologies (MPI_Cart_create family).
+
+Stencil codes — the scientific workloads MPI bindings exist to serve —
+arrange ranks on a grid and exchange halos with neighbours.  This module
+provides the topology bookkeeping: rank <-> coordinate mapping, neighbour
+shifts with optional periodic wrap-around, and sub-grid extraction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .comm import Comm
+from .constants import PROC_NULL
+from .exceptions import MPIError
+
+
+class TopologyError(MPIError):
+    """Invalid topology construction or query."""
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """Balanced grid dimensions for ``nnodes`` ranks (MPI_Dims_create).
+
+    Produces non-increasing dimensions whose product is ``nnodes``, as
+    close to a hypercube as the factorization allows.
+    """
+    if nnodes < 1 or ndims < 1:
+        raise TopologyError(
+            f"need nnodes >= 1 and ndims >= 1, got {nnodes}, {ndims}"
+        )
+    dims = [1] * ndims
+    remaining = nnodes
+    # Repeatedly peel the largest prime factor onto the smallest dim.
+    factors: list[int] = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        smallest = min(range(ndims), key=dims.__getitem__)
+        dims[smallest] *= factor
+    return sorted(dims, reverse=True)
+
+
+@dataclass(frozen=True)
+class CartTopology:
+    """Geometry of a Cartesian grid (no communicator attached)."""
+
+    dims: tuple[int, ...]
+    periods: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise TopologyError("empty dimension list")
+        if any(d < 1 for d in self.dims):
+            raise TopologyError(f"non-positive dimension in {self.dims}")
+        if len(self.periods) != len(self.dims):
+            raise TopologyError(
+                f"{len(self.periods)} periods for {len(self.dims)} dims"
+            )
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.dims)
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    def coords(self, rank: int) -> tuple[int, ...]:
+        """Row-major rank -> coordinates (MPI_Cart_coords)."""
+        if not 0 <= rank < self.size:
+            raise TopologyError(f"rank {rank} outside grid of {self.size}")
+        out = []
+        for extent in reversed(self.dims):
+            out.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(out))
+
+    def rank(self, coords: Sequence[int]) -> int:
+        """Coordinates -> rank (MPI_Cart_rank); wraps periodic dims."""
+        if len(coords) != self.ndims:
+            raise TopologyError(
+                f"{len(coords)} coordinates for {self.ndims} dims"
+            )
+        rank = 0
+        for dim, (c, extent, periodic) in enumerate(
+            zip(coords, self.dims, self.periods)
+        ):
+            if periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                raise TopologyError(
+                    f"coordinate {c} outside non-periodic dim {dim} "
+                    f"of extent {extent}"
+                )
+            rank = rank * extent + c
+        return rank
+
+    def shift(
+        self, rank: int, direction: int, disp: int = 1
+    ) -> tuple[int, int]:
+        """(source, dest) ranks for a shift (MPI_Cart_shift).
+
+        Off-grid neighbours in non-periodic dimensions are ``PROC_NULL``.
+        """
+        if not 0 <= direction < self.ndims:
+            raise TopologyError(
+                f"direction {direction} outside {self.ndims} dims"
+            )
+        base = list(self.coords(rank))
+
+        def neighbour(offset: int) -> int:
+            c = list(base)
+            c[direction] += offset
+            extent = self.dims[direction]
+            if self.periods[direction]:
+                c[direction] %= extent
+            elif not 0 <= c[direction] < extent:
+                return PROC_NULL
+            return self.rank(c)
+
+        return neighbour(-disp), neighbour(+disp)
+
+
+class CartComm:
+    """A communicator with Cartesian topology (MPI_Cart_create)."""
+
+    def __init__(
+        self,
+        comm: Comm,
+        dims: Sequence[int],
+        periods: Sequence[bool] | None = None,
+    ) -> None:
+        topology = CartTopology(
+            tuple(dims),
+            tuple(periods) if periods is not None
+            else tuple(False for _ in dims),
+        )
+        if topology.size > comm.size:
+            raise TopologyError(
+                f"grid of {topology.size} ranks exceeds communicator "
+                f"size {comm.size}"
+            )
+        self.topology = topology
+        # Ranks beyond the grid are excluded (MPI returns COMM_NULL).
+        sub = comm.Split(
+            0 if comm.rank < topology.size else -1, comm.rank
+        )
+        self._comm = sub  # None for excluded ranks
+
+    @property
+    def comm(self) -> Comm | None:
+        """The grid communicator, or None if this rank is off-grid."""
+        return self._comm
+
+    @property
+    def rank(self) -> int:
+        self._check_member()
+        assert self._comm is not None
+        return self._comm.rank
+
+    def _check_member(self) -> None:
+        if self._comm is None:
+            raise TopologyError("this rank is not part of the grid")
+
+    def Get_coords(self, rank: int | None = None) -> tuple[int, ...]:
+        self._check_member()
+        return self.topology.coords(self.rank if rank is None else rank)
+
+    def Get_cart_rank(self, coords: Sequence[int]) -> int:
+        return self.topology.rank(coords)
+
+    def Shift(self, direction: int, disp: int = 1) -> tuple[int, int]:
+        """(source, dest) for this rank's shift along ``direction``."""
+        self._check_member()
+        return self.topology.shift(self.rank, direction, disp)
+
+    def neighbor_sendrecv(
+        self,
+        payload: bytes,
+        direction: int,
+        disp: int,
+        tag: int,
+        max_bytes: int,
+    ) -> bytes:
+        """Halo step: send ``disp``-ward, receive from the opposite side."""
+        self._check_member()
+        assert self._comm is not None
+        source, dest = self.Shift(direction, disp)
+        data, _st = self._comm.sendrecv_bytes(
+            payload, dest, tag, source, tag, max_bytes
+        )
+        return data

@@ -1,0 +1,148 @@
+"""Communication tracing — a PMPI-style profiling layer.
+
+Wraps a transport so every outgoing message is recorded as a
+:class:`TraceEvent`.  Used two ways:
+
+* as a debugging/profiling tool (`with trace_world(...)` in user code);
+* by the test suite to assert the *structure* of collective algorithms —
+  a binomial broadcast must move exactly p-1 payload messages, a ring
+  allgather exactly p*(p-1), recursive doubling p*log2(p) — independent
+  of whether the numerical results happen to be right.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .comm import Comm
+from .matching import Envelope
+from .transport.base import Transport
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced send."""
+
+    src_world: int
+    dst_world: int
+    context: int
+    tag: int
+    nbytes: int
+    t_ns: int
+
+
+@dataclass
+class TraceLog:
+    """Thread-safe event collection with query helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def record(self, event: TraceEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    # -- queries --------------------------------------------------------
+    def message_count(self, include_self: bool = False) -> int:
+        """Total sends (self-sends excluded by default)."""
+        return sum(
+            1 for e in self.events
+            if include_self or e.src_world != e.dst_world
+        )
+
+    def total_bytes(self, include_self: bool = False) -> int:
+        return sum(
+            e.nbytes for e in self.events
+            if include_self or e.src_world != e.dst_world
+        )
+
+    def by_pair(self) -> dict[tuple[int, int], int]:
+        """{(src, dst): message count}."""
+        out: dict[tuple[int, int], int] = {}
+        for e in self.events:
+            key = (e.src_world, e.dst_world)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def senders(self) -> set[int]:
+        return {e.src_world for e in self.events}
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()
+
+
+class TracingTransport(Transport):
+    """Decorator transport: records, then forwards to the inner one."""
+
+    def __init__(self, inner: Transport, log: TraceLog) -> None:
+        super().__init__(inner.world_rank, inner.world_size)
+        self._inner = inner
+        self._log = log
+
+    def attach(self, engine) -> None:  # type: ignore[override]
+        super().attach(engine)
+        self._inner.attach(engine)
+
+    def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
+        self._log.record(TraceEvent(
+            src_world=self.world_rank,
+            dst_world=dest_world_rank,
+            context=env.context,
+            tag=env.tag,
+            nbytes=env.nbytes,
+            t_ns=time.perf_counter_ns(),
+        ))
+        self._inner.send(dest_world_rank, env, payload)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+@contextmanager
+def traced(comm: Comm):
+    """Trace all traffic leaving this rank's endpoint.
+
+    Yields the shared :class:`TraceLog`.  Tracing is installed by swapping
+    the endpoint's transport for a recording decorator and restored on
+    exit; all communicators sharing the endpoint are traced.
+    """
+    endpoint = comm.endpoint
+    original = endpoint.transport
+    log = TraceLog()
+    wrapper = TracingTransport(original, log)
+    wrapper.engine = endpoint.engine
+    endpoint.transport = wrapper
+    try:
+        yield log
+    finally:
+        endpoint.transport = original
+
+
+def run_traced(n: int, fn, timeout: float = 60.0) -> TraceLog:
+    """Run ``fn(comm)`` on n ranks with every rank traced into one log.
+
+    Returns the combined log (events from all ranks).  The per-rank
+    ordering of events is preserved; cross-rank ordering is by wall
+    clock and should not be relied on.
+    """
+    from .world import run_on_threads
+
+    shared = TraceLog()
+
+    def work(comm: Comm):
+        endpoint = comm.endpoint
+        original = endpoint.transport
+        wrapper = TracingTransport(original, shared)
+        wrapper.engine = endpoint.engine
+        endpoint.transport = wrapper
+        try:
+            return fn(comm)
+        finally:
+            endpoint.transport = original
+
+    run_on_threads(n, work, timeout=timeout)
+    return shared

@@ -1,0 +1,18 @@
+"""Byte-moving backends for the runtime.
+
+Two transports are provided:
+
+* :mod:`repro.mpi.transport.inproc` — all ranks live as threads in one
+  process; used by the test suite and by single-process tooling.
+* :mod:`repro.mpi.transport.tcp` — each rank is a real OS process and
+  ranks form a localhost TCP mesh; used by the ``ombpy-run`` launcher.
+
+Both preserve per-sender delivery order, which the matching engine relies
+on for MPI's non-overtaking guarantee.
+"""
+
+from .base import Transport
+from .inproc import InprocFabric, InprocTransport
+from .tcp import TcpTransport
+
+__all__ = ["Transport", "InprocFabric", "InprocTransport", "TcpTransport"]

@@ -1,0 +1,72 @@
+"""Transport interface and wire framing.
+
+A transport moves ``(Envelope, payload)`` pairs between world ranks and
+feeds the receiver's :class:`~repro.mpi.matching.MatchingEngine`.  The
+contract every implementation must honour:
+
+* **per-sender ordering** — two messages from the same sender to the same
+  receiver are delivered in send order;
+* **reliability** — no drops, no duplicates (we run over threads or local
+  TCP, both reliable);
+* **thread safety** — ``send`` may be called from multiple threads.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+
+from ..matching import Envelope, MatchingEngine
+
+# Frame header: context(i64) source(i32) dest(i32) tag(q) nbytes(q)
+# Context is 64-bit because derived-communicator context ids are built by
+# shifting the parent id left 16 bits per derivation level.
+_HEADER = struct.Struct("<qiiqq")
+HEADER_SIZE = _HEADER.size
+
+
+def pack_header(env: Envelope) -> bytes:
+    """Serialize an envelope into the fixed-size wire header."""
+    return _HEADER.pack(env.context, env.source, env.dest, env.tag, env.nbytes)
+
+
+def unpack_header(data: bytes) -> Envelope:
+    """Deserialize the fixed-size wire header into an envelope."""
+    context, source, dest, tag, nbytes = _HEADER.unpack(data)
+    return Envelope(context, source, dest, tag, nbytes)
+
+
+class Transport(ABC):
+    """Moves framed messages between world ranks."""
+
+    def __init__(self, world_rank: int, world_size: int) -> None:
+        self.world_rank = world_rank
+        self.world_size = world_size
+        # The endpoint's matching engine; assigned by the world bootstrap
+        # before any traffic flows.
+        self.engine: MatchingEngine | None = None
+
+    def attach(self, engine: MatchingEngine) -> None:
+        """Bind the matching engine that receives delivered messages."""
+        self.engine = engine
+
+    def _deliver_local(self, env: Envelope, payload: bytes) -> None:
+        """Deliver into the local matching engine (self-sends, loopback)."""
+        assert self.engine is not None, "transport used before attach()"
+        self.engine.deliver(env, payload)
+
+    @abstractmethod
+    def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
+        """Send one framed message to ``dest_world_rank``.
+
+        May block for flow control but must not fail for full buffers.
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear down connections/threads. Idempotent."""
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in benchmark output."""
+        return type(self).__name__

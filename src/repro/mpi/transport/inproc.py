@@ -1,0 +1,77 @@
+"""In-process transport: all ranks are threads sharing one fabric.
+
+``send`` is a direct call into the destination's matching engine, so the
+per-sender ordering guarantee falls out of Python's sequential execution
+within each sender thread.  This is the transport the test suite uses —
+it is deterministic, needs no sockets, and exercises identical matching
+and collective code paths as the multi-process TCP transport.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..exceptions import InternalError, RankError
+from ..matching import Envelope
+from .base import Transport
+
+
+class InprocFabric:
+    """Shared switchboard connecting the per-rank inproc transports."""
+
+    def __init__(self, world_size: int) -> None:
+        if world_size < 1:
+            raise RankError(f"world size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self._transports: list["InprocTransport | None"] = [None] * world_size
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def create_transport(self, world_rank: int) -> "InprocTransport":
+        """Create (and register) the transport for one rank."""
+        if not 0 <= world_rank < self.world_size:
+            raise RankError(
+                f"rank {world_rank} out of range [0, {self.world_size})"
+            )
+        t = InprocTransport(world_rank, self)
+        with self._lock:
+            if self._transports[world_rank] is not None:
+                raise InternalError(
+                    f"transport for rank {world_rank} already registered"
+                )
+            self._transports[world_rank] = t
+        return t
+
+    def route(self, dest: int, env: Envelope, payload: bytes) -> None:
+        """Deliver directly into the destination rank's matching engine."""
+        if self._closed:
+            raise InternalError("send on closed fabric")
+        if not 0 <= dest < self.world_size:
+            raise RankError(f"destination rank {dest} out of range")
+        t = self._transports[dest]
+        if t is None or t.engine is None:
+            raise InternalError(
+                f"destination rank {dest} has no attached endpoint"
+            )
+        t.engine.deliver(env, payload)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class InprocTransport(Transport):
+    """Per-rank handle onto an :class:`InprocFabric`."""
+
+    def __init__(self, world_rank: int, fabric: InprocFabric) -> None:
+        super().__init__(world_rank, fabric.world_size)
+        self._fabric = fabric
+
+    def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
+        if dest_world_rank == self.world_rank:
+            self._deliver_local(env, payload)
+        else:
+            self._fabric.route(dest_world_rank, env, payload)
+
+    def close(self) -> None:
+        # Per-rank close is a no-op; the fabric owns shared state.
+        pass

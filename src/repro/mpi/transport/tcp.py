@@ -1,0 +1,171 @@
+"""TCP mesh transport for multi-process runs.
+
+Each rank binds a listening socket; the launcher distributes the full
+``rank -> port`` map; every rank then connects to every *lower* rank, so
+each ordered pair of ranks shares exactly one TCP connection.  One reader
+thread per peer connection parses frames and delivers them into the local
+matching engine.  TCP's in-order delivery per connection provides the
+per-sender ordering the matching engine requires.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+from ..exceptions import InternalError, RankError
+from ..matching import Envelope
+from .base import HEADER_SIZE, Transport, pack_header, unpack_header
+
+# Connection preamble: the connecting side announces its world rank.
+_HELLO = struct.Struct("<i")
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ConnectionError on EOF."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class TcpTransport(Transport):
+    """Full-mesh localhost TCP transport for one rank."""
+
+    def __init__(
+        self,
+        world_rank: int,
+        world_size: int,
+        listen_sock: socket.socket,
+        port_map: dict[int, int],
+        host: str = "127.0.0.1",
+    ) -> None:
+        super().__init__(world_rank, world_size)
+        self._host = host
+        self._listen_sock = listen_sock
+        self._port_map = port_map
+        self._peers: dict[int, socket.socket] = {}
+        self._send_locks: dict[int, threading.Lock] = {}
+        self._readers: list[threading.Thread] = []
+        self._closed = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._mesh_ready = threading.Event()
+        self._expected_inbound = world_rank  # ranks below us dial in... no:
+        # ranks *above* us dial in; we dial ranks below us.
+        self._expected_inbound = world_size - world_rank - 1
+
+    # -- setup -----------------------------------------------------------
+    @staticmethod
+    def bind_ephemeral(host: str = "127.0.0.1") -> socket.socket:
+        """Bind a listening socket on an OS-assigned port."""
+        s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind((host, 0))
+        s.listen(128)
+        return s
+
+    def establish_mesh(self, timeout: float = 60.0) -> None:
+        """Accept inbound peers and dial lower ranks; blocks until complete."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"tcp-accept-r{self.world_rank}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+        # Dial every lower rank.
+        for peer in range(self.world_rank):
+            port = self._port_map[peer]
+            sock = socket.create_connection(
+                (self._host, port), timeout=timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.sendall(_HELLO.pack(self.world_rank))
+            self._register_peer(peer, sock)
+
+        if not self._mesh_ready.wait(timeout):
+            raise InternalError(
+                f"rank {self.world_rank}: mesh establishment timed out "
+                f"({len(self._peers)}/{self.world_size - 1} peers)"
+            )
+
+    def _accept_loop(self) -> None:
+        accepted = 0
+        while accepted < self._expected_inbound and not self._closed.is_set():
+            try:
+                sock, _addr = self._listen_sock.accept()
+            except OSError:
+                break
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            (peer_rank,) = _HELLO.unpack(_recv_exact(sock, _HELLO.size))
+            self._register_peer(peer_rank, sock)
+            accepted += 1
+        self._maybe_ready()
+
+    def _register_peer(self, peer_rank: int, sock: socket.socket) -> None:
+        self._peers[peer_rank] = sock
+        self._send_locks[peer_rank] = threading.Lock()
+        reader = threading.Thread(
+            target=self._read_loop, args=(peer_rank, sock),
+            name=f"tcp-read-r{self.world_rank}-from{peer_rank}", daemon=True,
+        )
+        reader.start()
+        self._readers.append(reader)
+        self._maybe_ready()
+
+    def _maybe_ready(self) -> None:
+        if len(self._peers) >= self.world_size - 1:
+            self._mesh_ready.set()
+
+    # -- data path -------------------------------------------------------
+    def _read_loop(self, peer_rank: int, sock: socket.socket) -> None:
+        try:
+            while not self._closed.is_set():
+                header = _recv_exact(sock, HEADER_SIZE)
+                env = unpack_header(header)
+                payload = (
+                    _recv_exact(sock, env.nbytes) if env.nbytes else b""
+                )
+                self._deliver_local(env, payload)
+        except (ConnectionError, OSError):
+            # Peer shut down; normal at teardown.
+            return
+
+    def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
+        if dest_world_rank == self.world_rank:
+            self._deliver_local(env, payload)
+            return
+        try:
+            sock = self._peers[dest_world_rank]
+        except KeyError:
+            raise RankError(
+                f"no connection to rank {dest_world_rank} "
+                f"(world size {self.world_size})"
+            ) from None
+        frame = pack_header(env) + payload
+        # One lock per peer keeps concurrent senders from interleaving frames.
+        with self._send_locks[dest_world_rank]:
+            sock.sendall(frame)
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._listen_sock.close()
+        except OSError:
+            pass
+        for sock in self._peers.values():
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass

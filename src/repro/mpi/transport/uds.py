@@ -1,0 +1,166 @@
+"""Unix-domain-socket mesh transport.
+
+Same mesh topology and framing as the TCP transport, but over
+``AF_UNIX`` sockets — the lower-latency local path (no TCP/IP stack,
+no port allocation), standing in for the shared-memory channels real MPI
+libraries use intra-node.  Selected with ``ombpy-run --transport uds``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import tempfile
+import threading
+
+from ..exceptions import InternalError, RankError
+from ..matching import Envelope
+from .base import HEADER_SIZE, Transport, pack_header, unpack_header
+
+_HELLO = struct.Struct("<i")
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def socket_dir(job_id: str) -> str:
+    """Directory holding the job's rank sockets."""
+    return os.path.join(tempfile.gettempdir(), f"ombpy-uds-{job_id}")
+
+
+def socket_path(job_id: str, rank: int) -> str:
+    return os.path.join(socket_dir(job_id), f"rank{rank}.sock")
+
+
+class UdsTransport(Transport):
+    """Full-mesh AF_UNIX transport for one rank."""
+
+    def __init__(self, world_rank: int, world_size: int, job_id: str) -> None:
+        super().__init__(world_rank, world_size)
+        self._job_id = job_id
+        os.makedirs(socket_dir(job_id), exist_ok=True)
+        self._path = socket_path(job_id, world_rank)
+        try:
+            os.unlink(self._path)
+        except FileNotFoundError:
+            pass
+        self._listen = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listen.bind(self._path)
+        self._listen.listen(world_size)
+        self._peers: dict[int, socket.socket] = {}
+        self._send_locks: dict[int, threading.Lock] = {}
+        self._closed = threading.Event()
+        self._mesh_ready = threading.Event()
+        self._expected_inbound = world_size - world_rank - 1
+
+    def establish_mesh(self, timeout: float = 60.0) -> None:
+        """Accept higher ranks, dial lower ranks; blocks until complete."""
+        accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name=f"uds-accept-r{self.world_rank}",
+        )
+        accept_thread.start()
+        for peer in range(self.world_rank):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            # The peer's socket file may not exist yet; retry briefly.
+            deadline = timeout
+            import time
+
+            start = time.monotonic()
+            while True:
+                try:
+                    sock.connect(socket_path(self._job_id, peer))
+                    break
+                except (FileNotFoundError, ConnectionRefusedError):
+                    if time.monotonic() - start > deadline:
+                        raise InternalError(
+                            f"rank {self.world_rank}: peer {peer} socket "
+                            "never appeared"
+                        ) from None
+                    time.sleep(0.01)
+            sock.sendall(_HELLO.pack(self.world_rank))
+            self._register_peer(peer, sock)
+        if not self._mesh_ready.wait(timeout):
+            raise InternalError(
+                f"rank {self.world_rank}: UDS mesh establishment timed out"
+            )
+
+    def _accept_loop(self) -> None:
+        accepted = 0
+        while accepted < self._expected_inbound and not self._closed.is_set():
+            try:
+                sock, _addr = self._listen.accept()
+            except OSError:
+                break
+            (peer_rank,) = _HELLO.unpack(_recv_exact(sock, _HELLO.size))
+            self._register_peer(peer_rank, sock)
+            accepted += 1
+        self._maybe_ready()
+
+    def _register_peer(self, peer_rank: int, sock: socket.socket) -> None:
+        self._peers[peer_rank] = sock
+        self._send_locks[peer_rank] = threading.Lock()
+        threading.Thread(
+            target=self._read_loop, args=(sock,), daemon=True,
+            name=f"uds-read-r{self.world_rank}-from{peer_rank}",
+        ).start()
+        self._maybe_ready()
+
+    def _maybe_ready(self) -> None:
+        if len(self._peers) >= self.world_size - 1:
+            self._mesh_ready.set()
+
+    def _read_loop(self, sock: socket.socket) -> None:
+        try:
+            while not self._closed.is_set():
+                env = unpack_header(_recv_exact(sock, HEADER_SIZE))
+                payload = _recv_exact(sock, env.nbytes) if env.nbytes else b""
+                self._deliver_local(env, payload)
+        except (ConnectionError, OSError):
+            return
+
+    def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
+        if dest_world_rank == self.world_rank:
+            self._deliver_local(env, payload)
+            return
+        try:
+            sock = self._peers[dest_world_rank]
+        except KeyError:
+            raise RankError(
+                f"no UDS connection to rank {dest_world_rank}"
+            ) from None
+        frame = pack_header(env) + payload
+        with self._send_locks[dest_world_rank]:
+            sock.sendall(frame)
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._listen.close()
+        except OSError:
+            pass
+        for sock in self._peers.values():
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        try:
+            os.unlink(self._path)
+        except OSError:
+            pass

@@ -1,0 +1,193 @@
+"""World bootstrap: turning a process (or thread) into an MPI rank.
+
+Three entry paths:
+
+* :func:`init` — called inside a process started by ``ombpy-run``; reads the
+  ``OMBPY_*`` environment, joins the TCP mesh, and returns a ``World`` whose
+  ``comm`` is COMM_WORLD.  Without the environment it returns a single-rank
+  world, exactly as ``mpiexec``-less MPI programs run as singletons.
+* :func:`run_on_threads` — runs ``fn(comm)`` on N ranks-as-threads inside
+  the current process over the inproc fabric.  This is the harness the test
+  suite and single-process benchmarks use.
+* :func:`run_on_processes` — convenience wrapper that shells out to the
+  launcher for true multi-process execution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from . import constants as C
+from .comm import Comm, Endpoint
+from .exceptions import InternalError
+from .group import Group
+from .transport.inproc import InprocFabric
+from .transport.tcp import TcpTransport
+
+ENV_RANK = "OMBPY_RANK"
+ENV_SIZE = "OMBPY_SIZE"
+ENV_COORD = "OMBPY_COORD"
+ENV_TRANSPORT = "OMBPY_TRANSPORT"
+ENV_JOB = "OMBPY_JOB"
+
+
+@dataclass
+class World:
+    """A live MPI world for this process: endpoint + COMM_WORLD."""
+
+    comm: Comm
+    endpoint: Endpoint
+    _fabric: InprocFabric | None = None
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def finalize(self) -> None:
+        """Tear down transports.  Collective in spirit: call on all ranks."""
+        self.endpoint.close()
+        if self._fabric is not None:
+            self._fabric.close()
+
+    def __enter__(self) -> "World":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.finalize()
+
+
+def init(thread_level: int = C.THREAD_MULTIPLE) -> World:
+    """Initialize this process as a rank (launcher env) or a singleton."""
+    if ENV_RANK not in os.environ:
+        fabric = InprocFabric(1)
+        endpoint = Endpoint(fabric.create_transport(0))
+        comm = Comm(endpoint, Group([0]), context=0, thread_level=thread_level)
+        return World(comm, endpoint, fabric)
+
+    rank = int(os.environ[ENV_RANK])
+    size = int(os.environ[ENV_SIZE])
+
+    fabric_kind = os.environ.get(ENV_TRANSPORT, "tcp")
+    if fabric_kind == "uds":
+        from .transport.uds import UdsTransport
+
+        transport = UdsTransport(rank, size, os.environ[ENV_JOB])
+        endpoint = Endpoint(transport)
+        transport.establish_mesh()
+        comm = Comm(
+            endpoint, Group(list(range(size))), context=0,
+            thread_level=thread_level,
+        )
+        return World(comm, endpoint)
+    if fabric_kind == "shm":
+        from .transport.shm import ShmTransport
+
+        # Segments are created by the launcher before spawn, so attaching
+        # here cannot race; no rendezvous needed.
+        transport = ShmTransport(rank, size, os.environ[ENV_JOB])
+        endpoint = Endpoint(transport)
+        comm = Comm(
+            endpoint, Group(list(range(size))), context=0,
+            thread_level=thread_level,
+        )
+        return World(comm, endpoint)
+
+    coord_host, coord_port = os.environ[ENV_COORD].rsplit(":", 1)
+
+    listen = TcpTransport.bind_ephemeral()
+    my_port = listen.getsockname()[1]
+
+    # Rendezvous with the launcher: report our port, get the full map.
+    with socket.create_connection((coord_host, int(coord_port)), timeout=60) as cs:
+        cs.sendall(f"{rank} {my_port}\n".encode())
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = cs.recv(65536)
+            if not chunk:
+                raise InternalError("coordinator closed during rendezvous")
+            buf += chunk
+    port_map = {int(k): int(v) for k, v in json.loads(buf.decode()).items()}
+
+    transport = TcpTransport(rank, size, listen, port_map)
+    endpoint = Endpoint(transport)
+    transport.establish_mesh()
+    comm = Comm(
+        endpoint, Group(list(range(size))), context=0,
+        thread_level=thread_level,
+    )
+    return World(comm, endpoint)
+
+
+def run_on_threads(
+    n: int,
+    fn: Callable[[Comm], Any],
+    thread_level: int = C.THREAD_MULTIPLE,
+    timeout: float | None = 120.0,
+) -> list[Any]:
+    """Run ``fn(comm)`` on ``n`` ranks-as-threads; return per-rank results.
+
+    Any rank raising propagates the first exception (by rank order) to the
+    caller after all threads have been joined, so failures in collective
+    code surface as test failures rather than hangs.
+    """
+    fabric = InprocFabric(n)
+    endpoints = [Endpoint(fabric.create_transport(r)) for r in range(n)]
+    group = Group(list(range(n)))
+    comms = [
+        Comm(ep, group, context=0, thread_level=thread_level)
+        for ep in endpoints
+    ]
+    results: list[Any] = [None] * n
+    errors: list[BaseException | None] = [None] * n
+
+    def runner(r: int) -> None:
+        try:
+            results[r] = fn(comms[r])
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            errors[r] = exc
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"rank-{r}", daemon=True)
+        for r in range(n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    alive = [t for t in threads if t.is_alive()]
+    if alive:
+        # A rank that raised leaves its peers blocked; the root cause is
+        # that error, not the resulting timeout — surface it first.
+        for err in errors:
+            if err is not None:
+                raise err
+        raise TimeoutError(
+            f"{len(alive)} rank thread(s) still running after {timeout}s: "
+            f"{[t.name for t in alive]} (likely a collective mismatch)"
+        )
+    fabric.close()
+    for err in errors:
+        if err is not None:
+            raise err
+    return results
+
+
+def run_on_processes(
+    n: int,
+    script: str,
+    args: list[str] | None = None,
+    timeout: float = 300.0,
+) -> int:
+    """Launch ``script`` under the process launcher; return its exit code."""
+    from .launcher import launch
+
+    return launch(n, [script] + (args or []), timeout=timeout)

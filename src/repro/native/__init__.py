@@ -1,0 +1,15 @@
+"""``repro.native`` — the "OMB in C" baseline path.
+
+The paper's reference point is the original OSU Micro-Benchmarks, written
+in C and calling MPI directly.  Here, the analogous baseline is a
+communicator that calls the runtime directly with all per-call Python
+binding work hoisted out: buffers are resolved once at registration time,
+no pickle, no buffer-protocol introspection, no datatype discovery inside
+the timed loop.  The OMB-vs-OMB-Py delta in the paper *is* the binding
+overhead, and comparing :class:`NativeComm` against
+:class:`repro.bindings.Comm` isolates exactly the same delta.
+"""
+
+from .api import NativeComm, RegisteredBuffer
+
+__all__ = ["NativeComm", "RegisteredBuffer"]

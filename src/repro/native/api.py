@@ -1,0 +1,155 @@
+"""Native (bindings-free) communication path.
+
+:class:`NativeComm` mirrors the benchmark-relevant subset of the bindings
+API, but every argument is pre-resolved: buffers are registered once into
+:class:`RegisteredBuffer` handles holding a raw ``bytes`` snapshot closure
+and a typed array view.  The per-call path is a single runtime invocation —
+the closest a pure-Python program gets to "C calling MPI directly".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..mpi.comm import Comm as RuntimeComm
+from ..mpi.ops import Op
+
+
+class RegisteredBuffer:
+    """A pre-resolved communication buffer.
+
+    Registration does the introspection the bindings layer performs per
+    call; afterwards :attr:`view` and :attr:`array` are direct references.
+    """
+
+    __slots__ = ("view", "nbytes", "array")
+
+    def __init__(self, raw: bytearray | memoryview | np.ndarray) -> None:
+        if isinstance(raw, np.ndarray):
+            self.view = memoryview(raw).cast("B")
+            self.array = raw.reshape(-1)
+        else:
+            self.view = memoryview(raw).cast("B")
+            self.array = np.frombuffer(self.view, dtype=np.uint8)
+        self.nbytes = self.view.nbytes
+
+    def snapshot(self, nbytes: int | None = None) -> bytes:
+        """Wire bytes of the (prefix of the) buffer."""
+        return bytes(self.view[: self.nbytes if nbytes is None else nbytes])
+
+    def fill_from(self, payload: bytes, offset: int = 0) -> None:
+        """Copy received wire bytes into the buffer."""
+        self.view[offset:offset + len(payload)] = payload
+
+
+class NativeComm:
+    """Direct runtime access without the bindings layer."""
+
+    __slots__ = ("_rt",)
+
+    def __init__(self, runtime: RuntimeComm) -> None:
+        self._rt = runtime
+
+    @property
+    def rank(self) -> int:
+        return self._rt.rank
+
+    @property
+    def size(self) -> int:
+        return self._rt.size
+
+    @property
+    def runtime(self) -> RuntimeComm:
+        return self._rt
+
+    def barrier(self) -> None:
+        self._rt.barrier()
+
+    # -- point-to-point -----------------------------------------------------
+    def send(self, buf: RegisteredBuffer, nbytes: int, dest: int, tag: int) -> None:
+        self._rt.send_bytes(buf.snapshot(nbytes), dest, tag)
+
+    def recv(self, buf: RegisteredBuffer, nbytes: int, source: int, tag: int) -> None:
+        payload, _st = self._rt.recv_bytes(source, tag, nbytes)
+        buf.fill_from(payload)
+
+    def isend(self, buf: RegisteredBuffer, nbytes: int, dest: int, tag: int):
+        return self._rt.isend_bytes(buf.snapshot(nbytes), dest, tag)
+
+    def irecv(self, buf: RegisteredBuffer, nbytes: int, source: int, tag: int):
+        return self._rt.irecv_bytes(source, tag, nbytes, sink=buf.view)
+
+    # -- collectives ---------------------------------------------------------
+    def bcast(self, buf: RegisteredBuffer, nbytes: int, root: int) -> None:
+        data = self._rt.bcast_bytes(
+            buf.snapshot(nbytes) if self._rt.rank == root else None, root
+        )
+        if self._rt.rank != root:
+            buf.fill_from(data)
+
+    def allreduce(
+        self, send: np.ndarray, recv: np.ndarray, count: int, op: Op
+    ) -> None:
+        recv[:count] = self._rt.allreduce_array(send[:count], op)
+
+    def reduce(
+        self, send: np.ndarray, recv: np.ndarray, count: int, op: Op, root: int
+    ) -> None:
+        result = self._rt.reduce_array(send[:count], op, root)
+        if result is not None:
+            recv[:count] = result
+
+    def allgather(
+        self, send: RegisteredBuffer, recv: RegisteredBuffer, nbytes: int
+    ) -> None:
+        blocks = self._rt.allgather_bytes(send.snapshot(nbytes))
+        offset = 0
+        for b in blocks:
+            recv.fill_from(b, offset)
+            offset += len(b)
+
+    def gather(
+        self, send: RegisteredBuffer, recv: RegisteredBuffer, nbytes: int,
+        root: int,
+    ) -> None:
+        blocks = self._rt.gather_bytes(send.snapshot(nbytes), root)
+        if blocks is not None:
+            offset = 0
+            for b in blocks:
+                recv.fill_from(b, offset)
+                offset += len(b)
+
+    def scatter(
+        self, send: RegisteredBuffer | None, recv: RegisteredBuffer,
+        nbytes: int, root: int,
+    ) -> None:
+        blocks = None
+        if self._rt.rank == root:
+            assert send is not None
+            data = send.snapshot(nbytes * self._rt.size)
+            blocks = [
+                data[i * nbytes:(i + 1) * nbytes]
+                for i in range(self._rt.size)
+            ]
+        recv.fill_from(self._rt.scatter_bytes(blocks, root))
+
+    def alltoall(
+        self, send: RegisteredBuffer, recv: RegisteredBuffer, nbytes: int
+    ) -> None:
+        data = send.snapshot(nbytes * self._rt.size)
+        blocks = self._rt.alltoall_bytes(
+            [data[i * nbytes:(i + 1) * nbytes] for i in range(self._rt.size)]
+        )
+        offset = 0
+        for b in blocks:
+            recv.fill_from(b, offset)
+            offset += len(b)
+
+    def reduce_scatter(
+        self, send: np.ndarray, recv: np.ndarray,
+        counts: Sequence[int], op: Op,
+    ) -> None:
+        result = self._rt.reduce_scatter_array(send, counts, op)
+        recv[: result.shape[0]] = result

@@ -1,0 +1,126 @@
+"""Generator-style collective algorithms for the discrete-event engine.
+
+These mirror the executable algorithms in :mod:`repro.mpi.collectives`
+step for step — same trees, same rounds, same message sizes — but as DES
+rank programs.  Tests assert that simulating them reproduces the analytic
+costs in :mod:`repro.simulator.collective_cost` (exactly where the
+analytic form is exact, within tolerance where it approximates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from .engine import RankProgram
+
+
+def _ceil_log2(p: int) -> int:
+    return max(1, math.ceil(math.log2(max(p, 2))))
+
+
+def dissemination_barrier(rank: int, p: int) -> RankProgram:
+    """ceil(log2 p) rounds of zero-byte token exchange."""
+    dist = 1
+    while dist < p:
+        yield ("sendrecv", (rank + dist) % p, (rank - dist) % p, 0)
+        dist <<= 1
+
+
+def binomial_bcast(rank: int, p: int, n: int, root: int = 0) -> RankProgram:
+    """Binomial-tree broadcast of an n-byte payload."""
+    vrank = (rank - root) % p
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            yield ("recv", ((vrank - mask) + root) % p)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        child = vrank + mask
+        if child < p:
+            yield ("send", (child + root) % p, n)
+        mask >>= 1
+
+
+def recursive_doubling_allreduce(
+    rank: int, p: int, n: int, gamma_us_per_byte: float = 0.0
+) -> RankProgram:
+    """Power-of-two recursive doubling with optional reduction compute."""
+    if p & (p - 1):
+        raise ValueError("DES recursive doubling requires power-of-two p")
+    mask = 1
+    while mask < p:
+        partner = rank ^ mask
+        yield ("sendrecv", partner, partner, n)
+        if gamma_us_per_byte:
+            yield ("compute", gamma_us_per_byte * n)
+        mask <<= 1
+
+
+def ring_allgather(rank: int, p: int, n: int) -> RankProgram:
+    """p-1 neighbour steps circulating n-byte blocks."""
+    right = (rank + 1) % p
+    left = (rank - 1) % p
+    for _ in range(p - 1):
+        yield ("sendrecv", right, left, n)
+
+
+def ring_allreduce(
+    rank: int, p: int, n: int, gamma_us_per_byte: float = 0.0
+) -> RankProgram:
+    """Ring reduce-scatter + ring allgather over p segments of n/p bytes."""
+    seg = -(-n // p)
+    right = (rank + 1) % p
+    left = (rank - 1) % p
+    for _ in range(p - 1):
+        yield ("sendrecv", right, left, seg)
+        if gamma_us_per_byte:
+            yield ("compute", gamma_us_per_byte * seg / 2)
+    for _ in range(p - 1):
+        yield ("sendrecv", right, left, seg)
+
+
+def pairwise_alltoall(rank: int, p: int, n: int) -> RankProgram:
+    """p-1 rounds of pairwise exchange of n-byte blocks."""
+    for step in range(1, p):
+        dest = (rank + step) % p
+        source = (rank - step) % p
+        yield ("sendrecv", dest, source, n)
+
+
+def binomial_gather(rank: int, p: int, n: int, root: int = 0) -> RankProgram:
+    """Binomial gather of n-byte blocks toward the root."""
+    vrank = (rank - root) % p
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            span = min(mask, p - vrank)
+            yield ("send", ((vrank - mask) + root) % p, span * n)
+            return
+        child = vrank | mask
+        if child < p:
+            yield ("recv", (child + root) % p)
+        mask <<= 1
+
+
+def make(op: str, n: int, **kw) -> Callable[[int, int], RankProgram]:
+    """Factory: (rank, p) -> program, for :func:`engine.simulate_collective`."""
+    table = {
+        "barrier": lambda r, p: dissemination_barrier(r, p),
+        "bcast": lambda r, p: binomial_bcast(r, p, n, **kw),
+        "allreduce_rd": lambda r, p: recursive_doubling_allreduce(
+            r, p, n, **kw
+        ),
+        "allreduce_ring": lambda r, p: ring_allreduce(r, p, n, **kw),
+        "allgather_ring": lambda r, p: ring_allgather(r, p, n),
+        "alltoall_pairwise": lambda r, p: pairwise_alltoall(r, p, n),
+        "gather_binomial": lambda r, p: binomial_gather(r, p, n, **kw),
+    }
+    try:
+        return table[op]
+    except KeyError:
+        raise ValueError(
+            f"unknown DES collective {op!r}; available: {sorted(table)}"
+        ) from None

@@ -1,0 +1,85 @@
+"""Hockney / LogGP point-to-point cost models.
+
+The classic two-parameter Hockney model prices a message of n bytes at
+``alpha + beta * n``; real MPI stacks add protocol regimes — an eager path
+for small messages and a rendezvous path (extra handshake latency, better
+per-byte rate) for large ones.  :class:`NetworkModel` captures both, which
+is all the structure the paper's latency/bandwidth curves need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """One link class (e.g. intra-node shared memory, inter-node IB).
+
+    All times are microseconds; rates are bytes/microsecond.
+
+    Attributes
+    ----------
+    alpha_us:
+        Zero-byte one-way latency on the eager path.
+    beta_us_per_byte:
+        Per-byte cost on the eager path (1 / eager bandwidth).
+    rendezvous_bytes:
+        Message size at which the rendezvous protocol takes over.
+    rendezvous_alpha_us:
+        Extra fixed handshake cost on the rendezvous path.
+    rendezvous_beta_us_per_byte:
+        Per-byte cost on the rendezvous path (usually lower: zero-copy).
+    gap_us_per_byte:
+        LogGP "G": per-byte gap limiting back-to-back injection; governs
+        the bandwidth tests' window pipelining.
+    """
+
+    alpha_us: float
+    beta_us_per_byte: float
+    rendezvous_bytes: int = 16384
+    rendezvous_alpha_us: float = 0.0
+    rendezvous_beta_us_per_byte: float | None = None
+    gap_us_per_byte: float | None = None
+
+    def latency_us(self, nbytes: int) -> float:
+        """One-way time for a single n-byte message."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        if nbytes <= self.rendezvous_bytes:
+            return self.alpha_us + self.beta_us_per_byte * nbytes
+        beta = (
+            self.rendezvous_beta_us_per_byte
+            if self.rendezvous_beta_us_per_byte is not None
+            else self.beta_us_per_byte
+        )
+        return self.alpha_us + self.rendezvous_alpha_us + beta * nbytes
+
+    def gap_us(self, nbytes: int) -> float:
+        """Minimum spacing between consecutive message injections."""
+        g = (
+            self.gap_us_per_byte
+            if self.gap_us_per_byte is not None
+            else self.beta_us_per_byte
+        )
+        return g * nbytes
+
+    def bandwidth_mbs(self, nbytes: int, window: int = 64) -> float:
+        """Steady-state windowed bandwidth in MB/s (MB = 1e6 bytes).
+
+        With a window of in-flight messages, throughput is limited by the
+        per-message gap; the first message additionally pays latency,
+        amortized over the window.
+        """
+        if nbytes == 0:
+            return 0.0
+        per_msg = max(self.gap_us(nbytes), 1e-9)
+        total_us = self.latency_us(nbytes) + per_msg * (window - 1)
+        return (nbytes * window) / total_us  # bytes/us == MB/s
+
+
+def effective_model(
+    intra: NetworkModel, inter: NetworkModel, same_node: bool
+) -> NetworkModel:
+    """Pick the link model for a rank pair by placement."""
+    return intra if same_node else inter

@@ -1,0 +1,44 @@
+"""Node and GPU hardware descriptions.
+
+Pure data: socket/core counts and clock rates from the paper's §V-A, plus
+the memory- and device-level rates the cost models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeModel:
+    """One compute node."""
+
+    cpu: str
+    sockets: int
+    cores_per_socket: int
+    ghz: float
+    ram_gb: int
+    # Sustained single-core copy bandwidth (bytes/us) — prices the extra
+    # buffer copies Python paths make.
+    copy_bw_bytes_per_us: float = 8000.0
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def copy_us(self, nbytes: int) -> float:
+        """Time to memcpy n bytes on one core."""
+        return nbytes / self.copy_bw_bytes_per_us
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """One accelerator."""
+
+    name: str
+    memory_gb: int
+    # Device-to-device bandwidth over NVLink/PCIe as seen by the NIC
+    # (bytes/us); prices GPUDirect transfers.
+    d2d_bw_bytes_per_us: float = 20000.0
+    # Fixed cost of launching a GPU-involved transfer.
+    transfer_setup_us: float = 2.0

@@ -1,0 +1,108 @@
+"""Python-binding overhead models.
+
+The paper's central measurement is the delta between OMB (C calling MPI
+directly) and OMB-Py (Python calling MPI through mpi4py).  That delta has
+a simple structure, which this module models explicitly:
+
+* a **fixed per-call cost** — argument parsing, buffer-protocol
+  introspection, datatype discovery, interpreter dispatch;
+* a **per-byte touch cost** — the extra copy/packing work the binding
+  layer does on the user buffer;
+* for the **pickle path** — serialization: a fixed cost plus a steep
+  per-byte cost, with an extra regime above 64 KB where allocation and
+  copy effects compound (the paper's Figs. 32-35 divergence);
+* for **GPU buffers** — a per-call CUDA-Array-Interface export cost that
+  differs by library (Numba's per-access rebuild/validation makes it
+  roughly 2x CuPy/PyCUDA, per the paper's Figs. 22-27);
+* a **THREAD_MULTIPLE full-subscription penalty** — mpi4py initializes
+  THREAD_MULTIPLE while OMB's C tests use THREAD_SINGLE; at full PPN the
+  extra progress threads oversubscribe cores and the penalty grows with
+  both message size and PPN (the paper's Figs. 16-17 and 20-21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BindingOverheadModel:
+    """Per-call Python binding costs for one cluster's CPU."""
+
+    call_us: float            # fixed cost per MPI call through the bindings
+    byte_us: float            # per-byte buffer-touch cost
+    # Pickle path (lower-case methods):
+    pickle_call_us: float = 0.65
+    pickle_byte_us: float = 2.2e-4
+    pickle_large_bytes: int = 65536
+    pickle_large_byte_us: float = 1.5e-3
+    # THREAD_MULTIPLE penalty at full subscription (per call, scaled):
+    thread_multiple_call_us: float = 2.0
+    thread_multiple_byte_us: float = 5.0e-3
+
+    def call_overhead_us(self, nbytes: int, calls: int = 2) -> float:
+        """Binding overhead for one benchmark operation.
+
+        ``calls`` is the number of binding-layer entries per measured
+        operation (a ping-pong side makes a send call and a recv call).
+        """
+        return self.call_us * calls + self.byte_us * nbytes
+
+    def pickle_overhead_us(self, nbytes: int, calls: int = 2) -> float:
+        """Additional cost of the pickle path over the direct-buffer path."""
+        cost = self.pickle_call_us * calls + self.pickle_byte_us * nbytes
+        if nbytes > self.pickle_large_bytes:
+            cost += self.pickle_large_byte_us * (
+                nbytes - self.pickle_large_bytes
+            )
+        return cost
+
+    def thread_multiple_us(
+        self, nbytes: int, ppn: int, cores: int
+    ) -> float:
+        """Full-subscription oversubscription penalty (OMB-Py only).
+
+        Zero until the node is fully subscribed; then grows with both PPN
+        and message size, matching the divergence the paper reports for
+        56-PPN Allgather/Allreduce.
+        """
+        if ppn < cores:
+            return 0.0
+        scale = ppn / cores
+        return scale * (
+            self.thread_multiple_call_us
+            + self.thread_multiple_byte_us * nbytes
+        )
+
+
+@dataclass(frozen=True)
+class GpuBufferOverheadModel:
+    """Per-call CAI-export costs of the three GPU buffer libraries (us)."""
+
+    cupy_call_us: float = 1.77
+    pycuda_call_us: float = 1.72
+    numba_call_us: float = 2.93
+    # Per-byte extra staging cost (tiny: GPUDirect path is zero-copy, but
+    # the Python layer still walks descriptors proportionally for pack
+    # checks on large transfers).
+    cupy_byte_us: float = 4.6e-6
+    pycuda_byte_us: float = 4.3e-6
+    numba_byte_us: float = 5.3e-6
+
+    def call_overhead_us(
+        self, library: str, nbytes: int, calls: int = 2
+    ) -> float:
+        """Per-operation overhead of using ``library`` device buffers."""
+        table = {
+            "cupy": (self.cupy_call_us, self.cupy_byte_us),
+            "pycuda": (self.pycuda_call_us, self.pycuda_byte_us),
+            "numba": (self.numba_call_us, self.numba_byte_us),
+        }
+        try:
+            call, byte = table[library]
+        except KeyError:
+            raise ValueError(
+                f"unknown GPU buffer library {library!r}; "
+                f"choose from {sorted(table)}"
+            ) from None
+        return call * calls + byte * nbytes

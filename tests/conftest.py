@@ -1,0 +1,38 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.world import run_on_threads
+
+# Most collective tests run at these world sizes: 1 (degenerate), 2
+# (pairs), 4 (power of two), 5 (odd), 8 (deeper trees).
+WORLD_SIZES = (1, 2, 4, 5, 8)
+
+
+def run_world(n: int, fn, timeout: float = 60.0):
+    """Run fn(comm) on n ranks-as-threads with a test-friendly timeout."""
+    return run_on_threads(n, fn, timeout=timeout)
+
+
+@pytest.fixture
+def world4():
+    """Run the decorated body on 4 ranks: usage — world4(lambda comm: ...)."""
+    def runner(fn, timeout: float = 60.0):
+        return run_on_threads(4, fn, timeout=timeout)
+
+    return runner
+
+
+@pytest.fixture(autouse=True)
+def _reset_collective_overrides():
+    """Keep selector.force() leaks from crossing test boundaries."""
+    from repro.mpi.collectives import selector
+
+    yield
+    for op in (
+        "bcast", "allreduce", "allgather", "alltoall", "reduce",
+        "reduce_scatter", "gather", "scatter", "scan", "barrier",
+    ):
+        selector.force(op, None)

@@ -1,0 +1,132 @@
+"""Buffer-resolution tests for the bindings layer."""
+
+import numpy as np
+import pytest
+
+from repro.bindings.buffers import resolve_buffer
+from repro.gpu import cupy_sim, numba_sim, pycuda_sim
+from repro.mpi import datatypes
+from repro.mpi.exceptions import BufferError_, CountError
+
+
+class TestHostBuffers:
+    def test_bytearray(self):
+        spec = resolve_buffer(bytearray(16))
+        assert spec.nbytes == 16
+        assert spec.datatype is datatypes.BYTE
+        assert spec.kind == "host"
+
+    def test_bytes_send_only(self):
+        spec = resolve_buffer(b"\x01\x02")
+        assert spec.read() == b"\x01\x02"
+
+    def test_bytes_not_writable(self):
+        with pytest.raises(BufferError_, match="read-only"):
+            resolve_buffer(b"xx", writable=True)
+
+    def test_numpy_dtype_discovery(self):
+        spec = resolve_buffer(np.zeros(4, dtype="f8"))
+        assert spec.datatype is datatypes.DOUBLE
+        assert spec.nbytes == 32
+        assert spec.count == 4
+
+    def test_numpy_int32(self):
+        spec = resolve_buffer(np.zeros(3, dtype="i4"))
+        assert spec.datatype is datatypes.INT
+
+    def test_noncontiguous_rejected(self):
+        arr = np.zeros((4, 4))[:, 0]
+        with pytest.raises(BufferError_, match="C-contiguous"):
+            resolve_buffer(arr)
+
+    def test_readonly_numpy_recv_rejected(self):
+        arr = np.zeros(4)
+        arr.flags.writeable = False
+        with pytest.raises(BufferError_, match="read-only"):
+            resolve_buffer(arr, writable=True)
+
+    def test_unsupported_object(self):
+        with pytest.raises(BufferError_, match="buffer protocol"):
+            resolve_buffer(object())
+
+    def test_write_roundtrip(self):
+        buf = bytearray(8)
+        spec = resolve_buffer(buf, writable=True)
+        spec.write(b"abcd", offset=2)
+        assert bytes(buf) == b"\x00\x00abcd\x00\x00"
+
+    def test_write_overrun_rejected(self):
+        spec = resolve_buffer(bytearray(4), writable=True)
+        with pytest.raises(BufferError_, match="overruns"):
+            spec.write(b"12345")
+
+    def test_as_array_uses_datatype(self):
+        arr = np.arange(4, dtype="f4")
+        spec = resolve_buffer(arr)
+        assert np.allclose(spec.as_array(), arr)
+
+
+class TestExplicitSpecs:
+    def test_two_tuple_with_datatype_object(self):
+        spec = resolve_buffer([bytearray(8), datatypes.DOUBLE])
+        assert spec.datatype is datatypes.DOUBLE
+        assert spec.count == 1
+
+    def test_two_tuple_with_name(self):
+        spec = resolve_buffer([bytearray(8), "MPI_FLOAT"])
+        assert spec.datatype is datatypes.FLOAT
+        assert spec.count == 2
+
+    def test_three_tuple_count_limits_view(self):
+        spec = resolve_buffer([bytearray(32), 2, "MPI_DOUBLE"])
+        assert spec.nbytes == 16
+        assert spec.count == 2
+
+    def test_count_exceeding_buffer_rejected(self):
+        with pytest.raises(CountError, match="exceeds"):
+            resolve_buffer([bytearray(8), 9, "MPI_CHAR"])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(CountError):
+            resolve_buffer([bytearray(8), -1, "MPI_CHAR"])
+
+    def test_non_multiple_datatype_rejected(self):
+        with pytest.raises(BufferError_, match="whole number"):
+            resolve_buffer([bytearray(7), "MPI_DOUBLE"])
+
+    def test_wrong_spec_arity(self):
+        with pytest.raises(BufferError_, match="buffer spec"):
+            resolve_buffer([bytearray(4), 1, "MPI_CHAR", "extra"])
+
+
+class TestDeviceBuffers:
+    def test_cupy_detected(self):
+        arr = cupy_sim.zeros(10, dtype=np.float64)
+        spec = resolve_buffer(arr)
+        assert spec.kind == "device"
+        assert spec.library == "cupy"
+        assert spec.nbytes == 80
+        assert spec.datatype is datatypes.DOUBLE
+
+    def test_pycuda_detected(self):
+        arr = pycuda_sim.gpuarray.zeros(4, dtype=np.int32)
+        spec = resolve_buffer(arr)
+        assert spec.library == "pycuda"
+        assert spec.datatype is datatypes.INT
+
+    def test_numba_detected(self):
+        arr = numba_sim.cuda.device_array(6, dtype=np.float32)
+        spec = resolve_buffer(arr)
+        assert spec.library == "numba"
+        assert spec.datatype is datatypes.FLOAT
+
+    def test_device_view_aliases_device_memory(self):
+        arr = cupy_sim.zeros(4, dtype=np.uint8)
+        spec = resolve_buffer(arr, writable=True)
+        spec.write(b"\x09\x08\x07\x06")
+        assert arr.get().tolist() == [9, 8, 7, 6]
+
+    def test_device_read_sees_device_contents(self):
+        arr = cupy_sim.array(np.array([1, 2, 3], dtype=np.uint8))
+        spec = resolve_buffer(arr)
+        assert spec.read() == b"\x01\x02\x03"

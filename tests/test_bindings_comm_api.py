@@ -1,0 +1,384 @@
+"""The mpi4py-workalike Comm API: upper-case buffer methods, lower-case
+pickle methods, GPU buffers, and vector collectives."""
+
+import numpy as np
+import pytest
+
+from repro.bindings import Comm
+from repro.gpu import cupy_sim, numba_sim, pycuda_sim
+from repro.mpi import constants as C
+from repro.mpi import datatypes, ops
+from repro.mpi.exceptions import CountError
+from repro.mpi.status import Status
+from repro.mpi.world import run_on_threads
+
+
+def bind(fn):
+    """Adapt a test body taking a bindings Comm to run_on_threads."""
+    return lambda rt: fn(Comm(rt))
+
+
+class TestUppercaseP2P:
+    def test_send_recv_numpy(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(5, dtype="i8"), 1, 3)
+            elif comm.rank == 1:
+                out = np.zeros(5, dtype="i8")
+                st = Status()
+                comm.Recv(out, 0, 3, st)
+                assert np.array_equal(out, np.arange(5))
+                assert st.Get_count(datatypes.LONG) == 5
+        run_on_threads(2, bind(work))
+
+    def test_send_recv_bytearray(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.Send(bytearray(b"1234"), 1, 1)
+            elif comm.rank == 1:
+                out = bytearray(4)
+                comm.Recv(out, 0, 1)
+                assert bytes(out) == b"1234"
+        run_on_threads(2, bind(work))
+
+    def test_isend_irecv(self):
+        def work(comm):
+            if comm.rank == 0:
+                req = comm.Isend(np.full(3, 7.0), 1, 2)
+                req.wait()
+            elif comm.rank == 1:
+                out = np.zeros(3)
+                req = comm.Irecv(out, 0, 2)
+                req.Wait()
+                assert np.allclose(out, 7.0)
+        run_on_threads(2, bind(work))
+
+    def test_sendrecv(self):
+        def work(comm):
+            other = 1 - comm.rank
+            out = np.zeros(1, dtype="i4")
+            comm.Sendrecv(
+                np.array([comm.rank], dtype="i4"), other, 0, out, other, 0
+            )
+            assert out[0] == other
+        run_on_threads(2, bind(work))
+
+    def test_recv_any_source_status(self):
+        def work(comm):
+            if comm.rank == 0:
+                out = np.zeros(1, dtype="i4")
+                st = Status()
+                comm.Recv(out, C.ANY_SOURCE, C.ANY_TAG, st)
+                assert st.Get_source() == out[0]
+            else:
+                comm.Send(np.array([comm.rank], dtype="i4"), 0, comm.rank)
+        run_on_threads(2, bind(work))
+
+
+class TestUppercaseCollectives:
+    def test_bcast_in_place(self):
+        def work(comm):
+            buf = np.zeros(6)
+            if comm.rank == 0:
+                buf[:] = np.arange(6)
+            comm.Bcast(buf, 0)
+            assert np.array_equal(buf, np.arange(6))
+        run_on_threads(4, bind(work))
+
+    def test_reduce(self):
+        def work(comm):
+            send = np.full(4, comm.rank + 1.0)
+            recv = np.zeros(4) if comm.rank == 0 else None
+            comm.Reduce(send, recv, ops.SUM, 0)
+            if comm.rank == 0:
+                assert np.allclose(recv, sum(range(1, comm.size + 1)))
+        run_on_threads(4, bind(work))
+
+    def test_allreduce(self):
+        def work(comm):
+            recv = np.zeros(3)
+            comm.Allreduce(np.full(3, 2.0), recv, ops.SUM)
+            assert np.allclose(recv, 2.0 * comm.size)
+        run_on_threads(5, bind(work))
+
+    def test_allreduce_typed_spec(self):
+        def work(comm):
+            sbuf = bytearray(np.full(4, 1.5, dtype="f4").tobytes())
+            rbuf = bytearray(16)
+            comm.Allreduce([sbuf, "MPI_FLOAT"], [rbuf, "MPI_FLOAT"])
+            out = np.frombuffer(bytes(rbuf), dtype="f4")
+            assert np.allclose(out, 1.5 * comm.size)
+        run_on_threads(3, bind(work))
+
+    def test_gather(self):
+        def work(comm):
+            send = np.array([comm.rank], dtype="i8")
+            recv = np.zeros(comm.size, dtype="i8") if comm.rank == 0 else None
+            comm.Gather(send, recv, 0)
+            if comm.rank == 0:
+                assert np.array_equal(recv, np.arange(comm.size))
+        run_on_threads(4, bind(work))
+
+    def test_scatter(self):
+        def work(comm):
+            send = (
+                np.arange(comm.size * 2, dtype="i8")
+                if comm.rank == 0 else None
+            )
+            recv = np.zeros(2, dtype="i8")
+            comm.Scatter(send, recv, 0)
+            assert np.array_equal(
+                recv, [comm.rank * 2, comm.rank * 2 + 1]
+            )
+        run_on_threads(4, bind(work))
+
+    def test_allgather(self):
+        def work(comm):
+            recv = np.zeros(comm.size, dtype="f8")
+            comm.Allgather(np.array([float(comm.rank)]), recv)
+            assert np.array_equal(recv, np.arange(comm.size, dtype="f8"))
+        run_on_threads(5, bind(work))
+
+    def test_alltoall(self):
+        def work(comm):
+            send = np.array(
+                [comm.rank * 10 + j for j in range(comm.size)], dtype="i8"
+            )
+            recv = np.zeros(comm.size, dtype="i8")
+            comm.Alltoall(send, recv)
+            assert np.array_equal(
+                recv, [i * 10 + comm.rank for i in range(comm.size)]
+            )
+        run_on_threads(4, bind(work))
+
+    def test_reduce_scatter_default_counts(self):
+        def work(comm):
+            p = comm.size
+            send = np.ones(p * 2)
+            recv = np.zeros(2)
+            comm.Reduce_scatter(send, recv)
+            assert np.allclose(recv, p)
+        run_on_threads(4, bind(work))
+
+    def test_reduce_scatter_indivisible_requires_counts(self):
+        def work(comm):
+            send = np.ones(comm.size + 1)
+            recv = np.zeros(1)
+            with pytest.raises(CountError, match="divisible"):
+                comm.Reduce_scatter(send, recv)
+            comm.Barrier()
+        run_on_threads(2, bind(work))
+
+    def test_scan(self):
+        def work(comm):
+            recv = np.zeros(1)
+            comm.Scan(np.array([1.0]), recv)
+            assert recv[0] == comm.rank + 1
+        run_on_threads(5, bind(work))
+
+    def test_alltoall_indivisible_rejected(self):
+        def work(comm):
+            send = np.zeros(comm.size + 1, dtype="i8")
+            recv = np.zeros(comm.size + 1, dtype="i8")
+            with pytest.raises(CountError):
+                comm.Alltoall(send, recv)
+            comm.Barrier()
+        run_on_threads(3, bind(work))
+
+
+class TestVectorCollectives:
+    def test_gatherv(self):
+        def work(comm):
+            mine = np.full(comm.rank + 1, comm.rank, dtype="i8")
+            counts = [r + 1 for r in range(comm.size)]
+            if comm.rank == 0:
+                recv = np.zeros(sum(counts), dtype="i8")
+                comm.Gatherv(mine, [recv, counts], 0)
+                expect = np.concatenate(
+                    [np.full(r + 1, r) for r in range(comm.size)]
+                )
+                assert np.array_equal(recv, expect)
+            else:
+                comm.Gatherv(mine, None, 0)
+        run_on_threads(4, bind(work))
+
+    def test_scatterv(self):
+        def work(comm):
+            counts = [r + 1 for r in range(comm.size)]
+            recv = np.zeros(comm.rank + 1, dtype="i8")
+            if comm.rank == 0:
+                send = np.concatenate(
+                    [np.full(r + 1, r * 100) for r in range(comm.size)]
+                ).astype("i8")
+                comm.Scatterv([send, counts], recv, 0)
+            else:
+                comm.Scatterv(None, recv, 0)
+            assert np.array_equal(recv, np.full(comm.rank + 1, comm.rank * 100))
+        run_on_threads(3, bind(work))
+
+    def test_allgatherv(self):
+        def work(comm):
+            counts = [2 * r + 1 for r in range(comm.size)]
+            mine = np.full(counts[comm.rank], comm.rank, dtype="f8")
+            recv = np.zeros(sum(counts), dtype="f8")
+            comm.Allgatherv(mine, [recv, counts])
+            expect = np.concatenate(
+                [np.full(counts[r], r) for r in range(comm.size)]
+            )
+            assert np.array_equal(recv, expect)
+        run_on_threads(3, bind(work))
+
+    def test_alltoallv(self):
+        def work(comm):
+            p = comm.size
+            scounts = [comm.rank + 1] * p
+            send = np.concatenate([
+                np.full(comm.rank + 1, comm.rank * 10 + j) for j in range(p)
+            ]).astype("i8")
+            rcounts = [i + 1 for i in range(p)]
+            recv = np.zeros(sum(rcounts), dtype="i8")
+            comm.Alltoallv([send, scounts], [recv, rcounts])
+            expect = np.concatenate([
+                np.full(i + 1, i * 10 + comm.rank) for i in range(p)
+            ])
+            assert np.array_equal(recv, expect)
+        run_on_threads(3, bind(work))
+
+    def test_counts_length_validated(self):
+        def work(comm):
+            with pytest.raises(CountError, match="entries"):
+                comm.Allgatherv(np.zeros(1), [np.zeros(3), [1, 1, 1]])
+            comm.Barrier()
+        run_on_threads(2, bind(work))
+
+
+class TestLowercasePickle:
+    def test_send_recv_object(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.send({"a": [1, 2], "b": "text"}, 1, 4)
+            elif comm.rank == 1:
+                obj = comm.recv(0, 4)
+                assert obj == {"a": [1, 2], "b": "text"}
+        run_on_threads(2, bind(work))
+
+    def test_isend_irecv_object(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.isend((1, "two", 3.0), 1, 1).wait()
+            elif comm.rank == 1:
+                fut = comm.irecv(0, 1)
+                assert fut.wait() == (1, "two", 3.0)
+        run_on_threads(2, bind(work))
+
+    def test_bcast_object(self):
+        def work(comm):
+            obj = comm.bcast(
+                {"nested": {"x": comm.size}} if comm.rank == 0 else None, 0
+            )
+            assert obj == {"nested": {"x": comm.size}}
+        run_on_threads(4, bind(work))
+
+    def test_gather_scatter_objects(self):
+        def work(comm):
+            gathered = comm.gather(f"r{comm.rank}", 0)
+            if comm.rank == 0:
+                assert gathered == [f"r{i}" for i in range(comm.size)]
+            else:
+                assert gathered is None
+            item = comm.scatter(
+                [{"id": i} for i in range(comm.size)]
+                if comm.rank == 0 else None, 0
+            )
+            assert item == {"id": comm.rank}
+        run_on_threads(4, bind(work))
+
+    def test_allgather_heterogeneous_sizes(self):
+        def work(comm):
+            out = comm.allgather("x" * (comm.rank * 100 + 1))
+            assert [len(s) for s in out] == [
+                r * 100 + 1 for r in range(comm.size)
+            ]
+        run_on_threads(3, bind(work))
+
+    def test_alltoall_objects(self):
+        def work(comm):
+            out = comm.alltoall(
+                [(comm.rank, j) for j in range(comm.size)]
+            )
+            assert out == [(i, comm.rank) for i in range(comm.size)]
+        run_on_threads(3, bind(work))
+
+    def test_reduce_allreduce_objects(self):
+        def work(comm):
+            total = comm.allreduce(comm.rank + 1)
+            assert total == sum(range(1, comm.size + 1))
+            arr_total = comm.allreduce(np.full(2, 1.0))
+            assert np.allclose(arr_total, comm.size)
+        run_on_threads(4, bind(work))
+
+    def test_pickle_ndarray_roundtrip_preserves_dtype(self):
+        def work(comm):
+            obj = comm.bcast(
+                np.arange(4, dtype="f4") if comm.rank == 0 else None, 0
+            )
+            assert obj.dtype == np.dtype("f4")
+        run_on_threads(2, bind(work))
+
+    def test_scatter_wrong_length_rejected(self):
+        def work(comm):
+            if comm.rank == 0:
+                with pytest.raises(CountError):
+                    comm.scatter([1], 0)  # needs comm.size == 2 objects
+            comm.Barrier()
+        run_on_threads(2, bind(work))
+
+
+class TestGpuThroughAPI:
+    @pytest.mark.parametrize("lib", ["cupy", "pycuda", "numba"])
+    def test_allreduce_device_buffers(self, lib):
+        def make(val):
+            host = np.full(8, val)
+            if lib == "cupy":
+                return cupy_sim.array(host), cupy_sim.zeros(8)
+            if lib == "pycuda":
+                return (
+                    pycuda_sim.gpuarray.to_gpu(host),
+                    pycuda_sim.gpuarray.zeros(8),
+                )
+            return (
+                numba_sim.cuda.to_device(host),
+                numba_sim.cuda.device_array(8),
+            )
+
+        def readback(arr):
+            return arr.get() if hasattr(arr, "get") else arr.copy_to_host()
+
+        def work(comm):
+            send, recv = make(float(comm.rank + 1))
+            comm.Allreduce(send, recv, ops.SUM)
+            assert np.allclose(
+                readback(recv), sum(range(1, comm.size + 1))
+            )
+        run_on_threads(3, bind(work))
+
+    def test_gpu_send_recv(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.Send(cupy_sim.array(np.arange(4.0)), 1, 9)
+            elif comm.rank == 1:
+                out = numba_sim.cuda.device_array(4, dtype=np.float64)
+                comm.Recv(out, 0, 9)
+                assert np.allclose(out.copy_to_host(), np.arange(4.0))
+        run_on_threads(2, bind(work))
+
+
+class TestCommManagement:
+    def test_dup_split(self):
+        def work(comm):
+            dup = comm.Dup()
+            assert dup.Get_size() == comm.Get_size()
+            sub = comm.Split(comm.rank % 2, comm.rank)
+            total = sub.allreduce(1)
+            assert total == sub.size
+        run_on_threads(4, bind(work))

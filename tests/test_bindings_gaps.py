@@ -1,0 +1,126 @@
+"""Coverage for bindings paths not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.bindings import Comm
+from repro.mpi import constants as C
+from repro.mpi.status import Status
+from repro.mpi.world import run_on_threads
+
+
+def bind(fn):
+    return lambda rt: fn(Comm(rt))
+
+
+class TestLowercaseSendrecv:
+    def test_object_exchange(self):
+        def work(comm):
+            other = 1 - comm.rank
+            got = comm.sendrecv({"from": comm.rank}, other, 1, other, 1)
+            assert got == {"from": other}
+        run_on_threads(2, bind(work))
+
+
+class TestRecvStatusLowercase:
+    def test_recv_fills_status(self):
+        def work(comm):
+            if comm.rank == 0:
+                st = Status()
+                obj = comm.recv(C.ANY_SOURCE, C.ANY_TAG, st)
+                assert obj == [1, 2]
+                assert st.Get_source() == 1
+                assert st.Get_tag() == 42
+            else:
+                comm.send([1, 2], 0, 42)
+        run_on_threads(2, bind(work))
+
+
+class TestSendrecvStatusUppercase:
+    def test_status_filled(self):
+        def work(comm):
+            other = 1 - comm.rank
+            out = np.zeros(2, dtype="i8")
+            st = Status()
+            comm.Sendrecv(
+                np.full(2, comm.rank, dtype="i8"), other, 5,
+                out, other, 5, st,
+            )
+            assert st.Get_source() == other
+            assert out[0] == other
+        run_on_threads(2, bind(work))
+
+
+class TestReduceOps:
+    @pytest.mark.parametrize("opname,expect_fn", [
+        ("MAX", max), ("MIN", min),
+    ])
+    def test_allreduce_extrema(self, opname, expect_fn):
+        from repro.mpi import ops as mpi_ops
+
+        op = getattr(mpi_ops, opname)
+
+        def work(comm):
+            recv = np.zeros(1)
+            comm.Allreduce(np.array([float(comm.rank)]), recv, op)
+            assert recv[0] == expect_fn(range(comm.size))
+        run_on_threads(4, bind(work))
+
+    def test_lowercase_reduce_none_on_nonroot(self):
+        def work(comm):
+            out = comm.reduce(comm.rank + 1, root=1)
+            if comm.rank == 1:
+                assert out == sum(range(1, comm.size + 1))
+            else:
+                assert out is None
+        run_on_threads(3, bind(work))
+
+
+class TestRunnerEdgeCases:
+    def test_no_participants_raises(self):
+        """A benchmark where no rank reports must fail loudly."""
+        from repro.core import Options
+        from repro.core.runner import BenchContext, Benchmark
+
+        class Ghost(Benchmark):
+            name = "ghost"
+            min_ranks = 1
+
+            def run_size(self, ctx, size, iterations, warmup):
+                return None  # nobody measures anything
+
+        opts = Options(min_size=1, max_size=1, iterations=1, warmup=0)
+
+        def work(comm):
+            with pytest.raises(RuntimeError, match="no rank reported"):
+                Ghost().run(BenchContext(comm, opts))
+
+        run_on_threads(2, work)
+
+    def test_reduce_stats_all_ranks(self):
+        from repro.core.options import Options
+        from repro.core.runner import BenchContext
+
+        def work(comm):
+            ctx = BenchContext(comm, Options())
+            avg, mn, mx, count = ctx.reduce_stats(float(comm.rank + 1))
+            assert count == comm.size
+            assert mn == 1.0 and mx == comm.size
+            assert avg == pytest.approx(
+                sum(range(1, comm.size + 1)) / comm.size
+            )
+
+        run_on_threads(4, work)
+
+    def test_reduce_stats_partial_participation(self):
+        from repro.core.options import Options
+        from repro.core.runner import BenchContext
+
+        def work(comm):
+            ctx = BenchContext(comm, Options())
+            value = 10.0 if comm.rank == 0 else None
+            avg, mn, mx, count = ctx.reduce_stats(value)
+            assert count == 1
+            assert avg == mn == mx == 10.0
+
+        run_on_threads(3, work)

@@ -1,0 +1,72 @@
+"""Pickle codec tests."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.bindings.pickle_codec import PickleCodec
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("obj", [
+        42,
+        3.14,
+        "string",
+        [1, 2, [3, 4]],
+        {"k": (1, 2)},
+        None,
+        b"raw bytes",
+    ])
+    def test_builtin_objects(self, obj):
+        codec = PickleCodec()
+        assert codec.loads(codec.dumps(obj)) == obj
+
+    def test_numpy_array(self):
+        codec = PickleCodec()
+        arr = np.arange(10, dtype="f4").reshape(2, 5)
+        out = codec.loads(codec.dumps(arr))
+        assert np.array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+
+class TestProtocol:
+    def test_default_is_highest(self):
+        assert PickleCodec().protocol == pickle.HIGHEST_PROTOCOL
+
+    def test_explicit_protocol(self):
+        codec = PickleCodec(protocol=2)
+        assert codec.protocol == 2
+        assert codec.loads(codec.dumps([1, 2])) == [1, 2]
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("OMBPY_PICKLE_PROTOCOL", "3")
+        assert PickleCodec().protocol == 3
+
+    def test_invalid_protocol_rejected(self):
+        with pytest.raises(ValueError, match="protocol"):
+            PickleCodec(protocol=99)
+
+
+class TestAccounting:
+    def test_byte_and_call_counters(self):
+        codec = PickleCodec()
+        data = codec.dumps([1, 2, 3])
+        codec.loads(data)
+        assert codec.dumps_calls == 1
+        assert codec.loads_calls == 1
+        assert codec.bytes_out == len(data)
+        assert codec.bytes_in == len(data)
+
+    def test_reset(self):
+        codec = PickleCodec()
+        codec.dumps("x")
+        codec.reset_stats()
+        assert codec.dumps_calls == 0 and codec.bytes_out == 0
+
+    def test_overhead_positive_for_ndarray(self):
+        codec = PickleCodec()
+        arr = np.zeros(1000, dtype=np.uint8)
+        ovh = codec.overhead_bytes(arr.nbytes, arr)
+        assert ovh > 0  # pickle framing + dtype metadata
+        assert ovh < 500  # but bounded

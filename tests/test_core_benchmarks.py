@@ -1,0 +1,179 @@
+"""Run every registered benchmark end-to-end (small sweeps, all APIs)."""
+
+import pytest
+
+from repro.core import Options, available_benchmarks, get_benchmark
+from repro.core.registry import CATEGORIES, FEATURE_COLUMNS, FEATURE_MATRIX
+from repro.core.runner import BenchContext
+from repro.mpi.world import run_on_threads
+
+FAST = Options(min_size=1, max_size=64, iterations=3, warmup=1)
+
+
+def run_bench(name, n=4, options=FAST):
+    bench = get_benchmark(name)
+
+    def work(comm):
+        return bench.run(BenchContext(comm, options))
+
+    return run_on_threads(n, work, timeout=90)
+
+
+class TestRegistry:
+    def test_table2_contents(self):
+        names = available_benchmarks()
+        # Point-to-point row of Table II.
+        for expected in ("osu_latency", "osu_bw", "osu_bibw",
+                         "osu_multi_lat"):
+            assert expected in names
+        # Blocking collectives row.
+        for expected in ("osu_allgather", "osu_allreduce", "osu_alltoall",
+                         "osu_barrier", "osu_bcast", "osu_gather",
+                         "osu_reduce_scatter", "osu_reduce", "osu_scatter"):
+            assert expected in names
+        # Vector variants row.
+        for expected in ("osu_allgatherv", "osu_alltoallv", "osu_gatherv",
+                         "osu_scatterv"):
+            assert expected in names
+
+    def test_category_listing(self):
+        assert set(available_benchmarks("pt2pt")) <= set(
+            available_benchmarks()
+        )
+        assert len(CATEGORIES["collective"]) == 9
+        assert len(CATEGORIES["vector"]) == 4
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("osu_nope")
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError, match="unknown category"):
+            available_benchmarks("quantum")
+
+    def test_feature_matrix_table1(self):
+        assert FEATURE_COLUMNS[0] == "OMB-Py"
+        # OMB-Py supports everything in its own comparison table.
+        for feature, row in FEATURE_MATRIX.items():
+            assert row[0] == "yes", feature
+        # IMB and SMB lack Python support, GPU buffers, ML benchmarks.
+        assert FEATURE_MATRIX["python_support"][2:] == ("no", "no")
+        assert FEATURE_MATRIX["ml_workload_benchmarks"][1:] == (
+            "no", "no", "no"
+        )
+
+
+class TestAllBenchmarksRun:
+    @pytest.mark.parametrize("name", sorted(
+        set(available_benchmarks()) - {"osu_multi_lat"}
+    ))
+    def test_buffer_api(self, name):
+        tables = run_bench(name)
+        t = tables[0]
+        assert len(t) >= 1
+        assert all(r.value > 0 for r in t.rows)
+        assert all(r.minimum <= r.value <= r.maximum for r in t.rows)
+
+    def test_multi_lat_even_ranks(self):
+        tables = run_bench("osu_multi_lat", n=4)
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    def test_multi_lat_odd_ranks_rejected(self):
+        with pytest.raises(ValueError, match="even number"):
+            run_bench("osu_multi_lat", n=3)
+
+    def test_mbw_mr_even_ranks(self):
+        bench = get_benchmark("osu_mbw_mr")
+
+        def work(comm):
+            return bench.run(BenchContext(comm, FAST))
+
+        tables = run_on_threads(4, work, timeout=90)
+        assert all(r.value > 0 for r in tables[0].rows)
+        # The message-rate companion is populated per size.
+        assert set(bench.message_rate) == set(tables[0].sizes())
+        assert all(v > 0 for v in bench.message_rate.values())
+
+    def test_mbw_mr_odd_ranks_rejected(self):
+        with pytest.raises(ValueError, match="even number"):
+            run_bench("osu_mbw_mr", n=3)
+
+    @pytest.mark.parametrize("name", ["osu_latency", "osu_bw",
+                                      "osu_bcast", "osu_allreduce",
+                                      "osu_allgather", "osu_alltoall",
+                                      "osu_gather", "osu_scatter"])
+    def test_pickle_api(self, name):
+        tables = run_bench(name, options=FAST.with_(api="pickle"))
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    @pytest.mark.parametrize("name", ["osu_latency", "osu_bw",
+                                      "osu_bcast", "osu_allreduce",
+                                      "osu_allgather", "osu_alltoall",
+                                      "osu_reduce", "osu_reduce_scatter",
+                                      "osu_gather", "osu_scatter",
+                                      "osu_barrier"])
+    def test_native_api(self, name):
+        tables = run_bench(name, options=FAST.with_(api="native"))
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    def test_vector_variants_reject_unsupported_api(self):
+        with pytest.raises(ValueError, match="does not support"):
+            run_bench("osu_gatherv", options=FAST.with_(api="native"))
+
+    @pytest.mark.parametrize("buf", ["cupy", "pycuda", "numba"])
+    def test_gpu_buffers_on_latency(self, buf):
+        opts = Options(
+            device="gpu", buffer=buf, min_size=1, max_size=16,
+            iterations=3, warmup=1,
+        )
+        tables = run_bench("osu_latency", n=2, options=opts)
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    @pytest.mark.parametrize("name", ["osu_allreduce", "osu_allgather",
+                                      "osu_bcast", "osu_alltoall"])
+    @pytest.mark.parametrize("buf", ["cupy", "numba"])
+    def test_gpu_buffers_on_collectives(self, name, buf):
+        opts = Options(
+            device="gpu", buffer=buf, min_size=4, max_size=32,
+            iterations=2, warmup=1,
+        )
+        tables = run_bench(name, n=3, options=opts)
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    def test_bytearray_buffer(self):
+        tables = run_bench(
+            "osu_latency", n=2, options=FAST.with_(buffer="bytearray")
+        )
+        assert all(r.value > 0 for r in tables[0].rows)
+
+
+class TestBenchmarkSemantics:
+    def test_latency_needs_two_ranks(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            run_bench("osu_latency", n=1)
+
+    def test_reduction_sweep_skips_sub_element_sizes(self):
+        tables = run_bench("osu_allreduce")
+        assert min(tables[0].sizes()) >= 4
+
+    def test_extra_ranks_idle_in_pt2pt(self):
+        # 5 ranks: ranks 2-4 idle but stats must still reduce cleanly.
+        tables = run_bench("osu_latency", n=5)
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    def test_all_ranks_get_same_table(self):
+        tables = run_bench("osu_allreduce", n=3)
+        v0 = tables[0].values()
+        assert tables[1].values() == v0
+        assert tables[2].values() == v0
+
+    def test_barrier_single_row(self):
+        tables = run_bench("osu_barrier")
+        assert len(tables[0]) == 1
+        assert tables[0].rows[0].size == 0
+
+    def test_row_metadata(self):
+        t = run_bench("osu_latency", n=2)[0]
+        assert t.metric == "latency_us"
+        assert t.ranks == 2
+        assert t.api == "buffer"

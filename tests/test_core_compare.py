@@ -1,0 +1,93 @@
+"""ombpy-compare tool tests."""
+
+import pytest
+
+from repro.core.compare import (
+    compare_report,
+    load_table,
+    main,
+    split_ranges,
+)
+from repro.core.export import table_to_json
+from repro.core.results import ResultRow, ResultTable
+
+
+def _table(metric="latency_us", api="native", offset=0.0):
+    t = ResultTable(
+        benchmark="osu_latency", metric=metric, ranks=2,
+        buffer="numpy", api=api,
+    )
+    for k in range(0, 16, 2):
+        size = 2 ** k
+        t.add(ResultRow(size, 1.0 + size * 1e-4 + offset, 0, 0, 10))
+    return t
+
+
+class TestSplitRanges:
+    def test_split_at_threshold(self):
+        a, b = _table(), _table()
+        small, large = split_ranges(a, b, threshold=8192)
+        assert max(small) <= 8192
+        assert min(large) > 8192
+        assert sorted(small + large) == a.sizes()
+
+    def test_disjoint_tables(self):
+        a = _table()
+        b = ResultTable("x", "latency_us", 2, "numpy", "buffer")
+        b.add(ResultRow(3, 1.0))
+        small, large = split_ranges(a, b)
+        assert small == [] and large == []
+
+
+class TestReport:
+    def test_overhead_sign_for_latency(self):
+        base = _table(api="native")
+        cand = _table(api="buffer", offset=0.5)
+        report = compare_report(base, cand)
+        assert "+0.500" in report
+        assert "overhead" in report
+
+    def test_deficit_sign_for_bandwidth(self):
+        base = _table(metric="bandwidth_mbs", offset=100.0)
+        cand = _table(metric="bandwidth_mbs")
+        report = compare_report(base, cand)
+        # Candidate is *lower* bandwidth: reported as a positive deficit.
+        assert "deficit" in report
+        assert "+100.000" in report
+
+    def test_metric_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="metric mismatch"):
+            compare_report(_table(), _table(metric="bandwidth_mbs"))
+
+    def test_report_contains_series(self):
+        report = compare_report(_table(), _table(offset=1.0))
+        assert "# Size" in report
+
+
+class TestCli:
+    def test_end_to_end(self, tmp_path, capsys):
+        a = tmp_path / "omb.json"
+        b = tmp_path / "ombpy.json"
+        a.write_text(table_to_json(_table(api="native")))
+        b.write_text(table_to_json(_table(api="buffer", offset=0.3)))
+        assert main([str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out
+        assert "omb" in out and "ombpy" in out
+
+    def test_csv_input_rejected(self, tmp_path, capsys):
+        f = tmp_path / "x.csv"
+        f.write_text("size,latency_us\n1,1.0\n")
+        assert main([str(f), str(f)]) == 2
+        assert "json" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([
+            str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        ]) == 2
+
+    def test_load_table_roundtrip(self, tmp_path):
+        f = tmp_path / "t.json"
+        f.write_text(table_to_json(_table()))
+        t = load_table(f)
+        assert t.benchmark == "osu_latency"

@@ -1,0 +1,109 @@
+"""CSV/JSON export tests."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.export import (
+    figure_to_csv,
+    table_from_json,
+    table_to_csv,
+    table_to_json,
+    write_figure,
+)
+from repro.core.results import ResultRow, ResultTable
+
+
+def _table(values=((1, 1.5), (2, 2.5)), api="buffer"):
+    t = ResultTable(
+        benchmark="osu_latency", metric="latency_us", ranks=2,
+        buffer="numpy", api=api,
+    )
+    for size, v in values:
+        t.add(ResultRow(size, v, v - 0.1, v + 0.1, 10))
+    return t
+
+
+class TestCsv:
+    def test_table_csv_roundtrip_values(self):
+        text = table_to_csv(_table())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["size", "latency_us"]
+        assert rows[1] == ["1", "1.5"]
+        assert rows[2] == ["2", "2.5"]
+
+    def test_full_stats_columns(self):
+        text = table_to_csv(_table(), full_stats=True)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["size", "latency_us", "min", "max", "iterations"]
+        assert rows[1][-1] == "10"
+
+    def test_figure_csv_side_by_side(self):
+        a = _table(api="native")
+        b = _table(values=((1, 9.0), (2, 9.5)))
+        text = figure_to_csv([a, b], ["OMB", "OMB-Py"])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["size", "OMB", "OMB-Py"]
+        assert rows[1] == ["1", "1.5", "9"]
+
+    def test_figure_csv_missing_size_empty_cell(self):
+        a = _table(values=((1, 1.0), (2, 2.0)))
+        b = _table(values=((1, 5.0),))
+        rows = list(csv.reader(io.StringIO(figure_to_csv([a, b]))))
+        assert rows[2][2] == ""
+
+    def test_figure_csv_default_labels(self):
+        text = figure_to_csv([_table(api="pickle")])
+        assert "pickle/numpy" in text.splitlines()[0]
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(ValueError, match="no tables"):
+            figure_to_csv([])
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            figure_to_csv([_table()], ["a", "b"])
+
+    def test_write_figure_creates_dirs(self, tmp_path):
+        path = write_figure(tmp_path / "deep" / "fig.csv", [_table()])
+        assert path.exists()
+        assert "size" in path.read_text()
+
+
+class TestJson:
+    def test_roundtrip(self):
+        original = _table()
+        restored = table_from_json(table_to_json(original))
+        assert restored.benchmark == original.benchmark
+        assert restored.metric == original.metric
+        assert restored.sizes() == original.sizes()
+        assert restored.values() == original.values()
+        assert restored.rows[0].iterations == 10
+
+    def test_json_contains_metadata(self):
+        import json
+
+        data = json.loads(table_to_json(_table()))
+        assert data["ranks"] == 2
+        assert data["buffer"] == "numpy"
+
+
+class TestGeneratorTool:
+    def test_generates_all_figures(self, tmp_path):
+        import sys
+        sys.path.insert(0, "tools")
+        try:
+            from generate_figure_data import generate
+        finally:
+            sys.path.pop(0)
+
+        written = generate(tmp_path)
+        assert len(written) == 19
+        names = {p.name for p in written}
+        assert "fig04_05_intra_frontera.csv" in names
+        assert "fig22_23_gpu_pt2pt.csv" in names
+        assert "fig36_ml_knn.csv" in names
+        for path in written:
+            lines = path.read_text().splitlines()
+            assert len(lines) >= 2, path

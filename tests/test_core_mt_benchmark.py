@@ -1,0 +1,48 @@
+"""Multi-threaded latency benchmark (osu_latency_mt)."""
+
+import pytest
+
+from repro.core import Options, get_benchmark
+from repro.core.runner import BenchContext
+from repro.mpi.world import run_on_threads
+
+
+def _run(n=2, extra=None, **kw):
+    defaults = dict(min_size=1, max_size=64, iterations=4, warmup=1)
+    defaults.update(kw)
+    opts = Options(**defaults)
+    if extra:
+        opts.extra.update(extra)
+    bench = get_benchmark("osu_latency_mt")
+    return run_on_threads(
+        n, lambda c: bench.run(BenchContext(c, opts)), timeout=120
+    )
+
+
+class TestMtLatency:
+    def test_runs_with_default_threads(self):
+        tables = _run()
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    def test_thread_count_option(self):
+        tables = _run(extra={"threads": 2})
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    def test_single_thread_degenerates_to_plain_latency(self):
+        tables = _run(extra={"threads": 1})
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    def test_extra_ranks_idle(self):
+        tables = _run(n=4, extra={"threads": 2})
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    def test_needs_two_ranks(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            _run(n=1)
+
+    def test_per_thread_tags_do_not_crosstalk(self):
+        """With many threads, each pair's traffic stays on its own tag;
+        a mismatch would corrupt the ping-pong and hang (caught by the
+        harness timeout)."""
+        tables = _run(extra={"threads": 8}, iterations=3)
+        assert all(r.value > 0 for r in tables[0].rows)

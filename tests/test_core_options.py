@@ -1,0 +1,105 @@
+"""Options validation and CLI argument parsing."""
+
+import argparse
+
+import pytest
+
+from repro.core import options as opt_mod
+from repro.core.options import Options
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        o = Options()
+        assert o.device == "cpu" and o.buffer == "numpy"
+
+    def test_gpu_buffer_on_cpu_rejected(self):
+        with pytest.raises(ValueError, match="requires device='gpu'"):
+            Options(device="cpu", buffer="cupy")
+
+    def test_cpu_buffer_on_gpu_rejected(self):
+        with pytest.raises(ValueError, match="requires device='cpu'"):
+            Options(device="gpu", buffer="numpy")
+
+    def test_gpu_combinations_valid(self):
+        for buf in ("cupy", "pycuda", "numba"):
+            assert Options(device="gpu", buffer=buf).buffer == buf
+
+    def test_bad_device(self):
+        with pytest.raises(ValueError, match="device"):
+            Options(device="tpu")
+
+    def test_bad_api(self):
+        with pytest.raises(ValueError, match="api"):
+            Options(api="grpc")
+
+    def test_bad_size_range(self):
+        with pytest.raises(ValueError, match="size range"):
+            Options(min_size=100, max_size=10)
+
+    def test_bad_iterations(self):
+        with pytest.raises(ValueError):
+            Options(iterations=0)
+        with pytest.raises(ValueError):
+            Options(warmup=-1)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            Options(window_size=0)
+
+
+class TestIterationTrimming:
+    def test_small_size_uses_full_iterations(self):
+        o = Options(iterations=100, warmup=10)
+        assert o.iterations_for(1024) == (100, 10)
+
+    def test_large_size_trims(self):
+        o = Options(iterations=100, warmup=10)
+        iters, warm = o.iterations_for(o.large_message_size + 1)
+        assert iters < 100 and warm < 10
+
+    def test_threshold_boundary_inclusive(self):
+        o = Options()
+        assert o.iterations_for(o.large_message_size)[0] == o.iterations
+
+
+class TestFunctionalUpdate:
+    def test_with_returns_new(self):
+        o = Options()
+        o2 = o.with_(api="pickle")
+        assert o.api == "buffer" and o2.api == "pickle"
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            Options().with_(device="gpu")  # numpy buffer invalid on gpu
+
+
+class TestArgParsing:
+    def _parse(self, argv):
+        parser = argparse.ArgumentParser()
+        opt_mod.add_arguments(parser)
+        return opt_mod.from_args(parser.parse_args(argv))
+
+    def test_defaults(self):
+        o = self._parse([])
+        assert o.buffer == "numpy" and o.device == "cpu"
+
+    def test_gpu_default_buffer(self):
+        o = self._parse(["-d", "gpu"])
+        assert o.buffer == "cupy"
+
+    def test_message_size_range(self):
+        o = self._parse(["-m", "16:4096"])
+        assert o.min_size == 16 and o.max_size == 4096
+
+    def test_message_size_single(self):
+        o = self._parse(["-m", "128"])
+        assert o.min_size == 128 and o.max_size == 128
+
+    def test_iterations_warmup_window(self):
+        o = self._parse(["-i", "7", "-x", "2", "-W", "16"])
+        assert (o.iterations, o.warmup, o.window_size) == (7, 2, 16)
+
+    def test_flags(self):
+        o = self._parse(["-c", "-f", "--api", "pickle"])
+        assert o.validate and o.full_stats and o.api == "pickle"

@@ -1,0 +1,96 @@
+"""Result tables, overhead statistics, and OSU-style output formatting."""
+
+import pytest
+
+from repro.core.output import format_comparison, format_table
+from repro.core.results import ResultRow, ResultTable, average_overhead
+
+
+def _table(name="osu_latency", values=None, metric="latency_us"):
+    t = ResultTable(
+        benchmark=name, metric=metric, ranks=2, buffer="numpy", api="buffer"
+    )
+    for size, v in (values or [(1, 1.0), (2, 2.0), (4, 4.0)]):
+        t.add(ResultRow(size, v, v * 0.9, v * 1.1, 100))
+    return t
+
+
+class TestResultTable:
+    def test_sizes_values(self):
+        t = _table()
+        assert t.sizes() == [1, 2, 4]
+        assert t.values() == [1.0, 2.0, 4.0]
+
+    def test_row_for(self):
+        assert _table().row_for(2).value == 2.0
+
+    def test_row_for_missing(self):
+        with pytest.raises(KeyError):
+            _table().row_for(999)
+
+    def test_len_iter(self):
+        t = _table()
+        assert len(t) == 3
+        assert [r.size for r in t] == [1, 2, 4]
+
+    def test_scaled_row(self):
+        r = ResultRow(8, 10.0, 9.0, 11.0, 5).scaled(2.0)
+        assert (r.value, r.minimum, r.maximum) == (20.0, 18.0, 22.0)
+        assert r.size == 8 and r.iterations == 5
+
+
+class TestAverageOverhead:
+    def test_basic(self):
+        base = _table(values=[(1, 1.0), (2, 2.0)])
+        other = _table(values=[(1, 1.5), (2, 3.0)])
+        assert average_overhead(base, other) == pytest.approx(0.75)
+
+    def test_subset_of_sizes(self):
+        base = _table(values=[(1, 1.0), (2, 2.0), (4, 4.0)])
+        other = _table(values=[(1, 2.0), (2, 4.0), (4, 8.0)])
+        assert average_overhead(base, other, [4]) == pytest.approx(4.0)
+
+    def test_disjoint_sizes_rejected(self):
+        base = _table(values=[(1, 1.0)])
+        other = _table(values=[(8, 1.0)])
+        with pytest.raises(ValueError, match="share no message sizes"):
+            average_overhead(base, other)
+
+
+class TestOutput:
+    def test_header_contains_metadata(self):
+        text = format_table(_table())
+        assert "# OMB-Py" in text
+        assert "ranks: 2" in text
+        assert "buffer: numpy" in text
+        assert "Latency (us)" in text
+
+    def test_rows_formatted(self):
+        text = format_table(_table())
+        lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(lines) == 3
+        assert lines[0].startswith("1")
+        assert "1.00" in lines[0]
+
+    def test_full_stats_columns(self):
+        text = format_table(_table(), full_stats=True)
+        assert "Min" in text and "Max" in text and "Iters" in text
+
+    def test_bandwidth_header(self):
+        text = format_table(_table(metric="bandwidth_mbs"))
+        assert "Bandwidth (MB/s)" in text
+
+    def test_comparison_side_by_side(self):
+        a = _table(values=[(1, 1.0), (2, 2.0)])
+        b = _table(values=[(1, 1.5), (2, 2.5)])
+        text = format_comparison([a, b], ["OMB", "OMB-Py"])
+        assert "OMB" in text and "OMB-Py" in text
+        assert "1.50" in text
+
+    def test_comparison_missing_size_dash(self):
+        a = _table(values=[(1, 1.0), (2, 2.0)])
+        b = _table(values=[(1, 1.5)])
+        assert "-" in format_comparison([a, b])
+
+    def test_empty_comparison(self):
+        assert format_comparison([]) == ""

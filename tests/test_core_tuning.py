@@ -1,0 +1,72 @@
+"""Collective auto-tuner tests."""
+
+import pytest
+
+from repro.core.tuning import TuningResult, format_tuning_table, tune
+from repro.mpi.collectives import selector
+
+
+class TestTuningResult:
+    def _result(self):
+        r = TuningResult(op="allreduce", ranks=4)
+        r.timings = {
+            64: {"recursive_doubling": 10.0, "ring": 30.0},
+            65536: {"recursive_doubling": 200.0, "ring": 120.0},
+        }
+        return r
+
+    def test_winner_per_size(self):
+        r = self._result()
+        assert r.winner(64) == "recursive_doubling"
+        assert r.winner(65536) == "ring"
+
+    def test_winners_map(self):
+        assert self._result().winners() == {
+            64: "recursive_doubling", 65536: "ring"
+        }
+
+    def test_switch_point(self):
+        r = self._result()
+        assert r.switch_point("recursive_doubling", "ring") == 65536
+
+    def test_switch_point_never(self):
+        r = TuningResult(op="x", ranks=2)
+        r.timings = {8: {"a": 1.0, "b": 2.0}}
+        assert r.switch_point("a", "b") is None
+
+    def test_format_table(self):
+        text = format_tuning_table(self._result())
+        assert "recursive_doubling" in text
+        assert "winner" in text
+        assert text.count("\n") == 3
+
+
+class TestLiveTuning:
+    def test_tune_allreduce_produces_all_sizes(self):
+        result = tune(
+            "allreduce", ranks=4, sizes=[16, 4096], iterations=5, warmup=1
+        )
+        assert set(result.timings) == {16, 4096}
+        # All three allreduce algorithms run at 4 ranks.
+        for size in result.timings:
+            assert set(result.timings[size]) == set(
+                selector.available("allreduce")
+            )
+            assert all(v > 0 for v in result.timings[size].values())
+
+    def test_tune_restores_selector(self):
+        tune("bcast", ranks=2, sizes=[8], iterations=2, warmup=0)
+        assert selector.forced("bcast") is None
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="not tunable"):
+            tune("scan2")
+
+    def test_tune_skips_inapplicable_algorithms(self):
+        # 3 ranks: allgather recursive_doubling needs a power of two and
+        # falls back internally, so all algorithms still complete.
+        result = tune(
+            "allgather", ranks=3, sizes=[32], iterations=3, warmup=0
+        )
+        assert 32 in result.timings
+        assert len(result.timings[32]) >= 2

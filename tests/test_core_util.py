@@ -1,0 +1,66 @@
+"""Message-size sweeps and buffer allocation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.util import BufferHandle, allocate, allocate_pair, message_sizes
+from repro.core.options import Options
+
+
+class TestMessageSizes:
+    def test_powers_of_two(self):
+        assert list(message_sizes(1, 16)) == [1, 2, 4, 8, 16]
+
+    def test_zero_min_emits_zero_row(self):
+        assert list(message_sizes(0, 4)) == [0, 1, 2, 4]
+
+    def test_min_rounds_up_to_power(self):
+        assert list(message_sizes(3, 32)) == [4, 8, 16, 32]
+
+    def test_non_power_max_clips(self):
+        assert list(message_sizes(1, 10)) == [1, 2, 4, 8]
+
+    def test_single_size(self):
+        assert list(message_sizes(64, 64)) == [64]
+
+    def test_empty_when_max_below_min_power(self):
+        assert list(message_sizes(5, 7)) == []
+
+
+class TestAllocate:
+    @pytest.mark.parametrize(
+        "kind", ["bytearray", "numpy", "cupy", "pycuda", "numba"]
+    )
+    def test_fill_verify_roundtrip(self, kind):
+        h = allocate(kind, 64)
+        h.fill(seed=3)
+        assert h.verify(seed=3)
+        assert not h.verify(seed=4)
+
+    @pytest.mark.parametrize(
+        "kind", ["bytearray", "numpy", "cupy", "pycuda", "numba"]
+    )
+    def test_to_numpy_shape(self, kind):
+        h = allocate(kind, 32)
+        out = h.to_numpy()
+        assert isinstance(out, np.ndarray)
+        assert out.nbytes == 32
+
+    def test_zero_size_allocates_one_byte(self):
+        assert allocate("numpy", 0).nbytes == 1
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown buffer kind"):
+            allocate("vram", 8)
+
+    def test_allocate_pair_uses_option_buffer(self):
+        s, r = allocate_pair(Options(buffer="bytearray"), 16)
+        assert s.kind == r.kind == "bytearray"
+        assert s.obj is not r.obj
+
+    def test_pattern_differs_by_seed(self):
+        a = allocate("numpy", 16)
+        b = allocate("numpy", 16)
+        a.fill(1)
+        b.fill(2)
+        assert not np.array_equal(a.to_numpy(), b.to_numpy())

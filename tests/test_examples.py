@@ -1,0 +1,76 @@
+"""Every example script must run end-to-end (scaled-down arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Latency (us)" in out
+        assert "Allreduce" in out
+
+    def test_distributed_ml(self):
+        out = run_example("distributed_ml.py", "--ranks", "2",
+                          "--scale", "0.004")
+        assert "speedup" in out
+        assert "k-NN" in out
+
+    def test_gpu_buffers(self):
+        out = run_example("gpu_buffers.py", "--ranks", "2")
+        assert "cupy allreduce" in out
+        assert "device traffic" in out
+
+    def test_cluster_projection(self):
+        out = run_example("cluster_projection.py", "--cluster", "RI2")
+        assert "RI2" in out
+        assert "Projected distributed-ML speedups" in out
+
+    def test_task_pool_and_rma(self):
+        out = run_example("task_pool_and_rma.py", "--ranks", "3")
+        assert "accumulated counter" in out
+        assert "halo exchange verified" in out
+
+    def test_heat_diffusion(self):
+        out = run_example(
+            "heat_diffusion.py", "--ranks", "4", "--n", "24",
+            "--iters", "40",
+        )
+        assert "block mean temperature" in out
+        assert "hotter" in out
+
+    def test_monte_carlo_pi(self):
+        out = run_example("monte_carlo_pi.py", "--ranks", "3",
+                          "--samples", "200000")
+        assert "pi ~=" in out
+
+    def test_quickstart_under_launcher(self):
+        from repro.mpi.launcher import launch
+
+        rc = launch(2, [str(EXAMPLES / "quickstart.py")], timeout=240)
+        assert rc == 0
+
+    def test_monte_carlo_under_launcher(self):
+        from repro.mpi.launcher import launch
+
+        rc = launch(
+            2,
+            [str(EXAMPLES / "monte_carlo_pi.py"), "--samples", "100000"],
+            timeout=240,
+        )
+        assert rc == 0

@@ -1,0 +1,115 @@
+"""CUDA Array Interface protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import cupy_sim, numba_sim, pycuda_sim
+from repro.gpu.cai import (
+    CAIError,
+    device_bytes,
+    is_device_array,
+    make_cai,
+    resolve_cai,
+)
+from repro.gpu.device import current_device
+
+
+class TestMakeCai:
+    def test_required_keys(self):
+        cai = make_cai(0x1000, (4, 2), "<f8")
+        assert cai["shape"] == (4, 2)
+        assert cai["typestr"] == "<f8"
+        assert cai["data"] == (0x1000, False)
+        assert cai["version"] == 3
+        assert cai["strides"] is None
+
+    def test_stream_included_when_given(self):
+        assert "stream" in make_cai(1, (1,), "<f4", stream=2)
+        assert "stream" not in make_cai(1, (1,), "<f4")
+
+
+class TestDetection:
+    def test_device_arrays_detected(self):
+        assert is_device_array(cupy_sim.zeros(2))
+        assert is_device_array(pycuda_sim.gpuarray.zeros(2))
+        assert is_device_array(numba_sim.cuda.device_array(2))
+
+    def test_host_objects_not_detected(self):
+        assert not is_device_array(np.zeros(2))
+        assert not is_device_array(bytearray(2))
+
+
+class TestResolve:
+    @pytest.mark.parametrize("factory,n,dtype", [
+        (lambda: cupy_sim.zeros(10, dtype=np.float64), 10, "f8"),
+        (lambda: pycuda_sim.gpuarray.zeros(6, dtype=np.int32), 6, "i4"),
+        (lambda: numba_sim.cuda.device_array(4, dtype=np.float32), 4, "f4"),
+    ])
+    def test_all_libraries_resolve(self, factory, n, dtype):
+        arr = factory()
+        alloc, nbytes, np_dtype, shape = resolve_cai(arr)
+        assert nbytes == n * np.dtype(dtype).itemsize
+        assert np_dtype == np.dtype(dtype)
+        assert shape == (n,)
+        assert alloc.nbytes >= nbytes
+
+    def test_non_device_object_rejected(self):
+        with pytest.raises(CAIError, match="no __cuda_array_interface__"):
+            resolve_cai(np.zeros(3))
+
+    def test_unknown_pointer_rejected(self):
+        class Fake:
+            __cuda_array_interface__ = make_cai(0xBAD, (2,), "<f8")
+
+        with pytest.raises(Exception):  # DeviceError from resolve
+            resolve_cai(Fake())
+
+    def test_malformed_dict_rejected(self):
+        class Fake:
+            __cuda_array_interface__ = {"shape": (1,)}
+
+        with pytest.raises(CAIError, match="missing required key"):
+            resolve_cai(Fake())
+
+    def test_bad_data_field_rejected(self):
+        class Fake:
+            __cuda_array_interface__ = {
+                "shape": (1,), "typestr": "<f8",
+                "data": 123, "version": 3,
+            }
+
+        with pytest.raises(CAIError, match="pair"):
+            resolve_cai(Fake())
+
+    def test_noncontiguous_strides_rejected(self):
+        real = cupy_sim.zeros(8)
+        bad = dict(real._cai)
+        bad["strides"] = (64,)  # bogus stride for shape (8,) f8
+
+        class Fake:
+            __cuda_array_interface__ = bad
+
+        with pytest.raises(CAIError, match="C-contiguous"):
+            resolve_cai(Fake())
+
+    def test_explicit_contiguous_strides_accepted(self):
+        real = cupy_sim.zeros(8)
+        cai = dict(real._cai)
+        cai["strides"] = (8,)  # itemsize for 1-D f8 = contiguous
+
+        class Fake:
+            __cuda_array_interface__ = cai
+
+        alloc, nbytes, _, _ = resolve_cai(Fake())
+        assert nbytes == 64
+
+    def test_device_bytes_view(self):
+        arr = cupy_sim.array(np.array([1, 2, 3], dtype=np.uint8))
+        view = device_bytes(arr)
+        assert bytes(view) == b"\x01\x02\x03"
+
+    def test_resolve_reflects_device_writes(self):
+        arr = cupy_sim.zeros(4, dtype=np.uint8)
+        alloc, nbytes, _, _ = resolve_cai(arr)
+        current_device().memcpy_htod(alloc, b"\x07\x07\x07\x07")
+        assert arr.get().tolist() == [7, 7, 7, 7]

@@ -1,0 +1,140 @@
+"""Simulated-device tests: allocation, transfers, accounting, streams."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import Device, DeviceError, Stream
+
+
+@pytest.fixture
+def dev():
+    return Device(0, memory_bytes=1 << 20)  # 1 MB device for tests
+
+
+class TestAllocation:
+    def test_malloc_free(self, dev):
+        alloc = dev.malloc(256)
+        assert alloc.nbytes == 256
+        assert dev.allocated_bytes() == 256
+        dev.free(alloc.ptr)
+        assert dev.allocated_bytes() == 0
+
+    def test_distinct_pointers(self, dev):
+        a, b = dev.malloc(16), dev.malloc(16)
+        assert a.ptr != b.ptr
+
+    def test_oom(self, dev):
+        dev.malloc(1 << 19)
+        with pytest.raises(DeviceError, match="out of device memory"):
+            dev.malloc(1 << 20)
+
+    def test_negative_size_rejected(self, dev):
+        with pytest.raises(DeviceError, match="negative"):
+            dev.malloc(-1)
+
+    def test_double_free_rejected(self, dev):
+        alloc = dev.malloc(8)
+        dev.free(alloc.ptr)
+        with pytest.raises(DeviceError, match="unknown device pointer"):
+            dev.free(alloc.ptr)
+
+    def test_resolve_unknown_pointer(self, dev):
+        with pytest.raises(DeviceError, match="live allocation"):
+            dev.resolve(0x1234)
+
+    def test_resolve_after_free_rejected(self, dev):
+        alloc = dev.malloc(8)
+        dev.free(alloc.ptr)
+        with pytest.raises(DeviceError):
+            dev.resolve(alloc.ptr)
+
+    def test_live_allocation_count(self, dev):
+        a = dev.malloc(8)
+        dev.malloc(8)
+        assert dev.live_allocations() == 2
+        dev.free(a.ptr)
+        assert dev.live_allocations() == 1
+
+
+class TestTransfers:
+    def test_h2d_d2h_roundtrip(self, dev):
+        alloc = dev.malloc(8)
+        dev.memcpy_htod(alloc, b"\x01\x02\x03\x04\x05\x06\x07\x08")
+        out = bytearray(8)
+        dev.memcpy_dtoh(out, alloc, 8)
+        assert bytes(out) == b"\x01\x02\x03\x04\x05\x06\x07\x08"
+
+    def test_h2d_offset(self, dev):
+        alloc = dev.malloc(8)
+        dev.memcpy_htod(alloc, b"\xff\xff", offset=4)
+        out = bytearray(8)
+        dev.memcpy_dtoh(out, alloc, 8)
+        assert bytes(out) == b"\x00" * 4 + b"\xff\xff" + b"\x00" * 2
+
+    def test_h2d_overrun_rejected(self, dev):
+        alloc = dev.malloc(4)
+        with pytest.raises(DeviceError, match="overruns"):
+            dev.memcpy_htod(alloc, b"12345")
+
+    def test_d2h_overrun_rejected(self, dev):
+        alloc = dev.malloc(4)
+        with pytest.raises(DeviceError, match="overruns"):
+            dev.memcpy_dtoh(bytearray(8), alloc, 8)
+
+    def test_d2d(self, dev):
+        a, b = dev.malloc(4), dev.malloc(4)
+        dev.memcpy_htod(a, b"abcd")
+        dev.memcpy_dtod(b, a, 4)
+        out = bytearray(4)
+        dev.memcpy_dtoh(out, b, 4)
+        assert bytes(out) == b"abcd"
+
+    def test_stats_accumulate(self, dev):
+        alloc = dev.malloc(16)
+        dev.memcpy_htod(alloc, b"x" * 16)
+        dev.memcpy_dtoh(bytearray(16), alloc, 16)
+        assert dev.stats.h2d_bytes == 16
+        assert dev.stats.d2h_bytes == 16
+        assert dev.stats.h2d_calls == 1
+        assert dev.stats.d2h_calls == 1
+        dev.stats.reset()
+        assert dev.stats.h2d_bytes == 0
+
+
+class TestStreamsAndOverhead:
+    def test_stream_synchronize_counts(self, dev):
+        s = Stream(dev)
+        before = dev.sync_count
+        s.synchronize()
+        assert dev.sync_count == before + 1
+
+    def test_destroyed_stream_rejected(self, dev):
+        s = Stream(dev)
+        s.destroyed = True
+        with pytest.raises(DeviceError):
+            s.synchronize()
+
+    def test_access_overhead_injection(self, dev):
+        import time
+
+        dev.set_access_overhead("numba", 0.001)
+        t0 = time.perf_counter()
+        dev.account_access("numba")
+        assert time.perf_counter() - t0 >= 0.001
+
+    def test_zero_overhead_fast(self, dev):
+        import time
+
+        t0 = time.perf_counter()
+        for _ in range(100):
+            dev.account_access("cupy")
+        assert time.perf_counter() - t0 < 0.1
+
+    def test_negative_overhead_rejected(self, dev):
+        with pytest.raises(DeviceError):
+            dev.set_access_overhead("cupy", -1.0)
+
+    def test_kernel_launch_accounting(self, dev):
+        dev.launch_kernel()
+        dev.launch_kernel()
+        assert dev.stats.kernel_launches == 2

@@ -1,0 +1,157 @@
+"""API-surface tests for the three simulated GPU array libraries."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import cupy_sim as cp
+from repro.gpu import numba_sim, pycuda_sim
+from repro.gpu.device import current_device
+
+
+class TestCupySim:
+    def test_zeros_ones_empty(self):
+        assert np.allclose(cp.zeros(4).get(), 0)
+        assert np.allclose(cp.ones(4).get(), 1)
+        assert cp.empty(4).shape == (4,)
+
+    def test_arange_array_asnumpy(self):
+        arr = cp.arange(5, dtype="i8")
+        assert np.array_equal(cp.asnumpy(arr), np.arange(5))
+        arr2 = cp.array([[1.0, 2.0], [3.0, 4.0]])
+        assert arr2.shape == (2, 2)
+
+    def test_set_get_roundtrip(self):
+        arr = cp.empty(3, dtype="f4")
+        arr.set(np.array([1, 2, 3], dtype="f4"))
+        assert np.array_equal(arr.get(), [1, 2, 3])
+
+    def test_set_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            cp.zeros(3).set(np.zeros(4))
+
+    def test_arithmetic(self):
+        a = cp.array(np.array([1.0, 2.0]))
+        b = cp.array(np.array([3.0, 4.0]))
+        assert np.array_equal((a + b).get(), [4.0, 6.0])
+        assert np.array_equal((a * 2).get(), [2.0, 4.0])
+        assert np.array_equal((b - a).get(), [2.0, 2.0])
+        assert np.array_equal((2 * a).get(), [2.0, 4.0])
+
+    def test_matmul(self):
+        a = cp.array(np.eye(3))
+        b = cp.array(np.arange(9.0).reshape(3, 3))
+        assert np.array_equal((a @ b).get(), np.arange(9.0).reshape(3, 3))
+
+    def test_sum_fill_astype_reshape(self):
+        a = cp.ones(6)
+        assert a.sum() == 6.0
+        a.fill(3)
+        assert np.allclose(a.get(), 3)
+        assert a.astype("f4").dtype == np.dtype("f4")
+        assert a.reshape(2, 3).shape == (2, 3)
+
+    def test_kernel_launches_accounted(self):
+        before = current_device().stats.kernel_launches
+        cp.ones(4) + cp.ones(4)
+        assert current_device().stats.kernel_launches > before
+
+    def test_asarray_identity(self):
+        a = cp.zeros(2)
+        assert cp.asarray(a) is a
+
+    def test_allclose_helper(self):
+        assert cp.allclose(cp.ones(3), np.ones(3))
+
+    def test_cuda_stream_namespace(self):
+        s = cp.cuda.get_current_stream()
+        s.synchronize()
+
+    def test_properties(self):
+        a = cp.zeros((2, 3), dtype="f4")
+        assert a.size == 6
+        assert a.nbytes == 24
+        assert a.ndim == 2
+
+
+class TestPycudaSim:
+    def test_to_gpu_get(self):
+        arr = pycuda_sim.gpuarray.to_gpu(np.array([5.0, 6.0]))
+        assert np.array_equal(arr.get(), [5.0, 6.0])
+
+    def test_gpudata_is_pointer(self):
+        arr = pycuda_sim.gpuarray.zeros(4)
+        alloc = current_device().resolve(arr.gpudata)
+        assert alloc.nbytes == 32
+
+    def test_driver_memcpy_htod_dtoh(self):
+        arr = pycuda_sim.gpuarray.empty(3, dtype="f8")
+        pycuda_sim.driver.memcpy_htod(arr, np.array([7.0, 8.0, 9.0]))
+        out = np.zeros(3)
+        pycuda_sim.driver.memcpy_dtoh(out, arr)
+        assert np.array_equal(out, [7.0, 8.0, 9.0])
+
+    def test_driver_accepts_raw_pointer(self):
+        arr = pycuda_sim.gpuarray.empty(2, dtype="f8")
+        pycuda_sim.driver.memcpy_htod(arr.gpudata, np.array([1.0, 2.0]))
+        assert np.array_equal(arr.get(), [1.0, 2.0])
+
+    def test_fill_and_arithmetic(self):
+        a = pycuda_sim.gpuarray.zeros(3).fill(2.0)
+        b = pycuda_sim.gpuarray.zeros(3).fill(3.0)
+        assert np.allclose((a + b).get(), 5.0)
+        assert np.allclose((a * b).get(), 6.0)
+
+    def test_nbytes_size(self):
+        a = pycuda_sim.gpuarray.zeros((4, 2), dtype="f4")
+        assert a.size == 8 and a.nbytes == 32
+
+
+class TestNumbaSim:
+    def test_to_device_copy_to_host(self):
+        arr = numba_sim.cuda.to_device(np.array([1, 2, 3], dtype="i4"))
+        assert np.array_equal(arr.copy_to_host(), [1, 2, 3])
+
+    def test_copy_to_host_into_existing(self):
+        arr = numba_sim.cuda.to_device(np.arange(4.0))
+        out = np.zeros(4)
+        ret = arr.copy_to_host(out)
+        assert ret is out and np.array_equal(out, np.arange(4.0))
+
+    def test_device_array_like(self):
+        src = numba_sim.cuda.to_device(np.zeros((2, 3), dtype="f4"))
+        like = numba_sim.cuda.device_array_like(src)
+        assert like.shape == (2, 3) and like.dtype == np.dtype("f4")
+
+    def test_device_to_device_copy(self):
+        a = numba_sim.cuda.to_device(np.array([9.0, 8.0]))
+        b = numba_sim.cuda.device_array(2)
+        b.copy_to_device(a)
+        assert np.array_equal(b.copy_to_host(), [9.0, 8.0])
+
+    def test_is_cuda_array(self):
+        assert numba_sim.cuda.is_cuda_array(numba_sim.cuda.device_array(1))
+        assert not numba_sim.cuda.is_cuda_array(np.zeros(1))
+
+    def test_cai_rebuilt_per_access(self):
+        arr = numba_sim.cuda.device_array(4)
+        c1 = arr.__cuda_array_interface__
+        c2 = arr.__cuda_array_interface__
+        assert c1 == c2
+        assert c1 is not c2  # rebuilt each time, like real numba
+
+    def test_cupy_cai_cached(self):
+        from repro.gpu import cupy_sim
+
+        arr = cupy_sim.zeros(4)
+        assert (
+            arr.__cuda_array_interface__ is arr.__cuda_array_interface__
+        )
+
+    def test_synchronize(self):
+        before = current_device().sync_count
+        numba_sim.cuda.synchronize()
+        assert current_device().sync_count == before + 1
+
+    def test_strides_match_c_layout(self):
+        arr = numba_sim.cuda.device_array((3, 4), dtype="f8")
+        assert arr.strides == (32, 8)

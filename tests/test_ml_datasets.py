@@ -1,0 +1,111 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.datasets import (
+    DOTA2_FEATURES,
+    DOTA2_SAMPLES,
+    dota2_like,
+    make_blobs,
+    random_matrix,
+    train_test_split,
+)
+
+
+class TestDota2Like:
+    def test_paper_shape_defaults(self):
+        assert DOTA2_SAMPLES == 102_944
+        assert DOTA2_FEATURES == 116
+
+    def test_scaled_shape(self):
+        X, y = dota2_like(n_samples=500, seed=1)
+        assert X.shape == (500, 116)
+        assert y.shape == (500,)
+
+    def test_labels_are_plus_minus_one(self):
+        _X, y = dota2_like(n_samples=300, seed=2)
+        assert set(np.unique(y)) <= {-1, 1}
+        # Both outcomes occur.
+        assert len(np.unique(y)) == 2
+
+    def test_hero_picks_five_per_team(self):
+        X, _y = dota2_like(n_samples=50, seed=3)
+        picks = X[:, 3:]
+        assert np.all((picks == 0) | (picks == 1) | (picks == -1))
+        assert np.all(np.sum(picks == 1, axis=1) == 5)
+        assert np.all(np.sum(picks == -1, axis=1) == 5)
+
+    def test_learnable(self):
+        """A k-NN on the synthetic set must beat chance, like real Dota2."""
+        from repro.ml.knn import KNeighborsClassifier
+
+        X, y = dota2_like(n_samples=2000, seed=4)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, seed=4)
+        acc = KNeighborsClassifier(n_neighbors=15).fit(Xtr, ytr).score(
+            Xte, yte
+        )
+        assert acc > 0.53
+
+    def test_deterministic(self):
+        X1, y1 = dota2_like(n_samples=100, seed=5)
+        X2, y2 = dota2_like(n_samples=100, seed=5)
+        assert np.array_equal(X1, X2) and np.array_equal(y1, y2)
+
+    def test_too_few_features(self):
+        with pytest.raises(ValueError):
+            dota2_like(n_samples=10, n_features=2)
+
+
+class TestBlobs:
+    def test_shape_and_labels(self):
+        X, labels = make_blobs(n_samples=100, centers=4, seed=1)
+        assert X.shape == (100, 2)
+        assert set(np.unique(labels)) == set(range(4))
+
+    def test_paper_default_is_7000_points_2d(self):
+        X, _ = make_blobs()
+        assert X.shape == (7000, 2)
+
+    def test_cluster_separation(self):
+        X, labels = make_blobs(
+            n_samples=200, centers=2, cluster_std=0.1, seed=7
+        )
+        c0 = X[labels == 0].mean(axis=0)
+        c1 = X[labels == 1].mean(axis=0)
+        assert np.linalg.norm(c0 - c1) > 1.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_blobs(n_samples=2, centers=5)
+
+
+class TestRandomMatrix:
+    def test_paper_default_4704(self):
+        # Shape only — don't allocate 4704^2 in tests more than once.
+        m = random_matrix(64, seed=0)
+        assert m.shape == (64, 64)
+
+    def test_deterministic(self):
+        assert np.array_equal(random_matrix(16, 3), random_matrix(16, 3))
+
+
+class TestSplit:
+    def test_partition(self):
+        X = np.arange(100).reshape(50, 2).astype(float)
+        y = np.arange(50)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.2)
+        assert len(Xtr) == 40 and len(Xte) == 10
+        combined = sorted(ytr.tolist() + yte.tolist())
+        assert combined == list(range(50))
+
+    def test_rows_stay_aligned(self):
+        X = np.arange(40).reshape(20, 2).astype(float)
+        y = np.arange(20)
+        Xtr, _Xte, ytr, _yte = train_test_split(X, y)
+        for row, label in zip(Xtr, ytr):
+            assert row[0] == label * 2
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.5)

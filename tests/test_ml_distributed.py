@@ -1,0 +1,166 @@
+"""Distributed ML benchmarks: results must match sequential exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.datasets import dota2_like, make_blobs, train_test_split
+from repro.ml.distributed import (
+    balanced_assignment,
+    distributed_kmeans_hpo,
+    distributed_knn,
+    distributed_matmul,
+    run_sequential_vs_distributed,
+    sequential_kmeans_hpo,
+    sequential_knn,
+    sequential_matmul,
+)
+from repro.ml.distributed.kmeans_hpo import find_elbow
+from repro.ml.distributed.scheduler import makespan, naive_block_assignment
+from repro.mpi.world import run_on_threads
+
+
+@pytest.fixture(scope="module")
+def knn_data():
+    X, y = dota2_like(n_samples=1200, seed=3)
+    return train_test_split(X, y, seed=3)
+
+
+class TestDistributedKnn:
+    @pytest.mark.parametrize("n", (1, 2, 3, 5))
+    def test_accuracy_identical_to_sequential(self, knn_data, n):
+        Xtr, Xte, ytr, yte = knn_data
+        seq = sequential_knn(Xtr, ytr, Xte, yte)
+        accs = run_on_threads(
+            n, lambda c: distributed_knn(c, Xtr, ytr, Xte, yte)
+        )
+        assert accs[0] == pytest.approx(seq, abs=1e-12)
+        assert all(a is None for a in accs[1:])
+
+    def test_more_ranks_than_test_rows(self):
+        Xtr, Xte, ytr, yte = (
+            np.random.default_rng(0).normal(size=(30, 4)),
+            np.random.default_rng(1).normal(size=(3, 4)),
+            np.arange(30) % 2,
+            np.arange(3) % 2,
+        )
+        accs = run_on_threads(
+            5, lambda c: distributed_knn(c, Xtr, ytr, Xte, yte)
+        )
+        assert 0.0 <= accs[0] <= 1.0
+
+
+class TestDistributedKmeansHpo:
+    @pytest.mark.parametrize("n", (1, 2, 4))
+    def test_inertias_identical_to_sequential(self, n):
+        X, _ = make_blobs(n_samples=400, centers=4, seed=6)
+        seq = sequential_kmeans_hpo(X, k_max=6, max_iter=20)
+        dist = run_on_threads(
+            n, lambda c: distributed_kmeans_hpo(c, X, k_max=6, max_iter=20)
+        )[0]
+        assert set(dist) == set(seq)
+        for k in seq:
+            assert dist[k] == pytest.approx(seq[k], rel=1e-12)
+
+    def test_more_ranks_than_k_values(self):
+        X, _ = make_blobs(n_samples=200, centers=2, seed=1)
+        dist = run_on_threads(
+            6, lambda c: distributed_kmeans_hpo(c, X, k_max=3, max_iter=10)
+        )[0]
+        assert set(dist) == {1, 2, 3}
+
+    def test_elbow_detects_true_center_count(self):
+        X, _ = make_blobs(
+            n_samples=600, centers=4, cluster_std=0.3, seed=12
+        )
+        inertias = sequential_kmeans_hpo(X, k_max=9, max_iter=40)
+        assert find_elbow(inertias) == 4
+
+    def test_elbow_rejects_empty(self):
+        with pytest.raises(ValueError):
+            find_elbow({})
+
+
+class TestDistributedMatmul:
+    @pytest.mark.parametrize("n", (1, 2, 3, 5))
+    def test_product_identical(self, n):
+        rng = np.random.default_rng(2)
+        A, B = rng.normal(size=(37, 20)), rng.normal(size=(20, 13))
+        seq = sequential_matmul(A, B)
+        dist = run_on_threads(n, lambda c: distributed_matmul(c, A, B))[0]
+        assert np.allclose(seq, dist)
+
+    def test_more_ranks_than_rows(self):
+        rng = np.random.default_rng(5)
+        A, B = rng.normal(size=(3, 4)), rng.normal(size=(4, 2))
+        dist = run_on_threads(6, lambda c: distributed_matmul(c, A, B))[0]
+        assert np.allclose(dist, A @ B)
+
+    def test_shape_mismatch_rejected(self):
+        def work(comm):
+            with pytest.raises(ValueError, match="incompatible"):
+                distributed_matmul(comm, np.zeros((2, 3)), np.zeros((2, 3)))
+        run_on_threads(2, work)
+
+
+class TestScheduler:
+    def test_balanced_beats_naive_for_linear_cost(self):
+        ks = list(range(1, 21))
+        balanced = balanced_assignment(ks, 4)
+        naive = naive_block_assignment(ks, 4)
+        assert makespan(balanced) <= makespan(naive)
+
+    def test_all_items_assigned_once(self):
+        ks = list(range(1, 14))
+        parts = balanced_assignment(ks, 5)
+        flat = sorted(k for part in parts for k in part)
+        assert flat == ks
+
+    def test_lpt_within_4_3_of_lower_bound(self):
+        ks = list(range(1, 30))
+        parts = balanced_assignment(ks, 6)
+        lower = sum(ks) / 6
+        assert makespan(parts) <= lower * (4 / 3) + max(ks)
+
+    def test_empty_parts_when_fewer_items(self):
+        parts = balanced_assignment([5, 1], 4)
+        assert sorted(len(p) for p in parts) == [0, 0, 1, 1]
+
+    def test_invalid_nparts(self):
+        with pytest.raises(ValueError):
+            balanced_assignment([1], 0)
+        with pytest.raises(ValueError):
+            naive_block_assignment([1], 0)
+
+    def test_custom_cost_function(self):
+        parts = balanced_assignment([1, 2, 3, 4], 2, cost=lambda k: k * k)
+        loads = sorted(sum(k * k for k in p) for p in parts)
+        assert loads == [14, 16]  # {1,2,3} vs {4} under quadratic cost
+
+    @given(
+        st.lists(st.integers(1, 50), min_size=1, max_size=40, unique=True),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lpt_never_worse_than_naive(self, ks, nparts):
+        assert makespan(balanced_assignment(ks, nparts)) <= makespan(
+            naive_block_assignment(sorted(ks), nparts)
+        )
+
+
+class TestHarness:
+    def test_result_fields_and_speedup(self):
+        rng = np.random.default_rng(0)
+        A, B = rng.normal(size=(60, 60)), rng.normal(size=(60, 60))
+        res = run_sequential_vs_distributed(
+            "matmul",
+            lambda: sequential_matmul(A, B),
+            lambda c: distributed_matmul(c, A, B),
+            processes=2,
+        )
+        assert res.workload == "matmul"
+        assert res.processes == 2
+        assert res.sequential_s > 0 and res.distributed_s > 0
+        assert res.speedup == res.sequential_s / res.distributed_s
+        assert np.allclose(res.result_sequential, res.result_distributed)

@@ -1,0 +1,116 @@
+"""k-means tests (scikit-learn workalike)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.datasets import make_blobs
+from repro.ml.kmeans import KMeans
+
+
+class TestFit:
+    def test_recovers_separated_blobs(self):
+        X, labels = make_blobs(
+            n_samples=300, centers=3, cluster_std=0.3, seed=4
+        )
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        # Each true cluster maps to exactly one predicted cluster.
+        for c in range(3):
+            preds = km.labels_[labels == c]
+            assert len(np.unique(preds)) == 1
+
+    def test_inertia_nonincreasing_in_k(self):
+        X, _ = make_blobs(n_samples=200, centers=4, seed=9)
+        inertias = [
+            KMeans(n_clusters=k, random_state=0).fit(X).inertia_
+            for k in range(1, 7)
+        ]
+        for a, b in zip(inertias, inertias[1:]):
+            assert b <= a * 1.05  # allow tiny local-optimum noise
+
+    def test_k_equals_n_gives_zero_inertia(self):
+        X = np.arange(10, dtype="f8").reshape(5, 2)
+        km = KMeans(n_clusters=5, random_state=0).fit(X)
+        assert km.inertia_ == pytest.approx(0.0, abs=1e-9)
+
+    def test_k1_center_is_mean(self):
+        X, _ = make_blobs(n_samples=100, centers=2, seed=1)
+        km = KMeans(n_clusters=1, random_state=0).fit(X)
+        assert np.allclose(km.cluster_centers_[0], X.mean(axis=0))
+        # Inertia = total variance around the mean.
+        assert km.inertia_ == pytest.approx(
+            np.sum((X - X.mean(axis=0)) ** 2)
+        )
+
+    def test_labels_match_predict(self):
+        X, _ = make_blobs(n_samples=150, centers=3, seed=2)
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert np.array_equal(km.predict(X), km.labels_)
+
+    def test_fit_predict(self):
+        X, _ = make_blobs(n_samples=60, centers=2, seed=3)
+        labels = KMeans(n_clusters=2, random_state=0).fit_predict(X)
+        assert labels.shape == (60,)
+
+    def test_n_init_improves_or_matches(self):
+        X, _ = make_blobs(n_samples=200, centers=6, cluster_std=1.5, seed=8)
+        one = KMeans(n_clusters=6, n_init=1, random_state=0).fit(X)
+        many = KMeans(n_clusters=6, n_init=5, random_state=0).fit(X)
+        assert many.inertia_ <= one.inertia_ + 1e-9
+
+    def test_deterministic_with_seed(self):
+        X, _ = make_blobs(n_samples=100, centers=3, seed=5)
+        a = KMeans(n_clusters=3, random_state=7).fit(X)
+        b = KMeans(n_clusters=3, random_state=7).fit(X)
+        assert np.allclose(a.cluster_centers_, b.cluster_centers_)
+
+    def test_convergence_iteration_count_recorded(self):
+        X, _ = make_blobs(n_samples=100, centers=2, cluster_std=0.1, seed=6)
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        assert 1 <= km.n_iter_ <= km.max_iter
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+    def test_bad_max_iter(self):
+        with pytest.raises(ValueError):
+            KMeans(max_iter=0)
+
+    def test_bad_n_init(self):
+        with pytest.raises(ValueError):
+            KMeans(n_init=0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="clusters"):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            KMeans(n_clusters=1).fit(np.zeros(5))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            KMeans().predict(np.zeros((1, 2)))
+
+
+class TestProperties:
+    @given(st.integers(0, 10_000), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_inertia_equals_recomputed_ssq(self, seed, k):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 2))
+        km = KMeans(n_clusters=k, random_state=0).fit(X)
+        d = X - km.cluster_centers_[km.labels_]
+        assert km.inertia_ == pytest.approx(np.sum(d * d), rel=1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_every_cluster_nonempty(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(50, 3))
+        km = KMeans(n_clusters=4, random_state=0).fit(X)
+        assert len(np.unique(km.labels_)) == 4

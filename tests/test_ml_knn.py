@@ -1,0 +1,125 @@
+"""k-NN classifier tests (scikit-learn workalike)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.knn import KNeighborsClassifier, NotFittedError
+
+
+def _two_blobs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal((-3, -3), 0.5, size=(n // 2, 2))
+    b = rng.normal((3, 3), 0.5, size=(n // 2, 2))
+    X = np.vstack([a, b])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+class TestFitPredict:
+    def test_separable_blobs_perfect(self):
+        X, y = _two_blobs()
+        clf = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert clf.score(X, y) == 1.0
+
+    def test_single_neighbor_memorizes(self):
+        X, y = _two_blobs()
+        clf = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert np.array_equal(clf.predict(X), y)
+
+    def test_string_labels(self):
+        X, y = _two_blobs()
+        labels = np.where(y == 0, "left", "right")
+        clf = KNeighborsClassifier(n_neighbors=3).fit(X, labels)
+        assert set(clf.predict(X)) == {"left", "right"}
+
+    def test_negative_labels(self):
+        X, y = _two_blobs()
+        signed = np.where(y == 0, -1, 1)
+        clf = KNeighborsClassifier(n_neighbors=5).fit(X, signed)
+        assert clf.score(X, signed) == 1.0
+
+    def test_chunking_equals_unchunked(self):
+        X, y = _two_blobs(n=100)
+        q = X + 0.01
+        small = KNeighborsClassifier(n_neighbors=3, chunk_size=7).fit(X, y)
+        big = KNeighborsClassifier(n_neighbors=3, chunk_size=1000).fit(X, y)
+        assert np.array_equal(small.predict(q), big.predict(q))
+
+    def test_kneighbors_distances_sorted(self):
+        X, y = _two_blobs()
+        clf = KNeighborsClassifier(n_neighbors=4).fit(X, y)
+        dist, idx = clf.kneighbors(X[:5])
+        assert dist.shape == (5, 4) and idx.shape == (5, 4)
+        assert np.all(np.diff(dist, axis=1) >= -1e-12)
+
+    def test_self_is_own_nearest_neighbor(self):
+        X, y = _two_blobs()
+        clf = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        _dist, idx = clf.kneighbors(X)
+        assert np.array_equal(idx[:, 0], np.arange(len(X)))
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KNeighborsClassifier().predict(np.zeros((1, 2)))
+
+    def test_bad_n_neighbors(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(chunk_size=0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="labels"):
+            KNeighborsClassifier().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            KNeighborsClassifier(n_neighbors=5).fit(
+                np.zeros((2, 2)), np.zeros(2)
+            )
+
+    def test_1d_X_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            KNeighborsClassifier().fit(np.zeros(5), np.zeros(5))
+
+    def test_query_dimension_mismatch(self):
+        X, y = _two_blobs()
+        clf = KNeighborsClassifier().fit(X, y)
+        with pytest.raises(ValueError, match="incompatible"):
+            clf.predict(np.zeros((2, 9)))
+
+    def test_empty_score_rejected(self):
+        X, y = _two_blobs()
+        clf = KNeighborsClassifier().fit(X, y)
+        with pytest.raises(ValueError, match="empty"):
+            clf.score(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestProperties:
+    @given(st.integers(0, 10_000), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_training_accuracy_with_k1_is_perfect(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, dim))
+        y = rng.integers(0, 3, 30)
+        clf = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert clf.score(X, y) == 1.0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_prediction_invariant_to_duplicate_training_rows(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(20, 3))
+        y = rng.integers(0, 2, 20)
+        q = rng.normal(size=(5, 3))
+        base = KNeighborsClassifier(n_neighbors=1).fit(X, y).predict(q)
+        doubled = KNeighborsClassifier(n_neighbors=1).fit(
+            np.vstack([X, X]), np.concatenate([y, y])
+        ).predict(q)
+        assert np.array_equal(base, doubled)

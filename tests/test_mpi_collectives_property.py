@@ -1,0 +1,156 @@
+"""Property-based collective tests: semantics match a NumPy reference for
+arbitrary payloads, ops, and world sizes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import ops
+from repro.mpi.world import run_on_threads
+
+world_sizes = st.integers(2, 6)
+elem_counts = st.integers(1, 40)
+seeds = st.integers(0, 2**31 - 1)
+
+_SETTINGS = dict(max_examples=20, deadline=None)
+
+
+def _rank_data(seed: int, rank: int, count: int) -> np.ndarray:
+    rng = np.random.default_rng(seed * 1000 + rank)
+    return rng.integers(-100, 100, count).astype("f8")
+
+
+@given(world_sizes, elem_counts, seeds)
+@settings(**_SETTINGS)
+def test_allreduce_sum_matches_numpy(n, count, seed):
+    def work(comm):
+        return comm.allreduce_array(
+            _rank_data(seed, comm.rank, count), ops.SUM
+        )
+
+    results = run_on_threads(n, work)
+    expect = np.sum(
+        [_rank_data(seed, r, count) for r in range(n)], axis=0
+    )
+    for out in results:
+        assert np.allclose(out, expect)
+
+
+@given(world_sizes, elem_counts, seeds, st.sampled_from(["MAX", "MIN"]))
+@settings(**_SETTINGS)
+def test_allreduce_extrema_matches_numpy(n, count, seed, opname):
+    op = getattr(ops, opname)
+    reduction = np.max if opname == "MAX" else np.min
+
+    def work(comm):
+        return comm.allreduce_array(
+            _rank_data(seed, comm.rank, count), op
+        )
+
+    results = run_on_threads(n, work)
+    expect = reduction(
+        [_rank_data(seed, r, count) for r in range(n)], axis=0
+    )
+    for out in results:
+        assert np.allclose(out, expect)
+
+
+@given(world_sizes, st.integers(0, 64), seeds)
+@settings(**_SETTINGS)
+def test_bcast_delivers_root_payload(n, nbytes, seed):
+    rng = np.random.default_rng(seed)
+    payload = bytes(rng.integers(0, 256, nbytes, dtype=np.uint8))
+    root = seed % n
+
+    def work(comm):
+        return comm.bcast_bytes(
+            payload if comm.rank == root else None, root
+        )
+
+    for out in run_on_threads(n, work):
+        assert out == payload
+
+
+@given(world_sizes, st.integers(1, 32), seeds)
+@settings(**_SETTINGS)
+def test_allgather_roundtrip(n, nbytes, seed):
+    rng = np.random.default_rng(seed)
+    blocks = [
+        bytes(rng.integers(0, 256, nbytes, dtype=np.uint8))
+        for _ in range(n)
+    ]
+
+    def work(comm):
+        return comm.allgather_bytes(blocks[comm.rank])
+
+    for out in run_on_threads(n, work):
+        assert out == blocks
+
+
+@given(world_sizes, st.integers(1, 16), seeds)
+@settings(**_SETTINGS)
+def test_alltoall_is_transpose(n, nbytes, seed):
+    rng = np.random.default_rng(seed)
+    matrix = [
+        [bytes(rng.integers(0, 256, nbytes, dtype=np.uint8))
+         for _ in range(n)]
+        for _ in range(n)
+    ]
+
+    def work(comm):
+        return comm.alltoall_bytes(matrix[comm.rank])
+
+    results = run_on_threads(n, work)
+    for r, out in enumerate(results):
+        assert out == [matrix[i][r] for i in range(n)]
+
+
+@given(world_sizes, elem_counts, seeds)
+@settings(**_SETTINGS)
+def test_scan_prefix_property(n, count, seed):
+    def work(comm):
+        return comm.scan_array(_rank_data(seed, comm.rank, count), ops.SUM)
+
+    results = run_on_threads(n, work)
+    running = np.zeros(count)
+    for r in range(n):
+        running = running + _rank_data(seed, r, count)
+        assert np.allclose(results[r], running)
+
+
+@given(world_sizes, st.integers(1, 8), seeds)
+@settings(**_SETTINGS)
+def test_reduce_scatter_equals_reduce_then_slice(n, per_rank, seed):
+    def work(comm):
+        send = _rank_data(seed, comm.rank, per_rank * comm.size)
+        return comm.reduce_scatter_array(
+            send, [per_rank] * comm.size, ops.SUM
+        )
+
+    results = run_on_threads(n, work)
+    total = np.sum(
+        [_rank_data(seed, r, per_rank * n) for r in range(n)], axis=0
+    )
+    for r in range(n):
+        assert np.allclose(
+            results[r], total[r * per_rank:(r + 1) * per_rank]
+        )
+
+
+@given(world_sizes, seeds)
+@settings(**_SETTINGS)
+def test_gatherv_concatenation_order(n, seed):
+    rng = np.random.default_rng(seed)
+    lengths = [int(rng.integers(0, 10)) + 1 for _ in range(n)]
+    blocks = [
+        bytes(rng.integers(0, 256, lengths[r], dtype=np.uint8))
+        for r in range(n)
+    ]
+
+    def work(comm):
+        return comm.gatherv_bytes(blocks[comm.rank], None, 0)
+
+    results = run_on_threads(n, work)
+    assert results[0] == blocks
+    for r in range(1, n):
+        assert results[r] is None

@@ -1,0 +1,134 @@
+"""Communicator management: Dup, Split, Free, Compare, sub-groups."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import constants as C
+from repro.mpi import ops
+from repro.mpi.exceptions import CommError, RootError
+from repro.mpi.group import Group
+from repro.mpi.world import run_on_threads
+
+
+class TestDup:
+    def test_dup_same_rank_size(self):
+        def work(comm):
+            dup = comm.Dup()
+            assert dup.rank == comm.rank
+            assert dup.size == comm.size
+            assert dup.context != comm.context
+        run_on_threads(4, work)
+
+    def test_dup_isolates_traffic(self):
+        """A message sent on the dup must not match a recv on the parent."""
+        def work(comm):
+            dup = comm.Dup()
+            if comm.rank == 0:
+                dup.send_bytes(b"dup-msg", 1, 5)
+                comm.send_bytes(b"parent-msg", 1, 5)
+            elif comm.rank == 1:
+                data, _ = comm.recv_bytes(0, 5, 32)
+                assert data == b"parent-msg"
+                data, _ = dup.recv_bytes(0, 5, 32)
+                assert data == b"dup-msg"
+            comm.barrier()
+        run_on_threads(2, work)
+
+    def test_collectives_on_dup(self):
+        def work(comm):
+            dup = comm.Dup()
+            out = dup.allreduce_array(np.ones(3), ops.SUM)
+            assert np.allclose(out, dup.size)
+        run_on_threads(3, work)
+
+
+class TestSplit:
+    def test_split_even_odd(self):
+        def work(comm):
+            sub = comm.Split(comm.rank % 2, comm.rank)
+            evens = (comm.size + 1) // 2
+            odds = comm.size // 2
+            assert sub.size == (evens if comm.rank % 2 == 0 else odds)
+            # Ranks ordered by key within each color.
+            assert sub.rank == comm.rank // 2
+            return sub.allreduce_array(np.array([1.0]), ops.SUM)[0]
+        results = run_on_threads(5, work)
+        assert results == [3.0, 2.0, 3.0, 2.0, 3.0]
+
+    def test_split_key_reverses_order(self):
+        def work(comm):
+            sub = comm.Split(0, -comm.rank)
+            return sub.rank
+        results = run_on_threads(4, work)
+        assert results == [3, 2, 1, 0]
+
+    def test_split_negative_color_returns_none(self):
+        def work(comm):
+            sub = comm.Split(-1 if comm.rank == 0 else 0, comm.rank)
+            if comm.rank == 0:
+                assert sub is None
+            else:
+                assert sub.size == comm.size - 1
+        run_on_threads(3, work)
+
+    def test_split_subcomm_p2p(self):
+        def work(comm):
+            sub = comm.Split(comm.rank % 2)
+            if sub.size >= 2:
+                if sub.rank == 0:
+                    sub.send_bytes(b"within-color", 1, 1)
+                elif sub.rank == 1:
+                    data, _ = sub.recv_bytes(0, 1, 32)
+                    assert data == b"within-color"
+            comm.barrier()
+        run_on_threads(4, work)
+
+    def test_nested_split(self):
+        def work(comm):
+            half = comm.Split(comm.rank // 2)
+            quarter = half.Split(half.rank)
+            assert quarter.size == 1
+            return quarter.allreduce_array(np.array([5.0]), ops.SUM)[0]
+        assert run_on_threads(4, work) == [5.0] * 4
+
+
+class TestCreateFromGroup:
+    def test_subgroup_comm(self):
+        def work(comm):
+            sub_group = Group([0, 2])
+            sub = comm.Create_from_group(sub_group)
+            if comm.rank in (0, 2):
+                assert sub is not None
+                assert sub.size == 2
+                out = sub.allreduce_array(np.array([1.0]), ops.SUM)
+                assert out[0] == 2.0
+            else:
+                assert sub is None
+        run_on_threads(4, work)
+
+
+class TestFreeAndCompare:
+    def test_freed_comm_rejects_operations(self):
+        def work(comm):
+            dup = comm.Dup()
+            dup.Free()
+            with pytest.raises(CommError, match="freed"):
+                dup.send_bytes(b"x", 0, 0)
+        run_on_threads(2, work)
+
+    def test_compare_ident_self(self):
+        def work(comm):
+            assert comm.Compare(comm) == C.IDENT
+        run_on_threads(2, work)
+
+    def test_compare_congruent_dup(self):
+        def work(comm):
+            dup = comm.Dup()
+            assert comm.Compare(dup) == C.CONGRUENT
+        run_on_threads(2, work)
+
+    def test_invalid_root_rejected(self):
+        def work(comm):
+            with pytest.raises(RootError):
+                comm.bcast_bytes(b"x", comm.size + 3)
+        run_on_threads(2, work)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.mpi.datatypes."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import datatypes
+from repro.mpi.exceptions import DatatypeError
+
+
+class TestPredefined:
+    def test_byte_size(self):
+        assert datatypes.BYTE.Get_size() == 1
+
+    def test_double_size(self):
+        assert datatypes.DOUBLE.Get_size() == 8
+
+    def test_int_size(self):
+        assert datatypes.INT.Get_size() == 4
+
+    def test_complex_sizes(self):
+        assert datatypes.COMPLEX.Get_size() == 8
+        assert datatypes.DOUBLE_COMPLEX.Get_size() == 16
+
+    def test_pair_type_sizes(self):
+        assert datatypes.FLOAT_INT.Get_size() == 8
+        assert datatypes.DOUBLE_INT.Get_size() == 12
+
+    def test_names(self):
+        assert datatypes.DOUBLE.Get_name() == "MPI_DOUBLE"
+        assert datatypes.BYTE.Get_name() == "MPI_BYTE"
+
+    def test_all_predefined_listed(self):
+        names = datatypes.predefined_names()
+        assert "MPI_DOUBLE" in names
+        assert "MPI_BYTE" in names
+        assert len(names) == len(set(names))
+
+    def test_every_predefined_size_matches_numpy(self):
+        for name in datatypes.predefined_names():
+            dt = datatypes.lookup(name)
+            if dt.np_dtype is not None:
+                assert np.dtype(dt.np_dtype).itemsize == dt.size, name
+
+
+class TestLookup:
+    def test_lookup_known(self):
+        assert datatypes.lookup("MPI_INT") is datatypes.INT
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(DatatypeError, match="unknown datatype"):
+            datatypes.lookup("MPI_BOGUS")
+
+
+class TestNumpyMapping:
+    @pytest.mark.parametrize(
+        "np_name, expected",
+        [
+            ("float64", datatypes.DOUBLE),
+            ("float32", datatypes.FLOAT),
+            ("int32", datatypes.INT),
+            ("int64", datatypes.LONG),
+            ("uint8", datatypes.UNSIGNED_CHAR),
+            ("bool", datatypes.C_BOOL),
+            ("complex128", datatypes.DOUBLE_COMPLEX),
+        ],
+    )
+    def test_from_numpy(self, np_name, expected):
+        assert datatypes.from_numpy_dtype(np_name) is expected
+
+    def test_from_numpy_dtype_object(self):
+        assert datatypes.from_numpy_dtype(np.dtype("f4")) is datatypes.FLOAT
+
+    def test_unsupported_numpy_dtype(self):
+        with pytest.raises(DatatypeError, match="no MPI datatype"):
+            datatypes.from_numpy_dtype(np.dtype("U10"))
+
+    def test_roundtrip_to_numpy(self):
+        assert datatypes.DOUBLE.to_numpy() == np.dtype("f8")
+        assert datatypes.BYTE.to_numpy() == np.dtype("u1")
+
+
+class TestContiguous:
+    def test_create_contiguous(self):
+        t = datatypes.DOUBLE.Create_contiguous(4)
+        assert t.Get_size() == 32
+        assert t.count == 4
+
+    def test_nested_contiguous(self):
+        t = datatypes.INT.Create_contiguous(3).Create_contiguous(2)
+        assert t.Get_size() == 24
+        assert t.count == 6
+
+    def test_zero_count(self):
+        assert datatypes.INT.Create_contiguous(0).Get_size() == 0
+
+    def test_negative_count_raises(self):
+        with pytest.raises(DatatypeError, match="negative count"):
+            datatypes.INT.Create_contiguous(-1)

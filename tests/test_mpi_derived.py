@@ -1,0 +1,131 @@
+"""Vector (strided) derived-datatype tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import datatypes
+from repro.mpi.derived import recv_vector, send_vector, type_vector
+from repro.mpi.exceptions import CountError, DatatypeError
+from repro.mpi.world import run_on_threads
+
+
+class TestConstruction:
+    def test_sizes(self):
+        vt = type_vector(3, 2, 4, datatypes.DOUBLE)
+        assert vt.packed_elements == 6
+        assert vt.packed_bytes == 48
+        assert vt.extent_elements == 2 * 4 + 2
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(DatatypeError, match="overlap"):
+            type_vector(2, 4, 2, datatypes.INT)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatatypeError):
+            type_vector(-1, 1, 1, datatypes.INT)
+
+    def test_name(self):
+        assert "MPI_INT_vector" in type_vector(
+            1, 1, 1, datatypes.INT
+        ).Get_name()
+
+    def test_zero_count(self):
+        vt = type_vector(0, 3, 3, datatypes.INT)
+        assert vt.extent_elements == 0
+        assert vt.pack(np.zeros(0, dtype="i4")) == b""
+
+
+class TestPackUnpack:
+    def test_pack_selects_strided_elements(self):
+        vt = type_vector(3, 1, 2, datatypes.LONG)
+        buf = np.arange(6, dtype="i8")  # picks 0, 2, 4
+        packed = np.frombuffer(vt.pack(buf), dtype="i8")
+        assert packed.tolist() == [0, 2, 4]
+
+    def test_pack_blocklength_two(self):
+        vt = type_vector(2, 2, 3, datatypes.INT)
+        buf = np.arange(5, dtype="i4")  # [0,1] and [3,4]
+        packed = np.frombuffer(vt.pack(buf), dtype="i4")
+        assert packed.tolist() == [0, 1, 3, 4]
+
+    def test_unpack_roundtrip(self):
+        vt = type_vector(3, 2, 4, datatypes.DOUBLE)
+        src = np.arange(10, dtype="f8")
+        dst = np.zeros(10, dtype="f8")
+        vt.unpack(vt.pack(src), dst)
+        idx = [0, 1, 4, 5, 8, 9]
+        assert dst[idx].tolist() == src[idx].tolist()
+        untouched = [2, 3, 6, 7]
+        assert all(dst[untouched] == 0)
+
+    def test_matrix_column_use_case(self):
+        """The classic vector-type example: one column of a C-order
+        matrix is count=nrows, blocklength=1, stride=ncols."""
+        m = np.arange(12, dtype="f8").reshape(3, 4)
+        vt = type_vector(3, 1, 4, datatypes.DOUBLE)
+        col1 = np.frombuffer(vt.pack(m), dtype="f8")
+        # Packing starts at element 0 -> column 0.
+        assert col1.tolist() == m[:, 0].tolist()
+
+    def test_short_buffer_rejected(self):
+        vt = type_vector(3, 2, 4, datatypes.INT)
+        with pytest.raises(CountError, match="spans"):
+            vt.pack(np.zeros(5, dtype="i4"))
+
+    def test_wrong_payload_size_rejected(self):
+        vt = type_vector(2, 1, 2, datatypes.INT)
+        with pytest.raises(CountError, match="packs"):
+            vt.unpack(b"\x00" * 4, np.zeros(4, dtype="i4"))
+
+    def test_readonly_unpack_target_rejected(self):
+        vt = type_vector(1, 1, 1, datatypes.UNSIGNED_CHAR)
+        with pytest.raises(DatatypeError, match="writable"):
+            vt.unpack(b"\x01", bytes(1))
+
+    @given(
+        st.integers(1, 8), st.integers(1, 4), st.integers(0, 6),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, count, blocklength, extra, seed):
+        stride = blocklength + extra
+        vt = type_vector(count, blocklength, stride, datatypes.LONG)
+        rng = np.random.default_rng(seed)
+        src = rng.integers(-1000, 1000, vt.extent_elements).astype("i8")
+        dst = np.zeros_like(src)
+        vt.unpack(vt.pack(src), dst)
+        idx = vt._block_index()
+        assert np.array_equal(dst[idx], src[idx])
+
+
+class TestCommunication:
+    def test_send_recv_strided(self):
+        def work(comm):
+            vt = type_vector(4, 1, 2, datatypes.LONG)
+            if comm.rank == 0:
+                buf = np.arange(8, dtype="i8") * 10
+                send_vector(comm, buf, vt, 1, 3)
+            elif comm.rank == 1:
+                buf = np.zeros(8, dtype="i8")
+                st = recv_vector(comm, buf, vt, 0, 3)
+                assert st.count_bytes == vt.packed_bytes
+                assert buf[[0, 2, 4, 6]].tolist() == [0, 20, 40, 60]
+                assert buf[[1, 3, 5, 7]].tolist() == [0, 0, 0, 0]
+        run_on_threads(2, work)
+
+    def test_matrix_column_exchange(self):
+        """Send column 0 of a matrix; receive into column 0 of another."""
+        def work(comm):
+            rows, cols = 4, 5
+            vt = type_vector(rows, 1, cols, datatypes.DOUBLE)
+            if comm.rank == 0:
+                m = np.arange(rows * cols, dtype="f8").reshape(rows, cols)
+                send_vector(comm, m, vt, 1, 1)
+            elif comm.rank == 1:
+                m = np.zeros((rows, cols))
+                recv_vector(comm, m, vt, 0, 1)
+                assert m[:, 0].tolist() == [0.0, 5.0, 10.0, 15.0]
+                assert np.all(m[:, 1:] == 0)
+        run_on_threads(2, work)

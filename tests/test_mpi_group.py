@@ -1,0 +1,131 @@
+"""Unit + property tests for process groups."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.constants import IDENT, SIMILAR, UNDEFINED, UNEQUAL
+from repro.mpi.exceptions import GroupError
+from repro.mpi.group import Group
+
+
+class TestConstruction:
+    def test_size(self):
+        assert Group([0, 1, 2]).Get_size() == 3
+
+    def test_empty_group(self):
+        assert Group([]).size == 0
+
+    def test_duplicate_rank_rejected(self):
+        with pytest.raises(GroupError, match="duplicate"):
+            Group([0, 1, 1])
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(GroupError, match="negative"):
+            Group([0, -1])
+
+    def test_order_preserved(self):
+        assert Group([5, 2, 9]).world_ranks() == (5, 2, 9)
+
+
+class TestRankMapping:
+    def test_rank_of(self):
+        g = Group([10, 20, 30])
+        assert g.rank_of(20) == 1
+        assert g.rank_of(99) == UNDEFINED
+
+    def test_world_rank(self):
+        g = Group([10, 20, 30])
+        assert g.world_rank(2) == 30
+
+    def test_world_rank_out_of_range(self):
+        with pytest.raises(GroupError, match="out of range"):
+            Group([0, 1]).world_rank(2)
+
+    def test_translate_ranks(self):
+        g1 = Group([0, 1, 2, 3])
+        g2 = Group([3, 1])
+        assert g1.Translate_ranks([0, 1, 3], g2) == [UNDEFINED, 1, 0]
+
+
+class TestCompare:
+    def test_ident(self):
+        assert Group([1, 2]).Compare(Group([1, 2])) == IDENT
+
+    def test_similar(self):
+        assert Group([1, 2]).Compare(Group([2, 1])) == SIMILAR
+
+    def test_unequal(self):
+        assert Group([1, 2]).Compare(Group([1, 3])) == UNEQUAL
+
+    def test_eq_and_hash(self):
+        assert Group([1, 2]) == Group([1, 2])
+        assert hash(Group([1, 2])) == hash(Group([1, 2]))
+        assert Group([1, 2]) != Group([2, 1])
+
+
+class TestAlgebra:
+    def test_incl(self):
+        g = Group([10, 20, 30, 40])
+        assert g.Incl([2, 0]).world_ranks() == (30, 10)
+
+    def test_excl(self):
+        g = Group([10, 20, 30, 40])
+        assert g.Excl([1, 3]).world_ranks() == (10, 30)
+
+    def test_excl_out_of_range(self):
+        with pytest.raises(GroupError):
+            Group([0, 1]).Excl([5])
+
+    def test_union_order(self):
+        u = Group([1, 2]).Union(Group([3, 2, 4]))
+        assert u.world_ranks() == (1, 2, 3, 4)
+
+    def test_intersection(self):
+        i = Group([1, 2, 3]).Intersection(Group([3, 1, 9]))
+        assert i.world_ranks() == (1, 3)
+
+    def test_difference(self):
+        d = Group([1, 2, 3]).Difference(Group([2]))
+        assert d.world_ranks() == (1, 3)
+
+    def test_range_incl(self):
+        g = Group(list(range(10)))
+        assert g.Range_incl([(0, 6, 2)]).world_ranks() == (0, 2, 4, 6)
+
+    def test_range_incl_negative_stride(self):
+        g = Group(list(range(10)))
+        assert g.Range_incl([(4, 0, -2)]).world_ranks() == (4, 2, 0)
+
+    def test_range_incl_zero_stride(self):
+        with pytest.raises(GroupError, match="zero stride"):
+            Group([0, 1]).Range_incl([(0, 1, 0)])
+
+
+class TestProperties:
+    ranks = st.lists(
+        st.integers(0, 63), min_size=0, max_size=16, unique=True
+    )
+
+    @given(ranks, ranks)
+    @settings(max_examples=60, deadline=None)
+    def test_union_contains_both(self, a, b):
+        u = Group(a).Union(Group(b))
+        assert set(u.world_ranks()) == set(a) | set(b)
+
+    @given(ranks, ranks)
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_difference_partition(self, a, b):
+        ga, gb = Group(a), Group(b)
+        inter = set(ga.Intersection(gb).world_ranks())
+        diff = set(ga.Difference(gb).world_ranks())
+        assert inter | diff == set(a)
+        assert inter & diff == set()
+
+    @given(ranks)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_roundtrip(self, a):
+        g = Group(a)
+        for i, wr in enumerate(a):
+            assert g.rank_of(wr) == i
+            assert g.world_rank(i) == wr

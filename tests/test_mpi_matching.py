@@ -1,0 +1,205 @@
+"""Unit tests for the message-matching engine (no transport involved)."""
+
+import threading
+
+import pytest
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.exceptions import TruncationError
+from repro.mpi.matching import Envelope, MatchingEngine
+from repro.mpi.status import Status
+
+
+def env(src=0, tag=1, nbytes=0, ctx=0, dest=0):
+    return Envelope(ctx, src, dest, tag, nbytes)
+
+
+class TestBasicMatching:
+    def test_posted_then_delivered(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(0, 0, 1, 100)
+        assert not t.done()
+        eng.deliver(env(nbytes=3), b"abc")
+        assert t.done()
+        assert t.wait() == b"abc"
+
+    def test_delivered_then_posted(self):
+        eng = MatchingEngine()
+        eng.deliver(env(nbytes=3), b"xyz")
+        t = eng.post_recv(0, 0, 1, 100)
+        assert t.done()
+        assert t.wait() == b"xyz"
+
+    def test_status_filled(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(0, ANY_SOURCE, ANY_TAG, 100)
+        eng.deliver(env(src=3, tag=9, nbytes=2), b"hi")
+        t.wait()
+        assert t.status.Get_source() == 3
+        assert t.status.Get_tag() == 9
+        assert t.status.count_bytes == 2
+
+
+class TestWildcards:
+    def test_any_source(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(0, ANY_SOURCE, 7, 10)
+        eng.deliver(env(src=5, tag=7), b"")
+        assert t.done()
+
+    def test_any_tag(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(0, 2, ANY_TAG, 10)
+        eng.deliver(env(src=2, tag=42), b"")
+        assert t.done()
+
+    def test_wrong_source_not_matched(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(0, 1, 7, 10)
+        eng.deliver(env(src=2, tag=7), b"")
+        assert not t.done()
+        assert eng.pending_unexpected() == 1
+
+    def test_wrong_tag_not_matched(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(0, 1, 7, 10)
+        eng.deliver(env(src=1, tag=8), b"")
+        assert not t.done()
+
+    def test_wrong_context_not_matched(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(5, ANY_SOURCE, ANY_TAG, 10)
+        eng.deliver(env(ctx=6), b"")
+        assert not t.done()
+
+
+class TestOrdering:
+    def test_unexpected_fifo_per_pattern(self):
+        eng = MatchingEngine()
+        eng.deliver(env(src=1, tag=1, nbytes=1), b"a")
+        eng.deliver(env(src=1, tag=1, nbytes=1), b"b")
+        t1 = eng.post_recv(0, 1, 1, 10)
+        t2 = eng.post_recv(0, 1, 1, 10)
+        assert t1.wait() == b"a"
+        assert t2.wait() == b"b"
+
+    def test_posted_fifo(self):
+        eng = MatchingEngine()
+        t1 = eng.post_recv(0, ANY_SOURCE, ANY_TAG, 10)
+        t2 = eng.post_recv(0, ANY_SOURCE, ANY_TAG, 10)
+        eng.deliver(env(nbytes=1), b"x")
+        assert t1.done() and not t2.done()
+
+    def test_earliest_satisfying_recv_wins(self):
+        eng = MatchingEngine()
+        t1 = eng.post_recv(0, 3, 1, 10)       # specific source 3
+        t2 = eng.post_recv(0, ANY_SOURCE, 1, 10)
+        eng.deliver(env(src=2, tag=1), b"")
+        # Message from 2 skips t1 (wants src 3) and matches t2.
+        assert not t1.done() and t2.done()
+
+    def test_tag_selectivity_across_interleaved_sends(self):
+        eng = MatchingEngine()
+        eng.deliver(env(src=1, tag=5, nbytes=1), b"5")
+        eng.deliver(env(src=1, tag=6, nbytes=1), b"6")
+        t6 = eng.post_recv(0, 1, 6, 10)
+        t5 = eng.post_recv(0, 1, 5, 10)
+        assert t6.wait() == b"6"
+        assert t5.wait() == b"5"
+
+
+class TestTruncation:
+    def test_oversized_message_raises_on_wait(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(0, 0, 1, 2)
+        eng.deliver(env(nbytes=5), b"12345")
+        with pytest.raises(TruncationError, match="truncates"):
+            t.wait()
+
+    def test_exact_fit_ok(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(0, 0, 1, 5)
+        eng.deliver(env(nbytes=5), b"12345")
+        assert t.wait() == b"12345"
+
+
+class TestProbe:
+    def test_iprobe_empty(self):
+        eng = MatchingEngine()
+        assert eng.iprobe(0, ANY_SOURCE, ANY_TAG) is None
+
+    def test_iprobe_does_not_consume(self):
+        eng = MatchingEngine()
+        eng.deliver(env(src=2, tag=3, nbytes=4), b"data")
+        st = eng.iprobe(0, 2, 3)
+        assert isinstance(st, Status)
+        assert st.count_bytes == 4
+        assert eng.pending_unexpected() == 1
+
+    def test_probe_blocks_until_delivery(self):
+        eng = MatchingEngine()
+        result = {}
+
+        def prober():
+            result["st"] = eng.probe(0, 1, 1, timeout=5)
+
+        th = threading.Thread(target=prober)
+        th.start()
+        eng.deliver(env(src=1, tag=1, nbytes=2), b"ok")
+        th.join(5)
+        assert not th.is_alive()
+        assert result["st"].Get_source() == 1
+
+    def test_probe_timeout(self):
+        eng = MatchingEngine()
+        with pytest.raises(TimeoutError):
+            eng.probe(0, 1, 1, timeout=0.05)
+
+
+class TestCancel:
+    def test_cancel_posted(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(0, 1, 1, 10)
+        assert eng.cancel_recv(t)
+        assert t.cancelled
+        assert eng.pending_posted() == 0
+
+    def test_cancel_after_match_fails(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(0, 1, 1, 10)
+        eng.deliver(env(src=1, tag=1), b"")
+        assert not eng.cancel_recv(t)
+
+    def test_cancelled_wait_returns_empty(self):
+        eng = MatchingEngine()
+        t = eng.post_recv(0, 1, 1, 10)
+        eng.cancel_recv(t)
+        assert t.wait() == b""
+
+
+class TestConcurrency:
+    def test_concurrent_delivery_and_posting(self):
+        eng = MatchingEngine()
+        n = 200
+        tickets = []
+
+        def poster():
+            for _ in range(n):
+                tickets.append(eng.post_recv(0, ANY_SOURCE, ANY_TAG, 64))
+
+        def deliverer():
+            for i in range(n):
+                eng.deliver(env(src=0, tag=1, nbytes=2), b"%02d" % (i % 100))
+
+        threads = [
+            threading.Thread(target=poster),
+            threading.Thread(target=deliverer),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        for t in tickets:
+            t.wait(timeout=5)
+        assert eng.pending_posted() == 0
+        assert eng.pending_unexpected() == 0

@@ -1,0 +1,121 @@
+"""Stateful property testing of the matching engine.
+
+Hypothesis drives random interleavings of deliveries, posted receives,
+probes, and cancels against a reference model of MPI matching semantics;
+the engine must agree with the model at every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.matching import Envelope, MatchingEngine
+
+
+class _ModelRecv:
+    def __init__(self, source, tag, ticket):
+        self.source = source
+        self.tag = tag
+        self.ticket = ticket
+
+    def matches(self, src, tag):
+        return (
+            (self.source == ANY_SOURCE or self.source == src)
+            and (self.tag == ANY_TAG or self.tag == tag)
+        )
+
+
+class MatchingMachine(RuleBasedStateMachine):
+    """Reference model: FIFO lists of pending recvs and unexpected
+    messages, matched earliest-first exactly as MPI specifies."""
+
+    @initialize()
+    def setup(self):
+        self.engine = MatchingEngine()
+        self.model_posted: list[_ModelRecv] = []
+        self.model_unexpected: list[tuple[int, int, bytes]] = []
+        self.completed: list[tuple[object, int, int, bytes]] = []
+        self.counter = 0
+
+    # -- actions -----------------------------------------------------------
+    @rule(src=st.integers(0, 3), tag=st.integers(0, 3))
+    def deliver(self, src, tag):
+        payload = bytes([self.counter % 256])
+        self.counter += 1
+        env = Envelope(0, src, 0, tag, len(payload))
+        self.engine.deliver(env, payload)
+        # Model: match earliest satisfying posted recv, else queue.
+        for i, recv in enumerate(self.model_posted):
+            if recv.matches(src, tag):
+                del self.model_posted[i]
+                self.completed.append((recv.ticket, src, tag, payload))
+                return
+        self.model_unexpected.append((src, tag, payload))
+
+    @rule(
+        source=st.one_of(st.just(ANY_SOURCE), st.integers(0, 3)),
+        tag=st.one_of(st.just(ANY_TAG), st.integers(0, 3)),
+    )
+    def post_recv(self, source, tag):
+        ticket = self.engine.post_recv(0, source, tag, 1 << 20)
+        model = _ModelRecv(source, tag, ticket)
+        # Model: match earliest satisfying unexpected message, else post.
+        for i, (src, t, payload) in enumerate(self.model_unexpected):
+            if model.matches(src, t):
+                del self.model_unexpected[i]
+                self.completed.append((ticket, src, t, payload))
+                return
+        self.model_posted.append(model)
+
+    @rule()
+    def cancel_newest_posted(self):
+        if not self.model_posted:
+            return
+        model = self.model_posted[-1]
+        ok = self.engine.cancel_recv(model.ticket)
+        assert ok, "cancel failed for a recv the model says is pending"
+        self.model_posted.pop()
+
+    # -- invariants ----------------------------------------------------------
+    @invariant()
+    def queue_sizes_agree(self):
+        assert self.engine.pending_posted() == len(self.model_posted)
+        assert self.engine.pending_unexpected() == len(
+            self.model_unexpected
+        )
+
+    @invariant()
+    def completed_tickets_agree(self):
+        for ticket, src, tag, payload in self.completed:
+            assert ticket.done()
+            assert ticket.wait(0.1) == payload
+            assert ticket.status.Get_source() == src
+            assert ticket.status.Get_tag() == tag
+
+    @invariant()
+    def pending_tickets_not_done(self):
+        for model in self.model_posted:
+            assert not model.ticket.done()
+
+    @invariant()
+    def iprobe_agrees_with_model(self):
+        st_ = self.engine.iprobe(0, ANY_SOURCE, ANY_TAG)
+        if self.model_unexpected:
+            src, tag, payload = self.model_unexpected[0]
+            assert st_ is not None
+            # iprobe reports the earliest matching unexpected message.
+            assert (st_.Get_source(), st_.Get_tag()) == (src, tag)
+        else:
+            assert st_ is None
+
+
+MatchingMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestMatchingStateful = MatchingMachine.TestCase

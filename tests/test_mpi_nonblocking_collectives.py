@@ -1,0 +1,158 @@
+"""Non-blocking collective tests."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.mpi import ops
+from repro.mpi.collectives.nonblocking import (
+    NonBlockingCollectives,
+    waitall_collectives,
+)
+from repro.mpi.world import run_on_threads
+
+
+class TestBasics:
+    def test_ibarrier(self):
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            req = nb.ibarrier()
+            req.wait()
+            assert req.done()
+        run_on_threads(4, work)
+
+    def test_ibcast(self):
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            req = nb.ibcast(b"async" if comm.rank == 0 else None, 0)
+            assert req.wait() == b"async"
+        run_on_threads(3, work)
+
+    def test_iallreduce(self):
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            req = nb.iallreduce(np.full(8, float(comm.rank + 1)), ops.SUM)
+            out = req.wait()
+            assert np.allclose(out, sum(range(1, comm.size + 1)))
+        run_on_threads(4, work)
+
+    def test_ireduce_root_only(self):
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            out = nb.ireduce(np.ones(3), ops.SUM, 0).wait()
+            if comm.rank == 0:
+                assert np.allclose(out, comm.size)
+            else:
+                assert out is None
+        run_on_threads(3, work)
+
+    def test_igather_iscatter(self):
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            gathered = nb.igather(bytes([comm.rank]), 0).wait()
+            if comm.rank == 0:
+                assert gathered == [bytes([r]) for r in range(comm.size)]
+            blocks = (
+                [bytes([j * 2]) for j in range(comm.size)]
+                if comm.rank == 0 else None
+            )
+            mine = nb.iscatter(blocks, 0).wait()
+            assert mine == bytes([comm.rank * 2])
+        run_on_threads(4, work)
+
+    def test_iallgather_ialltoall(self):
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            ag = nb.iallgather(bytes([comm.rank] * 2)).wait()
+            assert ag == [bytes([r] * 2) for r in range(comm.size)]
+            a2a = nb.ialltoall(
+                [bytes([comm.rank, j]) for j in range(comm.size)]
+            ).wait()
+            assert a2a == [bytes([i, comm.rank]) for i in range(comm.size)]
+        run_on_threads(3, work)
+
+    def test_ireduce_scatter(self):
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            p = comm.size
+            out = nb.ireduce_scatter(
+                np.ones(p * 2), [2] * p, ops.SUM
+            ).wait()
+            assert np.allclose(out, p)
+        run_on_threads(4, work)
+
+
+class TestOverlapAndOrdering:
+    def test_computation_overlaps_communication(self):
+        """Work done between start and wait is not serialized after it."""
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            payload = bytes(1 << 20) if comm.rank == 0 else None
+            req = nb.ibcast(payload, 0)
+            acc = 0.0
+            for i in range(1000):
+                acc += i * 0.5
+            out = req.wait(timeout=30)
+            assert len(out) == 1 << 20
+            return acc
+        run_on_threads(3, work)
+
+    def test_multiple_outstanding_requests(self):
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            reqs = [
+                nb.iallreduce(np.array([float(i)]), ops.SUM)
+                for i in range(5)
+            ]
+            results = waitall_collectives(reqs)
+            for i, out in enumerate(results):
+                assert out[0] == i * comm.size
+        run_on_threads(4, work)
+
+    def test_send_buffer_snapshot_at_start(self):
+        """Mutating the send array after i-start must not corrupt it."""
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            arr = np.full(4, 1.0)
+            req = nb.iallreduce(arr, ops.SUM)
+            arr.fill(99.0)  # too late to affect the collective
+            out = req.wait()
+            assert np.allclose(out, comm.size)
+        run_on_threads(3, work)
+
+    def test_mixing_with_blocking_collectives(self):
+        """i-collectives run on a private context; blocking ops between
+        start and wait must not cross-match."""
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            req = nb.iallgather(bytes([comm.rank]))
+            blocking = comm.allreduce_array(np.array([1.0]), ops.SUM)
+            assert blocking[0] == comm.size
+            out = req.wait()
+            assert out == [bytes([r]) for r in range(comm.size)]
+        run_on_threads(4, work)
+
+    def test_test_method(self):
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            req = nb.ibarrier()
+            deadline = time.time() + 10
+            while not req.test()[0]:
+                assert time.time() < deadline
+        run_on_threads(2, work)
+
+    def test_error_propagates_through_wait(self):
+        def work(comm):
+            nb = NonBlockingCollectives(comm)
+            # Invalid root raises inside the progress thread and must
+            # surface at wait().
+            req = nb.ibcast(b"x", 99)
+            with pytest.raises(Exception):
+                req.wait(timeout=10)
+            comm.barrier()
+        run_on_threads(2, work)
+
+    def test_waitall_empty_rejected(self):
+        with pytest.raises(Exception):
+            waitall_collectives([])

@@ -1,0 +1,141 @@
+"""Unit + property tests for reduction operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mpi import ops
+from repro.mpi.exceptions import OpError
+
+
+class TestArithmetic:
+    def test_sum(self):
+        a, b = np.array([1.0, 2.0]), np.array([3.0, 4.0])
+        assert np.array_equal(ops.SUM(a, b), [4.0, 6.0])
+
+    def test_prod(self):
+        a, b = np.array([2, 3]), np.array([4, 5])
+        assert np.array_equal(ops.PROD(a, b), [8, 15])
+
+    def test_max_min(self):
+        a, b = np.array([1, 9]), np.array([5, 2])
+        assert np.array_equal(ops.MAX(a, b), [5, 9])
+        assert np.array_equal(ops.MIN(a, b), [1, 2])
+
+    def test_inputs_not_mutated(self):
+        a, b = np.array([1.0]), np.array([2.0])
+        ops.SUM(a, b)
+        assert a[0] == 1.0 and b[0] == 2.0
+
+
+class TestLogicalBitwise:
+    def test_land_lor(self):
+        a = np.array([1, 0, 2], dtype="i4")
+        b = np.array([1, 1, 0], dtype="i4")
+        assert np.array_equal(ops.LAND(a, b), [1, 0, 0])
+        assert np.array_equal(ops.LOR(a, b), [1, 1, 1])
+
+    def test_lxor(self):
+        a = np.array([1, 0], dtype="i4")
+        b = np.array([1, 1], dtype="i4")
+        assert np.array_equal(ops.LXOR(a, b), [0, 1])
+
+    def test_logical_preserves_dtype(self):
+        a = np.array([1, 0], dtype="i8")
+        assert ops.LAND(a, a).dtype == np.dtype("i8")
+
+    def test_band_bor_bxor(self):
+        a = np.array([0b1100], dtype="u4")
+        b = np.array([0b1010], dtype="u4")
+        assert ops.BAND(a, b)[0] == 0b1000
+        assert ops.BOR(a, b)[0] == 0b1110
+        assert ops.BXOR(a, b)[0] == 0b0110
+
+
+class TestLocOps:
+    def _pairs(self, vals_a, idx_a, vals_b, idx_b):
+        a = np.array(list(zip(vals_a, idx_a)), dtype="f8,i4")
+        b = np.array(list(zip(vals_b, idx_b)), dtype="f8,i4")
+        return a, b
+
+    def test_maxloc_picks_larger(self):
+        a, b = self._pairs([1.0, 9.0], [0, 0], [5.0, 2.0], [1, 1])
+        out = ops.MAXLOC(a, b)
+        assert out["f0"].tolist() == [5.0, 9.0]
+        assert out["f1"].tolist() == [1, 0]
+
+    def test_maxloc_tie_prefers_lower_index(self):
+        a, b = self._pairs([3.0], [7], [3.0], [2])
+        assert ops.MAXLOC(a, b)["f1"][0] == 2
+
+    def test_minloc(self):
+        a, b = self._pairs([1.0, 9.0], [0, 0], [5.0, 2.0], [1, 1])
+        out = ops.MINLOC(a, b)
+        assert out["f0"].tolist() == [1.0, 2.0]
+        assert out["f1"].tolist() == [0, 1]
+
+    def test_minloc_tie_prefers_lower_index(self):
+        a, b = self._pairs([3.0], [7], [3.0], [2])
+        assert ops.MINLOC(a, b)["f1"][0] == 2
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert ops.lookup("MPI_SUM") is ops.SUM
+
+    def test_lookup_unknown(self):
+        with pytest.raises(OpError, match="unknown reduction op"):
+            ops.lookup("MPI_NOPE")
+
+    def test_replace_keeps_second(self):
+        a, b = np.array([1.0]), np.array([2.0])
+        assert ops.REPLACE(a, b)[0] == 2.0
+
+    def test_create_user_op(self):
+        avg2 = ops.create(lambda a, b: (a + b) / 2, commute=True)
+        assert avg2(np.array([2.0]), np.array([4.0]))[0] == 3.0
+        assert avg2.Is_commutative()
+
+    def test_create_noncommutative(self):
+        first = ops.create(lambda a, b: a, commute=False)
+        assert not first.Is_commutative()
+
+    def test_create_non_callable_raises(self):
+        with pytest.raises(OpError):
+            ops.create("not callable")  # type: ignore[arg-type]
+
+    def test_predefined_names_sorted(self):
+        names = ops.predefined_names()
+        assert names == sorted(names)
+        assert "MPI_SUM" in names
+
+
+class TestProperties:
+    @given(
+        hnp.arrays(np.float64, 8, elements=st.floats(-1e6, 1e6)),
+        hnp.arrays(np.float64, 8, elements=st.floats(-1e6, 1e6)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sum_commutes(self, a, b):
+        assert np.array_equal(ops.SUM(a, b), ops.SUM(b, a))
+
+    @given(
+        hnp.arrays(np.int64, 6, elements=st.integers(-1000, 1000)),
+        hnp.arrays(np.int64, 6, elements=st.integers(-1000, 1000)),
+        hnp.arrays(np.int64, 6, elements=st.integers(-1000, 1000)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_max_associates(self, a, b, c):
+        left = ops.MAX(ops.MAX(a, b), c)
+        right = ops.MAX(a, ops.MAX(b, c))
+        assert np.array_equal(left, right)
+
+    @given(
+        hnp.arrays(np.int32, 5, elements=st.integers(0, 2**20)),
+        hnp.arrays(np.int32, 5, elements=st.integers(0, 2**20)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bxor_self_inverse(self, a, b):
+        assert np.array_equal(ops.BXOR(ops.BXOR(a, b), b), a)

@@ -1,0 +1,228 @@
+"""Point-to-point semantics over the threads transport."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, PROC_NULL, waitall, waitany
+from repro.mpi.request import testall as request_testall
+from repro.mpi.exceptions import RankError, TruncationError
+from repro.mpi.world import run_on_threads
+
+
+class TestBlockingSendRecv:
+    def test_ping(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.send_bytes(b"ping", 1, 5)
+            elif comm.rank == 1:
+                data, st = comm.recv_bytes(0, 5, 16)
+                assert data == b"ping"
+                assert st.Get_source() == 0 and st.Get_tag() == 5
+        run_on_threads(2, work)
+
+    def test_empty_message(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.send_bytes(b"", 1, 1)
+            else:
+                data, st = comm.recv_bytes(0, 1, 0)
+                assert data == b"" and st.count_bytes == 0
+        run_on_threads(2, work)
+
+    def test_large_message(self):
+        payload = bytes(range(256)) * 4096  # 1 MB
+        def work(comm):
+            if comm.rank == 0:
+                comm.send_bytes(payload, 1, 1)
+            else:
+                data, _ = comm.recv_bytes(0, 1, len(payload))
+                assert data == payload
+        run_on_threads(2, work)
+
+    def test_non_overtaking_same_pair(self):
+        def work(comm):
+            if comm.rank == 0:
+                for i in range(50):
+                    comm.send_bytes(bytes([i]), 1, 9)
+            else:
+                for i in range(50):
+                    data, _ = comm.recv_bytes(0, 9, 1)
+                    assert data == bytes([i])
+        run_on_threads(2, work)
+
+    def test_any_source_any_tag(self):
+        def work(comm):
+            if comm.rank == 0:
+                got = set()
+                for _ in range(2):
+                    data, st = comm.recv_bytes(ANY_SOURCE, ANY_TAG, 8)
+                    got.add((st.Get_source(), st.Get_tag(), data))
+                assert got == {(1, 11, b"one"), (2, 22, b"two")}
+            elif comm.rank == 1:
+                comm.send_bytes(b"one", 0, 11)
+            elif comm.rank == 2:
+                comm.send_bytes(b"two", 0, 22)
+        run_on_threads(3, work)
+
+    def test_truncation_raises(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.send_bytes(b"too long", 1, 1)
+            else:
+                with pytest.raises(TruncationError):
+                    comm.recv_bytes(0, 1, 3)
+        run_on_threads(2, work)
+
+    def test_self_send(self):
+        def work(comm):
+            req = comm.isend_bytes(b"me", comm.rank, 3)
+            data, _ = comm.recv_bytes(comm.rank, 3, 8)
+            req.wait()
+            assert data == b"me"
+        run_on_threads(2, work)
+
+    def test_invalid_dest_raises(self):
+        def work(comm):
+            with pytest.raises(RankError):
+                comm.send_bytes(b"x", 99, 0)
+        run_on_threads(2, work)
+
+    def test_proc_null_send_recv(self):
+        def work(comm):
+            comm.send_bytes(b"ignored", PROC_NULL, 0)
+            data, st = comm.recv_bytes(PROC_NULL, 0, 16)
+            assert data == b""
+            assert st.cancelled or st.count_bytes == 0
+        run_on_threads(2, work)
+
+    def test_proc_null_recv_never_swallows_real_messages(self):
+        """Regression: a PROC_NULL receive must not touch the matching
+        engine — a posted-then-cancelled wildcard could steal a real
+        message with the same tag arriving in the window (the halo-
+        exchange deadlock)."""
+        def work(comm):
+            tag = 7
+            if comm.rank == 0:
+                # Interleave PROC_NULL recvs with real traffic on one tag.
+                for i in range(50):
+                    data, _ = comm.recv_bytes(PROC_NULL, tag, 16)
+                    assert data == b""
+                    real, _ = comm.recv_bytes(1, tag, 16)
+                    assert real == bytes([i])
+            elif comm.rank == 1:
+                for i in range(50):
+                    comm.send_bytes(bytes([i]), 0, tag)
+        run_on_threads(2, work)
+
+
+class TestNonBlocking:
+    def test_isend_irecv(self):
+        def work(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend_bytes(bytes([i]), 1, i) for i in range(8)]
+                waitall(reqs)
+            else:
+                reqs = [comm.irecv_bytes(0, i, 1) for i in range(8)]
+                waitall(reqs)
+                for i, r in enumerate(reqs):
+                    assert r.payload() == bytes([i])
+        run_on_threads(2, work)
+
+    def test_irecv_sink_buffer(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.send_bytes(b"fill", 1, 1)
+            else:
+                sink = bytearray(4)
+                req = comm.irecv_bytes(0, 1, 4, sink=sink)
+                req.wait()
+                assert bytes(sink) == b"fill"
+        run_on_threads(2, work)
+
+    def test_testall_incomplete_then_complete(self):
+        def work(comm):
+            if comm.rank == 0:
+                req = comm.irecv_bytes(1, 1, 4)
+                done, _ = request_testall([req])
+                # May or may not be done yet; after barrier+wait must be.
+                comm.barrier()
+                req.wait()
+                done, statuses = request_testall([req])
+                assert done and statuses[0].Get_source() == 1
+            else:
+                comm.send_bytes(b"data", 0, 1)
+                comm.barrier()
+        run_on_threads(2, work)
+
+    def test_waitany_returns_completed_index(self):
+        def work(comm):
+            if comm.rank == 0:
+                never = comm.irecv_bytes(1, 99, 4)   # never satisfied
+                soon = comm.irecv_bytes(1, 1, 4)
+                idx = waitany([never, soon])
+                assert idx == 1
+                comm.endpoint.engine.cancel_recv(never._ticket)
+            else:
+                comm.send_bytes(b"data", 0, 1)
+        run_on_threads(2, work)
+
+    def test_send_request_completes_immediately(self):
+        def work(comm):
+            req = comm.isend_bytes(b"x", comm.rank, 0)
+            assert req.done()
+            comm.recv_bytes(comm.rank, 0, 1)
+        run_on_threads(1, work)
+
+
+class TestSendrecv:
+    def test_exchange(self):
+        def work(comm):
+            other = 1 - comm.rank
+            data, st = comm.sendrecv_bytes(
+                bytes([comm.rank]), other, 7, other, 7, 1
+            )
+            assert data == bytes([other])
+        run_on_threads(2, work)
+
+    def test_ring_shift(self):
+        def work(comm):
+            p, r = comm.size, comm.rank
+            data, _ = comm.sendrecv_bytes(
+                bytes([r]), (r + 1) % p, 3, (r - 1) % p, 3, 1
+            )
+            assert data == bytes([(r - 1) % p])
+        run_on_threads(5, work)
+
+
+class TestProbeAPI:
+    def test_probe_then_recv(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.send_bytes(b"hello", 1, 42)
+            else:
+                st = comm.probe(0, 42, timeout=10)
+                assert st.count_bytes == 5
+                data, _ = comm.recv_bytes(0, 42, st.count_bytes)
+                assert data == b"hello"
+        run_on_threads(2, work)
+
+    def test_iprobe_none_when_empty(self):
+        def work(comm):
+            assert comm.iprobe(ANY_SOURCE, ANY_TAG) is None
+        run_on_threads(2, work)
+
+
+class TestErrorPropagation:
+    def test_rank_exception_propagates(self):
+        def work(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 explodes")
+        with pytest.raises(ValueError, match="rank 1 explodes"):
+            run_on_threads(2, work)
+
+    def test_timeout_reported_with_rank_names(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.recv_bytes(1, 1, 4)  # never sent
+        with pytest.raises(TimeoutError, match="rank-0"):
+            run_on_threads(2, work, timeout=0.5)

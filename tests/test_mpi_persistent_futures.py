@@ -1,0 +1,140 @@
+"""Persistent requests and the MPIPoolExecutor."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.exceptions import MPIError, RequestError
+from repro.mpi.futures import MPIPoolExecutor
+from repro.mpi.persistent import (
+    recv_init,
+    send_init,
+    startall,
+    waitall_persistent,
+)
+from repro.mpi.world import run_on_threads
+
+
+class TestPersistent:
+    def test_restartable_ping_pong(self):
+        def work(comm):
+            sbuf = bytearray(8)
+            rbuf = bytearray(8)
+            if comm.rank == 0:
+                preq = send_init(comm, sbuf, 1, 5)
+                for i in range(10):
+                    sbuf[:] = bytes([i]) * 8
+                    preq.Start()
+                    preq.Wait()
+            elif comm.rank == 1:
+                preq = recv_init(comm, rbuf, 0, 5)
+                for i in range(10):
+                    preq.Start()
+                    preq.Wait()
+                    assert rbuf == bytes([i]) * 8
+        run_on_threads(2, work)
+
+    def test_buffer_snapshot_at_start(self):
+        """Send captures the buffer at Start(), not at creation."""
+        def work(comm):
+            buf = bytearray(b"old!")
+            if comm.rank == 0:
+                preq = send_init(comm, buf, 1, 1)
+                buf[:] = b"new!"
+                preq.Start()
+                preq.Wait()
+            elif comm.rank == 1:
+                data, _ = comm.recv_bytes(0, 1, 4)
+                assert data == b"new!"
+        run_on_threads(2, work)
+
+    def test_wait_before_start_rejected(self):
+        def work(comm):
+            preq = send_init(comm, bytearray(2), 0, 0)
+            with pytest.raises(RequestError, match="before Start"):
+                preq.Wait()
+        run_on_threads(1, work)
+
+    def test_readonly_recv_buffer_rejected(self):
+        def work(comm):
+            with pytest.raises(RequestError, match="writable"):
+                recv_init(comm, b"ro", 0, 0)
+        run_on_threads(1, work)
+
+    def test_startall_waitall(self):
+        def work(comm):
+            if comm.rank == 0:
+                reqs = [
+                    send_init(comm, bytearray([i]), 1, i) for i in range(4)
+                ]
+                startall(reqs)
+                waitall_persistent(reqs)
+            elif comm.rank == 1:
+                bufs = [bytearray(1) for _ in range(4)]
+                reqs = [
+                    recv_init(comm, bufs[i], 0, i) for i in range(4)
+                ]
+                startall(reqs)
+                waitall_persistent(reqs)
+                assert [b[0] for b in bufs] == [0, 1, 2, 3]
+        run_on_threads(2, work)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(_x):
+    raise RuntimeError("worker task exploded")
+
+
+class TestPoolExecutor:
+    def test_submit_and_result(self):
+        def work(comm):
+            with MPIPoolExecutor(comm) as pool:
+                if pool is not None:
+                    futs = [pool.submit(_square, i) for i in range(10)]
+                    assert [f.result(30) for f in futs] == [
+                        i * i for i in range(10)
+                    ]
+        run_on_threads(3, work)
+
+    def test_map_preserves_order(self):
+        def work(comm):
+            with MPIPoolExecutor(comm) as pool:
+                if pool is not None:
+                    assert pool.map(_square, range(8)) == [
+                        i * i for i in range(8)
+                    ]
+        run_on_threads(4, work)
+
+    def test_worker_exception_propagates(self):
+        def work(comm):
+            with MPIPoolExecutor(comm) as pool:
+                if pool is not None:
+                    fut = pool.submit(_fail, 1)
+                    with pytest.raises(MPIError, match="exploded"):
+                        fut.result(30)
+        run_on_threads(2, work)
+
+    def test_numpy_payloads(self):
+        def work(comm):
+            with MPIPoolExecutor(comm) as pool:
+                if pool is not None:
+                    fut = pool.submit(np.sum, np.arange(100))
+                    assert fut.result(30) == 4950
+        run_on_threads(2, work)
+
+    def test_needs_two_ranks(self):
+        def work(comm):
+            with pytest.raises(MPIError, match="at least 2"):
+                MPIPoolExecutor(comm)
+        run_on_threads(1, work)
+
+    def test_more_tasks_than_workers(self):
+        def work(comm):
+            with MPIPoolExecutor(comm) as pool:
+                if pool is not None:
+                    assert pool.map(_square, range(50)) == [
+                        i * i for i in range(50)
+                    ]
+        run_on_threads(3, work)

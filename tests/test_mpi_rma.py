@@ -1,0 +1,197 @@
+"""One-sided communication (RMA) tests."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ops
+from repro.mpi.rma import Win, WinError
+from repro.mpi.world import run_on_threads
+
+
+class TestPutGet:
+    def test_put_visible_at_target(self):
+        def work(comm):
+            mem = bytearray(8)
+            win = Win(comm, mem)
+            try:
+                if comm.rank == 0:
+                    win.Put(b"ABCDEFGH", 1)
+                win.Fence()
+                if comm.rank == 1:
+                    assert bytes(mem) == b"ABCDEFGH"
+            finally:
+                win.Free()
+        run_on_threads(2, work)
+
+    def test_put_with_offset(self):
+        def work(comm):
+            mem = bytearray(8)
+            win = Win(comm, mem)
+            try:
+                if comm.rank == 0:
+                    win.Put(b"XY", 1, offset=3)
+                win.Fence()
+                if comm.rank == 1:
+                    assert bytes(mem) == b"\x00\x00\x00XY\x00\x00\x00"
+            finally:
+                win.Free()
+        run_on_threads(2, work)
+
+    def test_get_reads_remote(self):
+        def work(comm):
+            mem = bytearray(b"%d" % comm.rank * 2)
+            win = Win(comm, mem)
+            try:
+                win.Fence()
+                if comm.rank == 0:
+                    sink = bytearray(2)
+                    win.Get(sink, 1)
+                    assert bytes(sink) == b"11"
+                win.Fence()
+            finally:
+                win.Free()
+        run_on_threads(2, work)
+
+    def test_numpy_window(self):
+        def work(comm):
+            mem = np.zeros(4, dtype="f8")
+            win = Win(comm, mem)
+            try:
+                if comm.rank == 0:
+                    win.Put(np.arange(4.0), 1)
+                win.Fence()
+                if comm.rank == 1:
+                    assert np.array_equal(mem, np.arange(4.0))
+            finally:
+                win.Free()
+        run_on_threads(2, work)
+
+    def test_all_ranks_put_to_ring_neighbor(self):
+        def work(comm):
+            p, r = comm.size, comm.rank
+            mem = bytearray(1)
+            win = Win(comm, mem)
+            try:
+                win.Put(bytes([r]), (r + 1) % p)
+                win.Fence()
+                assert mem[0] == (r - 1) % p
+            finally:
+                win.Free()
+        run_on_threads(4, work)
+
+    def test_self_put(self):
+        def work(comm):
+            mem = bytearray(2)
+            win = Win(comm, mem)
+            try:
+                win.Put(b"me", comm.rank)
+                win.Fence()
+                assert bytes(mem) == b"me"
+            finally:
+                win.Free()
+        run_on_threads(2, work)
+
+
+class TestAccumulate:
+    def test_sum_accumulate(self):
+        def work(comm):
+            mem = np.zeros(3, dtype="f8")
+            win = Win(comm, mem)
+            try:
+                win.Accumulate(np.full(3, float(comm.rank + 1)), 0, ops.SUM)
+                win.Fence()
+                if comm.rank == 0:
+                    total = sum(range(1, comm.size + 1))
+                    assert np.allclose(mem, total)
+            finally:
+                win.Free()
+        run_on_threads(3, work)
+
+    def test_max_accumulate(self):
+        def work(comm):
+            mem = np.zeros(1, dtype="i8")
+            win = Win(comm, mem)
+            try:
+                win.Accumulate(
+                    np.array([comm.rank * 10], dtype="i8"), 0, ops.MAX
+                )
+                win.Fence()
+                if comm.rank == 0:
+                    assert mem[0] == (comm.size - 1) * 10
+            finally:
+                win.Free()
+        run_on_threads(3, work)
+
+
+class TestLocking:
+    def test_lock_unlock_roundtrip(self):
+        def work(comm):
+            mem = bytearray(4)
+            win = Win(comm, mem)
+            try:
+                if comm.rank == 0:
+                    win.Lock(1)
+                    win.Put(b"lock", 1)
+                    win.Unlock(1)
+                win.Fence()
+                if comm.rank == 1:
+                    assert bytes(mem) == b"lock"
+            finally:
+                win.Free()
+        run_on_threads(2, work)
+
+    def test_contended_counter_increment(self):
+        """Lock-protected read-modify-write from all ranks is atomic."""
+        def work(comm):
+            mem = np.zeros(1, dtype="i8")
+            win = Win(comm, mem)
+            try:
+                for _ in range(5):
+                    win.Lock(0)
+                    current = np.zeros(1, dtype="i8")
+                    win.Get(current, 0)
+                    win.Put(
+                        np.array([current[0] + 1], dtype="i8"), 0
+                    )
+                    win.Unlock(0)
+                win.Fence()
+                if comm.rank == 0:
+                    assert mem[0] == comm.size * 5
+            finally:
+                win.Free()
+        run_on_threads(4, work)
+
+
+class TestValidation:
+    def test_readonly_window_rejected(self):
+        def work(comm):
+            with pytest.raises(WinError, match="writable"):
+                Win(comm, b"readonly")
+            comm.barrier()
+        run_on_threads(2, work)
+
+    def test_bad_target_rank(self):
+        def work(comm):
+            win = Win(comm, bytearray(4))
+            try:
+                with pytest.raises(Exception):
+                    win.Put(b"x", 99)
+            finally:
+                win.Free()
+        run_on_threads(2, work)
+
+    def test_window_size_property(self):
+        def work(comm):
+            win = Win(comm, bytearray(64))
+            try:
+                assert win.size == 64
+            finally:
+                win.Free()
+        run_on_threads(2, work)
+
+    def test_double_free_is_noop(self):
+        def work(comm):
+            win = Win(comm, bytearray(4))
+            win.Free()
+            win.Free()
+        run_on_threads(2, work)

@@ -1,0 +1,176 @@
+"""Shared-memory ring transport tests."""
+
+import threading
+
+import pytest
+
+from repro.mpi.transport.shm import (
+    CTRL_SIZE,
+    ShmTransport,
+    _Ring,
+    create_job_segments,
+    destroy_job_segments,
+    segment_name,
+)
+
+
+@pytest.fixture
+def ring():
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(create=True, size=CTRL_SIZE + 64)
+    shm.buf[:CTRL_SIZE] = b"\0" * CTRL_SIZE
+    r = _Ring(shm)
+    yield r
+    r.close()
+    shm.unlink()
+
+
+class TestRing:
+    def test_write_read_roundtrip(self, ring):
+        stop = threading.Event()
+        ring.write(b"hello", stop)
+        assert ring.read_available() == b"hello"
+        assert ring.read_available() == b""
+
+    def test_multiple_frames_concatenate(self, ring):
+        stop = threading.Event()
+        ring.write(b"ab", stop)
+        ring.write(b"cd", stop)
+        assert ring.read_available() == b"abcd"
+
+    def test_wraparound(self, ring):
+        stop = threading.Event()
+        # Fill and drain repeatedly so head/tail wrap the 64-byte ring.
+        for i in range(20):
+            payload = bytes([i]) * 40
+            ring.write(payload, stop)
+            assert ring.read_available() == payload
+
+    def test_oversized_frame_rejected(self, ring):
+        from repro.mpi.exceptions import InternalError
+
+        with pytest.raises(InternalError, match="exceeds ring capacity"):
+            ring.write(b"x" * 64, threading.Event())
+
+    def test_writer_blocks_until_reader_drains(self, ring):
+        stop = threading.Event()
+        ring.write(b"a" * 40, stop)
+        done = threading.Event()
+
+        def writer():
+            ring.write(b"b" * 40, stop)  # must wait for space
+            done.set()
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        assert not done.wait(0.05)
+        assert ring.read_available() == b"a" * 40
+        assert done.wait(5)
+        assert ring.read_available() == b"b" * 40
+
+
+class TestSegmentsLifecycle:
+    def test_create_attach_destroy(self):
+        job = "testjob-1"
+        segments = create_job_segments(job, 3, capacity=4096)
+        try:
+            assert len(segments) == 6  # directed pairs of 3 ranks
+            names = {s.name for s in segments}
+            assert segment_name(job, 0, 1) in names
+            assert segment_name(job, 2, 1) in names
+        finally:
+            destroy_job_segments(segments)
+
+    def test_destroy_idempotent(self):
+        segments = create_job_segments("testjob-2", 2, capacity=1024)
+        destroy_job_segments(segments)
+        destroy_job_segments(segments)  # second call must not raise
+
+
+class TestShmWorld:
+    def test_transport_in_process_pair(self):
+        """Two ShmTransports in one process exchange via the rings."""
+        from repro.mpi.comm import Comm, Endpoint
+        from repro.mpi.group import Group
+
+        job = "testjob-3"
+        segments = create_job_segments(job, 2, capacity=1 << 16)
+        try:
+            t0 = ShmTransport(0, 2, job)
+            t1 = ShmTransport(1, 2, job)
+            e0, e1 = Endpoint(t0), Endpoint(t1)
+            g = Group([0, 1])
+            c0 = Comm(e0, g)
+            c1 = Comm(e1, g)
+            c0.send_bytes(b"over shm" * 100, 1, 5)
+            result = {}
+
+            def recv():
+                result["data"], _ = c1.recv_bytes(0, 5, 4096)
+
+            th = threading.Thread(target=recv, daemon=True)
+            th.start()
+            th.join(10)
+            assert result["data"] == b"over shm" * 100
+            e0.close()
+            e1.close()
+        finally:
+            destroy_job_segments(segments)
+
+    def test_large_message_chunked_through_small_ring(self):
+        """Messages bigger than the ring capacity stream through in
+        chunks without corruption."""
+        from repro.mpi.comm import Comm, Endpoint
+        from repro.mpi.group import Group
+
+        job = "testjob-4"
+        segments = create_job_segments(job, 2, capacity=4096)
+        try:
+            t0 = ShmTransport(0, 2, job)
+            t1 = ShmTransport(1, 2, job)
+            e0, e1 = Endpoint(t0), Endpoint(t1)
+            g = Group([0, 1])
+            c0, c1 = Comm(e0, g), Comm(e1, g)
+            payload = bytes(range(256)) * 256  # 64 KiB >> 4 KiB ring
+            result = {}
+
+            def recv():
+                result["data"], _ = c1.recv_bytes(0, 1, len(payload))
+
+            th = threading.Thread(target=recv, daemon=True)
+            th.start()
+            c0.send_bytes(payload, 1, 1)
+            th.join(20)
+            assert not th.is_alive()
+            assert result["data"] == payload
+            e0.close()
+            e1.close()
+        finally:
+            destroy_job_segments(segments)
+
+
+@pytest.mark.slow
+class TestShmLauncher:
+    def test_multiprocess_job_over_shm(self, tmp_path):
+        import textwrap
+
+        script = tmp_path / "job.py"
+        script.write_text(textwrap.dedent("""
+            import numpy as np
+            from repro.mpi import init, ops
+            world = init()
+            comm = world.comm
+            r, p = comm.rank, comm.size
+            s = comm.allreduce_array(np.array([float(r + 1)]), ops.SUM)
+            assert s[0] == p * (p + 1) / 2
+            out = comm.bcast_bytes(b"x" * 200000 if r == 0 else None, 0)
+            assert len(out) == 200000
+            comm.barrier()
+            world.finalize()
+        """))
+        from repro.mpi.launcher import launch
+
+        # Generous timeout: the polling readers of 3 processes contend
+        # hard for this machine's single core under full-suite load.
+        assert launch(3, [str(script)], timeout=420, transport="shm") == 0

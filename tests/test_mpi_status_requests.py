@@ -1,0 +1,147 @@
+"""Direct unit tests for Status, Request wrappers, and error classes."""
+
+import pytest
+
+from repro.mpi import datatypes
+from repro.mpi import exceptions as exc
+from repro.mpi.request import SendRequest
+from repro.mpi.status import Status
+from repro.mpi.world import run_on_threads
+
+
+class TestStatus:
+    def test_defaults(self):
+        st = Status()
+        assert st.Get_source() == -1
+        assert st.Get_tag() == -1
+        assert st.Get_error() == 0
+        assert not st.Is_cancelled()
+
+    def test_fill(self):
+        st = Status()
+        st._fill(3, 9, 24)
+        assert st.Get_source() == 3
+        assert st.Get_tag() == 9
+        assert st.count_bytes == 24
+
+    def test_get_count_elements(self):
+        st = Status()
+        st._fill(0, 0, 24)
+        assert st.Get_count(datatypes.DOUBLE) == 3
+        assert st.Get_elements(datatypes.INT) == 6
+        assert st.Get_count(datatypes.BYTE) == 24
+
+    def test_get_count_non_multiple_raises(self):
+        st = Status()
+        st._fill(0, 0, 10)
+        with pytest.raises(exc.DatatypeError, match="not a multiple"):
+            st.Get_count(datatypes.DOUBLE)
+
+
+class TestSendRequest:
+    def test_complete_immediately(self):
+        req = SendRequest(dest=1, tag=5, nbytes=100)
+        assert req.done()
+        done, st = req.test()
+        assert done and st.Get_tag() == 5
+        assert req.wait().count_bytes == 100
+
+    def test_cancel_always_fails(self):
+        assert not SendRequest(0, 0, 0).cancel()
+
+
+class TestErrorClasses:
+    @pytest.mark.parametrize("error_cls,expected_class", [
+        (exc.RankError, exc.ERR_RANK),
+        (exc.TagError, exc.ERR_TAG),
+        (exc.CommError, exc.ERR_COMM),
+        (exc.TruncationError, exc.ERR_TRUNCATE),
+        (exc.CountError, exc.ERR_COUNT),
+        (exc.DatatypeError, exc.ERR_TYPE),
+        (exc.OpError, exc.ERR_OP),
+        (exc.RootError, exc.ERR_ROOT),
+        (exc.GroupError, exc.ERR_GROUP),
+        (exc.RequestError, exc.ERR_REQUEST),
+        (exc.BufferError_, exc.ERR_BUFFER),
+        (exc.InternalError, exc.ERR_INTERN),
+    ])
+    def test_error_class_codes(self, error_cls, expected_class):
+        e = error_cls("boom")
+        assert isinstance(e, exc.MPIError)
+        assert e.Get_error_class() == expected_class
+
+    def test_base_default_class(self):
+        assert exc.MPIError("x").Get_error_class() == exc.ERR_OTHER
+
+    def test_distinct_codes(self):
+        codes = [
+            exc.ERR_BUFFER, exc.ERR_COUNT, exc.ERR_TYPE, exc.ERR_TAG,
+            exc.ERR_COMM, exc.ERR_RANK, exc.ERR_REQUEST, exc.ERR_ROOT,
+            exc.ERR_GROUP, exc.ERR_OP, exc.ERR_TRUNCATE, exc.ERR_INTERN,
+        ]
+        assert len(codes) == len(set(codes))
+
+
+class TestBindingRequestWrappers:
+    def test_buffer_recv_request_test_path(self):
+        import numpy as np
+
+        from repro.bindings import Comm
+
+        def work(rt):
+            comm = Comm(rt)
+            if comm.rank == 0:
+                out = np.zeros(2, dtype="i8")
+                req = comm.Irecv(out, 1, 4)
+                comm.Barrier()     # ensure the send happened
+                import time
+
+                deadline = time.time() + 10
+                while not req.Test():
+                    assert time.time() < deadline
+                assert out.tolist() == [7, 8]
+            else:
+                comm.Send(np.array([7, 8], dtype="i8"), 0, 4)
+                comm.Barrier()
+        run_on_threads(2, work)
+
+    def test_pickle_future_test_path(self):
+        from repro.bindings import Comm
+
+        def work(rt):
+            comm = Comm(rt)
+            if comm.rank == 0:
+                fut = comm.irecv(1, 2)
+                comm.Barrier()
+                import time
+
+                deadline = time.time() + 10
+                while True:
+                    done, value = fut.test()
+                    if done:
+                        assert value == ["payload"]
+                        break
+                    assert time.time() < deadline
+            else:
+                comm.send(["payload"], 0, 2)
+                comm.Barrier()
+        run_on_threads(2, work)
+
+    def test_irecv_wait_fills_status(self):
+        import numpy as np
+
+        from repro.bindings import Comm
+        from repro.mpi.status import Status
+
+        def work(rt):
+            comm = Comm(rt)
+            if comm.rank == 0:
+                out = np.zeros(1, dtype="f8")
+                st = Status()
+                req = comm.Irecv(out, 1, 6)
+                req.Wait(st)
+                assert st.Get_source() == 1
+                assert st.Get_count(datatypes.DOUBLE) == 1
+            else:
+                comm.Send(np.array([2.5]), 0, 6)
+        run_on_threads(2, work)

@@ -1,0 +1,180 @@
+"""Cartesian topology tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.constants import PROC_NULL
+from repro.mpi.topology import (
+    CartComm,
+    CartTopology,
+    TopologyError,
+    dims_create,
+)
+from repro.mpi.world import run_on_threads
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("nnodes,ndims,expected", [
+        (4, 2, [2, 2]),
+        (6, 2, [3, 2]),
+        (8, 3, [2, 2, 2]),
+        (12, 2, [4, 3]),
+        (7, 2, [7, 1]),
+        (1, 3, [1, 1, 1]),
+        (16, 2, [4, 4]),
+    ])
+    def test_balanced_factorization(self, nnodes, ndims, expected):
+        assert dims_create(nnodes, ndims) == expected
+
+    def test_invalid_args(self):
+        with pytest.raises(TopologyError):
+            dims_create(0, 2)
+        with pytest.raises(TopologyError):
+            dims_create(4, 0)
+
+    @given(st.integers(1, 512), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_product_preserved(self, nnodes, ndims):
+        dims = dims_create(nnodes, ndims)
+        assert len(dims) == ndims
+        assert np.prod(dims) == nnodes
+        assert dims == sorted(dims, reverse=True)
+
+
+class TestCartTopology:
+    def test_coords_rank_roundtrip(self):
+        topo = CartTopology((3, 4), (False, False))
+        for r in range(12):
+            assert topo.rank(topo.coords(r)) == r
+
+    def test_row_major_layout(self):
+        topo = CartTopology((2, 3), (False, False))
+        assert topo.coords(0) == (0, 0)
+        assert topo.coords(1) == (0, 1)
+        assert topo.coords(3) == (1, 0)
+        assert topo.rank((1, 2)) == 5
+
+    def test_shift_interior(self):
+        topo = CartTopology((3, 3), (False, False))
+        src, dst = topo.shift(4, 0, 1)  # center, row direction
+        assert (src, dst) == (1, 7)
+        src, dst = topo.shift(4, 1, 1)  # column direction
+        assert (src, dst) == (3, 5)
+
+    def test_shift_edge_nonperiodic(self):
+        topo = CartTopology((3,), (False,))
+        src, dst = topo.shift(0, 0, 1)
+        assert src == PROC_NULL and dst == 1
+        src, dst = topo.shift(2, 0, 1)
+        assert src == 1 and dst == PROC_NULL
+
+    def test_shift_periodic_wraps(self):
+        topo = CartTopology((4,), (True,))
+        assert topo.shift(0, 0, 1) == (3, 1)
+        assert topo.shift(3, 0, 1) == (2, 0)
+
+    def test_periodic_rank_wraps(self):
+        topo = CartTopology((4,), (True,))
+        assert topo.rank((-1,)) == 3
+        assert topo.rank((5,)) == 1
+
+    def test_nonperiodic_out_of_range_rejected(self):
+        topo = CartTopology((4,), (False,))
+        with pytest.raises(TopologyError, match="outside"):
+            topo.rank((-1,))
+
+    def test_bad_direction(self):
+        topo = CartTopology((2, 2), (False, False))
+        with pytest.raises(TopologyError, match="direction"):
+            topo.shift(0, 5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(TopologyError):
+            CartTopology((), ())
+        with pytest.raises(TopologyError):
+            CartTopology((0,), (False,))
+        with pytest.raises(TopologyError):
+            CartTopology((2,), (False, True))
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.booleans(),
+           st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip_2d(self, d0, d1, p0, p1):
+        topo = CartTopology((d0, d1), (p0, p1))
+        for r in range(topo.size):
+            assert topo.rank(topo.coords(r)) == r
+
+
+class TestCartComm:
+    def test_grid_over_full_communicator(self):
+        def work(comm):
+            cart = CartComm(comm, [2, 2])
+            assert cart.comm is not None
+            coords = cart.Get_coords()
+            assert cart.Get_cart_rank(coords) == cart.rank
+        run_on_threads(4, work)
+
+    def test_excess_ranks_excluded(self):
+        def work(comm):
+            cart = CartComm(comm, [2])
+            if comm.rank < 2:
+                assert cart.comm is not None
+            else:
+                assert cart.comm is None
+                with pytest.raises(TopologyError, match="not part"):
+                    cart.Get_coords()
+        run_on_threads(3, work)
+
+    def test_grid_too_large_rejected(self):
+        def work(comm):
+            with pytest.raises(TopologyError, match="exceeds"):
+                CartComm(comm, [4, 4])
+        run_on_threads(2, work)
+
+    def test_ring_neighbor_exchange(self):
+        def work(comm):
+            cart = CartComm(comm, [comm.size], periods=[True])
+            got = cart.neighbor_sendrecv(
+                bytes([comm.rank]), 0, 1, tag=3, max_bytes=1
+            )
+            assert got == bytes([(comm.rank - 1) % comm.size])
+        run_on_threads(4, work)
+
+    def test_nonperiodic_edge_receives_nothing(self):
+        def work(comm):
+            cart = CartComm(comm, [comm.size], periods=[False])
+            got = cart.neighbor_sendrecv(
+                bytes([comm.rank]), 0, 1, tag=4, max_bytes=1
+            )
+            if comm.rank == 0:
+                assert got == b""  # no neighbour above
+            else:
+                assert got == bytes([comm.rank - 1])
+        run_on_threads(3, work)
+
+
+class TestHeatDiffusionIntegration:
+    def test_example_converges_and_is_hotter_near_edge(self):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "heat_diffusion",
+            pathlib.Path(__file__).parent.parent
+            / "examples" / "heat_diffusion.py",
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+
+        def work(comm):
+            block, iters = mod.solve(comm, n=24, iters=150, tol=1e-4)
+            return comm.rank, float(block.mean())
+
+        results = run_on_threads(4, work, timeout=300)
+        means = dict(results)
+        # 2x2 grid: ranks 0,1 hold the hot top edge.
+        assert means[0] > means[2]
+        assert means[1] > means[3]
+        assert all(0.0 <= m <= 100.0 for m in means.values())

@@ -1,0 +1,175 @@
+"""Shape properties of the figure-level simulation API."""
+
+import pytest
+
+from repro.simulator import (
+    CLUSTERS,
+    FRONTERA,
+    RI2,
+    RI2_GPU,
+    STAMPEDE2,
+    simulate_collective,
+    simulate_ml,
+    simulate_pt2pt,
+)
+from repro.simulator.api import DEFAULT_ML_PROCS, ML_WORKLOADS
+
+
+class TestPt2ptShapes:
+    def test_python_never_faster_than_native(self):
+        for cluster in (FRONTERA, STAMPEDE2, RI2):
+            for placement in ("intra", "inter"):
+                omb = simulate_pt2pt(cluster, placement, api="native")
+                py = simulate_pt2pt(cluster, placement, api="buffer")
+                for size in omb.sizes():
+                    assert py.row_for(size).value >= omb.row_for(size).value
+
+    def test_relative_overhead_shrinks_with_size(self):
+        omb = simulate_pt2pt(FRONTERA, "intra", api="native")
+        py = simulate_pt2pt(FRONTERA, "intra", api="buffer")
+        rel_small = (
+            py.row_for(1).value / omb.row_for(1).value
+        )
+        rel_large = (
+            py.row_for(1 << 20).value / omb.row_for(1 << 20).value
+        )
+        assert rel_small > rel_large
+        assert rel_large < 1.1  # "relatively negligible for large messages"
+
+    def test_latency_monotone_in_size(self):
+        t = simulate_pt2pt(FRONTERA, "inter", api="buffer")
+        vals = t.values()
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_inter_slower_than_intra(self):
+        intra = simulate_pt2pt(FRONTERA, "intra", api="native")
+        inter = simulate_pt2pt(FRONTERA, "inter", api="native")
+        assert inter.row_for(1).value > intra.row_for(1).value
+
+    def test_bandwidth_rises_to_fabric_ceiling(self):
+        bw = simulate_pt2pt(
+            FRONTERA, "inter", api="native", metric="bandwidth"
+        )
+        assert bw.row_for(1 << 20).value > 10 * bw.row_for(64).value
+        assert bw.row_for(1 << 20).value < 13000  # HDR-100 ceiling
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(ValueError, match="metric"):
+            simulate_pt2pt(FRONTERA, metric="throughput")
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ValueError, match="placement"):
+            simulate_pt2pt(FRONTERA, placement="same-rack")
+
+    def test_gpu_on_cpu_cluster_rejected(self):
+        with pytest.raises(ValueError, match="GPU partition"):
+            simulate_pt2pt(FRONTERA, api="buffer", buffer="cupy")
+
+    def test_custom_sizes_respected(self):
+        t = simulate_pt2pt(FRONTERA, sizes=[32, 64])
+        assert t.sizes() == [32, 64]
+
+
+class TestCollectiveShapes:
+    @pytest.mark.parametrize("op", [
+        "barrier", "bcast", "reduce", "allreduce", "allgather",
+        "alltoall", "gather", "scatter", "reduce_scatter",
+    ])
+    def test_all_ops_simulate(self, op):
+        t = simulate_collective(op, FRONTERA, nodes=4, api="buffer")
+        assert all(r.value >= 0 for r in t.rows)
+
+    def test_latency_grows_with_node_count(self):
+        small = simulate_collective("allreduce", FRONTERA, nodes=2)
+        large = simulate_collective("allreduce", FRONTERA, nodes=16)
+        assert large.row_for(1024).value > small.row_for(1024).value
+
+    def test_ppn_congestion_grows_latency(self):
+        one = simulate_collective("allgather", FRONTERA, nodes=4, ppn=1)
+        many = simulate_collective("allgather", FRONTERA, nodes=4, ppn=16)
+        assert many.row_for(8192).value > one.row_for(8192).value
+
+    def test_node_limit_enforced(self):
+        with pytest.raises(ValueError, match="nodes"):
+            simulate_collective("bcast", RI2, nodes=64)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown collective"):
+            simulate_collective("allfuse", FRONTERA, nodes=2)
+
+    def test_gpu_buffer_ordering(self):
+        """CuPy ~= PyCUDA < Numba for every size (paper's GPU insight)."""
+        tables = {
+            buf: simulate_collective(
+                "allreduce", RI2_GPU, nodes=8, api="buffer", buffer=buf
+            )
+            for buf in ("cupy", "pycuda", "numba")
+        }
+        for size in tables["cupy"].sizes():
+            cupy_v = tables["cupy"].row_for(size).value
+            pycuda_v = tables["pycuda"].row_for(size).value
+            numba_v = tables["numba"].row_for(size).value
+            assert numba_v > cupy_v
+            assert numba_v > pycuda_v
+            assert abs(cupy_v - pycuda_v) < 0.15 * cupy_v
+
+
+class TestClusterRegistry:
+    def test_all_paper_clusters_present(self):
+        assert {"Frontera", "Stampede2", "RI2", "RI2-GPU"} <= set(CLUSTERS)
+
+    def test_node_core_counts_match_paper(self):
+        assert FRONTERA.node.cores == 56
+        assert STAMPEDE2.node.cores == 48
+        assert RI2.node.cores == 28
+
+    def test_gpu_partition_has_v100(self):
+        assert RI2_GPU.gpu is not None
+        assert RI2_GPU.gpu.memory_gb == 32
+
+
+class TestMLSimulation:
+    def test_speedups_match_paper_at_224(self):
+        targets = {"knn": 105.6, "kmeans_hpo": 95.0, "matmul": 129.8}
+        for name, target in targets.items():
+            series = simulate_ml(name)
+            speedup_224 = dict(
+                (p, s) for p, _t, s in series
+            )[224]
+            assert speedup_224 == pytest.approx(target, rel=0.05)
+
+    def test_sequential_times_match_paper(self):
+        assert ML_WORKLOADS["knn"].seq_time_s == pytest.approx(112.9)
+        assert ML_WORKLOADS["kmeans_hpo"].seq_time_s == pytest.approx(1059.45)
+        assert ML_WORKLOADS["matmul"].seq_time_s == pytest.approx(79.63)
+
+    def test_speedup_monotone_in_procs(self):
+        for name in ML_WORKLOADS:
+            series = simulate_ml(name)
+            speedups = [s for _p, _t, s in series]
+            assert all(b >= a * 0.99 for a, b in zip(speedups, speedups[1:]))
+
+    def test_single_proc_speedup_is_one(self):
+        for name in ML_WORKLOADS:
+            p, t, s = simulate_ml(name, procs=[1])[0]
+            assert s == pytest.approx(1.0)
+
+    def test_default_proc_grid_matches_paper_axis(self):
+        assert DEFAULT_ML_PROCS[0] == 1
+        assert DEFAULT_ML_PROCS[-1] == 224
+        assert 28 in DEFAULT_ML_PROCS and 56 in DEFAULT_ML_PROCS
+
+    def test_sublinear_beyond_node(self):
+        series = dict(
+            (p, s) for p, _t, s in simulate_ml("knn")
+        )
+        assert series[224] < 224 * 0.6  # efficiency well below 1
+        assert series[2] > 1.8          # near-linear at small p
+
+    def test_invalid_procs_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_ml("knn", procs=[0])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            simulate_ml("svm")

@@ -1,0 +1,221 @@
+"""Calibration tests: the simulator must reproduce the paper's reported
+average overheads (the numbers in Figs. 4-35 and Table III)."""
+
+import pytest
+
+from repro.core.results import average_overhead
+from repro.simulator import (
+    FRONTERA,
+    INTEL_MPI,
+    MVAPICH2,
+    RI2,
+    RI2_GPU,
+    STAMPEDE2,
+    simulate_collective,
+    simulate_pt2pt,
+)
+from repro.simulator.api import DEFAULT_LARGE_SIZES, DEFAULT_SMALL_SIZES
+
+
+def overhead(base, other, sizes):
+    return average_overhead(base, other, sizes)
+
+
+class TestPt2ptLatencyCalibration:
+    """Figs 4-11: OMB-Py-vs-OMB average latency overheads per cluster."""
+
+    @pytest.mark.parametrize("cluster,small,large", [
+        (FRONTERA, 0.44, 2.31),      # Figs 4/5
+        (STAMPEDE2, 0.41, 4.13),     # Figs 6/7
+        (RI2, 0.41, 1.76),           # Figs 8/9
+    ])
+    def test_intra_node(self, cluster, small, large):
+        omb = simulate_pt2pt(cluster, "intra", api="native")
+        py = simulate_pt2pt(cluster, "intra", api="buffer")
+        assert overhead(omb, py, DEFAULT_SMALL_SIZES) == pytest.approx(
+            small, rel=0.10
+        )
+        assert overhead(omb, py, DEFAULT_LARGE_SIZES) == pytest.approx(
+            large, rel=0.10
+        )
+
+    def test_frontera_inter_node(self):
+        """Figs 10/11: 0.43 us small, 0.63 us large."""
+        omb = simulate_pt2pt(FRONTERA, "inter", api="native")
+        py = simulate_pt2pt(FRONTERA, "inter", api="buffer")
+        assert overhead(omb, py, DEFAULT_SMALL_SIZES) == pytest.approx(
+            0.43, rel=0.10
+        )
+        assert overhead(omb, py, DEFAULT_LARGE_SIZES) == pytest.approx(
+            0.63, rel=0.10
+        )
+
+
+class TestBandwidthCalibration:
+    """Figs 12/13: bandwidth deficit ~1.05 GB/s mid-range, ~331 MB/s large."""
+
+    def test_mid_range_deficit(self):
+        omb = simulate_pt2pt(
+            FRONTERA, "inter", api="native", metric="bandwidth"
+        )
+        py = simulate_pt2pt(
+            FRONTERA, "inter", api="buffer", metric="bandwidth"
+        )
+        mid = [2 ** k for k in range(9, 14)]  # 512 B .. 8 KB
+        deficit = -overhead(omb, py, mid)
+        assert deficit == pytest.approx(1050, rel=0.25)
+
+    def test_large_deficit(self):
+        omb = simulate_pt2pt(
+            FRONTERA, "inter", api="native", metric="bandwidth"
+        )
+        py = simulate_pt2pt(
+            FRONTERA, "inter", api="buffer", metric="bandwidth"
+        )
+        deficit = -overhead(omb, py, DEFAULT_LARGE_SIZES)
+        assert deficit == pytest.approx(331, rel=0.25)
+
+
+class TestCollectiveCalibration:
+    """Figs 14-21: Allreduce/Allgather on 16 Frontera nodes."""
+
+    @pytest.mark.parametrize("op,small,large", [
+        ("allreduce", 0.93, 14.13),   # Figs 14/15
+        ("allgather", 0.92, 23.4),    # Figs 18/19
+    ])
+    def test_one_ppn(self, op, small, large):
+        omb = simulate_collective(op, FRONTERA, nodes=16, api="native")
+        py = simulate_collective(op, FRONTERA, nodes=16, api="buffer")
+        assert overhead(omb, py, DEFAULT_SMALL_SIZES) == pytest.approx(
+            small, rel=0.15
+        )
+        assert overhead(omb, py, DEFAULT_LARGE_SIZES) == pytest.approx(
+            large, rel=0.15
+        )
+
+    def test_allgather_full_subscription_blowup(self):
+        """Figs 20/21: 8 us @ 1 B -> 345 us @ 8 KB -> 41 ms peak @ 32 KB."""
+        omb = simulate_collective(
+            "allgather", FRONTERA, nodes=16, ppn=56, api="native"
+        )
+        py = simulate_collective(
+            "allgather", FRONTERA, nodes=16, ppn=56, api="buffer"
+        )
+
+        def delta(n):
+            return py.row_for(n).value - omb.row_for(n).value
+
+        assert delta(1) == pytest.approx(8.0, rel=0.25)
+        assert delta(8192) == pytest.approx(345.0, rel=0.15)
+        assert delta(32768) == pytest.approx(41000.0, rel=0.15)
+        # Past the peak the overhead relaxes but stays in milliseconds.
+        assert 5000 < delta(1 << 20) < delta(32768)
+
+    def test_allreduce_full_subscription_degrades_large(self):
+        """Figs 16/17: small ~4.2 us; large messages degrade clearly."""
+        omb = simulate_collective(
+            "allreduce", FRONTERA, nodes=16, ppn=56, api="native"
+        )
+        py = simulate_collective(
+            "allreduce", FRONTERA, nodes=16, ppn=56, api="buffer"
+        )
+        small = overhead(omb, py, DEFAULT_SMALL_SIZES)
+        assert small == pytest.approx(4.21, rel=0.25)
+        large = overhead(omb, py, DEFAULT_LARGE_SIZES)
+        assert large > 10 * small
+
+
+class TestGpuCalibration:
+    """Figs 22-27: device-buffer overheads on RI2 GPUs."""
+
+    @pytest.mark.parametrize("buf,small,large", [
+        ("cupy", 3.54, 8.35),
+        ("pycuda", 3.44, 7.92),
+        ("numba", 5.85, 11.4),
+    ])
+    def test_pt2pt(self, buf, small, large):
+        omb = simulate_pt2pt(RI2_GPU, api="native", device="gpu")
+        py = simulate_pt2pt(RI2_GPU, api="buffer", buffer=buf)
+        assert overhead(omb, py, DEFAULT_SMALL_SIZES) == pytest.approx(
+            small, rel=0.10
+        )
+        assert overhead(omb, py, DEFAULT_LARGE_SIZES) == pytest.approx(
+            large, rel=0.10
+        )
+
+    @pytest.mark.parametrize("op,targets", [
+        ("allreduce", {"cupy": 18.64, "pycuda": 17.63, "numba": 23.1}),
+        ("allgather", {"cupy": 12.14, "pycuda": 11.94, "numba": 17.24}),
+    ])
+    def test_collectives_small(self, op, targets):
+        omb = simulate_collective(
+            op, RI2_GPU, nodes=8, api="native", buffer="cupy"
+        )
+        for buf, target in targets.items():
+            py = simulate_collective(
+                op, RI2_GPU, nodes=8, api="buffer", buffer=buf
+            )
+            assert overhead(
+                omb, py, DEFAULT_SMALL_SIZES
+            ) == pytest.approx(target, rel=0.10)
+
+    def test_numba_roughly_2x_cupy_overhead(self):
+        """The paper's headline GPU insight."""
+        omb = simulate_pt2pt(RI2_GPU, api="native", device="gpu")
+        cupy = simulate_pt2pt(RI2_GPU, api="buffer", buffer="cupy")
+        numba = simulate_pt2pt(RI2_GPU, api="buffer", buffer="numba")
+        ratio = overhead(omb, numba, DEFAULT_SMALL_SIZES) / overhead(
+            omb, cupy, DEFAULT_SMALL_SIZES
+        )
+        assert 1.5 < ratio < 2.1
+
+
+class TestMpiLibCalibration:
+    """Figs 28-31: MVAPICH2 vs Intel MPI."""
+
+    def test_flat_latency_difference(self):
+        mv = simulate_pt2pt(FRONTERA, "inter", api="buffer", mpilib=MVAPICH2)
+        im = simulate_pt2pt(FRONTERA, "inter", api="buffer", mpilib=INTEL_MPI)
+        all_sizes = DEFAULT_SMALL_SIZES + DEFAULT_LARGE_SIZES
+        assert overhead(mv, im, all_sizes) == pytest.approx(0.36, abs=0.02)
+
+    def test_bandwidth_difference(self):
+        mv = simulate_pt2pt(
+            FRONTERA, "inter", api="buffer", metric="bandwidth",
+            mpilib=MVAPICH2,
+        )
+        im = simulate_pt2pt(
+            FRONTERA, "inter", api="buffer", metric="bandwidth",
+            mpilib=INTEL_MPI,
+        )
+        all_sizes = DEFAULT_SMALL_SIZES + DEFAULT_LARGE_SIZES
+        assert -overhead(mv, im, all_sizes) == pytest.approx(856, rel=0.25)
+
+
+class TestPickleCalibration:
+    """Figs 32-35: pickle vs direct buffer."""
+
+    def test_small_latency_overhead(self):
+        direct = simulate_pt2pt(FRONTERA, "inter", api="buffer")
+        pickled = simulate_pt2pt(FRONTERA, "inter", api="pickle")
+        assert overhead(
+            direct, pickled, DEFAULT_SMALL_SIZES
+        ) == pytest.approx(1.07, rel=0.10)
+
+    def test_divergence_past_64k(self):
+        direct = simulate_pt2pt(FRONTERA, "inter", api="buffer")
+        pickled = simulate_pt2pt(FRONTERA, "inter", api="pickle")
+        at_64k = pickled.row_for(65536).value - direct.row_for(65536).value
+        at_1m = pickled.row_for(1 << 20).value - direct.row_for(1 << 20).value
+        assert at_1m == pytest.approx(1510, rel=0.15)
+        assert at_1m > 10 * at_64k
+
+    def test_pickle_bandwidth_below_direct_everywhere(self):
+        direct = simulate_pt2pt(
+            FRONTERA, "inter", api="buffer", metric="bandwidth"
+        )
+        pickled = simulate_pt2pt(
+            FRONTERA, "inter", api="pickle", metric="bandwidth"
+        )
+        for size in direct.sizes():
+            assert pickled.row_for(size).value <= direct.row_for(size).value

@@ -1,0 +1,194 @@
+"""Unit tests for simulator components: machine, mpilibs, congestion,
+calibration formulas."""
+
+import math
+
+import pytest
+
+from repro.simulator import calibration
+from repro.simulator.clusters import FRONTERA, RI2_GPU
+from repro.simulator.collective_cost import (
+    GAMMA_US_PER_BYTE,
+    collective_us,
+    congested,
+)
+from repro.simulator.loggp import NetworkModel
+from repro.simulator.machine import GPUModel, NodeModel
+from repro.simulator.mpilibs import INTEL_MPI, MVAPICH2, MPILibProfile
+
+NET = NetworkModel(
+    alpha_us=1.0, beta_us_per_byte=1e-4, gap_us_per_byte=8e-5
+)
+
+
+class TestNodeModel:
+    def test_core_count(self):
+        node = NodeModel("X", sockets=2, cores_per_socket=28, ghz=2.7,
+                         ram_gb=192)
+        assert node.cores == 56
+
+    def test_copy_time_scales_linearly(self):
+        node = NodeModel("X", 1, 4, 2.0, 64, copy_bw_bytes_per_us=1000.0)
+        assert node.copy_us(1000) == pytest.approx(1.0)
+        assert node.copy_us(2000) == pytest.approx(2.0)
+
+    def test_gpu_model_fields(self):
+        gpu = GPUModel("V100", memory_gb=32)
+        assert gpu.memory_gb == 32
+        assert gpu.transfer_setup_us > 0
+
+
+class TestMpiLibProfiles:
+    def test_mvapich2_is_identity(self):
+        out = MVAPICH2.apply(NET)
+        assert out.alpha_us == NET.alpha_us
+        assert out.gap_us_per_byte == NET.gap_us_per_byte
+
+    def test_intel_adds_flat_alpha(self):
+        out = INTEL_MPI.apply(NET)
+        assert out.alpha_us == pytest.approx(NET.alpha_us + 0.36)
+        # Per-byte latency untouched (the paper's diff is flat).
+        assert out.beta_us_per_byte == NET.beta_us_per_byte
+
+    def test_intel_lowers_injection_rate(self):
+        out = INTEL_MPI.apply(NET)
+        assert out.gap_us_per_byte > NET.gap_us_per_byte
+
+    def test_profile_uses_beta_when_gap_missing(self):
+        net = NetworkModel(alpha_us=1.0, beta_us_per_byte=2e-4)
+        out = MPILibProfile("x", injection_factor=0.5).apply(net)
+        assert out.gap_us_per_byte == pytest.approx(4e-4)
+
+
+class TestCongestion:
+    def test_single_ppn_unchanged(self):
+        assert congested(NET, 1) is NET
+
+    def test_ppn_scales_byte_terms(self):
+        out = congested(NET, 8)
+        assert out.beta_us_per_byte == pytest.approx(8e-4)
+        assert out.gap_us_per_byte == pytest.approx(8 * 8e-5)
+        assert out.alpha_us == NET.alpha_us  # latency floor unchanged
+
+    def test_collective_cost_grows_with_ppn(self):
+        one = collective_us("allgather", NET, p=16, n=8192, ppn=1)
+        many = collective_us("allgather", NET, p=16, n=8192, ppn=16)
+        assert many > one
+
+
+class TestCollectiveCostProperties:
+    @pytest.mark.parametrize("op", [
+        "barrier", "bcast", "reduce", "allreduce", "allgather",
+        "alltoall", "gather", "scatter", "reduce_scatter",
+    ])
+    def test_single_rank_free(self, op):
+        assert collective_us(op, NET, p=1, n=1024) == 0.0
+
+    @pytest.mark.parametrize("op", [
+        "bcast", "allreduce", "allgather", "alltoall", "reduce",
+    ])
+    def test_monotone_in_message_size(self, op):
+        values = [
+            collective_us(op, NET, p=8, n=n)
+            for n in (64, 1024, 16384, 262144)
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("op", ["barrier", "allreduce", "allgather"])
+    def test_monotone_in_rank_count(self, op):
+        values = [
+            collective_us(op, NET, p=p, n=2048) for p in (2, 4, 8, 16)
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown collective"):
+            collective_us("allfoo", NET, p=2, n=8)
+
+    def test_reduce_includes_compute_term(self):
+        # With a free network, reduce cost is pure reduction compute.
+        free = NetworkModel(alpha_us=0.0, beta_us_per_byte=0.0)
+        n = 1 << 20
+        cost = collective_us("reduce", free, p=2, n=n)
+        assert cost == pytest.approx(GAMMA_US_PER_BYTE * n)
+
+
+class TestCalibrationFormulas:
+    def test_cpu_collective_fixed_term(self):
+        binding = FRONTERA.binding_inter
+        ovh = calibration.cpu_collective_overhead_us(
+            "allreduce", 0, 16, binding
+        )
+        assert ovh == pytest.approx(4 * binding.call_us)
+
+    def test_cpu_byte_factor_grows_with_p(self):
+        assert calibration.cpu_byte_factor(
+            "allgather", 32
+        ) > calibration.cpu_byte_factor("allgather", 8)
+
+    def test_full_subscription_zero_below_cores(self):
+        assert calibration.full_subscription_penalty_us(
+            "allgather", 8192, 896, ppn=55, cores=56
+        ) == 0.0
+
+    def test_allgather_penalty_peaks_at_32k(self):
+        args = dict(op="allgather", p=896, ppn=56, cores=56)
+        peak = calibration.full_subscription_penalty_us(
+            nbytes=32768, **args
+        )
+        for n in (1, 8192, 16384, 1 << 20):
+            assert calibration.full_subscription_penalty_us(
+                nbytes=n, **args
+            ) <= peak
+
+    def test_allreduce_penalty_flat_in_small_range(self):
+        a = calibration.full_subscription_penalty_us(
+            "allreduce", 1, 896, 56, 56
+        )
+        b = calibration.full_subscription_penalty_us(
+            "allreduce", 8192, 896, 56, 56
+        )
+        assert a == b
+
+    def test_gpu_overhead_orders_by_library(self):
+        gpu = RI2_GPU.gpu_buffers
+        assert gpu is not None
+        cupy = calibration.gpu_collective_overhead_us(
+            "allreduce", 64, 8, "cupy", gpu
+        )
+        numba = calibration.gpu_collective_overhead_us(
+            "allreduce", 64, 8, "numba", gpu
+        )
+        assert numba > cupy
+
+    def test_gpu_overhead_scales_with_log_p(self):
+        gpu = RI2_GPU.gpu_buffers
+        assert gpu is not None
+        p8 = calibration.gpu_collective_overhead_us(
+            "allgather", 64, 8, "cupy", gpu
+        )
+        p16 = calibration.gpu_collective_overhead_us(
+            "allgather", 64, 16, "cupy", gpu
+        )
+        assert p16 / p8 == pytest.approx(
+            math.log2(16) / math.log2(8), rel=0.01
+        )
+
+    def test_pickle_extra_piecewise(self):
+        below = calibration.pickle_extra_us(1024)
+        at_edge = calibration.pickle_extra_us(65536)
+        above = calibration.pickle_extra_us(131072)
+        assert below < at_edge < above
+        # Above the knee, the large-regime slope dominates.
+        slope = (above - at_edge) / 65536
+        assert slope == pytest.approx(
+            calibration.PICKLE_LARGE_BYTE_US + calibration.PICKLE_BYTE_US,
+            rel=0.01,
+        )
+
+    def test_pickle_bw_extra_saturates_then_jumps(self):
+        at_8k = calibration.pickle_bw_extra_us(8192)
+        at_32k = calibration.pickle_bw_extra_us(32768)
+        at_128k = calibration.pickle_bw_extra_us(131072)
+        assert at_32k == at_8k  # saturation band
+        assert at_128k > 10 * at_8k  # post-64K collapse

@@ -1,0 +1,134 @@
+"""DES-vs-analytic cross-validation of collective cost models.
+
+Where the analytic formula is exact for the algorithm (barrier, ring
+allgather, recursive doubling, pairwise alltoall, binomial bcast on
+power-of-two sizes), the discrete-event simulation of the executable
+algorithm must match it to floating-point tolerance.
+"""
+
+import math
+
+import pytest
+
+from repro.simulator import des_collectives as des
+from repro.simulator.collective_cost import (
+    GAMMA_US_PER_BYTE,
+    allgather_us,
+    allreduce_us,
+    alltoall_us,
+    barrier_us,
+    bcast_us,
+)
+from repro.simulator.engine import simulate_collective
+from repro.simulator.loggp import NetworkModel
+
+NET = NetworkModel(alpha_us=1.3, beta_us_per_byte=2e-4)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", (2, 3, 4, 5, 8, 16))
+    def test_matches_analytic(self, p):
+        sim = simulate_collective(des.make("barrier", 0), p, NET)
+        assert sim == pytest.approx(barrier_us(NET, p))
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p", (2, 4, 8, 16))
+    @pytest.mark.parametrize("n", (64, 4096))
+    def test_binomial_pow2_matches(self, p, n):
+        sim = simulate_collective(des.make("bcast", n), p, NET)
+        assert sim == pytest.approx(bcast_us(NET, p, n))
+
+    @pytest.mark.parametrize("p", (3, 5, 7))
+    def test_non_pow2_within_analytic_bound(self, p):
+        """For non-powers of two, the tree's critical path can be one
+        round shorter than ceil(log2 p)*t(n); analytic is an upper bound."""
+        n = 512
+        sim = simulate_collective(des.make("bcast", n), p, NET)
+        analytic = bcast_us(NET, p, n)
+        assert sim <= analytic + 1e-9
+        assert sim >= analytic * 0.5
+
+
+class TestAllgatherRing:
+    @pytest.mark.parametrize("p", (2, 3, 5, 8))
+    @pytest.mark.parametrize("n", (128, 65536))
+    def test_matches_analytic_ring(self, p, n):
+        sim = simulate_collective(des.make("allgather_ring", n), p, NET)
+        assert sim == pytest.approx((p - 1) * NET.latency_us(n))
+
+    def test_selector_form_matches_large(self):
+        # Large blocks route allgather_us to the ring formula.
+        p, n = 8, 65536
+        assert allgather_us(NET, p, n) == pytest.approx(
+            (p - 1) * NET.latency_us(n)
+        )
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("p", (2, 4, 8, 16))
+    def test_recursive_doubling_matches(self, p):
+        n = 1024
+        sim = simulate_collective(
+            des.make("allreduce_rd", n, gamma_us_per_byte=GAMMA_US_PER_BYTE),
+            p, NET,
+        )
+        assert sim == pytest.approx(allreduce_us(NET, p, n))
+
+    def test_rd_rejects_non_pow2(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            simulate_collective(des.make("allreduce_rd", 8), 5, NET)
+
+    @pytest.mark.parametrize("p", (4, 8))
+    def test_ring_matches_for_large(self, p):
+        n = 1 << 20
+        sim = simulate_collective(
+            des.make(
+                "allreduce_ring", n, gamma_us_per_byte=GAMMA_US_PER_BYTE
+            ),
+            p, NET,
+        )
+        assert sim == pytest.approx(allreduce_us(NET, p, n), rel=0.01)
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("p", (2, 3, 4, 8))
+    def test_pairwise_matches(self, p):
+        n = 2048
+        sim = simulate_collective(des.make("alltoall_pairwise", n), p, NET)
+        assert sim == pytest.approx((p - 1) * NET.latency_us(n))
+
+    def test_analytic_selector_uses_pairwise_for_large(self):
+        p, n = 8, 2048
+        assert alltoall_us(NET, p, n) == pytest.approx(
+            (p - 1) * NET.latency_us(n)
+        )
+
+
+class TestGather:
+    @pytest.mark.parametrize("p", (2, 4, 8))
+    def test_binomial_gather_log_rounds(self, p):
+        n = 256
+        sim = simulate_collective(des.make("gather_binomial", n), p, NET)
+        # Root's critical path: receives log2(p) subtree messages of
+        # doubling size, serialized at the root.
+        expect = sum(
+            NET.latency_us(n * 2 ** k) for k in range(int(math.log2(p)))
+        )
+        # Subtree sends overlap, so the DES can only be faster than the
+        # fully-serialized bound and at least the largest single message.
+        assert sim <= expect + 1e-9
+        assert sim >= NET.latency_us(n * p // 2)
+
+
+class TestPythonOverheadKnob:
+    def test_per_send_overhead_increases_collective_time(self):
+        p, n = 8, 1024
+        base = simulate_collective(des.make("allgather_ring", n), p, NET)
+        slow = simulate_collective(
+            des.make("allgather_ring", n), p, NET,
+            per_send_overhead_us=0.5,
+        )
+        assert slow > base
+        # Ring: p-1 serialized steps, each inflated by the send overhead.
+        assert slow == pytest.approx(base + (p - 1) * 0.5, rel=0.01)

@@ -1,0 +1,121 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.simulator.engine import SimulationError, simulate, simulate_collective
+from repro.simulator.loggp import NetworkModel
+
+NET = NetworkModel(alpha_us=1.0, beta_us_per_byte=0.01)
+
+
+class TestPrimitives:
+    def test_one_way_message_costs_latency(self):
+        def sender(rank, p):
+            yield ("send", 1, 100)
+
+        def receiver(rank, p):
+            yield ("recv", 0)
+
+        clocks = simulate([sender(0, 2), receiver(1, 2)], NET)
+        assert clocks[0] == 0.0
+        assert clocks[1] == pytest.approx(NET.latency_us(100))
+
+    def test_ping_pong_round_trip(self):
+        def rank0(rank, p):
+            yield ("send", 1, 10)
+            yield ("recv", 1)
+
+        def rank1(rank, p):
+            yield ("recv", 0)
+            yield ("send", 0, 10)
+
+        clocks = simulate([rank0(0, 2), rank1(1, 2)], NET)
+        assert clocks[0] == pytest.approx(2 * NET.latency_us(10))
+
+    def test_compute_advances_clock(self):
+        def prog(rank, p):
+            yield ("compute", 5.0)
+            yield ("compute", 2.5)
+
+        assert simulate([prog(0, 1)], NET)[0] == pytest.approx(7.5)
+
+    def test_recv_waits_for_late_message(self):
+        def busy_sender(rank, p):
+            yield ("compute", 50.0)
+            yield ("send", 1, 0)
+
+        def eager_receiver(rank, p):
+            yield ("recv", 0)
+
+        clocks = simulate([busy_sender(0, 2), eager_receiver(1, 2)], NET)
+        assert clocks[1] == pytest.approx(50.0 + NET.latency_us(0))
+
+    def test_early_message_waits_for_recv(self):
+        def eager_sender(rank, p):
+            yield ("send", 1, 0)
+
+        def busy_receiver(rank, p):
+            yield ("compute", 50.0)
+            yield ("recv", 0)
+
+        clocks = simulate([eager_sender(0, 2), busy_receiver(1, 2)], NET)
+        assert clocks[1] == pytest.approx(50.0)
+
+    def test_per_sender_fifo(self):
+        def sender(rank, p):
+            yield ("send", 1, 1000)   # slow (big)
+            yield ("send", 1, 0)      # fast (small) — must still be second
+
+        def receiver(rank, p):
+            t1 = yield ("recv", 0)
+            t2 = yield ("recv", 0)
+            assert t2 >= t1
+
+        simulate([sender(0, 2), receiver(1, 2)], NET)
+
+    def test_sendrecv_combined(self):
+        def prog(rank, p):
+            other = 1 - rank
+            yield ("sendrecv", other, other, 64)
+
+        clocks = simulate([prog(0, 2), prog(1, 2)], NET)
+        assert clocks[0] == clocks[1] == pytest.approx(NET.latency_us(64))
+
+    def test_send_overhead_charged_to_sender(self):
+        def sender(rank, p):
+            yield ("send", 1, 0)
+
+        def receiver(rank, p):
+            yield ("recv", 0)
+
+        clocks = simulate(
+            [sender(0, 2), receiver(1, 2)], NET, per_send_overhead_us=3.0
+        )
+        assert clocks[0] == pytest.approx(3.0)
+        assert clocks[1] == pytest.approx(3.0 + NET.latency_us(0))
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        def waiter(rank, p):
+            yield ("recv", 1 - rank)
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulate([waiter(0, 2), waiter(1, 2)], NET)
+
+    def test_unknown_event_rejected(self):
+        def bad(rank, p):
+            yield ("teleport", 1)
+
+        with pytest.raises(SimulationError, match="unknown event"):
+            simulate([bad(0, 1)], NET)
+
+
+class TestCollectiveRunner:
+    def test_max_finish_time(self):
+        def prog(rank, p):
+            yield ("compute", float(rank))
+
+        assert simulate_collective(
+            lambda r, p: prog(r, p), 4, NET
+        ) == pytest.approx(3.0)

@@ -1,0 +1,85 @@
+"""LogGP/Hockney network-model tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.loggp import NetworkModel, effective_model
+
+
+def _net(**kw):
+    defaults = dict(
+        alpha_us=1.0,
+        beta_us_per_byte=1e-4,
+        rendezvous_bytes=1024,
+        rendezvous_alpha_us=2.0,
+        rendezvous_beta_us_per_byte=5e-5,
+        gap_us_per_byte=5e-5,
+    )
+    defaults.update(kw)
+    return NetworkModel(**defaults)
+
+
+class TestLatency:
+    def test_zero_byte_is_alpha(self):
+        assert _net().latency_us(0) == 1.0
+
+    def test_eager_linear(self):
+        net = _net()
+        assert net.latency_us(1000) == pytest.approx(1.0 + 0.1)
+
+    def test_rendezvous_switch_adds_handshake(self):
+        net = _net()
+        eager_edge = net.latency_us(1024)
+        past_edge = net.latency_us(1025)
+        # Past the switch: alpha + rendezvous_alpha + lower beta.
+        assert past_edge == pytest.approx(1.0 + 2.0 + 1025 * 5e-5)
+        assert past_edge > eager_edge
+
+    def test_rendezvous_beta_defaults_to_eager(self):
+        net = NetworkModel(
+            alpha_us=1.0, beta_us_per_byte=1e-4, rendezvous_bytes=10
+        )
+        assert net.latency_us(100) == pytest.approx(1.0 + 100 * 1e-4)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            _net().latency_us(-1)
+
+    @given(st.integers(0, 1 << 22))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_size(self, n):
+        net = _net()
+        assert net.latency_us(n + 1) >= net.latency_us(n)
+
+
+class TestBandwidth:
+    def test_zero_size_zero_bw(self):
+        assert _net().bandwidth_mbs(0) == 0.0
+
+    def test_increases_with_size_initially(self):
+        net = _net()
+        assert net.bandwidth_mbs(4096) > net.bandwidth_mbs(64)
+
+    def test_approaches_gap_ceiling(self):
+        net = _net()
+        # At very large messages, bw -> 1/gap bytes/us == MB/s.
+        bw = net.bandwidth_mbs(1 << 22)
+        assert bw == pytest.approx(1 / 5e-5, rel=0.05)
+
+    def test_larger_window_helps_small_messages(self):
+        net = _net()
+        assert net.bandwidth_mbs(64, window=256) > net.bandwidth_mbs(
+            64, window=4
+        )
+
+    def test_gap_defaults_to_beta(self):
+        net = NetworkModel(alpha_us=1.0, beta_us_per_byte=1e-4)
+        assert net.gap_us(1000) == pytest.approx(0.1)
+
+
+class TestEffectiveModel:
+    def test_placement_selects_link(self):
+        intra, inter = _net(alpha_us=0.2), _net(alpha_us=1.5)
+        assert effective_model(intra, inter, True) is intra
+        assert effective_model(intra, inter, False) is inter

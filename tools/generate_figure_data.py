@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Regenerate the data behind every paper figure as CSV files.
+
+Writes one CSV per figure (sizes + curve family) into ``results/`` so
+external plotting tools can redraw the paper's plots.  The same
+simulations back the assertions in ``benchmarks/``; this tool is the
+export path.
+
+Usage::
+
+    python tools/generate_figure_data.py [--outdir results]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.core.export import write_figure
+from repro.core.results import ResultRow, ResultTable
+from repro.simulator import (
+    FRONTERA,
+    INTEL_MPI,
+    MVAPICH2,
+    RI2,
+    RI2_GPU,
+    STAMPEDE2,
+    simulate_collective,
+    simulate_ml,
+    simulate_pt2pt,
+)
+
+GPU_BUFFERS = ("cupy", "pycuda", "numba")
+
+
+def _ml_table(name: str) -> ResultTable:
+    table = ResultTable(
+        benchmark=f"fig_ml_{name}", metric="time_s", ranks=224,
+        buffer="numpy", api="buffer",
+    )
+    for procs, time_s, _speedup in simulate_ml(name):
+        table.add(ResultRow(procs, time_s))
+    return table
+
+
+def generate(outdir: Path) -> list[Path]:
+    written = []
+
+    def fig(name, tables, labels):
+        written.append(write_figure(outdir / f"{name}.csv", tables, labels))
+
+    # Figs 4-9: intra-node latency per cluster.
+    for num, cluster in ((4, FRONTERA), (6, STAMPEDE2), (8, RI2)):
+        fig(
+            f"fig{num:02d}_{num + 1:02d}_intra_{cluster.name.lower()}",
+            [
+                simulate_pt2pt(cluster, "intra", api="native"),
+                simulate_pt2pt(cluster, "intra", api="buffer"),
+            ],
+            ["OMB", "OMB-Py"],
+        )
+
+    # Figs 10-13: inter-node latency + bandwidth, Frontera.
+    fig(
+        "fig10_11_inter_latency",
+        [
+            simulate_pt2pt(FRONTERA, "inter", api="native"),
+            simulate_pt2pt(FRONTERA, "inter", api="buffer"),
+        ],
+        ["OMB", "OMB-Py"],
+    )
+    fig(
+        "fig12_13_inter_bandwidth",
+        [
+            simulate_pt2pt(FRONTERA, "inter", api="native",
+                           metric="bandwidth"),
+            simulate_pt2pt(FRONTERA, "inter", api="buffer",
+                           metric="bandwidth"),
+        ],
+        ["OMB", "OMB-Py"],
+    )
+
+    # Figs 14-21: collectives on 16 nodes, 1 and 56 PPN.
+    for op, base in (("allreduce", 14), ("allgather", 18)):
+        for ppn, offset in ((1, 0), (56, 2)):
+            num = base + offset
+            fig(
+                f"fig{num:02d}_{num + 1:02d}_{op}_{ppn}ppn",
+                [
+                    simulate_collective(
+                        op, FRONTERA, nodes=16, ppn=ppn, api="native"
+                    ),
+                    simulate_collective(
+                        op, FRONTERA, nodes=16, ppn=ppn, api="buffer"
+                    ),
+                ],
+                ["OMB", "OMB-Py"],
+            )
+
+    # Figs 22/23: GPU pt2pt by buffer library.
+    fig(
+        "fig22_23_gpu_pt2pt",
+        [simulate_pt2pt(RI2_GPU, api="native", device="gpu")]
+        + [
+            simulate_pt2pt(RI2_GPU, api="buffer", buffer=buf)
+            for buf in GPU_BUFFERS
+        ],
+        ["OMB"] + list(GPU_BUFFERS),
+    )
+
+    # Figs 24-27: GPU collectives.
+    for op, num in (("allreduce", 24), ("allgather", 26)):
+        fig(
+            f"fig{num}_{num + 1}_gpu_{op}",
+            [
+                simulate_collective(
+                    op, RI2_GPU, nodes=8, api="native", buffer="cupy"
+                )
+            ]
+            + [
+                simulate_collective(
+                    op, RI2_GPU, nodes=8, api="buffer", buffer=buf
+                )
+                for buf in GPU_BUFFERS
+            ],
+            ["OMB"] + list(GPU_BUFFERS),
+        )
+
+    # Figs 28-31: MPI library generality.
+    fig(
+        "fig28_29_mpilib_latency",
+        [
+            simulate_pt2pt(FRONTERA, "inter", api="buffer", mpilib=MVAPICH2),
+            simulate_pt2pt(FRONTERA, "inter", api="buffer",
+                           mpilib=INTEL_MPI),
+        ],
+        ["MVAPICH2", "IntelMPI"],
+    )
+    fig(
+        "fig30_31_mpilib_bandwidth",
+        [
+            simulate_pt2pt(FRONTERA, "inter", api="buffer",
+                           metric="bandwidth", mpilib=MVAPICH2),
+            simulate_pt2pt(FRONTERA, "inter", api="buffer",
+                           metric="bandwidth", mpilib=INTEL_MPI),
+        ],
+        ["MVAPICH2", "IntelMPI"],
+    )
+
+    # Figs 32-35: pickle vs direct buffers.
+    fig(
+        "fig32_33_pickle_latency",
+        [
+            simulate_pt2pt(FRONTERA, "inter", api="buffer"),
+            simulate_pt2pt(FRONTERA, "inter", api="pickle"),
+        ],
+        ["direct", "pickle"],
+    )
+    fig(
+        "fig34_35_pickle_bandwidth",
+        [
+            simulate_pt2pt(FRONTERA, "inter", api="buffer",
+                           metric="bandwidth"),
+            simulate_pt2pt(FRONTERA, "inter", api="pickle",
+                           metric="bandwidth"),
+        ],
+        ["direct", "pickle"],
+    )
+
+    # Figs 36-38: distributed ML time curves.
+    for name, num in (("knn", 36), ("kmeans_hpo", 37), ("matmul", 38)):
+        fig(f"fig{num}_ml_{name}", [_ml_table(name)], [name])
+
+    return written
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", default="results", type=Path)
+    args = parser.parse_args()
+    written = generate(args.outdir)
+    for path in written:
+        print(path)
+    print(f"{len(written)} figure CSVs written to {args.outdir}/")
+
+
+if __name__ == "__main__":
+    main()
