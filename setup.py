@@ -27,6 +27,7 @@ setup(
             "ombpy=repro.core.cli:main",
             "ombpy-run=repro.mpi.launcher:main",
             "ombpy-compare=repro.core.compare:main",
+            "ombpy-lint=repro.analysis.lint:main",
         ],
     },
 )

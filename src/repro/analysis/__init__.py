@@ -1,0 +1,63 @@
+"""Correctness analysis for MPI programs written against :mod:`repro`.
+
+Two complementary halves, mirroring how MPI-Checker (static, clang-based)
+and MUST (dynamic, PMPI-based) divide the problem for C MPI codes:
+
+* :mod:`repro.analysis.lint` — an AST linter (``ombpy-lint``) that flags
+  mpi4py-API misuse *before* a program runs: buffer-capable objects sent
+  through the pickle path (the paper's ~4x latency trap), leaked
+  non-blocking requests, case-mismatched send/recv pairs, reserved tags,
+  deprecated constants, and recv-before-send deadlock shapes.
+* :mod:`repro.analysis.verifier` — a runtime verifier
+  (``with repro.analysis.verify(comm): ...`` or the benchmark driver's
+  ``--validate`` flag) that hooks the matching engine and collectives to
+  detect real-time deadlock, cross-rank collective mismatches, count
+  mismatches, and operations still pending at finalize.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding, findings_to_json
+
+# Submodules are imported lazily: eagerly importing ``lint`` here would
+# trip runpy's double-import warning for ``python -m repro.analysis.lint``.
+_LINT_NAMES = {"lint_file", "lint_paths", "lint_source"}
+_VERIFIER_NAMES = {
+    "CollectiveMismatchError",
+    "CountMismatchError",
+    "DeadlockError",
+    "PeerFailedError",
+    "PendingOperationError",
+    "Verifier",
+    "VerifyError",
+    "verify",
+}
+
+
+def __getattr__(name: str):
+    if name in _LINT_NAMES:
+        from . import lint
+
+        return getattr(lint, name)
+    if name in _VERIFIER_NAMES:
+        from . import verifier
+
+        return getattr(verifier, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Finding",
+    "findings_to_json",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "verify",
+    "Verifier",
+    "VerifyError",
+    "DeadlockError",
+    "CollectiveMismatchError",
+    "CountMismatchError",
+    "PendingOperationError",
+    "PeerFailedError",
+]

@@ -1,0 +1,29 @@
+"""``python -m repro.analysis`` — subsystem usage summary."""
+
+from __future__ import annotations
+
+import sys
+
+USAGE = """\
+repro.analysis — MPI correctness tooling for OMB-Py
+
+Static linter (mpi4py-API misuse; see `ombpy-lint --list-rules`):
+    ombpy-lint [paths...] [--format text|json] [--select IDs] [--ignore IDs]
+    python -m repro.analysis.lint examples/ benchmarks/
+
+Runtime verifier (deadlock / collective-mismatch / leak detection):
+    with repro.analysis.verify(comm):          # in user code
+        ...
+    ombpy <benchmark> --threads N --validate   # in the benchmark driver
+
+Documentation: docs/analysis.md
+"""
+
+
+def main() -> int:
+    print(USAGE, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

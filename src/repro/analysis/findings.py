@@ -1,0 +1,52 @@
+"""The finding model shared by the static linter and the runtime verifier.
+
+A :class:`Finding` is one diagnostic: a stable rule ID (``OMB001``...),
+a severity, a location, and a human-readable message.  The linter emits
+them for source locations; the verifier emits them for runtime events
+(where ``path`` is a rank label and ``line`` is 0).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+#: Ordered from most to least severe; used for sorting report output.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from the linter or the runtime verifier."""
+
+    rule: str        # stable ID, e.g. "OMB001"
+    severity: str    # "error" | "warning"
+    path: str        # source file (linter) or rank label (verifier)
+    line: int        # 1-based line, 0 for runtime findings
+    col: int         # 1-based column, 0 for runtime findings
+    message: str
+
+    def format(self) -> str:
+        """Render in the conventional ``path:line:col: ID message`` shape."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable report order: by file, then line, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def findings_to_json(findings: list[Finding]) -> str:
+    """Serialize findings for ``--format json`` consumers (CI, editors)."""
+    return json.dumps(
+        {
+            "count": len(findings),
+            "errors": sum(1 for f in findings if f.severity == "error"),
+            "warnings": sum(1 for f in findings if f.severity == "warning"),
+            "findings": [asdict(f) for f in sort_findings(findings)],
+        },
+        indent=2,
+    )

@@ -1,0 +1,179 @@
+"""``ombpy-lint`` — the AST-based MPI-misuse linter.
+
+Usage::
+
+    ombpy-lint [paths...] [--format text|json] [--select IDs] [--ignore IDs]
+    python -m repro.analysis.lint examples/ benchmarks/
+
+Exit status: 0 clean, 1 findings reported, 2 usage error.
+
+Suppression: append ``# ombpy-lint: ignore`` to a line to silence every
+rule on it, or ``# ombpy-lint: ignore[OMB001,OMB004]`` for specific rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+from .findings import Finding, findings_to_json, sort_findings
+from .rules import RULES, run_rules
+
+_PRAGMA = re.compile(r"#\s*ombpy-lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+def _suppressed(finding: Finding, lines: list[str]) -> bool:
+    """Honour ``# ombpy-lint: ignore[...]`` pragmas on the finding's line."""
+    if not 1 <= finding.line <= len(lines):
+        return False
+    match = _PRAGMA.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    if match.group(1) is None:
+        return True
+    rules = {r.strip() for r in match.group(1).split(",")}
+    return finding.rule in rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+) -> list[Finding]:
+    """Lint one source string; returns the (pragma-filtered) findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="OMB000",
+            severity="error",
+            path=path,
+            line=exc.lineno or 0,
+            col=(exc.offset or 0),
+            message=f"syntax error: {exc.msg}",
+        )]
+    findings = run_rules(tree, path, select=select, ignore=ignore)
+    lines = source.splitlines()
+    return [f for f in findings if not _suppressed(f, lines)]
+
+
+def lint_file(
+    path: str | Path,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+) -> list[Finding]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return lint_source(
+        p.read_text(encoding="utf-8"), str(p), select=select, ignore=ignore
+    )
+
+
+def lint_paths(
+    paths: list[str | Path],
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+) -> list[Finding]:
+    """Lint files and directories (recursing into ``*.py``)."""
+    findings: list[Finding] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                findings.extend(lint_file(f, select=select, ignore=ignore))
+        else:
+            findings.extend(lint_file(p, select=select, ignore=ignore))
+    return sort_findings(findings)
+
+
+def _parse_rule_set(spec: str | None) -> set[str] | None:
+    if spec is None:
+        return None
+    rules = {r.strip() for r in spec.split(",") if r.strip()}
+    unknown = rules - set(RULES) - {"OMB000"}
+    if unknown:
+        raise ValueError(f"unknown rule ID(s): {', '.join(sorted(unknown))}")
+    return rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ombpy-lint",
+        description=(
+            "Static checker for mpi4py-API misuse: pickle-path buffer "
+            "sends, leaked requests, case-mismatched pairs, reserved "
+            "tags, deprecated constants, deadlock shapes."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (directories recurse into *.py)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="IDS",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, (_fn, doc) in RULES.items():
+            print(f"{rule_id}  {doc}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("ombpy-lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    try:
+        select = _parse_rule_set(args.select)
+        ignore = _parse_rule_set(args.ignore)
+    except ValueError as exc:
+        print(f"ombpy-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"ombpy-lint: error: no such path: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = lint_paths(args.paths, select=select, ignore=ignore)
+    if args.format == "json":
+        print(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.format())
+        errors = sum(1 for f in findings if f.severity == "error")
+        warnings = len(findings) - errors
+        print(
+            f"ombpy-lint: {len(findings)} finding(s) "
+            f"({errors} error(s), {warnings} warning(s))"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -66,8 +66,16 @@ class BufferRecvRequest:
         self._req = req
         self._spec = spec
 
+    def _check_count(self, st: Status) -> None:
+        verifier = self._req._ticket.verifier
+        if verifier is not None:
+            verifier.check_recv_count(
+                st.count_bytes, self._spec.nbytes, st.source, st.tag
+            )
+
     def Wait(self, status: Status | None = None) -> None:
         st = self._req.wait()
+        self._check_count(st)
         self._spec.write(self._req.payload())
         if status is not None:
             status._fill(st.source, st.tag, st.count_bytes)
@@ -75,8 +83,10 @@ class BufferRecvRequest:
     wait = Wait
 
     def Test(self) -> bool:
-        done, _ = self._req.test()
+        done, st = self._req.test()
         if done:
+            assert st is not None
+            self._check_count(st)
             self._spec.write(self._req.payload())
         return done
 
@@ -131,6 +141,19 @@ class Comm:
         spec = resolve_buffer(buf)
         self._rt.send_bytes(spec.read(), dest, tag)
 
+    def _check_recv_count(self, spec: BufferSpec, st: Status) -> None:
+        """Report byte-count mismatches to an active runtime verifier.
+
+        Oversized messages already raise TruncationError in the matching
+        engine; this catches the *undersized* half — a sender whose count
+        or datatype disagrees with the posted receive buffer.
+        """
+        verifier = self._rt.endpoint.verifier
+        if verifier is not None:
+            verifier.check_recv_count(
+                st.count_bytes, spec.nbytes, st.source, st.tag
+            )
+
     def Recv(
         self,
         buf: Any,
@@ -140,6 +163,7 @@ class Comm:
     ) -> None:
         spec = resolve_buffer(buf, writable=True)
         payload, st = self._rt.recv_bytes(source, tag, spec.nbytes)
+        self._check_recv_count(spec, st)
         spec.write(payload)
         if status is not None:
             status._fill(st.source, st.tag, st.count_bytes)
@@ -170,6 +194,7 @@ class Comm:
         payload, st = self._rt.sendrecv_bytes(
             sspec.read(), dest, sendtag, source, recvtag, rspec.nbytes
         )
+        self._check_recv_count(rspec, st)
         rspec.write(payload)
         if status is not None:
             status._fill(st.source, st.tag, st.count_bytes)

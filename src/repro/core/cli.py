@@ -9,6 +9,12 @@ or self-hosted on ranks-as-threads (no launcher needed)::
 
     ombpy osu_latency --threads 2 -b bytearray
     ombpy osu_allreduce --threads 4 -d gpu -b cupy
+
+``--validate`` runs the sweep under the runtime MPI verifier
+(:mod:`repro.analysis`): deadlocks, cross-rank collective mismatches,
+count mismatches, and leaked requests raise bounded diagnostics instead
+of hanging the run or corrupting results.  The companion static checker
+is ``ombpy-lint``.
 """
 
 from __future__ import annotations

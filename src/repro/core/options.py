@@ -116,7 +116,10 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "-c", "--validate", action="store_true",
-        help="verify received data after each size sweep",
+        help="verify received data after each size sweep AND run the "
+        "sweep under the runtime MPI verifier (deadlock, collective-"
+        "mismatch, count-mismatch, and leak detection; see "
+        "docs/analysis.md)",
     )
     parser.add_argument(
         "-f", "--full", action="store_true", dest="full_stats",

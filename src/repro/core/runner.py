@@ -101,7 +101,13 @@ class Benchmark(ABC):
             )
 
     def run(self, ctx: BenchContext) -> ResultTable:
-        """Sweep all message sizes; every rank returns the full table."""
+        """Sweep all message sizes; every rank returns the full table.
+
+        With ``--validate`` the sweep additionally runs under the runtime
+        verifier (:func:`repro.analysis.verify`): deadlocks, collective
+        mismatches, count mismatches, and leaked requests raise instead
+        of hanging or silently corrupting the measurement.
+        """
         self.check(ctx)
         opt = ctx.options
         table = ResultTable(
@@ -111,6 +117,18 @@ class Benchmark(ABC):
             buffer=opt.buffer,
             api=opt.api,
         )
+        if opt.validate:
+            from ..analysis.verifier import verify
+
+            timeout = float(opt.extra.get("verify_timeout", 60.0))
+            with verify(ctx.runtime, op_timeout=timeout):
+                self._sweep(ctx, table)
+        else:
+            self._sweep(ctx, table)
+        return table
+
+    def _sweep(self, ctx: BenchContext, table: ResultTable) -> None:
+        opt = ctx.options
         for size in message_sizes(opt.min_size, opt.max_size):
             if size < self.min_message_size:
                 continue
@@ -123,7 +141,6 @@ class Benchmark(ABC):
                     f"size {size}"
                 )
             table.add(ResultRow(size, avg, mn, mx, iters))
-        return table
 
 
 def run_benchmark(

@@ -16,7 +16,13 @@ from ..exceptions import CountError
 
 def ctag(comm: Comm) -> int:
     """Reserve the internal tag for one collective instance."""
-    return comm.next_collective_tag()
+    tag = comm.next_collective_tag()
+    verifier = comm.endpoint.verifier
+    if verifier is not None:
+        # Lets verifier diagnostics name the collective a blocked internal
+        # receive belongs to ("pending in collective 'bcast'").
+        verifier.on_collective_tag(tag)
+    return tag
 
 
 def csend(comm: Comm, dest: int, tag: int, payload: bytes) -> None:

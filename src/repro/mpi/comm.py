@@ -40,6 +40,9 @@ class Endpoint:
         transport.attach(self.engine)
         self.world_rank = transport.world_rank
         self.world_size = transport.world_size
+        # Optional runtime verifier (repro.analysis.verify); duck-typed so
+        # the runtime never imports the analysis package.
+        self.verifier = None
 
     def close(self) -> None:
         self.transport.close()
@@ -149,6 +152,12 @@ class Comm:
         ticket = self._endpoint.engine.post_recv(
             self._context, source, tag, max_bytes
         )
+        verifier = self._endpoint.verifier
+        if verifier is not None:
+            src_world = (
+                None if source == C.ANY_SOURCE else self._world_rank(source)
+            )
+            verifier.on_post(ticket, src_world, tag, self._context)
         return RecvRequest(ticket, sink)
 
     def recv_bytes(
@@ -202,10 +211,26 @@ class Comm:
         return C.INTERNAL_TAG_BASE + (seq % (1 << 20))
 
     # -- collectives (delegate to the algorithms package) -------------------
+    def _verify_collective(self, name: str, root: int | None = None,
+                           op=None) -> None:
+        """Cross-rank call-order/root/op check when a verifier is active.
+
+        MPI requires all ranks to invoke collectives on a communicator in
+        the same order with consistent roots and reduce-ops; the verifier
+        ledger raises CollectiveMismatchError when they diverge.
+        """
+        verifier = self._endpoint.verifier
+        if verifier is not None:
+            verifier.on_collective(
+                self._context, name, root,
+                getattr(op, "name", None) if op is not None else None,
+            )
+
     def barrier(self) -> None:
         """Block until all ranks have entered the barrier."""
         from .collectives import barrier
 
+        self._verify_collective("barrier")
         barrier.barrier(self)
 
     def bcast_bytes(self, payload: bytes | None, root: int) -> bytes:
@@ -213,6 +238,7 @@ class Comm:
         from .collectives import bcast
 
         self._check_root(root)
+        self._verify_collective("bcast", root)
         return bcast.bcast(self, payload, root)
 
     def reduce_array(
@@ -222,12 +248,14 @@ class Comm:
         from .collectives import reduce as reduce_mod
 
         self._check_root(root)
+        self._verify_collective("reduce", root, op)
         return reduce_mod.reduce(self, send, op, root)
 
     def allreduce_array(self, send: np.ndarray, op) -> np.ndarray:
         """Reduce arrays elementwise; every rank returns the result."""
         from .collectives import allreduce
 
+        self._verify_collective("allreduce", op=op)
         return allreduce.allreduce(self, send, op)
 
     def gather_bytes(self, payload: bytes, root: int) -> list[bytes] | None:
@@ -235,6 +263,7 @@ class Comm:
         from .collectives import gather
 
         self._check_root(root)
+        self._verify_collective("gather", root)
         return gather.gather(self, payload, root)
 
     def scatter_bytes(
@@ -244,18 +273,21 @@ class Comm:
         from .collectives import scatter
 
         self._check_root(root)
+        self._verify_collective("scatter", root)
         return scatter.scatter(self, blocks, root)
 
     def allgather_bytes(self, payload: bytes) -> list[bytes]:
         """All ranks gather every rank's equal-size block."""
         from .collectives import allgather
 
+        self._verify_collective("allgather")
         return allgather.allgather(self, payload)
 
     def alltoall_bytes(self, blocks: Sequence[bytes]) -> list[bytes]:
         """Personalized all-to-all exchange of byte blocks."""
         from .collectives import alltoall
 
+        self._verify_collective("alltoall")
         return alltoall.alltoall(self, blocks)
 
     def reduce_scatter_array(
@@ -264,12 +296,14 @@ class Comm:
         """Reduce then scatter segments of ``counts`` elements per rank."""
         from .collectives import reduce_scatter
 
+        self._verify_collective("reduce_scatter", op=op)
         return reduce_scatter.reduce_scatter(self, send, counts, op)
 
     def scan_array(self, send: np.ndarray, op) -> np.ndarray:
         """Inclusive prefix reduction over ranks."""
         from .collectives import scan
 
+        self._verify_collective("scan", op=op)
         return scan.scan(self, send, op)
 
     def gatherv_bytes(
@@ -279,6 +313,7 @@ class Comm:
         from .collectives import vector
 
         self._check_root(root)
+        self._verify_collective("gatherv", root)
         return vector.gatherv(self, payload, counts, root)
 
     def scatterv_bytes(
@@ -288,6 +323,7 @@ class Comm:
         from .collectives import vector
 
         self._check_root(root)
+        self._verify_collective("scatterv", root)
         return vector.scatterv(self, blocks, root)
 
     def allgatherv_bytes(
@@ -296,12 +332,14 @@ class Comm:
         """All-gather of variable-size byte blocks."""
         from .collectives import vector
 
+        self._verify_collective("allgatherv")
         return vector.allgatherv(self, payload, counts)
 
     def alltoallv_bytes(self, blocks: Sequence[bytes]) -> list[bytes]:
         """Personalized all-to-all of variable-size byte blocks."""
         from .collectives import vector
 
+        self._verify_collective("alltoallv")
         return vector.alltoallv(self, blocks)
 
     def _check_root(self, root: int) -> None:

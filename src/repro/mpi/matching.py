@@ -48,7 +48,7 @@ class RecvTicket:
 
     __slots__ = (
         "context", "source", "tag", "max_bytes", "order",
-        "_event", "payload", "status", "error", "cancelled",
+        "_event", "payload", "status", "error", "cancelled", "verifier",
     )
 
     def __init__(
@@ -64,6 +64,9 @@ class RecvTicket:
         self.status = Status()
         self.error: Exception | None = None
         self.cancelled = False
+        # Optional runtime-verifier handle (repro.analysis), stamped by
+        # Comm.irecv_bytes while a `verify` region is active.
+        self.verifier = None
 
     def matches(self, env: Envelope) -> bool:
         """Return True if ``env`` satisfies this receive's pattern."""
@@ -101,7 +104,10 @@ class RecvTicket:
 
         Raises the recorded error (e.g. truncation) if one occurred.
         """
-        if not self._event.wait(timeout):
+        if self.verifier is not None:
+            # Surveillance wait: deadlock/timeout detection while blocked.
+            self.verifier.wait_ticket(self, timeout)
+        elif not self._event.wait(timeout):
             raise TimeoutError(
                 f"receive (source={self.source}, tag={self.tag}) timed out "
                 f"after {timeout}s"
@@ -150,6 +156,8 @@ class MatchingEngine:
             except ValueError:
                 return False
             ticket.cancel()
+            if ticket.verifier is not None:
+                ticket.verifier.on_consume(ticket)
             return True
 
     # -- transport side --------------------------------------------------

@@ -100,6 +100,10 @@ class RecvRequest(Request):
             n = len(self._payload)
             view[:n] = self._payload
         self._waited = True
+        # Tell an active verifier the request was completed (not leaked);
+        # covers the test()/payload() paths that bypass RecvTicket.wait.
+        if self._ticket.verifier is not None:
+            self._ticket.verifier.on_consume(self._ticket)
 
 
 def waitall(requests: Sequence[Request]) -> list[Status]:

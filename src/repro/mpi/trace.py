@@ -45,30 +45,40 @@ class TraceLog:
         with self._lock:
             self.events.append(event)
 
+    def snapshot(self) -> list[TraceEvent]:
+        """Consistent copy of the events recorded so far.
+
+        Queries must not iterate ``self.events`` directly: transport
+        reader threads append concurrently, and a list resize mid-iteration
+        raises ``RuntimeError`` (or silently skips events).
+        """
+        with self._lock:
+            return list(self.events)
+
     # -- queries --------------------------------------------------------
     def message_count(self, include_self: bool = False) -> int:
         """Total sends (self-sends excluded by default)."""
         return sum(
-            1 for e in self.events
+            1 for e in self.snapshot()
             if include_self or e.src_world != e.dst_world
         )
 
     def total_bytes(self, include_self: bool = False) -> int:
         return sum(
-            e.nbytes for e in self.events
+            e.nbytes for e in self.snapshot()
             if include_self or e.src_world != e.dst_world
         )
 
     def by_pair(self) -> dict[tuple[int, int], int]:
         """{(src, dst): message count}."""
         out: dict[tuple[int, int], int] = {}
-        for e in self.events:
+        for e in self.snapshot():
             key = (e.src_world, e.dst_world)
             out[key] = out.get(key, 0) + 1
         return out
 
     def senders(self) -> set[int]:
-        return {e.src_world for e in self.events}
+        return {e.src_world for e in self.snapshot()}
 
     def clear(self) -> None:
         with self._lock:

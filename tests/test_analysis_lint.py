@@ -1,0 +1,249 @@
+"""The ``ombpy-lint`` static checker: one TP + one TN per rule, plus
+pragma suppression, rule selection, JSON output, and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.lint import lint_source, main
+from repro.analysis.rules import RULES
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestOMB001PickleBuffer:
+    def test_numpy_send_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "data = np.zeros(1024)\n"
+            "comm.send(data, dest=1, tag=0)\n"
+        )
+        findings = lint_source(src)
+        assert rules_of(findings) == ["OMB001"]
+        assert findings[0].line == 3
+        assert "Send()" in findings[0].message
+
+    def test_isend_and_bcast_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "req = comm.isend(np.ones(8), dest=1)\n"
+            "req.wait()\n"
+            "comm.bcast(np.ones(8), root=0)\n"
+        )
+        assert set(rules_of(lint_source(src))) == {"OMB001"}
+
+    def test_plain_object_send_clean(self):
+        # Pickling a dict is the point of the lower-case API.
+        src = "comm.send({'k': 1}, dest=1, tag=0)\n"
+        assert lint_source(src) == []
+
+    def test_non_comm_receiver_clean(self):
+        # socket.send(bytes) is not an MPI call.
+        src = (
+            "import numpy as np\n"
+            "sock.send(np.zeros(4).tobytes())\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestOMB002LeakedRequest:
+    def test_discarded_isend_flagged(self):
+        src = "comm.isend(obj, dest=1, tag=0)\n"
+        findings = lint_source(src)
+        assert rules_of(findings) == ["OMB002"]
+        assert findings[0].severity == "error"
+
+    def test_never_waited_request_flagged(self):
+        src = (
+            "req = comm.Irecv(buf, source=0)\n"
+            "print('hi')\n"
+        )
+        assert rules_of(lint_source(src)) == ["OMB002"]
+
+    def test_waited_request_clean(self):
+        src = (
+            "req = comm.Irecv(buf, source=0)\n"
+            "req.Wait()\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestOMB003CaseMismatch:
+    def test_lower_send_upper_recv_flagged(self):
+        src = (
+            "if comm.rank == 0:\n"
+            "    comm.send(obj, dest=1)\n"
+            "else:\n"
+            "    comm.Recv(buf, source=0)\n"
+        )
+        assert "OMB003" in rules_of(lint_source(src))
+
+    def test_matched_cases_clean(self):
+        src = (
+            "if comm.rank == 0:\n"
+            "    comm.Send(buf, 1)\n"
+            "else:\n"
+            "    comm.Recv(buf, source=0)\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestOMB004ReservedTag:
+    def test_reserved_band_flagged(self):
+        findings = lint_source("comm.Send(buf, 1, 2**30)\n")
+        assert rules_of(findings) == ["OMB004"]
+        assert "2**30" in findings[0].message or "1073741824" in \
+            findings[0].message
+
+    def test_negative_tag_on_send_flagged(self):
+        assert rules_of(lint_source("comm.Send(buf, 1, -5)\n")) == ["OMB004"]
+
+    def test_any_tag_on_recv_clean(self):
+        # -1 is ANY_TAG, legal on the receive side.
+        assert lint_source("comm.Recv(buf, 0, -1)\n") == []
+
+    def test_user_tag_clean(self):
+        assert lint_source("comm.Send(buf, 1, 1234)\n") == []
+
+
+class TestOMB005DeprecatedConstant:
+    def test_ub_flagged(self):
+        src = "from mpi4py import MPI\nx = MPI.UB\n"
+        findings = lint_source(src)
+        assert rules_of(findings) == ["OMB005"]
+        assert findings[0].line == 2
+
+    def test_sum_clean(self):
+        src = "from mpi4py import MPI\nx = MPI.SUM\n"
+        assert lint_source(src) == []
+
+
+class TestOMB006HeadToHeadRecv:
+    def test_both_branches_recv_first_flagged(self):
+        src = (
+            "if comm.rank == 0:\n"
+            "    got = comm.recv(source=1)\n"
+            "    comm.send(obj, dest=1)\n"
+            "else:\n"
+            "    got = comm.recv(source=0)\n"
+            "    comm.send(obj, dest=0)\n"
+        )
+        assert "OMB006" in rules_of(lint_source(src))
+
+    def test_ordered_exchange_clean(self):
+        src = (
+            "if comm.rank == 0:\n"
+            "    comm.send(obj, dest=1)\n"
+            "    got = comm.recv(source=1)\n"
+            "else:\n"
+            "    got = comm.recv(source=0)\n"
+            "    comm.send(obj, dest=0)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_sendrecv_clean(self):
+        src = (
+            "if comm.rank == 0:\n"
+            "    got = comm.sendrecv(obj, dest=1, source=1)\n"
+            "else:\n"
+            "    got = comm.sendrecv(obj, dest=0, source=0)\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestSuppressionAndSelection:
+    SRC = (
+        "import numpy as np\n"
+        "comm.send(np.zeros(4), dest=1)  # ombpy-lint: ignore[OMB001]\n"
+        "comm.send(np.zeros(4), dest=1)  # ombpy-lint: ignore\n"
+        "comm.send(np.zeros(4), dest=1)\n"
+    )
+
+    def test_pragma_suppresses(self):
+        findings = lint_source(self.SRC)
+        assert [f.line for f in findings] == [4]
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        src = "comm.send(np.zeros(4), dest=1)  # ombpy-lint: ignore[OMB004]\n"
+        assert rules_of(lint_source("import numpy as np\n" + src)) == \
+            ["OMB001"]
+
+    def test_select_and_ignore(self):
+        src = (
+            "import numpy as np\n"
+            "comm.isend(np.zeros(4), dest=1)\n"   # OMB001 + OMB002
+        )
+        assert rules_of(lint_source(src, select={"OMB002"})) == ["OMB002"]
+        assert rules_of(lint_source(src, ignore={"OMB002"})) == ["OMB001"]
+
+    def test_syntax_error_reported_as_omb000(self):
+        findings = lint_source("def broken(:\n")
+        assert rules_of(findings) == ["OMB000"]
+        assert findings[0].severity == "error"
+
+
+class TestCLI:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "ok.py"
+        f.write_text("print('hello')\n")
+        assert main([str(f)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_location(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text(
+            "import numpy as np\ncomm.send(np.zeros(4), dest=1)\n"
+        )
+        assert main([str(f)]) == 1
+        out = capsys.readouterr().out
+        assert f"{f}:2:1: OMB001" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text(
+            "import numpy as np\ncomm.send(np.zeros(4), dest=1)\n"
+        )
+        assert main([str(f), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+        assert doc["findings"][0]["rule"] == "OMB001"
+        assert doc["findings"][0]["line"] == 2
+
+    def test_directory_recursion(self, tmp_path, capsys):
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "a.py").write_text("comm.isend(x, dest=1)\n")
+        (sub / "b.py").write_text("print('fine')\n")
+        assert main([str(tmp_path)]) == 1
+        assert "OMB002" in capsys.readouterr().out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "no paths" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        f = tmp_path / "ok.py"
+        f.write_text("pass\n")
+        assert main([str(f), "--select", "OMB999"]) == 2
+        assert "OMB999" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules_covers_catalogue(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+
+def test_every_rule_has_tp_and_tn_coverage():
+    """Guard: the catalogue and this test file must not drift apart."""
+    assert set(RULES) == {
+        "OMB001", "OMB002", "OMB003", "OMB004", "OMB005", "OMB006",
+    }

@@ -1,0 +1,69 @@
+"""Self-hosting: the linter must pass over this repository's own code.
+
+Every example and benchmark script ships lint-clean — any new finding
+here is either a real bug in the shipped code or a linter false
+positive; both need fixing before merge.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _lint_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+@pytest.mark.parametrize("tree", ["examples", "benchmarks", "src/repro"])
+def test_repo_tree_is_lint_clean(tree):
+    findings = lint_paths([REPO / tree])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_console_entry_point_clean_run():
+    """`python -m repro.analysis.lint` over examples/ + benchmarks/."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint",
+         str(REPO / "examples"), str(REPO / "benchmarks")],
+        capture_output=True, text=True, env=_lint_env(),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_console_entry_point_nonzero_on_findings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\ncomm.send(np.zeros(4), dest=1)\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint", str(bad)],
+        capture_output=True, text=True, env=_lint_env(),
+    )
+    assert proc.returncode == 1
+    assert "OMB001" in proc.stdout
+    assert f"{bad}:2:1" in proc.stdout
+
+
+def test_package_module_prints_usage():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis"],
+        capture_output=True, text=True, env=_lint_env(),
+    )
+    assert proc.returncode == 0
+    assert "ombpy-lint" in proc.stdout
+    assert "verify" in proc.stdout
+
+
+def test_setup_registers_lint_console_script():
+    text = (REPO / "setup.py").read_text()
+    assert "ombpy-lint=repro.analysis.lint:main" in text
