@@ -13,11 +13,17 @@ and MUST (dynamic, PMPI-based) divide the problem for C MPI codes:
   ``--validate`` flag) that hooks the matching engine and collectives to
   detect real-time deadlock, cross-rank collective mismatches, count
   mismatches, and operations still pending at finalize.
+* :mod:`repro.analysis.race` — a buffer-race sanitizer
+  (``with repro.analysis.sanitize(comm): ...`` or the driver's
+  ``--sanitize`` flag) that pins every buffer posted to a non-blocking
+  operation and, with per-rank vector clocks and content snapshots,
+  detects write-after-Isend, read/write-before-Wait, overlapping pinned
+  regions, and mid-collective buffer mutation.
 """
 
 from __future__ import annotations
 
-from .findings import Finding, findings_to_json
+from .findings import Finding, findings_to_json, findings_to_sarif
 
 # Submodules are imported lazily: eagerly importing ``lint`` here would
 # trip runpy's double-import warning for ``python -m repro.analysis.lint``.
@@ -32,6 +38,16 @@ _VERIFIER_NAMES = {
     "VerifyError",
     "verify",
 }
+_RACE_NAMES = {
+    "CollectiveBufferError",
+    "OverlappingPinError",
+    "RaceError",
+    "ReadBeforeWaitError",
+    "Sanitizer",
+    "VectorClock",
+    "WriteAfterPostError",
+    "sanitize",
+}
 
 
 def __getattr__(name: str):
@@ -43,12 +59,17 @@ def __getattr__(name: str):
         from . import verifier
 
         return getattr(verifier, name)
+    if name in _RACE_NAMES:
+        from . import race
+
+        return getattr(race, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "Finding",
     "findings_to_json",
+    "findings_to_sarif",
     "lint_file",
     "lint_paths",
     "lint_source",
@@ -60,4 +81,12 @@ __all__ = [
     "CountMismatchError",
     "PendingOperationError",
     "PeerFailedError",
+    "sanitize",
+    "Sanitizer",
+    "VectorClock",
+    "RaceError",
+    "WriteAfterPostError",
+    "ReadBeforeWaitError",
+    "OverlappingPinError",
+    "CollectiveBufferError",
 ]

@@ -8,7 +8,8 @@ USAGE = """\
 repro.analysis — MPI correctness tooling for OMB-Py
 
 Static linter (mpi4py-API misuse; see `ombpy-lint --list-rules`):
-    ombpy-lint [paths...] [--format text|json] [--select IDs] [--ignore IDs]
+    ombpy-lint [paths...] [--format text|json|sarif] [--select IDs]
+               [--ignore IDs]
     python -m repro.analysis.lint examples/ benchmarks/
 
 Runtime verifier (deadlock / collective-mismatch / leak detection):
@@ -16,7 +17,13 @@ Runtime verifier (deadlock / collective-mismatch / leak detection):
         ...
     ombpy <benchmark> --threads N --validate   # in the benchmark driver
 
-Documentation: docs/analysis.md
+Buffer-race sanitizer (write-after-Isend, touch-before-Wait, overlapping
+pins, mid-collective mutation; see docs/race.md):
+    with repro.analysis.sanitize(comm):        # in user code
+        ...
+    ombpy <benchmark> --threads N --sanitize   # in the benchmark driver
+
+Documentation: docs/analysis.md, docs/race.md
 """
 
 

@@ -1,0 +1,333 @@
+"""Alias-tracking dataflow over lint scopes.
+
+A reaching-definitions walk shared by the non-blocking-hazard lint rules
+(OMB002, OMB007-OMB010): within one :class:`~repro.analysis.rules.Scope`
+it records every non-blocking post as an :class:`NBPost` — which simple
+names alias the returned request (direct assignment and tuple unpacking),
+which list container collects it (list/tuple literals, comprehensions,
+``.append()``), and which simple name the posted buffer argument carries —
+then answers the questions the rules ask: *when does this request
+complete?* (the first load of any alias after the post), *is this buffer
+mutated or read inside the pending window?*, *is this request list ever
+consumed?*
+
+The walk is deliberately first-order: only simple names are tracked, and
+any post whose request lands somewhere else (an attribute, a dict, a call
+argument) is marked ``escapes`` and exempted from the leak rules — a
+heuristic linter must prefer false negatives over false positives.
+
+Buffer tracking applies to the upper-case methods only: the pickle-path
+``isend`` serializes its object *at post time*, so mutating it afterwards
+is safe; ``Isend``/``Issend``/``Irecv`` hand the live buffer to MPI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Non-blocking request-returning methods (both API families).
+NONBLOCKING = frozenset({
+    "isend", "irecv", "issend", "Isend", "Irecv", "Issend",
+})
+#: Upper-case posts whose first argument is a live communication buffer.
+BUFFER_ARG_METHODS = frozenset({"Isend", "Issend", "Irecv"})
+#: Posts that *write* their buffer on completion.
+RECV_METHODS = frozenset({"Irecv"})
+
+#: Attribute reads that inspect metadata, not buffer contents.
+METADATA_ATTRS = frozenset({
+    "shape", "dtype", "nbytes", "size", "itemsize", "ndim", "flags",
+    "strides", "base",
+})
+#: Builtins whose application to a buffer does not read its contents.
+METADATA_BUILTINS = frozenset({"len", "id", "type"})
+#: In-place mutating methods of ndarray/bytearray/list.
+MUTATING_METHODS = frozenset({
+    "fill", "sort", "put", "resize", "setflags", "partition", "itemset",
+    "byteswap", "setfield", "append", "extend", "insert", "pop", "remove",
+    "reverse", "clear",
+})
+#: Methods collecting a request into a list container.
+_COLLECTOR_METHODS = ("append", "extend", "insert")
+
+#: Sentinel window end for a post with no visible completion.
+NEVER = (float("inf"), 0)
+
+
+def _pos(node: ast.AST) -> tuple[int, int]:
+    return (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+
+
+def is_nonblocking_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in NONBLOCKING
+    )
+
+
+def _subscript_root(node: ast.expr) -> str | None:
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+@dataclass
+class NBPost:
+    """One non-blocking post site and where its request went."""
+
+    call: ast.Call
+    method: str
+    pos: tuple[int, int]
+    #: simple names aliasing the request (assignment / tuple unpacking)
+    names: tuple[str, ...] = ()
+    #: list variable collecting the request (literal/comprehension/append)
+    container: str | None = None
+    #: the request was dropped on the floor (bare expression statement)
+    discarded: bool = False
+    #: the request landed somewhere untrackable (attribute, call arg, ...)
+    escapes: bool = False
+    #: simple name of the posted buffer argument (upper-case methods only)
+    buffer: str | None = None
+
+    @property
+    def recv(self) -> bool:
+        return self.method in RECV_METHODS
+
+
+@dataclass
+class ScopeFlow:
+    """The dataflow facts one scope's rules share."""
+
+    posts: list[NBPost] = field(default_factory=list)
+    #: name -> sorted Load-use positions (collector receivers excluded)
+    uses: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+    #: names bound to a fresh list/tuple in this scope (container lifetime
+    #: is visible, so "never consumed" is a sound claim)
+    fresh_lists: set[str] = field(default_factory=set)
+
+
+def _buffer_name(call: ast.Call, method: str) -> str | None:
+    if method not in BUFFER_ARG_METHODS:
+        return None
+    arg = call.args[0] if call.args else None
+    if arg is None:
+        for kw in call.keywords:
+            if kw.arg == "buf":
+                arg = kw.value
+                break
+    return arg.id if isinstance(arg, ast.Name) else None
+
+
+def flow_for(scope) -> ScopeFlow:
+    """The (cached) dataflow facts for one scope."""
+    flow = getattr(scope, "_flow", None)
+    if flow is None:
+        flow = _analyse(scope)
+        scope._flow = flow
+    return flow
+
+
+def _analyse(scope) -> ScopeFlow:
+    flow = ScopeFlow()
+    claimed: set[int] = set()
+
+    def post(call: ast.Call, anchor: ast.AST, **kw) -> None:
+        method = call.func.attr  # type: ignore[union-attr]
+        claimed.add(id(call))
+        flow.posts.append(NBPost(
+            call=call, method=method, pos=_pos(anchor),
+            buffer=_buffer_name(call, method), **kw,
+        ))
+
+    for stmt in scope.statements:
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if is_nonblocking_call(value):
+                post(value, stmt, discarded=True)
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in _COLLECTOR_METHODS
+                and isinstance(value.func.value, ast.Name)
+            ):
+                for arg in value.args:
+                    if is_nonblocking_call(arg):
+                        post(arg, stmt, container=value.func.value.id)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+            if isinstance(target, ast.Name):
+                if is_nonblocking_call(value):
+                    post(value, stmt, names=(target.id,))
+                elif isinstance(value, (ast.List, ast.Tuple)):
+                    flow.fresh_lists.add(target.id)
+                    for elt in value.elts:
+                        if is_nonblocking_call(elt):
+                            post(elt, stmt, container=target.id)
+                elif isinstance(value, ast.ListComp):
+                    flow.fresh_lists.add(target.id)
+                    if is_nonblocking_call(value.elt):
+                        post(value.elt, stmt, container=target.id)
+                elif (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "list"
+                    and not value.args
+                ):
+                    flow.fresh_lists.add(target.id)
+            elif isinstance(target, ast.Tuple) and isinstance(value, ast.Tuple) \
+                    and len(target.elts) == len(value.elts):
+                # Tuple unpacking: pair targets with values elementwise.
+                for t_elt, v_elt in zip(target.elts, value.elts):
+                    if not is_nonblocking_call(v_elt):
+                        continue
+                    if isinstance(t_elt, ast.Name):
+                        post(v_elt, stmt, names=(t_elt.id,))
+                    else:
+                        post(v_elt, stmt, escapes=True)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None \
+                and isinstance(stmt.target, ast.Name) \
+                and is_nonblocking_call(stmt.value):
+            post(stmt.value, stmt, names=(stmt.target.id,))
+
+    # Any post not claimed by a trackable pattern escapes this analysis
+    # (return value, call argument, attribute store, dict entry, ...).
+    for node in scope.nodes:
+        if isinstance(node, ast.Call) and is_nonblocking_call(node) \
+                and id(node) not in claimed:
+            flow.posts.append(NBPost(
+                call=node, method=node.func.attr,  # type: ignore[union-attr]
+                pos=_pos(node), escapes=True,
+                buffer=_buffer_name(node, node.func.attr),  # type: ignore[union-attr]
+            ))
+
+    # Load uses, excluding collector receivers: `reqs.append(r)` loads
+    # `reqs` but does not consume the requests already inside it.
+    collector_receivers: set[int] = set()
+    for node in scope.nodes:
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _COLLECTOR_METHODS \
+                and isinstance(node.func.value, ast.Name):
+            collector_receivers.add(id(node.func.value))
+    for node in scope.nodes:
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                and id(node) not in collector_receivers:
+            flow.uses.setdefault(node.id, []).append(_pos(node))
+    for positions in flow.uses.values():
+        positions.sort()
+
+    flow.posts.sort(key=lambda p: p.pos)
+    return flow
+
+
+def completion_pos(flow: ScopeFlow, post: NBPost) -> tuple:
+    """Document position where the post's pending window ends.
+
+    The first Load use of any request alias (or of the collecting
+    container) after the post — the earliest point the program *could*
+    wait or test it.  :data:`NEVER` when no such use exists.
+    """
+    candidates: list[tuple[int, int]] = []
+    for name in post.names:
+        candidates.extend(
+            p for p in flow.uses.get(name, ()) if p > post.pos
+        )
+    if post.container is not None:
+        candidates.extend(
+            p for p in flow.uses.get(post.container, ()) if p > post.pos
+        )
+    return min(candidates) if candidates else NEVER
+
+
+def ever_used(flow: ScopeFlow, post: NBPost) -> bool:
+    """Is any alias of the request loaded anywhere in the scope?
+
+    Position-insensitive on purpose: a wait at the top of a loop body
+    completes the post at the bottom of the previous iteration.
+    """
+    return any(flow.uses.get(name) for name in post.names) or (
+        post.container is not None and bool(flow.uses.get(post.container))
+    )
+
+
+def buffer_mutations(
+    scope, name: str, start: tuple, end: tuple
+) -> list[tuple[ast.AST, tuple, str]]:
+    """In-place mutations of ``name``'s buffer inside ``(start, end)``.
+
+    Covers element/slice stores (``buf[i] = x``), augmented assignment
+    (``buf += x`` mutates ndarrays in place), and the in-place methods of
+    ndarray/bytearray.  Rebinding the bare name is *not* a mutation — the
+    pinned memory is unaffected.
+    """
+    out = []
+    for node in scope.nodes:
+        pos = _pos(node)
+        if not (start < pos < end):
+            continue
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) \
+                        and _subscript_root(target) == name:
+                    out.append((node, pos, "element/slice store"))
+                    break
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if (isinstance(target, ast.Name) and target.id == name) or (
+                isinstance(target, ast.Subscript)
+                and _subscript_root(target) == name
+            ):
+                out.append((node, pos, "augmented assignment"))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in MUTATING_METHODS \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id == name:
+            out.append((node, pos, f"'.{node.func.attr}()' call"))
+    out.sort(key=lambda item: item[1])
+    return out
+
+
+def buffer_reads(
+    scope, name: str, start: tuple, end: tuple
+) -> list[tuple[ast.Name, tuple]]:
+    """Content reads of ``name`` inside ``(start, end)``.
+
+    A Load use of the name, excluding accesses that do not observe the
+    buffer's *contents*: metadata attributes (``buf.shape``), metadata
+    builtins (``len(buf)``), mutation constructs (OMB007's domain), any
+    non-blocking post call (OMB010's domain), and wait/test calls on it.
+    """
+    excluded: set[int] = set()
+    for node in scope.nodes:
+        if isinstance(node, ast.Attribute) \
+                and node.attr in METADATA_ATTRS \
+                and isinstance(node.value, ast.Name):
+            excluded.add(id(node.value))
+        elif isinstance(node, ast.Call) and is_nonblocking_call(node):
+            for sub in ast.walk(node):
+                excluded.add(id(sub))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Name) \
+                and node.func.id in METADATA_BUILTINS:
+            for sub in ast.walk(node):
+                excluded.add(id(sub))
+    for mut, _mpos, _desc in buffer_mutations(
+        scope, name, (0, 0), NEVER
+    ):
+        for sub in ast.walk(mut):
+            excluded.add(id(sub))
+
+    reads = [
+        (node, _pos(node))
+        for node in scope.nodes
+        if isinstance(node, ast.Name)
+        and node.id == name
+        and isinstance(node.ctx, ast.Load)
+        and id(node) not in excluded
+        and start < _pos(node) < end
+    ]
+    reads.sort(key=lambda item: item[1])
+    return reads

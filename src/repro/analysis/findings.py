@@ -50,3 +50,69 @@ def findings_to_json(findings: list[Finding]) -> str:
         },
         indent=2,
     )
+
+
+#: SARIF 2.1.0 constants (the format GitHub code scanning ingests).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def findings_to_sarif(
+    findings: list[Finding],
+    rule_docs: dict[str, str] | None = None,
+    tool_name: str = "ombpy-lint",
+) -> str:
+    """Serialize findings as a SARIF 2.1.0 log (``--format sarif``).
+
+    ``rule_docs`` maps rule IDs to one-line descriptions; the driver's
+    rule metadata covers every rule that appears in ``findings`` plus any
+    documented rule, so code-scanning UIs can show the catalogue.  Runtime
+    findings carry line 0, which SARIF forbids — regions clamp to line 1.
+    """
+    rule_docs = rule_docs or {}
+    rule_ids = sorted(set(rule_docs) | {f.rule for f in findings})
+    results = []
+    for f in sort_findings(findings):
+        results.append({
+            "ruleId": f.rule,
+            "level": _SARIF_LEVELS.get(f.severity, "warning"),
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {
+                        "startLine": max(f.line, 1),
+                        "startColumn": max(f.col, 1),
+                    },
+                },
+            }],
+        })
+    log = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "informationUri":
+                        "https://github.com/ombpy/repro/blob/main/docs/"
+                        "analysis.md",
+                    "rules": [
+                        {
+                            "id": rule_id,
+                            "shortDescription": {
+                                "text": rule_docs.get(rule_id, rule_id),
+                            },
+                        }
+                        for rule_id in rule_ids
+                    ],
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2)

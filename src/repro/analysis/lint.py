@@ -2,7 +2,8 @@
 
 Usage::
 
-    ombpy-lint [paths...] [--format text|json] [--select IDs] [--ignore IDs]
+    ombpy-lint [paths...] [--format text|json|sarif] [--select IDs]
+               [--ignore IDs]
     python -m repro.analysis.lint examples/ benchmarks/
 
 Exit status: 0 clean, 1 findings reported, 2 usage error.
@@ -19,7 +20,12 @@ import re
 import sys
 from pathlib import Path
 
-from .findings import Finding, findings_to_json, sort_findings
+from .findings import (
+    Finding,
+    findings_to_json,
+    findings_to_sarif,
+    sort_findings,
+)
 from .rules import RULES, run_rules
 
 _PRAGMA = re.compile(r"#\s*ombpy-lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
@@ -106,7 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Static checker for mpi4py-API misuse: pickle-path buffer "
             "sends, leaked requests, case-mismatched pairs, reserved "
-            "tags, deprecated constants, deadlock shapes."
+            "tags, deprecated constants, deadlock shapes, and "
+            "non-blocking buffer hazards (mutate/read before wait, "
+            "unconsumed request lists, concurrent posts on one buffer)."
         ),
     )
     parser.add_argument(
@@ -114,8 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (directories recurse into *.py)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif emits a SARIF 2.1.0 "
+        "log for code-scanning upload",
     )
     parser.add_argument(
         "--select", default=None, metavar="IDS",
@@ -163,6 +172,9 @@ def main(argv: list[str] | None = None) -> int:
     findings = lint_paths(args.paths, select=select, ignore=ignore)
     if args.format == "json":
         print(findings_to_json(findings))
+    elif args.format == "sarif":
+        rule_docs = {rule_id: doc for rule_id, (_fn, doc) in RULES.items()}
+        print(findings_to_sarif(findings, rule_docs))
     else:
         for finding in findings:
             print(finding.format())

@@ -1,0 +1,509 @@
+"""Buffer-race sanitizer — happens-before tracking for non-blocking buffers.
+
+MPI forbids touching a communication buffer while a non-blocking operation
+is in flight: writing a buffer after ``Isend`` posts it, reading or writing
+an ``Irecv`` buffer before its ``Wait``/``Test``, pinning overlapping
+regions under two pending requests, or mutating a ``Bcast`` buffer while
+the collective is executing all silently corrupt data (and, per Hunold &
+Carpen-Amarie, corrupt *measurements*).  None of that is visible to the
+syntactic linter or to the deadlock verifier.
+
+Activated with::
+
+    with repro.analysis.sanitize(comm) as s:
+        ...   # any bindings-level traffic on this rank
+
+or for benchmark runs via the driver's ``--sanitize`` flag.  While active,
+the sanitizer installs itself on this rank's endpoint (duck-typed: the
+runtime and bindings consult ``endpoint.sanitizer`` without importing this
+module) and gives every resolved :class:`~repro.bindings.buffers.BufferSpec`
+posted to a non-blocking operation an ownership record — a :class:`Pin`
+holding the buffer's host address interval, an Adler-32 content snapshot,
+and the posting rank's vector-clock epoch.  Per-rank vector clocks advance
+at request post/completion and at collective entry/exit (merging every
+rank's clock through the shared fabric state on the threads transport), so
+each diagnostic can order the post and the conflicting access.
+
+Detected hazards (runtime rule IDs, continuing the verifier's OMB1xx band):
+
+* **OMB201** write-after-Isend — the send buffer's checksum changed
+  between post and wait/test (:class:`WriteAfterPostError`).
+* **OMB202** read-or-write-before-Wait — a blocking operation touches a
+  buffer pinned by a pending ``Irecv``, or an ``Irecv`` buffer's contents
+  changed before completion (:class:`ReadBeforeWaitError`).
+* **OMB203** overlapping pins — two pending requests pin overlapping
+  byte ranges with at least one writer (:class:`OverlappingPinError`).
+  Two pending *sends* of one buffer are legal (concurrent reads) and
+  deliberately not flagged — bandwidth tests post whole windows of the
+  same source buffer.
+* **OMB204** buffer mutated during a collective — e.g. a non-root rank's
+  ``Bcast`` buffer changed while the collective executed
+  (:class:`CollectiveBufferError`).
+* **OMB205** pins still pending when the sanitized region exits
+  (recorded as warning findings; never raises).
+
+Content snapshots are exact on the threads transport, where ranks share an
+address space; on process transports the same checks degrade gracefully to
+rank-local epoch/checksum validation (each rank still catches its own
+misuse, which is where these bugs live).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import weakref
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .findings import Finding
+from .verifier import _resolve_endpoint
+
+
+class RaceError(RuntimeError):
+    """Base class for buffer-race diagnostics."""
+
+
+class WriteAfterPostError(RaceError):
+    """An Isend buffer was modified while the send was in flight."""
+
+
+class ReadBeforeWaitError(RaceError):
+    """An Irecv buffer was read or written before Wait/Test completed it."""
+
+
+class OverlappingPinError(RaceError):
+    """Two pending non-blocking operations pin overlapping buffer bytes."""
+
+
+class CollectiveBufferError(RaceError):
+    """A buffer participating in a collective was mutated mid-collective."""
+
+
+RULE_WRITE_AFTER_POST = "OMB201"
+RULE_TOUCH_BEFORE_WAIT = "OMB202"
+RULE_OVERLAPPING_PINS = "OMB203"
+RULE_COLLECTIVE_MUTATION = "OMB204"
+RULE_LEAKED_PIN = "OMB205"
+
+
+class VectorClock:
+    """One rank's logical clock over all ranks of the job.
+
+    Ticks on every ownership event (post, completion, collective entry and
+    exit); merges with every peer's clock at collective boundaries, which
+    are the program's cross-rank synchronization points.  Two epochs are
+    *concurrent* when neither dominates — exactly the situation in which a
+    buffer access races a pending operation.
+    """
+
+    __slots__ = ("rank", "_v")
+
+    def __init__(self, rank: int, size: int) -> None:
+        self.rank = rank
+        self._v = [0] * max(size, rank + 1)
+
+    def tick(self) -> tuple:
+        self._v[self.rank] += 1
+        return tuple(self._v)
+
+    def merge(self, other: tuple) -> None:
+        for i, x in enumerate(other):
+            if i < len(self._v) and x > self._v[i]:
+                self._v[i] = x
+
+    def snapshot(self) -> tuple:
+        return tuple(self._v)
+
+    @staticmethod
+    def leq(a: tuple, b: tuple) -> bool:
+        """Does epoch ``a`` happen-before-or-equal epoch ``b``?"""
+        return len(a) == len(b) and all(x <= y for x, y in zip(a, b))
+
+    @staticmethod
+    def concurrent(a: tuple, b: tuple) -> bool:
+        return not VectorClock.leq(a, b) and not VectorClock.leq(b, a)
+
+
+class _RaceState:
+    """Cross-rank sanitizer state, shared through the transport fabric.
+
+    Mirrors the verifier's ``_SharedState``: on the threads transport all
+    ranks resolve to one instance (anchored on the ``InprocFabric``) so
+    collective boundaries can merge every rank's vector clock; process
+    transports get a per-process instance and rank-local clocks.
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.clocks: dict[int, VectorClock] = {}
+
+    def register(self, rank: int, clock: VectorClock) -> None:
+        with self.lock:
+            self.clocks[rank] = clock
+
+    def unregister(self, rank: int) -> None:
+        with self.lock:
+            self.clocks.pop(rank, None)
+
+    def merge_peers_into(self, clock: VectorClock) -> None:
+        """Collective boundary: absorb every registered peer's epoch."""
+        with self.lock:
+            snapshots = [
+                c.snapshot() for r, c in self.clocks.items()
+                if r != clock.rank
+            ]
+        for snap in snapshots:
+            clock.merge(snap)
+
+
+#: fabric/transport -> shared clock state for all ranks on it.
+_STATES: "weakref.WeakKeyDictionary[object, _RaceState]" = \
+    weakref.WeakKeyDictionary()
+_STATES_LOCK = threading.Lock()
+
+
+def _race_state_for(transport: object) -> _RaceState:
+    anchor = getattr(transport, "_fabric", None)
+    if anchor is None:
+        anchor = transport
+    with _STATES_LOCK:
+        state = _STATES.get(anchor)
+        if state is None:
+            state = _RaceState()
+            _STATES[anchor] = state
+        return state
+
+
+# -- locating the user's call site ----------------------------------------
+
+_REPRO_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+#: Frames in these packages are plumbing, not the user's post/wait site.
+_SKIP_DIRS = tuple(
+    os.path.join(_REPRO_DIR, d) + os.sep
+    for d in ("analysis", "bindings", "mpi")
+)
+
+
+def _user_location() -> str:
+    """``file:line`` of the nearest stack frame outside the MPI plumbing."""
+    frame = sys._getframe(1)
+    fallback = None
+    while frame is not None:
+        fname = frame.f_code.co_filename
+        where = f"{fname}:{frame.f_lineno}"
+        if fallback is None:
+            fallback = where
+        if not os.path.abspath(fname).startswith(_SKIP_DIRS):
+            return where
+        frame = frame.f_back
+    return fallback or "<unknown>"
+
+
+@dataclass
+class Pin:
+    """Ownership record for one buffer under one pending operation."""
+
+    op: str                     # "Isend" / "Irecv" / "Send_init" / ...
+    rank: int
+    lo: int                     # host address interval [lo, hi)
+    hi: int
+    nbytes: int
+    view: memoryview            # live view, re-checksummed at release
+    checksum: int               # Adler-32 snapshot taken at post time
+    epoch: tuple                # poster's vector-clock epoch
+    where: str                  # user source location of the post
+    desc: str                   # human-readable buffer description
+    writes: bool                # operation writes the buffer (Irecv family)
+    verify: bool                # re-checksum at release
+    owner: "Sanitizer" = field(repr=False, default=None)
+    released: bool = False
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        return self.nbytes > 0 and hi > self.lo and lo < self.hi
+
+    def describe(self) -> str:
+        return (
+            f"{self.desc} pinned by '{self.op}' posted at {self.where} "
+            f"(epoch {self.epoch})"
+        )
+
+    def release(self) -> None:
+        """Complete the pinning operation (called from wait/test paths)."""
+        if self.owner is not None:
+            self.owner.complete(self)
+
+
+def _describe_view(view: memoryview, nbytes: int, obj=None) -> str:
+    name = type(obj).__name__ if obj is not None else "buffer"
+    return f"{name} buffer of {nbytes} bytes"
+
+
+def _addr_of(view: memoryview) -> int:
+    """Host address of a C-contiguous byte view (0 for empty views)."""
+    if view.nbytes == 0:
+        return 0
+    import numpy as np
+
+    return int(
+        np.frombuffer(view, dtype=np.uint8).__array_interface__["data"][0]
+    )
+
+
+class Sanitizer:
+    """Per-rank sanitizer handle, installed on one endpoint.
+
+    The bindings layer calls in through duck-typed hook points: non-blocking
+    posts create pins (``pin_spec``/``pin_view``), request wait/test paths
+    release them (``complete``), blocking operations declare their accesses
+    (``check_read``/``check_write``), and collectives bracket their buffers
+    (``coll_begin``/``coll_end``) and synchronize clocks (``on_collective``,
+    called from the collective-tag reservation in the runtime).
+    """
+
+    def __init__(self, endpoint, shared: _RaceState,
+                 strict: bool = True) -> None:
+        self.endpoint = endpoint
+        self.rank: int = endpoint.world_rank
+        self.shared = shared
+        self.strict = strict
+        self.findings: list[Finding] = []
+        self.clock = VectorClock(self.rank, endpoint.world_size)
+        self._pins: list[Pin] = []
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+    def attach(self) -> None:
+        self.shared.register(self.rank, self.clock)
+        self.endpoint.sanitizer = self
+
+    def detach(self) -> None:
+        if self.endpoint.sanitizer is self:
+            self.endpoint.sanitizer = None
+        self.shared.unregister(self.rank)
+
+    def finish(self) -> None:
+        """End-of-region check: report (never raise) still-pending pins."""
+        with self._lock:
+            leaked = [p for p in self._pins if not p.released]
+            self._pins = []
+        for pin in leaked:
+            self.findings.append(Finding(
+                rule=RULE_LEAKED_PIN, severity="warning",
+                path=f"rank {self.rank}", line=0, col=0,
+                message=(
+                    f"rank {self.rank}: {pin.describe()} was still pending "
+                    "when the sanitized region exited — the operation was "
+                    "never completed with wait/test"
+                ),
+            ))
+
+    def _report(self, rule: str, message: str, exc_type) -> None:
+        self.findings.append(Finding(
+            rule=rule, severity="error", path=f"rank {self.rank}",
+            line=0, col=0, message=message,
+        ))
+        if self.strict:
+            raise exc_type(message)
+
+    # -- pin lifecycle ---------------------------------------------------
+    def pin_spec(self, spec, op: str) -> Pin:
+        """Pin a resolved BufferSpec at non-blocking post time."""
+        lo, hi = spec.addr_range()
+        return self._pin(
+            lo, hi, spec.nbytes, spec.view, spec.checksum(),
+            op=op, desc=spec.describe(),
+            writes=op in ("Irecv",), verify=True,
+        )
+
+    def pin_view(self, view: memoryview, op: str, writes: bool,
+                 verify: bool, obj=None) -> Pin:
+        """Pin a raw byte view (persistent-request path)."""
+        lo = _addr_of(view)
+        return self._pin(
+            lo, lo + view.nbytes, view.nbytes, view, zlib.adler32(view),
+            op=op, desc=_describe_view(view, view.nbytes, obj),
+            writes=writes, verify=verify,
+        )
+
+    def _pin(self, lo: int, hi: int, nbytes: int, view: memoryview,
+             checksum: int, *, op: str, desc: str, writes: bool,
+             verify: bool) -> Pin:
+        where = _user_location()
+        with self._lock:
+            pending = [p for p in self._pins if not p.released]
+        # Two pending reads (send+send) of one buffer are legal; any
+        # overlap involving a writer is not.
+        for prev in pending:
+            if prev.overlaps(lo, hi) and (writes or prev.writes):
+                self._report(
+                    RULE_OVERLAPPING_PINS,
+                    f"rank {self.rank}: '{op}' posted at {where} pins "
+                    f"bytes [{lo:#x}, {hi:#x}) of {desc}, overlapping "
+                    f"{prev.describe()} — two pending operations may not "
+                    "share buffer bytes unless both are sends",
+                    OverlappingPinError,
+                )
+        pin = Pin(
+            op=op, rank=self.rank, lo=lo, hi=hi, nbytes=nbytes, view=view,
+            checksum=checksum, epoch=self.clock.tick(), where=where,
+            desc=desc, writes=writes, verify=verify, owner=self,
+        )
+        with self._lock:
+            self._pins.append(pin)
+        return pin
+
+    def complete(self, pin: Pin) -> None:
+        """The pinning operation completed (wait/test); verify and unpin."""
+        if pin.released:
+            return
+        pin.released = True
+        with self._lock:
+            try:
+                self._pins.remove(pin)
+            except ValueError:
+                pass
+        self.clock.tick()
+        if not pin.verify or pin.nbytes == 0:
+            return
+        now = zlib.adler32(pin.view)
+        if now == pin.checksum:
+            return
+        here = _user_location()
+        if pin.writes:
+            self._report(
+                RULE_TOUCH_BEFORE_WAIT,
+                f"rank {self.rank}: {pin.desc} was written between the "
+                f"'{pin.op}' post at {pin.where} and its completion at "
+                f"{here} — receive-buffer contents are undefined until "
+                "Wait/Test",
+                ReadBeforeWaitError,
+            )
+        else:
+            self._report(
+                RULE_WRITE_AFTER_POST,
+                f"rank {self.rank}: {pin.desc} was written while "
+                f"'{pin.op}' posted at {pin.where} was in flight "
+                f"(detected at completion, {here}) — MPI forbids "
+                "modifying a send buffer before wait/test",
+                WriteAfterPostError,
+            )
+
+    # -- blocking-access checks ------------------------------------------
+    def check_read(self, spec, op: str) -> None:
+        """A blocking operation is about to read ``spec``'s bytes."""
+        lo, hi = spec.addr_range()
+        for pin in self._pending_overlaps(lo, hi):
+            if pin.writes:
+                self._report(
+                    RULE_TOUCH_BEFORE_WAIT,
+                    f"rank {self.rank}: '{op}' at {_user_location()} reads "
+                    f"{spec.describe()}, which overlaps {pin.describe()} — "
+                    "the receive buffer is undefined until Wait/Test "
+                    "completes it",
+                    ReadBeforeWaitError,
+                )
+
+    def check_write(self, spec, op: str) -> None:
+        """A blocking operation is about to write ``spec``'s bytes."""
+        lo, hi = spec.addr_range()
+        for pin in self._pending_overlaps(lo, hi):
+            if pin.writes:
+                self._report(
+                    RULE_TOUCH_BEFORE_WAIT,
+                    f"rank {self.rank}: '{op}' at {_user_location()} "
+                    f"writes {spec.describe()}, which overlaps "
+                    f"{pin.describe()} — the buffer belongs to the pending "
+                    "receive until Wait/Test completes it",
+                    ReadBeforeWaitError,
+                )
+            else:
+                self._report(
+                    RULE_WRITE_AFTER_POST,
+                    f"rank {self.rank}: '{op}' at {_user_location()} "
+                    f"writes {spec.describe()}, which overlaps "
+                    f"{pin.describe()} — MPI forbids modifying a send "
+                    "buffer before wait/test",
+                    WriteAfterPostError,
+                )
+
+    def _pending_overlaps(self, lo: int, hi: int) -> list[Pin]:
+        with self._lock:
+            return [
+                p for p in self._pins
+                if not p.released and p.overlaps(lo, hi)
+            ]
+
+    # -- collectives -----------------------------------------------------
+    def coll_begin(self, spec, name: str, root: int | None = None) -> Pin:
+        """Entering a collective that communicates ``spec``.
+
+        Returns a token pin the matching :meth:`coll_end` consumes.  Entry
+        is a synchronization event: tick, and absorb peer epochs.
+        """
+        self.clock.tick()
+        self.shared.merge_peers_into(self.clock)
+        lo, hi = spec.addr_range()
+        label = name if root is None else f"{name}(root={root})"
+        return Pin(
+            op=label, rank=self.rank, lo=lo, hi=hi, nbytes=spec.nbytes,
+            view=spec.view, checksum=spec.checksum(),
+            epoch=self.clock.snapshot(), where=_user_location(),
+            desc=spec.describe(), writes=False, verify=True, owner=self,
+        )
+
+    def coll_end(self, token: Pin, wrote: bool = False) -> None:
+        """Leaving the collective entered at :meth:`coll_begin`.
+
+        ``wrote`` marks buffers the collective itself legitimately filled
+        (a non-root rank's received data); for all others the contents
+        must be byte-identical to the entry snapshot.
+        """
+        self.shared.merge_peers_into(self.clock)
+        self.clock.tick()
+        if wrote or token.nbytes == 0:
+            return
+        if zlib.adler32(token.view) != token.checksum:
+            self._report(
+                RULE_COLLECTIVE_MUTATION,
+                f"rank {self.rank}: {token.desc} was mutated during "
+                f"collective '{token.op}' entered at {token.where} "
+                f"(detected at exit, {_user_location()}; entry epoch "
+                f"{token.epoch}) — all ranks' buffers must stay "
+                "untouched while the collective executes",
+                CollectiveBufferError,
+            )
+
+    def on_collective(self, tag: int) -> None:
+        """Runtime-level hook: a collective reserved its internal tag."""
+        self.clock.tick()
+        self.shared.merge_peers_into(self.clock)
+
+
+@contextmanager
+def sanitize(target, *, strict: bool = True):
+    """Sanitize all buffer traffic of this rank inside the ``with`` block.
+
+    ``target`` is any communicator-bearing object (runtime ``Comm`` or
+    ``World``, bindings ``Comm``/``CommWorld``, or an ``Endpoint``), the
+    same resolution as :func:`repro.analysis.verify`.  ``strict=True``
+    (default) raises a :class:`RaceError` subclass at the detection point;
+    ``strict=False`` records findings on ``Sanitizer.findings`` instead.
+
+    Composes freely with ``verify`` — the two install on different hook
+    points of the same endpoint.
+    """
+    endpoint = _resolve_endpoint(target)
+    shared = _race_state_for(endpoint.transport)
+    s = Sanitizer(endpoint, shared, strict=strict)
+    s.attach()
+    try:
+        yield s
+    except BaseException:
+        raise
+    else:
+        s.finish()
+    finally:
+        s.detach()

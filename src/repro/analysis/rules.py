@@ -16,6 +16,8 @@ import ast
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from . import dataflow
+from .dataflow import NONBLOCKING, is_nonblocking_call
 from .findings import Finding
 
 # -- API-surface vocabulary (mirrors repro.bindings.comm_api) -------------
@@ -34,8 +36,6 @@ LOWER_SENDS = frozenset({"send", "isend", "ssend", "issend", "sendrecv"})
 UPPER_SENDS = frozenset({"Send", "Isend", "Ssend", "Issend", "Sendrecv"})
 LOWER_RECVS = frozenset({"recv", "irecv"})
 UPPER_RECVS = frozenset({"Recv", "Irecv"})
-
-NONBLOCKING = frozenset({"isend", "irecv", "issend", "Isend", "Irecv", "Issend"})
 
 #: Positional index of the tag argument per method (mpi4py signatures).
 TAG_POSITION = {
@@ -218,6 +218,18 @@ def _finding(rule: str, severity: str, scope: Scope, node: ast.AST,
     )
 
 
+def _finding_at(rule: str, severity: str, scope: Scope,
+                pos: tuple[int, int], message: str) -> Finding:
+    return Finding(
+        rule=rule,
+        severity=severity,
+        path=scope.path,
+        line=pos[0],
+        col=pos[1] + 1,
+        message=message,
+    )
+
+
 _FOLDABLE_BINOPS = {
     ast.Pow: lambda a, b: a ** b,
     ast.Mult: lambda a, b: a * b,
@@ -286,47 +298,38 @@ def check_pickle_buffer(scope: Scope) -> list[Finding]:
 # -- OMB002: leaked non-blocking request ----------------------------------
 
 def check_leaked_request(scope: Scope) -> list[Finding]:
-    """``isend``/``irecv`` whose request is never waited or tested."""
+    """``isend``/``irecv`` whose request is never waited or tested.
+
+    Built on the shared alias tracker (:mod:`repro.analysis.dataflow`), so
+    requests that travel through tuple unpacking or ``requests.append(...)``
+    are followed to their consumption; only genuinely dead requests are
+    flagged.  A never-consumed request *list* is OMB009's finding, not
+    this rule's.
+    """
+    flow = dataflow.flow_for(scope)
     findings = []
-    # Map each non-blocking call to its enclosing simple statement.
-    for stmt in scope.statements:
-        if isinstance(stmt, ast.Expr) and _is_nonblocking_call(stmt.value):
-            method = stmt.value.func.attr  # type: ignore[union-attr]
-            findings.append(_finding(
-                "OMB002", "error", scope, stmt,
-                f"request returned by '{method}()' is discarded; the "
+    for post in flow.posts:
+        if post.escapes or post.container is not None:
+            continue
+        if post.discarded:
+            findings.append(_finding_at(
+                "OMB002", "error", scope, post.pos,
+                f"request returned by '{post.method}()' is discarded; the "
                 "operation is never completed (wait/test) and its "
                 "completion semantics are lost",
             ))
-        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
-                and isinstance(stmt.targets[0], ast.Name) \
-                and _is_nonblocking_call(stmt.value):
-            name = stmt.targets[0].id
-            method = stmt.value.func.attr  # type: ignore[union-attr]
-            if not _name_used_again(scope, name, stmt):
-                findings.append(_finding(
-                    "OMB002", "error", scope, stmt,
-                    f"request '{name}' from '{method}()' is never used "
-                    "again — non-blocking operation leaked without "
-                    "wait/test",
-                ))
+        elif post.names and not dataflow.ever_used(flow, post):
+            findings.append(_finding_at(
+                "OMB002", "error", scope, post.pos,
+                f"request '{post.names[0]}' from '{post.method}()' is "
+                "never used again — non-blocking operation leaked without "
+                "wait/test",
+            ))
     return findings
 
 
-def _is_nonblocking_call(node: ast.expr) -> bool:
-    return (
-        isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Attribute)
-        and node.func.attr in NONBLOCKING
-    )
-
-
-def _name_used_again(scope: Scope, name: str, assign: ast.stmt) -> bool:
-    for node in scope.nodes:
-        if isinstance(node, ast.Name) and node.id == name \
-                and isinstance(node.ctx, ast.Load):
-            return True
-    return False
+# Kept as the public predicate name other modules/tests may use.
+_is_nonblocking_call = is_nonblocking_call
 
 
 # -- OMB003: case-mismatched send/recv pairing ----------------------------
@@ -475,6 +478,131 @@ def _recv_blocks_before_send(body: list[ast.stmt]) -> bool:
     return bool(kinds) and kinds[0] == "recv" and "send" in kinds
 
 
+# -- OMB007: buffer mutated while a non-blocking operation is pending -----
+
+def check_buffer_mutation(scope: Scope) -> list[Finding]:
+    """Buffer touched in place between a non-blocking post and its wait.
+
+    MPI forbids modifying a send buffer (and touching a receive buffer at
+    all) while the operation is in flight.  The pending window runs from
+    the post to the first load of any request alias — the earliest point
+    the program could wait or test it (the dynamic counterpart is the
+    sanitizer's OMB201/OMB202).
+    """
+    flow = dataflow.flow_for(scope)
+    findings = []
+    for post in flow.posts:
+        if post.buffer is None or post.discarded or post.escapes:
+            continue
+        end = dataflow.completion_pos(flow, post)
+        for node, pos, desc in dataflow.buffer_mutations(
+            scope, post.buffer, post.pos, end
+        ):
+            findings.append(_finding(
+                "OMB007", "error", scope, node,
+                f"buffer '{post.buffer}' is mutated ({desc}) while "
+                f"'{post.method}()' posted at line {post.pos[0]} is still "
+                "pending — complete the request with wait/test before "
+                "touching the buffer",
+            ))
+    return findings
+
+
+# -- OMB008: receive buffer read before completion ------------------------
+
+def check_premature_read(scope: Scope) -> list[Finding]:
+    """``Irecv`` buffer contents read before the request completes.
+
+    Until wait/test succeeds the receive buffer's contents are undefined;
+    reading them races the transport's write-back.  Metadata accesses
+    (``buf.shape``, ``len(buf)``) are fine and not flagged.
+    """
+    flow = dataflow.flow_for(scope)
+    findings = []
+    for post in flow.posts:
+        if not post.recv or post.buffer is None \
+                or post.discarded or post.escapes:
+            continue
+        end = dataflow.completion_pos(flow, post)
+        reads = dataflow.buffer_reads(scope, post.buffer, post.pos, end)
+        if reads:
+            node, pos = reads[0]
+            findings.append(_finding(
+                "OMB008", "error", scope, node,
+                f"receive buffer '{post.buffer}' is read before the "
+                f"'{post.method}()' posted at line {post.pos[0]} "
+                "completes — its contents are undefined until wait/test",
+            ))
+    return findings
+
+
+# -- OMB009: request list collected but never consumed --------------------
+
+def check_unwaited_request_list(scope: Scope) -> list[Finding]:
+    """Requests collected into a list that never reaches waitall/testall.
+
+    ``reqs.append(comm.Irecv(...))`` in a loop, then the list is dropped:
+    every operation leaks.  Only lists born in this scope are judged —
+    a list received as a parameter or attribute may be consumed elsewhere.
+    """
+    flow = dataflow.flow_for(scope)
+    by_container: dict[str, list[dataflow.NBPost]] = {}
+    for post in flow.posts:
+        if post.container is not None:
+            by_container.setdefault(post.container, []).append(post)
+    findings = []
+    for name, posts in sorted(by_container.items()):
+        if name not in flow.fresh_lists or flow.uses.get(name):
+            continue
+        count = len(posts)
+        sites = "site" if count == 1 else "sites"
+        findings.append(_finding_at(
+            "OMB009", "error", scope, posts[0].pos,
+            f"request list '{name}' collects non-blocking requests "
+            f"({count} post {sites}) but is never passed to "
+            "waitall/testall or otherwise used — the operations are "
+            "never completed",
+        ))
+    return findings
+
+
+# -- OMB010: one buffer posted to two concurrent operations ---------------
+
+def check_concurrent_buffer_posts(scope: Scope) -> list[Finding]:
+    """Same buffer posted to overlapping non-blocking operations.
+
+    Two pending receives into one buffer (or a send racing a receive on
+    the same memory) leave its contents transport-order dependent.  Two
+    concurrent *sends* of one buffer are legal and common (the bandwidth
+    benchmark's window) and are not flagged.
+    """
+    flow = dataflow.flow_for(scope)
+    by_buffer: dict[str, list[dataflow.NBPost]] = {}
+    for post in flow.posts:
+        if post.buffer is not None and not post.escapes:
+            by_buffer.setdefault(post.buffer, []).append(post)
+    findings = []
+    for buffer, posts in sorted(by_buffer.items()):
+        flagged: set[int] = set()
+        for i, first in enumerate(posts):
+            end = dataflow.completion_pos(flow, first)
+            for second in posts[i + 1:]:
+                if id(second) in flagged or second.pos >= end:
+                    continue
+                if not (first.recv or second.recv):
+                    continue  # send+send overlap is MPI-legal
+                flagged.add(id(second))
+                findings.append(_finding(
+                    "OMB010", "error", scope, second.call,
+                    f"buffer '{buffer}' is posted to '{second.method}()' "
+                    f"while '{first.method}()' posted at line "
+                    f"{first.pos[0]} is still pending on the same buffer "
+                    "— concurrent operations may fill or drain it in "
+                    "transport order",
+                ))
+    return findings
+
+
 # -- registry -------------------------------------------------------------
 
 RuleFn = Callable[[Scope], "list[Finding]"]
@@ -505,6 +633,22 @@ RULES: dict[str, tuple[RuleFn, str]] = {
     "OMB006": (
         check_head_to_head_recv,
         "blocking receive posted before send on both rank branches",
+    ),
+    "OMB007": (
+        check_buffer_mutation,
+        "buffer mutated between a non-blocking post and its wait/test",
+    ),
+    "OMB008": (
+        check_premature_read,
+        "receive buffer read before the non-blocking receive completes",
+    ),
+    "OMB009": (
+        check_unwaited_request_list,
+        "request list collected but never passed to waitall/testall",
+    ),
+    "OMB010": (
+        check_concurrent_buffer_posts,
+        "same buffer posted to two concurrent non-blocking operations",
     ),
 }
 

@@ -10,6 +10,7 @@ returns a uniform :class:`BufferSpec` the communication methods act on.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any
 
@@ -70,6 +71,31 @@ class BufferSpec:
     def read(self) -> bytes:
         """Snapshot the buffer contents as wire bytes."""
         return bytes(self.view[:self.nbytes])
+
+    def addr_range(self) -> tuple[int, int]:
+        """Host address interval ``[lo, hi)`` of the communicated bytes.
+
+        Used by the race sanitizer to detect overlapping pinned regions;
+        empty buffers get the empty interval ``(0, 0)``.
+        """
+        if self.nbytes == 0:
+            return (0, 0)
+        base = int(
+            np.frombuffer(self.view, dtype=np.uint8)
+            .__array_interface__["data"][0]
+        )
+        return (base, base + self.nbytes)
+
+    def checksum(self) -> int:
+        """Adler-32 snapshot of the current contents (sanitizer pins)."""
+        return zlib.adler32(self.view[:self.nbytes])
+
+    def describe(self) -> str:
+        """Short human-readable identity for diagnostics."""
+        return (
+            f"{type(self.obj).__name__}"
+            f"({self.datatype.Get_name()}, {self.nbytes} bytes)"
+        )
 
 
 _DEVICE_LIBRARIES = {

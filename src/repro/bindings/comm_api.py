@@ -62,9 +62,15 @@ class PickleRecvFuture:
 class BufferRecvRequest:
     """Request-like handle returned by :meth:`Comm.Irecv`."""
 
-    def __init__(self, req: RecvRequest, spec: BufferSpec) -> None:
+    def __init__(self, req: RecvRequest, spec: BufferSpec,
+                 sanitizer_pin=None) -> None:
         self._req = req
         self._spec = spec
+        # Race-sanitizer ownership record (duck-typed); released — with a
+        # content-snapshot check — just before the payload write-back, so
+        # a user mutation of the posted buffer is caught, while the
+        # legitimate receive fill is not.
+        self._pin = sanitizer_pin
 
     def _check_count(self, st: Status) -> None:
         verifier = self._req._ticket.verifier
@@ -73,9 +79,16 @@ class BufferRecvRequest:
                 st.count_bytes, self._spec.nbytes, st.source, st.tag
             )
 
+    def _release_pin(self) -> None:
+        pin = self._pin
+        if pin is not None:
+            self._pin = None
+            pin.release()
+
     def Wait(self, status: Status | None = None) -> None:
         st = self._req.wait()
         self._check_count(st)
+        self._release_pin()
         self._spec.write(self._req.payload())
         if status is not None:
             status._fill(st.source, st.tag, st.count_bytes)
@@ -87,6 +100,7 @@ class BufferRecvRequest:
         if done:
             assert st is not None
             self._check_count(st)
+            self._release_pin()
             self._spec.write(self._req.payload())
         return done
 
@@ -137,8 +151,24 @@ class Comm:
     # ======================================================================
     # Upper-case: direct buffer methods
     # ======================================================================
+    def _sanitize_access(self, spec: BufferSpec, op: str,
+                         write: bool = False) -> None:
+        """Declare a blocking buffer access to an active race sanitizer.
+
+        Duck-typed like the verifier hooks: the sanitizer checks the
+        access against every buffer pinned by a pending non-blocking
+        operation on this rank.
+        """
+        sanitizer = self._rt.endpoint.sanitizer
+        if sanitizer is not None:
+            if write:
+                sanitizer.check_write(spec, op)
+            else:
+                sanitizer.check_read(spec, op)
+
     def Send(self, buf: Any, dest: int, tag: int = 0) -> None:
         spec = resolve_buffer(buf)
+        self._sanitize_access(spec, "Send")
         self._rt.send_bytes(spec.read(), dest, tag)
 
     def _check_recv_count(self, spec: BufferSpec, st: Status) -> None:
@@ -162,6 +192,7 @@ class Comm:
         status: Status | None = None,
     ) -> None:
         spec = resolve_buffer(buf, writable=True)
+        self._sanitize_access(spec, "Recv", write=True)
         payload, st = self._rt.recv_bytes(source, tag, spec.nbytes)
         self._check_recv_count(spec, st)
         spec.write(payload)
@@ -170,14 +201,27 @@ class Comm:
 
     def Isend(self, buf: Any, dest: int, tag: int = 0) -> Request:
         spec = resolve_buffer(buf)
-        return self._rt.isend_bytes(spec.read(), dest, tag)
+        sanitizer = self._rt.endpoint.sanitizer
+        # Pin the send buffer at post time; SendRequest releases the pin
+        # (verifying the content snapshot) at wait/test.
+        pin = None
+        if sanitizer is not None:
+            pin = sanitizer.pin_spec(spec, "Isend")
+        req = self._rt.isend_bytes(spec.read(), dest, tag)
+        if pin is not None:
+            req.sanitizer_pin = pin
+        return req
 
     def Irecv(
         self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> BufferRecvRequest:
         spec = resolve_buffer(buf, writable=True)
         req = self._rt.irecv_bytes(source, tag, spec.nbytes)
-        return BufferRecvRequest(req, spec)
+        sanitizer = self._rt.endpoint.sanitizer
+        pin = None
+        if sanitizer is not None:
+            pin = sanitizer.pin_spec(spec, "Irecv")
+        return BufferRecvRequest(req, spec, pin)
 
     def Sendrecv(
         self,
@@ -191,6 +235,8 @@ class Comm:
     ) -> None:
         sspec = resolve_buffer(sendbuf)
         rspec = resolve_buffer(recvbuf, writable=True)
+        self._sanitize_access(sspec, "Sendrecv")
+        self._sanitize_access(rspec, "Sendrecv", write=True)
         payload, st = self._rt.sendrecv_bytes(
             sspec.read(), dest, sendtag, source, recvtag, rspec.nbytes
         )
@@ -201,9 +247,19 @@ class Comm:
 
     def Bcast(self, buf: Any, root: int = 0) -> None:
         spec = resolve_buffer(buf, writable=True)
+        sanitizer = self._rt.endpoint.sanitizer
+        token = None
+        if sanitizer is not None:
+            self._sanitize_access(spec, "Bcast", write=self.rank != root)
+            # Snapshot the buffer across the collective: every rank's
+            # buffer must stay untouched while the broadcast executes —
+            # the legitimate non-root fill happens after the bracket.
+            token = sanitizer.coll_begin(spec, "bcast", root)
         data = self._rt.bcast_bytes(
             spec.read() if self.rank == root else None, root
         )
+        if token is not None:
+            sanitizer.coll_end(token)
         if self.rank != root:
             spec.write(data)
 
@@ -215,29 +271,37 @@ class Comm:
         root: int = 0,
     ) -> None:
         sspec = resolve_buffer(sendbuf)
+        self._sanitize_access(sspec, "Reduce")
         result = self._rt.reduce_array(sspec.as_array(), op, root)
         if self.rank == root:
             rspec = resolve_buffer(recvbuf, writable=True)
+            self._sanitize_access(rspec, "Reduce", write=True)
             rspec.write(np.ascontiguousarray(result).tobytes())
 
     def Allreduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
         sspec = resolve_buffer(sendbuf)
         rspec = resolve_buffer(recvbuf, writable=True)
+        self._sanitize_access(sspec, "Allreduce")
+        self._sanitize_access(rspec, "Allreduce", write=True)
         result = self._rt.allreduce_array(sspec.as_array(), op)
         rspec.write(np.ascontiguousarray(result).tobytes())
 
     def Gather(self, sendbuf: Any, recvbuf: Any = None, root: int = 0) -> None:
         sspec = resolve_buffer(sendbuf)
+        self._sanitize_access(sspec, "Gather")
         blocks = self._rt.gather_bytes(sspec.read(), root)
         if self.rank == root:
             rspec = resolve_buffer(recvbuf, writable=True)
+            self._sanitize_access(rspec, "Gather", write=True)
             self._write_blocks(rspec, blocks)
 
     def Scatter(self, sendbuf: Any = None, recvbuf: Any = None, root: int = 0) -> None:
         rspec = resolve_buffer(recvbuf, writable=True)
+        self._sanitize_access(rspec, "Scatter", write=True)
         blocks = None
         if self.rank == root:
             sspec = resolve_buffer(sendbuf)
+            self._sanitize_access(sspec, "Scatter")
             blocks = self._split_blocks(sspec, self.size)
         data = self._rt.scatter_bytes(blocks, root)
         rspec.write(data)
@@ -245,12 +309,16 @@ class Comm:
     def Allgather(self, sendbuf: Any, recvbuf: Any) -> None:
         sspec = resolve_buffer(sendbuf)
         rspec = resolve_buffer(recvbuf, writable=True)
+        self._sanitize_access(sspec, "Allgather")
+        self._sanitize_access(rspec, "Allgather", write=True)
         blocks = self._rt.allgather_bytes(sspec.read())
         self._write_blocks(rspec, blocks)
 
     def Alltoall(self, sendbuf: Any, recvbuf: Any) -> None:
         sspec = resolve_buffer(sendbuf)
         rspec = resolve_buffer(recvbuf, writable=True)
+        self._sanitize_access(sspec, "Alltoall")
+        self._sanitize_access(rspec, "Alltoall", write=True)
         blocks = self._rt.alltoall_bytes(self._split_blocks(sspec, self.size))
         self._write_blocks(rspec, blocks)
 
@@ -271,6 +339,8 @@ class Comm:
                     "(pass explicit recvcounts)"
                 )
             recvcounts = [total // self.size] * self.size
+        self._sanitize_access(sspec, "Reduce_scatter")
+        self._sanitize_access(rspec, "Reduce_scatter", write=True)
         result = self._rt.reduce_scatter_array(
             sspec.as_array(), recvcounts, op
         )
@@ -279,6 +349,8 @@ class Comm:
     def Scan(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
         sspec = resolve_buffer(sendbuf)
         rspec = resolve_buffer(recvbuf, writable=True)
+        self._sanitize_access(sspec, "Scan")
+        self._sanitize_access(rspec, "Scan", write=True)
         result = self._rt.scan_array(sspec.as_array(), op)
         rspec.write(np.ascontiguousarray(result).tobytes())
 

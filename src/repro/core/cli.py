@@ -13,8 +13,10 @@ or self-hosted on ranks-as-threads (no launcher needed)::
 ``--validate`` runs the sweep under the runtime MPI verifier
 (:mod:`repro.analysis`): deadlocks, cross-rank collective mismatches,
 count mismatches, and leaked requests raise bounded diagnostics instead
-of hanging the run or corrupting results.  The companion static checker
-is ``ombpy-lint``.
+of hanging the run or corrupting results.  ``--sanitize`` adds the
+buffer-race sanitizer (write-after-Isend, read/write-before-Wait,
+overlapping pinned buffers, mid-collective mutation; see docs/race.md);
+the two flags compose.  The companion static checker is ``ombpy-lint``.
 """
 
 from __future__ import annotations

@@ -42,6 +42,7 @@ class Options:
     warmup_large: int = DEFAULT_WARMUP_LARGE
     large_message_size: int = LARGE_MESSAGE_SIZE
     validate: bool = False
+    sanitize: bool = False          # run the sweep under the race sanitizer
     full_stats: bool = False        # print min/max columns too
     window_size: int = 64           # bandwidth-test in-flight window
     extra: dict = field(default_factory=dict, compare=False)
@@ -122,6 +123,13 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "docs/analysis.md)",
     )
     parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run the sweep under the buffer-race sanitizer (write-after-"
+        "Isend, read/write-before-Wait, overlapping pinned buffers, "
+        "mid-collective mutation; see docs/race.md) — composes with "
+        "--validate",
+    )
+    parser.add_argument(
         "-f", "--full", action="store_true", dest="full_stats",
         help="report min/max latency columns as well",
     )
@@ -147,5 +155,6 @@ def from_args(args: argparse.Namespace) -> Options:
         warmup=args.warmup,
         window_size=args.window_size,
         validate=args.validate,
+        sanitize=args.sanitize,
         full_stats=args.full_stats,
     )

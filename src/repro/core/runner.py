@@ -106,7 +106,11 @@ class Benchmark(ABC):
         With ``--validate`` the sweep additionally runs under the runtime
         verifier (:func:`repro.analysis.verify`): deadlocks, collective
         mismatches, count mismatches, and leaked requests raise instead
-        of hanging or silently corrupting the measurement.
+        of hanging or silently corrupting the measurement.  With
+        ``--sanitize`` it runs under the buffer-race sanitizer
+        (:func:`repro.analysis.sanitize`): touching a buffer pinned by a
+        pending non-blocking operation, or mutating a collective's buffer
+        mid-flight, raises at the detection point.  The two compose.
         """
         self.check(ctx)
         opt = ctx.options
@@ -117,13 +121,18 @@ class Benchmark(ABC):
             buffer=opt.buffer,
             api=opt.api,
         )
-        if opt.validate:
-            from ..analysis.verifier import verify
+        from contextlib import ExitStack
 
-            timeout = float(opt.extra.get("verify_timeout", 60.0))
-            with verify(ctx.runtime, op_timeout=timeout):
-                self._sweep(ctx, table)
-        else:
+        with ExitStack() as stack:
+            if opt.validate:
+                from ..analysis.verifier import verify
+
+                timeout = float(opt.extra.get("verify_timeout", 60.0))
+                stack.enter_context(verify(ctx.runtime, op_timeout=timeout))
+            if opt.sanitize:
+                from ..analysis.race import sanitize
+
+                stack.enter_context(sanitize(ctx.runtime))
             self._sweep(ctx, table)
         return table
 

@@ -22,6 +22,10 @@ def ctag(comm: Comm) -> int:
         # Lets verifier diagnostics name the collective a blocked internal
         # receive belongs to ("pending in collective 'bcast'").
         verifier.on_collective_tag(tag)
+    sanitizer = comm.endpoint.sanitizer
+    if sanitizer is not None:
+        # Collective entry is a vector-clock synchronization point.
+        sanitizer.on_collective(tag)
     return tag
 
 

@@ -40,9 +40,11 @@ class Endpoint:
         transport.attach(self.engine)
         self.world_rank = transport.world_rank
         self.world_size = transport.world_size
-        # Optional runtime verifier (repro.analysis.verify); duck-typed so
-        # the runtime never imports the analysis package.
+        # Optional runtime verifier (repro.analysis.verify) and buffer-race
+        # sanitizer (repro.analysis.sanitize); duck-typed so the runtime
+        # never imports the analysis package.
         self.verifier = None
+        self.sanitizer = None
 
     def close(self) -> None:
         self.transport.close()

@@ -21,6 +21,9 @@ class PersistentRequest:
 
     def __init__(self) -> None:
         self._active: Request | None = None
+        # Race-sanitizer ownership record for the started instance
+        # (duck-typed; None when no sanitizer is attached to the endpoint).
+        self._pin = None
 
     def Start(self) -> None:
         """Begin one instance of the operation."""
@@ -28,21 +31,35 @@ class PersistentRequest:
             raise RequestError(
                 "Start() while the previous instance is still active"
             )
+        self._pin = self._pin_buffer()
         self._active = self._launch()
 
     def _launch(self) -> Request:
         raise NotImplementedError
+
+    def _pin_buffer(self):
+        """Pin the operation's buffer for the started instance."""
+        return None
+
+    def _release_pin(self) -> None:
+        pin = self._pin
+        if pin is not None:
+            self._pin = None
+            pin.release()
 
     def Wait(self) -> None:
         """Complete the active instance."""
         if self._active is None:
             raise RequestError("Wait() before Start()")
         self._active.wait()
+        self._release_pin()
 
     def Test(self) -> bool:
         if self._active is None:
             raise RequestError("Test() before Start()")
         done, _ = self._active.test()
+        if done:
+            self._release_pin()
         return done
 
 
@@ -61,6 +78,15 @@ class PersistentSend(PersistentRequest):
             bytes(self._view), self._dest, self._tag
         )
 
+    def _pin_buffer(self):
+        sanitizer = self._comm.endpoint.sanitizer
+        if sanitizer is None:
+            return None
+        # Send side: the snapshot must be intact at Wait/Test.
+        return sanitizer.pin_view(
+            self._view, "Send_init", writes=False, verify=True
+        )
+
 
 class PersistentRecv(PersistentRequest):
     """Created by :func:`recv_init`; fills the buffer at Wait()."""
@@ -77,6 +103,17 @@ class PersistentRecv(PersistentRequest):
     def _launch(self) -> Request:
         return self._comm.irecv_bytes(
             self._source, self._tag, self._view.nbytes, sink=self._view
+        )
+
+    def _pin_buffer(self):
+        sanitizer = self._comm.endpoint.sanitizer
+        if sanitizer is None:
+            return None
+        # Receive side: the runtime legitimately fills the sink view at
+        # completion, so the pin cannot verify a content snapshot; it
+        # still participates in overlap checks and blocking-access checks.
+        return sanitizer.pin_view(
+            self._view, "Recv_init", writes=True, verify=False
         )
 
 

@@ -35,18 +35,33 @@ class Request:
 
 
 class SendRequest(Request):
-    """Handle for a buffered (eager) send — complete at creation."""
+    """Handle for a buffered (eager) send — complete at creation.
 
-    __slots__ = ("_status",)
+    The wire-level send completes eagerly, but *MPI* semantics only hand
+    the buffer back to the user at wait/test — which is where an attached
+    race-sanitizer pin (``sanitizer_pin``, duck-typed, set by the bindings
+    layer) is released and the buffer snapshot verified.
+    """
+
+    __slots__ = ("_status", "sanitizer_pin")
 
     def __init__(self, dest: int, tag: int, nbytes: int) -> None:
         self._status = Status()
         self._status._fill(dest, tag, nbytes)
+        self.sanitizer_pin = None
+
+    def _release_pin(self) -> None:
+        pin = self.sanitizer_pin
+        if pin is not None:
+            self.sanitizer_pin = None
+            pin.release()
 
     def test(self) -> tuple[bool, Status]:
+        self._release_pin()
         return True, self._status
 
     def wait(self, timeout: float | None = None) -> Status:
+        self._release_pin()
         return self._status
 
     def done(self) -> bool:

@@ -72,6 +72,49 @@ class TestOMB002LeakedRequest:
         assert lint_source(src) == []
 
 
+class TestOMB002AliasTracking:
+    """The dataflow rewrite follows tuple unpacking and list.append."""
+
+    def test_tuple_unpacked_requests_clean(self):
+        src = (
+            "r1, r2 = comm.isend(obj, 1, 0), comm.irecv(0, 0)\n"
+            "r1.wait()\n"
+            "r2.wait()\n"
+        )
+        assert lint_source(src) == []
+
+    def test_tuple_unpacked_leak_flagged(self):
+        src = (
+            "r1, r2 = comm.isend(obj, 1, 0), comm.irecv(0, 0)\n"
+            "r2.wait()\n"
+        )
+        findings = lint_source(src)
+        assert rules_of(findings) == ["OMB002"]
+        assert "'r1'" in findings[0].message
+
+    def test_appended_then_waited_clean(self):
+        src = (
+            "reqs = []\n"
+            "for peer in range(4):\n"
+            "    reqs.append(comm.isend(obj, peer, 0))\n"
+            "waitall(reqs)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_list_literal_then_waited_clean(self):
+        src = (
+            "reqs = [comm.isend(obj, 1, 0), comm.irecv(0, 0)]\n"
+            "waitall(reqs)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_escaping_request_not_flagged(self):
+        # The request lands in a call argument: its lifetime is not
+        # visible here, so the rule must stay quiet.
+        src = "track(comm.isend(obj, 1, 0))\n"
+        assert lint_source(src) == []
+
+
 class TestOMB003CaseMismatch:
     def test_lower_send_upper_recv_flagged(self):
         src = (
@@ -151,6 +194,186 @@ class TestOMB006HeadToHeadRecv:
             "    got = comm.sendrecv(obj, dest=1, source=1)\n"
             "else:\n"
             "    got = comm.sendrecv(obj, dest=0, source=0)\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestOMB007BufferMutation:
+    def test_store_between_post_and_wait_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "buf = np.zeros(8)\n"
+            "req = comm.Isend(buf, 1, 7)\n"
+            "buf[0] = 3\n"
+            "req.wait()\n"
+        )
+        findings = lint_source(src)
+        assert rules_of(findings) == ["OMB007"]
+        assert findings[0].line == 4
+        assert "'buf'" in findings[0].message
+        assert "line 3" in findings[0].message
+
+    def test_augassign_and_fill_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "buf = np.zeros(8)\n"
+            "req = comm.Irecv(buf, 0, 7)\n"
+            "buf += 1\n"
+            "buf.fill(0)\n"
+            "req.wait()\n"
+        )
+        assert rules_of(lint_source(src)) == ["OMB007", "OMB007"]
+
+    def test_mutation_after_wait_clean(self):
+        src = (
+            "import numpy as np\n"
+            "buf = np.zeros(8)\n"
+            "req = comm.Isend(buf, 1, 7)\n"
+            "req.wait()\n"
+            "buf[0] = 3\n"
+        )
+        assert lint_source(src) == []
+
+    def test_pickle_path_isend_mutation_clean(self):
+        # Lower-case isend serializes at post time; later mutation is safe.
+        src = (
+            "import numpy as np\n"
+            "data = np.zeros(8)\n"
+            # ndarray-through-pickle would be OMB001; use a list.
+            "items = [1, 2, 3]\n"
+            "req = comm.isend(items, 1, 7)\n"
+            "items.append(4)\n"
+            "req.wait()\n"
+        )
+        assert lint_source(src) == []
+
+    def test_rebinding_name_clean(self):
+        # `buf = other` rebinds the name; pinned memory is untouched.
+        src = (
+            "import numpy as np\n"
+            "buf = np.zeros(8)\n"
+            "req = comm.Isend(buf, 1, 7)\n"
+            "buf = np.ones(8)\n"
+            "req.wait()\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestOMB008PrematureRead:
+    def test_read_before_wait_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "buf = np.zeros(8)\n"
+            "req = comm.Irecv(buf, 0, 7)\n"
+            "total = buf.sum()\n"
+            "req.wait()\n"
+        )
+        findings = lint_source(src)
+        assert rules_of(findings) == ["OMB008"]
+        assert findings[0].line == 4
+        assert "line 3" in findings[0].message
+
+    def test_metadata_access_clean(self):
+        src = (
+            "import numpy as np\n"
+            "buf = np.zeros(8)\n"
+            "req = comm.Irecv(buf, 0, 7)\n"
+            "n = len(buf)\n"
+            "shape = buf.shape\n"
+            "req.wait()\n"
+            "total = buf.sum()\n"
+        )
+        assert lint_source(src) == []
+
+    def test_send_buffer_read_clean(self):
+        # Reading a buffer pending on Isend is legal (MPI-3).
+        src = (
+            "import numpy as np\n"
+            "buf = np.zeros(8)\n"
+            "req = comm.Isend(buf, 1, 7)\n"
+            "total = buf.sum()\n"
+            "req.wait()\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestOMB009UnwaitedRequestList:
+    def test_dropped_list_flagged(self):
+        src = (
+            "reqs = []\n"
+            "for peer in range(4):\n"
+            "    reqs.append(comm.isend(obj, peer, 0))\n"
+        )
+        findings = lint_source(src)
+        assert rules_of(findings) == ["OMB009"]
+        assert "'reqs'" in findings[0].message
+
+    def test_comprehension_list_dropped_flagged(self):
+        src = "reqs = [comm.isend(obj, p, 0) for p in range(4)]\n"
+        assert rules_of(lint_source(src)) == ["OMB009"]
+
+    def test_waited_list_clean(self):
+        src = (
+            "reqs = []\n"
+            "for peer in range(4):\n"
+            "    reqs.append(comm.isend(obj, peer, 0))\n"
+            "waitall(reqs)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_foreign_container_clean(self):
+        # Appending to a parameter: its lifetime is the caller's business.
+        src = (
+            "def post(comm, reqs):\n"
+            "    reqs.append(comm.isend(1, 1, 0))\n"
+        )
+        assert lint_source(src) == []
+
+
+class TestOMB010ConcurrentBufferPosts:
+    def test_two_pending_recvs_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "buf = np.zeros(8)\n"
+            "r1 = comm.Irecv(buf, 0, 1)\n"
+            "r2 = comm.Irecv(buf, 0, 2)\n"
+            "r1.wait()\n"
+            "r2.wait()\n"
+        )
+        findings = lint_source(src)
+        assert rules_of(findings) == ["OMB010"]
+        assert findings[0].line == 4
+        assert "line 3" in findings[0].message
+
+    def test_send_racing_recv_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "buf = np.zeros(8)\n"
+            "r1 = comm.Isend(buf, 1, 1)\n"
+            "r2 = comm.Irecv(buf, 0, 2)\n"
+            "r1.wait()\n"
+            "r2.wait()\n"
+        )
+        assert rules_of(lint_source(src)) == ["OMB010"]
+
+    def test_send_window_clean(self):
+        # Concurrent sends of one buffer are MPI-legal (osu_bw's window).
+        src = (
+            "import numpy as np\n"
+            "buf = np.zeros(8)\n"
+            "reqs = [comm.Isend(buf, 1, 7) for _ in range(64)]\n"
+            "waitall(reqs)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_sequential_posts_clean(self):
+        src = (
+            "import numpy as np\n"
+            "buf = np.zeros(8)\n"
+            "r1 = comm.Irecv(buf, 0, 1)\n"
+            "r1.wait()\n"
+            "r2 = comm.Irecv(buf, 0, 2)\n"
+            "r2.wait()\n"
         )
         assert lint_source(src) == []
 
@@ -242,8 +465,153 @@ class TestCLI:
             assert rule_id in out
 
 
+#: The load-bearing subset of the SARIF 2.1.0 schema: enough structure to
+#: catch a malformed log (wrong version, missing tool/results, bad region
+#: bounds) without shipping the full 400 kB upstream document.
+SARIF_21_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error",
+                                    ],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class TestSarifFormat:
+    def _sarif_for(self, tmp_path, capsys, source):
+        f = tmp_path / "bad.py"
+        f.write_text(source)
+        main([str(f), "--format", "sarif"])
+        return json.loads(capsys.readouterr().out)
+
+    def test_sarif_validates_against_schema(self, tmp_path, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        doc = self._sarif_for(
+            tmp_path, capsys,
+            "import numpy as np\ncomm.send(np.zeros(4), dest=1)\n",
+        )
+        jsonschema.validate(doc, SARIF_21_SCHEMA)
+
+    def test_sarif_carries_findings_and_catalogue(self, tmp_path, capsys):
+        doc = self._sarif_for(
+            tmp_path, capsys,
+            "import numpy as np\ncomm.send(np.zeros(4), dest=1)\n",
+        )
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "ombpy-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert set(RULES) <= rule_ids
+        results = run["results"]
+        assert len(results) == 1
+        assert results[0]["ruleId"] == "OMB001"
+        assert results[0]["level"] == "warning"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+        assert region["startColumn"] >= 1
+
+    def test_sarif_clean_run_has_empty_results(self, tmp_path, capsys):
+        f = tmp_path / "ok.py"
+        f.write_text("print('fine')\n")
+        assert main([str(f), "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+
+    def test_runtime_finding_lines_clamped(self):
+        # Verifier findings carry line 0; SARIF regions must start at 1.
+        from repro.analysis.findings import Finding, findings_to_sarif
+
+        doc = json.loads(findings_to_sarif([
+            Finding("OMB101", "error", "rank 0", 0, 0, "deadlock"),
+        ]))
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"]["region"]
+        assert region["startLine"] == 1
+        assert region["startColumn"] == 1
+
+
 def test_every_rule_has_tp_and_tn_coverage():
     """Guard: the catalogue and this test file must not drift apart."""
     assert set(RULES) == {
         "OMB001", "OMB002", "OMB003", "OMB004", "OMB005", "OMB006",
+        "OMB007", "OMB008", "OMB009", "OMB010",
     }

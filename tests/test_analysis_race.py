@@ -1,0 +1,371 @@
+"""The buffer-race sanitizer (``repro.analysis.sanitize``).
+
+All hazard fixtures run on the threads transport and deliberately commit
+the four races the sanitizer exists for; the key property is that each
+diagnostic names the buffer, the pending operation, and both source
+locations.  Clean benchmark-shaped traffic must produce zero findings.
+
+Several fixtures intentionally contain the static-lint counterparts of
+these hazards (OMB002/OMB007/OMB008); those lines carry pragmas so the
+self-host lint stays clean.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CollectiveBufferError,
+    OverlappingPinError,
+    ReadBeforeWaitError,
+    VectorClock,
+    WriteAfterPostError,
+    sanitize,
+)
+from repro.bindings.comm_api import Comm as BindingsComm
+from repro.mpi import persistent
+from repro.mpi.world import run_on_threads
+
+
+class TestVectorClock:
+    def test_tick_advances_own_component(self):
+        clock = VectorClock(rank=1, size=3)
+        assert clock.tick() == (0, 1, 0)
+        assert clock.tick() == (0, 2, 0)
+        assert clock.snapshot() == (0, 2, 0)
+
+    def test_merge_takes_componentwise_max(self):
+        clock = VectorClock(rank=0, size=3)
+        clock.tick()
+        clock.merge((0, 5, 2))
+        assert clock.snapshot() == (1, 5, 2)
+
+    def test_leq_and_concurrent(self):
+        assert VectorClock.leq((1, 2), (1, 3))
+        assert not VectorClock.leq((2, 2), (1, 3))
+        assert VectorClock.concurrent((2, 0), (0, 2))
+        assert not VectorClock.concurrent((1, 1), (2, 2))
+
+
+class TestWriteAfterIsend:
+    def test_mutation_between_post_and_wait_raises(self):
+        def body(comm):
+            b = BindingsComm(comm)
+            buf = np.zeros(64, dtype="u1")
+            with sanitize(comm):
+                if comm.rank == 0:
+                    req = b.Isend(buf, 1, 7)
+                    buf[0] = 99  # ombpy-lint: ignore[OMB007]
+                    req.wait()
+                else:
+                    b.Recv(buf, 0, 7)
+
+        with pytest.raises(WriteAfterPostError) as excinfo:
+            run_on_threads(2, body, timeout=30)
+        msg = str(excinfo.value)
+        # The diagnostic names the buffer, the operation, and both the
+        # post site and the detection site.
+        assert "ndarray" in msg and "64 bytes" in msg
+        assert "'Isend'" in msg
+        assert msg.count("test_analysis_race.py") == 2
+
+    def test_nonstrict_records_finding_instead(self):
+        def body(comm):
+            b = BindingsComm(comm)
+            buf = np.zeros(64, dtype="u1")
+            with sanitize(comm, strict=False) as s:
+                if comm.rank == 0:
+                    req = b.Isend(buf, 1, 7)
+                    buf[0] = 99  # ombpy-lint: ignore[OMB007]
+                    req.wait()
+                else:
+                    b.Recv(buf, 0, 7)
+                return [f.rule for f in s.findings]
+
+        results = run_on_threads(2, body, timeout=30)
+        assert results[0] == ["OMB201"]
+        assert results[1] == []
+
+
+class TestTouchBeforeWait:
+    def test_irecv_buffer_written_before_wait_raises(self):
+        def body(comm):
+            b = BindingsComm(comm)
+            buf = np.zeros(32, dtype="u1")
+            with sanitize(comm):
+                if comm.rank == 1:
+                    req = b.Irecv(buf, 0, 3)
+                    buf[5] = 1  # ombpy-lint: ignore[OMB007]
+                    b.Send(np.ones(1, dtype="u1"), 0, 9)
+                    req.Wait()
+                else:
+                    b.Recv(np.zeros(1, dtype="u1"), 1, 9)
+                    b.Send(np.arange(32, dtype="u1"), 1, 3)
+
+        with pytest.raises(ReadBeforeWaitError) as excinfo:
+            run_on_threads(2, body, timeout=30)
+        msg = str(excinfo.value)
+        assert "'Irecv'" in msg
+        assert "written between" in msg
+
+    def test_blocking_send_of_pinned_recv_buffer_raises(self):
+        def body(comm):
+            b = BindingsComm(comm)
+            buf = np.zeros(32, dtype="u1")
+            with sanitize(comm):
+                if comm.rank == 1:
+                    req = b.Irecv(buf, 0, 3)  # ombpy-lint: ignore[OMB002]
+                    b.Send(buf, 0, 9)  # ombpy-lint: ignore[OMB008]
+                    req.Wait()
+
+        with pytest.raises(ReadBeforeWaitError) as excinfo:
+            run_on_threads(2, body, timeout=30)
+        msg = str(excinfo.value)
+        assert "'Send'" in msg and "'Irecv'" in msg
+        assert "reads" in msg and "overlaps" in msg
+
+
+class TestOverlappingPins:
+    def test_overlapping_irecv_slices_raise(self):
+        def body(comm):
+            b = BindingsComm(comm)
+            buf = np.zeros(128, dtype="u1")
+            with sanitize(comm):
+                if comm.rank == 1:
+                    r1 = b.Irecv(buf[:64], 0, 1)  # ombpy-lint: ignore[OMB002]
+                    r2 = b.Irecv(buf[32:96], 0, 2)  # ombpy-lint: ignore[OMB002]
+                    r1.Wait()
+                    r2.Wait()
+
+        with pytest.raises(OverlappingPinError) as excinfo:
+            run_on_threads(2, body, timeout=30)
+        msg = str(excinfo.value)
+        # Both post sites and the address interval appear.
+        assert msg.count("test_analysis_race.py") == 2
+        assert "0x" in msg
+
+    def test_disjoint_slices_and_send_windows_clean(self):
+        def body(comm):
+            b = BindingsComm(comm)
+            sbuf = np.ones(32, dtype="u1")
+            rbuf = np.zeros(128, dtype="u1")
+            with sanitize(comm) as s:
+                if comm.rank == 0:
+                    # osu_bw shape: a window of sends of one buffer.
+                    reqs = [b.Isend(sbuf, 1, i) for i in range(4)]
+                    for req in reqs:
+                        req.wait()
+                else:
+                    reqs = [
+                        b.Irecv(rbuf[i * 32:(i + 1) * 32], 0, i)
+                        for i in range(4)
+                    ]
+                    for req in reqs:
+                        req.Wait()
+                return s.findings
+
+        assert run_on_threads(2, body, timeout=30) == [[], []]
+
+
+class TestCollectiveMutation:
+    def test_nonroot_bcast_buffer_mutated_midflight_raises(self):
+        shared = {}
+
+        def body(comm):
+            b = BindingsComm(comm)
+            buf = np.full(256, comm.rank, dtype="u1")
+            with sanitize(comm) as s:
+                if comm.rank == 1:
+                    # Publish this rank's buffer and clock, then enter the
+                    # collective; rank 0 mutates the buffer once the entry
+                    # snapshot is visibly taken, then joins as root.
+                    shared["buf"] = buf
+                    shared["baseline"] = s.clock.snapshot()[1]
+                    shared["clock"] = s.clock
+                    b.Bcast(buf, root=0)
+                else:
+                    deadline = time.monotonic() + 10
+                    while "clock" not in shared or (
+                        shared["clock"].snapshot()[1]
+                        <= shared["baseline"]
+                    ):
+                        if time.monotonic() > deadline:
+                            raise TimeoutError("peer never entered Bcast")
+                        time.sleep(0.002)
+                    shared["buf"][17] ^= 0xFF
+                    b.Bcast(buf, root=0)
+
+        with pytest.raises(CollectiveBufferError) as excinfo:
+            run_on_threads(2, body, timeout=30)
+        msg = str(excinfo.value)
+        assert "rank 1" in msg
+        assert "bcast(root=0)" in msg
+        assert "entry epoch" in msg
+
+    def test_clean_bcast_all_ranks_no_findings(self):
+        def body(comm):
+            b = BindingsComm(comm)
+            buf = (
+                np.arange(64, dtype="u1") if comm.rank == 0
+                else np.zeros(64, dtype="u1")
+            )
+            with sanitize(comm) as s:
+                b.Bcast(buf, root=0)
+                assert buf[63] == 63
+                return s.findings
+
+        results = run_on_threads(4, body, timeout=30)
+        assert all(f == [] for f in results)
+
+
+class TestPersistentRequests:
+    def test_persistent_send_buffer_mutated_raises(self):
+        def body(comm):
+            buf = bytearray(b"x" * 48)
+            with sanitize(comm):
+                if comm.rank == 0:
+                    preq = persistent.send_init(comm, buf, 1, 5)
+                    preq.Start()
+                    buf[0] = 0  # mutate while the instance is in flight
+                    preq.Wait()
+                else:
+                    comm.recv_bytes(0, 5, 48)
+
+        with pytest.raises(WriteAfterPostError, match="'Send_init'"):
+            run_on_threads(2, body, timeout=30)
+
+    def test_persistent_roundtrip_clean(self):
+        def body(comm):
+            buf = bytearray(48)
+            with sanitize(comm) as s:
+                if comm.rank == 0:
+                    preq = persistent.send_init(comm, b"y" * 48, 1, 5)
+                else:
+                    preq = persistent.recv_init(comm, buf, 0, 5)
+                for _ in range(3):
+                    preq.Start()
+                    preq.Wait()
+                if comm.rank == 1:
+                    assert bytes(buf) == b"y" * 48
+                return s.findings
+
+        assert run_on_threads(2, body, timeout=30) == [[], []]
+
+
+class TestLeakedPins:
+    def test_pending_pin_at_region_exit_is_warning_finding(self):
+        def body(comm):
+            b = BindingsComm(comm)
+            buf = np.zeros(16, dtype="u1")
+            with sanitize(comm) as s:
+                if comm.rank == 1:
+                    b.Irecv(buf, 0, 4)  # ombpy-lint: ignore[OMB002]
+                return s.findings
+
+        results = run_on_threads(2, body, timeout=30)
+        assert results[0] == []
+        assert [f.rule for f in results[1]] == ["OMB205"]
+        assert results[1][0].severity == "warning"
+        assert "'Irecv'" in results[1][0].message
+
+
+class TestCleanTraffic:
+    def test_ping_pong_zero_findings(self):
+        def body(comm):
+            b = BindingsComm(comm)
+            sbuf = np.ones(256, dtype="u1")
+            rbuf = np.zeros(256, dtype="u1")
+            peer = 1 - comm.rank
+            with sanitize(comm) as s:
+                for i in range(20):
+                    if comm.rank == 0:
+                        req = b.Isend(sbuf, peer, i)
+                        req.wait()
+                        b.Recv(rbuf, peer, i)
+                    else:
+                        b.Recv(rbuf, peer, i)
+                        req = b.Isend(sbuf, peer, i)
+                        req.wait()
+                return s.findings
+
+        assert run_on_threads(2, body, timeout=60) == [[], []]
+
+    def test_composes_with_verify(self):
+        from repro.analysis import verify
+
+        def body(comm):
+            b = BindingsComm(comm)
+            buf = np.zeros(64, dtype="u1")
+            with verify(comm, grace=0.1, op_timeout=5.0) as v:
+                with sanitize(comm) as s:
+                    if comm.rank == 0:
+                        b.Send(np.arange(64, dtype="u1"), 1, 2)
+                    else:
+                        b.Recv(buf, 0, 2)
+                    comm.barrier()
+                    return v.findings + s.findings
+
+        assert run_on_threads(2, body, timeout=30) == [[], []]
+
+
+class TestRunnerIntegration:
+    def test_sanitize_flag_runs_pt2pt_benchmark_clean(self):
+        from repro.core import Options, get_benchmark
+        from repro.core.runner import BenchContext
+
+        bench = get_benchmark("osu_latency")
+        opts = Options(
+            min_size=1, max_size=64, iterations=2, warmup=1, sanitize=True
+        )
+        tables = run_on_threads(
+            2, lambda c: bench.run(BenchContext(c, opts)), timeout=60
+        )
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    def test_sanitize_and_validate_collective_benchmark(self):
+        from repro.core import Options, get_benchmark
+        from repro.core.runner import BenchContext
+
+        bench = get_benchmark("osu_allreduce")
+        opts = Options(
+            min_size=4, max_size=64, iterations=2, warmup=1,
+            validate=True, sanitize=True,
+        )
+        tables = run_on_threads(
+            4, lambda c: bench.run(BenchContext(c, opts)), timeout=60
+        )
+        assert all(r.value > 0 for r in tables[0].rows)
+
+    def test_sanitize_bandwidth_window_clean(self):
+        # osu_bw posts whole windows of Isends of one source buffer —
+        # the canonical case OMB203 must not false-positive on.
+        from repro.core import Options, get_benchmark
+        from repro.core.runner import BenchContext
+
+        bench = get_benchmark("osu_bw")
+        opts = Options(
+            min_size=1, max_size=64, iterations=2, warmup=1, sanitize=True
+        )
+        tables = run_on_threads(
+            2, lambda c: bench.run(BenchContext(c, opts)), timeout=60
+        )
+        assert all(r.value > 0 for r in tables[0].rows)
+
+
+class TestResolveTargets:
+    def test_accepts_bindings_comm(self):
+        def body(comm):
+            b = BindingsComm(comm)
+            with sanitize(b) as s:
+                b.Barrier()
+                return s.findings
+
+        assert run_on_threads(2, body, timeout=30) == [[], []]
+
+    def test_rejects_non_communicator(self):
+        with pytest.raises(TypeError, match="cannot resolve"):
+            with sanitize(object()):
+                pass

@@ -1,0 +1,143 @@
+"""Property tests: wildcard receives match in MPI-conformant order.
+
+MPI's matching rule (MPI-4.1 §3.5): a receive matches the *earliest*
+message it satisfies, and messages between one (sender, receiver) pair
+are non-overtaking.  Hypothesis drives randomized delivery/post orders
+through :class:`repro.mpi.matching.MatchingEngine` and checks the
+outcome against the specification directly — complementing the stateful
+model test with properties phrased over whole schedules.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.matching import Envelope, MatchingEngine
+
+#: (source, tag) pools small enough to force collisions.
+envelopes = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2)),
+    min_size=1, max_size=12,
+)
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+
+def _deliver(engine, src, tag, payload):
+    engine.deliver(Envelope(0, src, 0, tag, len(payload)), payload)
+
+
+@given(msgs=envelopes)
+@SETTINGS
+def test_wildcard_recv_takes_earliest_unexpected(msgs):
+    """A wildcard receive posted after N deliveries matches message 0."""
+    engine = MatchingEngine()
+    for i, (src, tag) in enumerate(msgs):
+        _deliver(engine, src, tag, bytes([i]))
+    ticket = engine.post_recv(0, ANY_SOURCE, ANY_TAG, 1 << 16)
+    assert ticket.done()
+    assert ticket.wait(0.1) == bytes([0])
+    assert ticket.status.Get_source() == msgs[0][0]
+    assert ticket.status.Get_tag() == msgs[0][1]
+
+
+@given(msgs=envelopes)
+@SETTINGS
+def test_wildcard_drain_preserves_delivery_order(msgs):
+    """Draining with wildcard receives yields messages in delivery order."""
+    engine = MatchingEngine()
+    for i, (src, tag) in enumerate(msgs):
+        _deliver(engine, src, tag, bytes([i]))
+    for i in range(len(msgs)):
+        ticket = engine.post_recv(0, ANY_SOURCE, ANY_TAG, 1 << 16)
+        assert ticket.wait(0.1) == bytes([i])
+    assert engine.pending_unexpected() == 0
+
+
+@given(msgs=envelopes)
+@SETTINGS
+def test_posted_wildcards_complete_in_posting_order(msgs):
+    """With wildcard receives posted *first*, delivery i completes
+    posted receive i: the earliest satisfying post wins every match."""
+    engine = MatchingEngine()
+    tickets = [
+        engine.post_recv(0, ANY_SOURCE, ANY_TAG, 1 << 16)
+        for _ in msgs
+    ]
+    for i, (src, tag) in enumerate(msgs):
+        _deliver(engine, src, tag, bytes([i]))
+        assert tickets[i].done(), (
+            "delivery must complete the earliest pending wildcard post"
+        )
+        assert tickets[i].wait(0.1) == bytes([i])
+        assert not any(t.done() for t in tickets[i + 1:])
+
+
+@given(msgs=envelopes, source=st.integers(0, 2), tag=st.integers(0, 2))
+@SETTINGS
+def test_specific_recv_takes_earliest_satisfying(msgs, source, tag):
+    """A (source, tag)-specific receive matches the earliest message
+    with that envelope, skipping non-matching earlier traffic."""
+    engine = MatchingEngine()
+    for i, (src, t) in enumerate(msgs):
+        _deliver(engine, src, t, bytes([i]))
+    ticket = engine.post_recv(0, source, tag, 1 << 16)
+    expected = next(
+        (i for i, (src, t) in enumerate(msgs)
+         if src == source and t == tag),
+        None,
+    )
+    if expected is None:
+        assert not ticket.done()
+        assert engine.cancel_recv(ticket)
+    else:
+        assert ticket.wait(0.1) == bytes([expected])
+
+
+@given(
+    msgs=envelopes,
+    pattern=st.tuples(
+        st.one_of(st.just(ANY_SOURCE), st.integers(0, 2)),
+        st.one_of(st.just(ANY_TAG), st.integers(0, 2)),
+    ),
+)
+@SETTINGS
+def test_post_then_deliver_agrees_with_deliver_then_post(msgs, pattern):
+    """Matching is schedule-independent for a single receive: posting
+    before all deliveries and after all deliveries select the same
+    message (MPI's ordering rule has one legal outcome here)."""
+    source, tag = pattern
+
+    early = MatchingEngine()
+    early_ticket = early.post_recv(0, source, tag, 1 << 16)
+    for i, (src, t) in enumerate(msgs):
+        _deliver(early, src, t, bytes([i]))
+
+    late = MatchingEngine()
+    for i, (src, t) in enumerate(msgs):
+        _deliver(late, src, t, bytes([i]))
+    late_ticket = late.post_recv(0, source, tag, 1 << 16)
+
+    assert early_ticket.done() == late_ticket.done()
+    if early_ticket.done():
+        assert early_ticket.wait(0.1) == late_ticket.wait(0.1)
+
+
+@given(msgs=envelopes)
+@SETTINGS
+def test_per_sender_nonovertaking(msgs):
+    """Messages from one sender arrive at wildcard receives in the order
+    that sender delivered them (non-overtaking, MPI-4.1 §3.5)."""
+    engine = MatchingEngine()
+    for i, (src, tag) in enumerate(msgs):
+        _deliver(engine, src, tag, bytes([i]))
+    got: dict[int, list[int]] = {}
+    for _ in msgs:
+        ticket = engine.post_recv(0, ANY_SOURCE, ANY_TAG, 1 << 16)
+        payload = ticket.wait(0.1)
+        got.setdefault(ticket.status.Get_source(), []).append(payload[0])
+    for src, indices in got.items():
+        sent = [i for i, (s, _t) in enumerate(msgs) if s == src]
+        assert indices == sent
