@@ -269,6 +269,19 @@ class Verifier:
         """Record this rank's failure so blocked peers fail fast."""
         self.shared.mark_failed(self.rank, repr(exc))
 
+    def on_rank_failed(self, rank: int, reason: str) -> None:
+        """The failure detector declared a *peer* rank dead.
+
+        Called from the detector thread; must never raise — it sits on
+        the path that unblocks every pending receive.
+        """
+        self.shared.mark_failed(rank, reason)
+        self.findings.append(Finding(
+            rule="OMB103", severity="error", path=f"rank {self.rank}",
+            line=0, col=0,
+            message=f"peer rank {rank} declared failed: {reason}",
+        ))
+
     def finish(self) -> None:
         """Finalize checks: nothing may still be pending on this rank."""
         leaks = []

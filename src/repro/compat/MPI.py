@@ -21,6 +21,9 @@ from ..core.timing import Wtime  # noqa: F401  (re-export)
 from ..mpi import constants as _c
 from ..mpi import datatypes as _dt
 from ..mpi import ops as _ops
+from ..mpi.exceptions import ERR_PROC_FAILED  # noqa: F401  (re-export)
+from ..mpi.exceptions import MPIError as Exception  # noqa: F401, A001, N812
+from ..mpi.exceptions import RankFailedError  # noqa: F401  (re-export)
 from ..mpi.status import Status  # noqa: F401  (re-export)
 
 # -- constants ---------------------------------------------------------------

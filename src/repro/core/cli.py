@@ -46,6 +46,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-host on N ranks-as-threads instead of the launcher",
     )
     parser.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="with --threads: run the sweep under the deterministic "
+        "fault injector using this FaultPlan (see docs/resilience.md); "
+        "for process runs pass the flag to ombpy-run instead",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="with --threads: shorthand for the default survivable "
+        "chaos mix (message delays + slow-rank stalls) derived from "
+        "SEED",
+    )
+    parser.add_argument(
         "--output", default=None, metavar="FILE",
         help="also write the result table to FILE (.csv or .json by "
         "extension)",
@@ -163,14 +175,34 @@ def main(argv: list[str] | None = None) -> int:
     if args.simulate is not None:
         return _simulate(args, options)
 
+    fault_plan = None
+    if args.faults is not None or args.fault_seed is not None:
+        from ..faults import FaultPlan
+
+        if args.threads is None:
+            print(
+                "ombpy: --faults/--fault-seed apply to --threads runs; "
+                "for process runs use ombpy-run --faults/--fault-seed",
+                file=sys.stderr,
+            )
+            return 2
+        fault_plan = (
+            FaultPlan.from_file(args.faults) if args.faults is not None
+            else FaultPlan.chaos(args.fault_seed)
+        )
+
     if args.threads is not None:
         tables = run_on_threads(
-            args.threads, lambda comm: bench.run(BenchContext(comm, options))
+            args.threads,
+            lambda comm: bench.run(BenchContext(comm, options)),
+            fault_plan=fault_plan,
         )
         print_table(tables[0], options.full_stats)
         if args.output:
             _write_output(tables[0], args.output, options.full_stats)
         return 0
+
+    from ..mpi.exceptions import RANK_FAILED_EXIT, RankFailedError
 
     world = runtime_init()
     try:
@@ -179,6 +211,12 @@ def main(argv: list[str] | None = None) -> int:
             print_table(table, options.full_stats)
             if args.output:
                 _write_output(table, args.output, options.full_stats)
+    except RankFailedError as exc:
+        # A peer died mid-run.  Exit with the dedicated cascade code so
+        # the launcher attributes the job failure to the dead rank, not
+        # to this survivor.
+        print(f"ombpy: rank {world.rank}: {exc}", file=sys.stderr)
+        return RANK_FAILED_EXIT
     finally:
         world.finalize()
     return 0

@@ -1,0 +1,155 @@
+"""Fault plans: seeded, serializable chaos schedules.
+
+A :class:`FaultPlan` is pure data — a seed plus per-fault probabilities
+and one optional scheduled crash.  The injector derives every decision
+from ``random.Random(f"{seed}:{rank}")`` with a *fixed number of draws
+per send operation*, so the injected-event schedule is a deterministic
+function of (plan, rank, send sequence): re-running a job with the same
+plan reproduces the identical event log.
+
+JSON round-trips via :meth:`FaultPlan.to_json` / :meth:`from_json`::
+
+    {
+      "seed": 42,
+      "drop": 0.02,
+      "duplicate": 0.01,
+      "delay": 0.02,
+      "delay_hold": 3,
+      "truncate": 0.0,
+      "stall": 0.0,
+      "stall_ms": 1.0,
+      "crash": {"rank": 1, "at_op": 40, "exit_code": 7, "mode": "exit"}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, replace
+
+_RATE_FIELDS = ("drop", "duplicate", "delay", "truncate", "stall")
+
+#: Rates used by ``FaultPlan.chaos`` / a bare ``--fault-seed`` run.
+#: Deliberately *survivable*: delays and slow-rank stalls perturb timing
+#: and ordering but never lose or duplicate a message, so any benchmark
+#: still completes with correct results under the default mix.  Message
+#: loss (``drop``), duplication, truncation, and crashes violate MPI's
+#: delivery guarantees — a workload that needs every message will hang
+#: or fail under them, which is the point — so they are explicit
+#: opt-ins via a plan file or ``chaos(seed, drop=...)`` overrides.
+CHAOS_DEFAULTS = {"drop": 0.0, "duplicate": 0.0, "delay": 0.05,
+                  "stall": 0.02, "stall_ms": 2.0}
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One scheduled rank crash.
+
+    ``mode`` is ``"exit"`` (hard ``os._exit`` — process transports) or
+    ``"raise"`` (raise :class:`~repro.faults.injector.InjectedCrash` in
+    the sending thread — the threads transport, where exiting the
+    process would take the test harness down with it).
+    """
+
+    rank: int
+    at_op: int
+    exit_code: int = 1
+    mode: str = "exit"
+
+    def __post_init__(self) -> None:
+        if self.rank < 0 or self.at_op < 0:
+            raise ValueError("crash rank and at_op must be >= 0")
+        if self.mode not in ("exit", "raise"):
+            raise ValueError(f"crash mode must be 'exit' or 'raise', "
+                             f"got {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic fault-injection schedule."""
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_hold: int = 3      # send ops a delayed message is held for
+    truncate: float = 0.0
+    stall: float = 0.0
+    stall_ms: float = 1.0    # slow-rank stall per triggered send
+    crash: CrashSpec | None = None
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+        if self.delay_hold < 1:
+            raise ValueError("delay_hold must be >= 1")
+        if self.stall_ms < 0:
+            raise ValueError("stall_ms must be >= 0")
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def chaos(cls, seed: int, **overrides) -> "FaultPlan":
+        """The default survivable chaos mix (delays + stalls) for a seed.
+
+        Destructive faults are opt-in: ``chaos(seed, drop=0.02)``.
+        """
+        kwargs = dict(CHAOS_DEFAULTS)
+        kwargs.update(overrides)
+        return cls(seed=seed, **kwargs)
+
+    def with_(self, **kw) -> "FaultPlan":
+        """Functional update."""
+        return replace(self, **kw)
+
+    # -- (de)serialization ------------------------------------------------
+    def to_json(self) -> str:
+        data = asdict(self)
+        if self.crash is None:
+            del data["crash"]
+        return json.dumps(data, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("fault plan must be a JSON object")
+        crash = data.pop("crash", None)
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan field(s): {sorted(unknown)}"
+            )
+        plan = cls(**data)
+        if crash is not None:
+            plan = replace(plan, crash=CrashSpec(**crash))
+        return plan
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    # -- determinism ------------------------------------------------------
+    def rng_for(self, world_rank: int) -> random.Random:
+        """The per-rank decision stream: seeded by (plan seed, rank)."""
+        return random.Random(f"{self.seed}:{world_rank}")
+
+    def crashes(self, world_rank: int) -> CrashSpec | None:
+        """This rank's scheduled crash, if any."""
+        if self.crash is not None and self.crash.rank == world_rank:
+            return self.crash
+        return None
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan injects anything at all."""
+        return self.crash is not None or any(
+            getattr(self, f) > 0 for f in _RATE_FIELDS
+        )

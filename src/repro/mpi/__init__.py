@@ -10,7 +10,7 @@ transport for real multi-process runs, and an ``ombpy-run`` launcher.
 
 from . import constants, datatypes, ops
 from .comm import Comm, Endpoint
-from .exceptions import MPIError
+from .exceptions import MPIError, RankFailedError
 from .group import Group
 from .request import Request, testall, waitall, waitany
 from .status import Status
@@ -28,6 +28,7 @@ __all__ = [
     "Endpoint",
     "Group",
     "MPIError",
+    "RankFailedError",
     "Request",
     "Status",
     "World",

@@ -130,6 +130,9 @@ class Comm:
             )
         if not C.is_valid_user_tag(tag) and tag < C.INTERNAL_TAG_BASE:
             raise TagError(f"invalid send tag {tag}")
+        # Fail fast once a peer has been declared dead: the job cannot
+        # complete, so don't queue more traffic toward it.
+        self._endpoint.engine.check_failure()
         env = Envelope(self._context, self._rank, dest, tag, len(payload))
         self._endpoint.transport.send(self._world_rank(dest), env, payload)
         return SendRequest(dest, tag, len(payload))

@@ -27,6 +27,14 @@ ERR_OTHER = 16
 ERR_INTERN = 17
 ERR_PENDING = 18
 ERR_IN_STATUS = 19
+ERR_PROC_FAILED = 20  # ULFM's MPI_ERR_PROC_FAILED
+
+#: Process exit code used by ``ombpy`` when a rank dies *because a peer
+#: failed* (uncaught :class:`RankFailedError`).  The launcher treats this
+#: code as a cascade casualty, not a root cause: when several ranks go
+#: down together, job-failure attribution prefers a rank that exited
+#: with any other code.
+RANK_FAILED_EXIT = 20
 
 
 class MPIError(Exception):
@@ -131,3 +139,29 @@ class InternalError(MPIError):
 
     def __init__(self, message: str) -> None:
         super().__init__(message, ERR_INTERN)
+
+
+class RankFailedError(MPIError):
+    """A peer rank died (process exit, connection reset, heartbeat loss).
+
+    Raised promptly from any blocking receive/wait/collective the survivor
+    is parked in once the failure detector declares the peer dead — the
+    fail-fast alternative to hanging until the launcher's global timeout.
+
+    Attributes
+    ----------
+    rank:
+        World rank of the failed peer (``-1`` if unknown).
+    wait_state:
+        Snapshot of this rank's matching-engine state (posted receives,
+        queued unexpected messages) at detection time, for diagnosis.
+    """
+
+    def __init__(
+        self, message: str, rank: int = -1, wait_state: str | None = None
+    ) -> None:
+        if wait_state:
+            message = f"{message} [wait-state: {wait_state}]"
+        super().__init__(message, ERR_PROC_FAILED)
+        self.rank = rank
+        self.wait_state = wait_state

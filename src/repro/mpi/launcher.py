@@ -2,13 +2,27 @@
 
 Spawns N copies of a Python program as OS processes, coordinates the TCP
 rendezvous (each child reports its listening port; the launcher broadcasts
-the full rank->port map), then waits for all children and propagates the
-first non-zero exit code.
+the full rank->port map), then *supervises* all ranks concurrently:
+
+* the first non-zero exit triggers fail-fast — survivors get a short
+  grace period (long enough for their failure detectors to raise
+  ``RankFailedError`` and exit on their own), then are terminated;
+* SIGINT/SIGTERM are propagated to every child rank;
+* every child is reaped, and UDS socket dirs / SHM segments are cleaned
+  up even when ranks were killed;
+* on failure, per-rank exit codes and the first-failing rank are
+  reported on stderr.
+
+Chaos testing: ``--faults plan.json`` or ``--fault-seed N`` arms the
+deterministic fault injector (:mod:`repro.faults`) inside every rank;
+``--fault-log PATH`` makes each rank write its injected-event log to
+``PATH.rank<r>`` so a failure can be replayed from its seed.
 
 Usage::
 
     ombpy-run -n 4 python script.py [args...]
     ombpy-run -n 4 script.py        # 'python' is implied for .py files
+    ombpy-run -n 2 --fault-seed 42 ombpy osu_latency
 """
 
 from __future__ import annotations
@@ -16,12 +30,25 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import socket
 import subprocess
 import sys
 import threading
+import time
 
-from .world import ENV_COORD, ENV_JOB, ENV_RANK, ENV_SIZE, ENV_TRANSPORT
+from .exceptions import RANK_FAILED_EXIT
+from .world import (
+    ENV_COORD, ENV_FAULT_LOG, ENV_FAULT_SEED, ENV_FAULTS, ENV_JOB, ENV_RANK,
+    ENV_SIZE, ENV_TRANSPORT,
+)
+
+#: Seconds between fail-fast trigger and forcible survivor termination —
+#: enough for survivors' failure detectors (EOF-based, sub-second) to
+#: raise RankFailedError and exit with their own diagnostics.
+DEFAULT_FAILFAST_GRACE = 8.0
+
+_POLL_INTERVAL = 0.05
 
 
 def _coordinate(server: socket.socket, n: int, timeout: float) -> None:
@@ -45,9 +72,119 @@ def _coordinate(server: socket.socket, n: int, timeout: float) -> None:
         payload = (json.dumps(port_map) + "\n").encode()
         for _rank, conn in conns:
             conn.sendall(payload)
+    except OSError:
+        # A dead child aborts the rendezvous; the supervisor notices the
+        # child's exit and fail-fasts — don't let this thread die loudly.
+        pass
     finally:
         for _rank, conn in conns:
             conn.close()
+
+
+def _normalize_exit(rc: int) -> int:
+    """Map a Popen returncode to a shell-style exit code (signals -> 128+N)."""
+    return rc if rc >= 0 else 128 - rc
+
+
+def _kill_all(procs: list[subprocess.Popen]) -> None:
+    """Terminate, then kill, then reap every still-running child."""
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+    deadline = time.monotonic() + 2.0
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                try:
+                    proc.kill()
+                except OSError:
+                    pass
+    for proc in procs:  # reap: no zombies left behind
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                pass
+
+
+def _supervise(
+    procs: list[subprocess.Popen],
+    timeout: float,
+    grace: float,
+    interrupted: threading.Event,
+) -> tuple[list[int | None], tuple[int, int] | None]:
+    """Poll all ranks concurrently; fail-fast on the first non-zero exit.
+
+    Returns (per-rank exit codes, first failure as ``(rank, code)`` or
+    None).  Raises ``subprocess.TimeoutExpired`` if the whole job exceeds
+    ``timeout`` (children are killed first).
+    """
+    n = len(procs)
+    start = time.monotonic()
+    exit_codes: list[int | None] = [None] * n
+    failures: list[tuple[int, int]] = []  # observed order, pre-termination
+    late: list[tuple[int, int]] = []  # observed after we killed survivors
+    kill_at: float | None = None
+    forced = False
+
+    while any(code is None for code in exit_codes):
+        now = time.monotonic()
+        for rank, proc in enumerate(procs):
+            if exit_codes[rank] is None:
+                rc = proc.poll()
+                if rc is not None:
+                    exit_codes[rank] = rc
+                    if rc != 0:
+                        failures.append((rank, rc))
+                        if kill_at is None:
+                            kill_at = now + grace
+        if interrupted.is_set():
+            _kill_all(procs)
+            forced = True
+            break
+        if kill_at is not None and now >= kill_at:
+            _kill_all(procs)
+            forced = True
+            break
+        if now - start >= timeout:
+            _kill_all(procs)
+            raise subprocess.TimeoutExpired(
+                cmd=procs[0].args, timeout=timeout
+            )
+        time.sleep(_POLL_INTERVAL)
+
+    for rank, proc in enumerate(procs):
+        if exit_codes[rank] is None:
+            exit_codes[rank] = proc.poll()
+            if exit_codes[rank] is None:
+                exit_codes[rank] = proc.wait()
+        rc = exit_codes[rank]
+        if rc not in (0, None) and (rank, rc) not in failures:
+            (late if forced else failures).append((rank, rc))
+    return exit_codes, _attribute_failure(failures) or _attribute_failure(late)
+
+
+def _attribute_failure(
+    failures: list[tuple[int, int]],
+) -> tuple[int, int] | None:
+    """Pick the root-cause failure from exit codes in observed order.
+
+    When one rank crashes, its survivors die moments later of
+    ``RankFailedError`` (exit code :data:`RANK_FAILED_EXIT`) — often
+    inside the same poll interval, where observation order is just rank
+    order.  Those cascade casualties never outrank a failure with any
+    other code, so the job is attributed to the rank that actually
+    crashed.
+    """
+    for rank, rc in failures:
+        if rc != RANK_FAILED_EXIT:
+            return (rank, rc)
+    return failures[0] if failures else None
 
 
 def launch(
@@ -56,12 +193,23 @@ def launch(
     timeout: float = 300.0,
     env_extra: dict[str, str] | None = None,
     transport: str = "tcp",
+    faults: str | None = None,
+    fault_seed: int | None = None,
+    fault_log: str | None = None,
+    failfast_grace: float = DEFAULT_FAILFAST_GRACE,
 ) -> int:
     """Run ``command`` as ``n`` coordinated rank processes.
 
     ``transport`` selects the inter-process fabric: ``"tcp"`` (localhost
-    mesh with a port-map rendezvous) or ``"uds"`` (Unix-domain-socket
-    mesh, path-addressed by rank — no rendezvous needed).
+    mesh with a port-map rendezvous), ``"uds"`` (Unix-domain-socket
+    mesh), or ``"shm"`` (shared-memory rings).
+
+    ``faults``/``fault_seed``/``fault_log`` arm the deterministic fault
+    injector in every rank (see :mod:`repro.faults`).  On any rank's
+    non-zero exit the launcher fail-fasts: survivors get
+    ``failfast_grace`` seconds to raise ``RankFailedError`` and exit
+    with their own diagnostics, then are terminated; the returned exit
+    code is the *first* failing rank's.
     """
     if n < 1:
         raise ValueError(f"process count must be >= 1, got {n}")
@@ -76,6 +224,12 @@ def launch(
     server = None
     shm_segments = None
     coord_env: dict[str, str] = {ENV_TRANSPORT: transport}
+    if faults is not None:
+        coord_env[ENV_FAULTS] = os.path.abspath(faults)
+    elif fault_seed is not None:
+        coord_env[ENV_FAULT_SEED] = str(fault_seed)
+    if fault_log is not None:
+        coord_env[ENV_FAULT_LOG] = os.path.abspath(fault_log)
     if transport == "tcp":
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -97,6 +251,26 @@ def launch(
             )
 
     procs: list[subprocess.Popen] = []
+    interrupted = threading.Event()
+    old_handlers: dict[int, object] = {}
+
+    def _forward_signal(signum, _frame):
+        interrupted.set()
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.send_signal(signum)
+                except OSError:
+                    pass
+
+    # Propagate SIGINT/SIGTERM to child ranks; only possible from the
+    # main thread (tests may call launch() from workers — skip there).
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            old_handlers[signum] = signal.signal(signum, _forward_signal)
+    except ValueError:
+        old_handlers = {}
+
     try:
         for rank in range(n):
             env = os.environ.copy()
@@ -106,17 +280,35 @@ def launch(
             if env_extra:
                 env.update(env_extra)
             procs.append(subprocess.Popen(command, env=env))
-        exit_code = 0
-        for rank, proc in enumerate(procs):
-            rc = proc.wait(timeout=timeout)
-            if rc != 0 and exit_code == 0:
-                exit_code = rc
-        return exit_code
-    except subprocess.TimeoutExpired:
-        for proc in procs:
-            proc.kill()
-        raise
+
+        exit_codes, first_failure = _supervise(
+            procs, timeout, failfast_grace, interrupted
+        )
+        if interrupted.is_set():
+            return 130
+        if first_failure is None:
+            return 0
+        rank, rc = first_failure
+        codes = [
+            "?" if c is None else str(c) for c in exit_codes
+        ]
+        print(
+            f"ombpy-run: rank {rank} failed first with code "
+            f"{_normalize_exit(rc)}; per-rank exit codes: "
+            f"[{', '.join(codes)}] (negative = killed by signal, "
+            f"{RANK_FAILED_EXIT} = peer-failure cascade)",
+            file=sys.stderr,
+        )
+        return _normalize_exit(rc)
     finally:
+        # Whatever happened above (timeout, interrupt, exception), leave
+        # no child process, socket dir, or SHM segment behind.
+        _kill_all(procs)
+        for signum, handler in old_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
         if coordinator is not None:
             coordinator.join(timeout=5)
         if server is not None:
@@ -152,13 +344,43 @@ def main(argv: list[str] | None = None) -> int:
         "sockets, or shared-memory rings",
     )
     parser.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="run every rank under the deterministic fault injector "
+        "with this FaultPlan (see docs/resilience.md)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="shorthand: inject the default survivable chaos mix "
+        "(message delays + slow-rank stalls) derived from SEED",
+    )
+    parser.add_argument(
+        "--fault-log", default=None, metavar="PATH",
+        help="each rank writes its injected-event log to PATH.rank<r> "
+        "(identical across same-seed replays)",
+    )
+    parser.add_argument(
+        "--failfast-grace", type=float, default=DEFAULT_FAILFAST_GRACE,
+        help="seconds survivors get to exit on their own after the "
+        "first rank failure, before being terminated",
+    )
+    parser.add_argument(
         "command", nargs=argparse.REMAINDER,
         help="program and its arguments",
     )
     args = parser.parse_args(argv)
     try:
-        return launch(args.n, args.command, timeout=args.timeout,
-                      transport=args.transport)
+        return launch(
+            args.n, args.command, timeout=args.timeout,
+            transport=args.transport, faults=args.faults,
+            fault_seed=args.fault_seed, fault_log=args.fault_log,
+            failfast_grace=args.failfast_grace,
+        )
+    except subprocess.TimeoutExpired:
+        print(
+            f"ombpy-run: job exceeded the {args.timeout}s timeout; "
+            "all ranks killed", file=sys.stderr,
+        )
+        return 124
     except Exception as exc:  # noqa: BLE001 - CLI boundary
         print(f"ombpy-run: {exc}", file=sys.stderr)
         return 1

@@ -96,6 +96,17 @@ class RecvTicket:
         self.status.cancelled = True
         self._event.set()
 
+    def fail(self, error: Exception) -> None:
+        """Complete the ticket with an error and wake the waiter."""
+        self.error = error
+        self._event.set()
+
+    def describe(self) -> str:
+        """One-line wait-state description (for failure diagnostics)."""
+        src = "ANY_SOURCE" if self.source == ANY_SOURCE else self.source
+        tag = "ANY_TAG" if self.tag == ANY_TAG else self.tag
+        return f"recv(source={src}, tag={tag}, context={self.context:#x})"
+
     def done(self) -> bool:
         return self._event.is_set()
 
@@ -130,6 +141,11 @@ class MatchingEngine:
         self._order = itertools.count()
         # Probe waiters: condition signalled on every delivery.
         self._delivered = threading.Condition(self._lock)
+        # Sticky endpoint failure (e.g. a peer rank died).  Once set, every
+        # pending and future receive completes with this error: with a rank
+        # gone the job cannot make progress, so fail fast everywhere rather
+        # than hang survivors until the global timeout.
+        self._failure: Exception | None = None
 
     # -- receiver side ---------------------------------------------------
     def post_recv(
@@ -145,6 +161,9 @@ class MatchingEngine:
                     del self._unexpected[i]
                     ticket.complete(um.envelope, um.payload)
                     return ticket
+            if self._failure is not None:
+                ticket.fail(self._failure)
+                return ticket
             self._posted.append(ticket)
             return ticket
 
@@ -174,6 +193,49 @@ class MatchingEngine:
                 _Unexpected(env, payload, next(self._order))
             )
             self._delivered.notify_all()
+
+    # -- failure propagation ----------------------------------------------
+    def set_failure(self, error: Exception) -> None:
+        """Fail every pending and future receive with ``error``.
+
+        Called by the failure detector (or a transport read loop) when a
+        peer rank is declared dead.  Blocked waiters — point-to-point
+        receives, collective-internal receives, probes — wake immediately
+        and raise instead of waiting out their timeouts.
+        """
+        with self._lock:
+            if self._failure is not None:
+                return
+            self._failure = error
+            posted, self._posted = self._posted, []
+            for ticket in posted:
+                ticket.fail(error)
+            self._delivered.notify_all()
+
+    def failure(self) -> Exception | None:
+        """The sticky endpoint failure, if one was recorded."""
+        with self._lock:
+            return self._failure
+
+    def check_failure(self) -> None:
+        """Raise the recorded endpoint failure, if any."""
+        failure = self.failure()
+        if failure is not None:
+            raise failure
+
+    def describe_pending(self) -> str:
+        """Snapshot of the wait-state for failure diagnostics."""
+        with self._lock:
+            posted = [t.describe() for t in self._posted]
+            unexpected = len(self._unexpected)
+        if not posted and not unexpected:
+            return "no pending operations"
+        parts = []
+        if posted:
+            parts.append(f"{len(posted)} posted: " + "; ".join(posted))
+        if unexpected:
+            parts.append(f"{unexpected} unexpected message(s) queued")
+        return ", ".join(parts)
 
     # -- probing ---------------------------------------------------------
     def iprobe(
@@ -208,6 +270,8 @@ class MatchingEngine:
                             um.envelope.nbytes,
                         )
                         return st
+                if self._failure is not None:
+                    raise self._failure
                 if not self._delivered.wait(timeout):
                     raise TimeoutError(
                         f"probe (source={source}, tag={tag}) timed out"

@@ -9,6 +9,13 @@ contract every implementation must honour:
 * **reliability** — no drops, no duplicates (we run over threads or local
   TCP, both reliable);
 * **thread safety** — ``send`` may be called from multiple threads.
+
+Besides application frames, transports carry a tiny *control plane* on the
+same channels: frames whose envelope context is :data:`CONTROL_CONTEXT`
+never reach the matching engine — :meth:`Transport._deliver_local` routes
+them to the attached :class:`~repro.mpi.resilience.FailureDetector`
+instead.  Control frames are heartbeats (peer liveness) and goodbyes
+(clean departure, so a following EOF is not misread as a crash).
 """
 
 from __future__ import annotations
@@ -23,6 +30,19 @@ from ..matching import Envelope, MatchingEngine
 # shifting the parent id left 16 bits per derivation level.
 _HEADER = struct.Struct("<qiiqq")
 HEADER_SIZE = _HEADER.size
+
+#: Reserved (negative) context id marking control-plane frames.  User
+#: communicator contexts are always >= 0, so no collision is possible.
+CONTROL_CONTEXT = -1
+
+#: Control frame kinds, carried in the envelope tag.
+CTRL_HEARTBEAT = 0
+CTRL_GOODBYE = 1
+
+
+def control_envelope(kind: int, source: int, dest: int) -> Envelope:
+    """Build the envelope for a zero-payload control frame."""
+    return Envelope(CONTROL_CONTEXT, source, dest, kind, 0)
 
 
 def pack_header(env: Envelope) -> bytes:
@@ -45,15 +65,49 @@ class Transport(ABC):
         # The endpoint's matching engine; assigned by the world bootstrap
         # before any traffic flows.
         self.engine: MatchingEngine | None = None
+        # Optional failure detector (repro.mpi.resilience); duck-typed so
+        # transports stay importable without the resilience module.
+        self.detector = None
 
     def attach(self, engine: MatchingEngine) -> None:
         """Bind the matching engine that receives delivered messages."""
         self.engine = engine
 
     def _deliver_local(self, env: Envelope, payload: bytes) -> None:
-        """Deliver into the local matching engine (self-sends, loopback)."""
+        """Deliver into the local matching engine (self-sends, loopback).
+
+        Control-plane frames are diverted to the failure detector (and
+        silently dropped when none is attached).
+        """
+        if env.context == CONTROL_CONTEXT:
+            detector = self.detector
+            if detector is not None:
+                detector.on_control(env)
+            return
         assert self.engine is not None, "transport used before attach()"
         self.engine.deliver(env, payload)
+
+    # -- resilience hooks -------------------------------------------------
+    def send_control(self, dest_world_rank: int, kind: int) -> None:
+        """Best-effort send of a zero-payload control frame.
+
+        Never raises: a peer that cannot be reached is reported to the
+        detector (heartbeat case) or simply skipped (teardown case).
+        """
+        env = control_envelope(kind, self.world_rank, dest_world_rank)
+        try:
+            self.send(dest_world_rank, env, b"")
+        except Exception as exc:  # noqa: BLE001 - liveness probe
+            if kind == CTRL_HEARTBEAT:
+                self.report_peer_lost(
+                    dest_world_rank, f"heartbeat send failed: {exc!r}"
+                )
+
+    def report_peer_lost(self, peer_world_rank: int, reason: str) -> None:
+        """A data-path thread observed a dead peer (EOF, ECONNRESET...)."""
+        detector = self.detector
+        if detector is not None:
+            detector.on_peer_lost(peer_world_rank, reason)
 
     @abstractmethod
     def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:

@@ -53,7 +53,9 @@ class InprocFabric:
             raise InternalError(
                 f"destination rank {dest} has no attached endpoint"
             )
-        t.engine.deliver(env, payload)
+        # Route through _deliver_local (not engine.deliver) so control
+        # frames are intercepted uniformly across transports.
+        t._deliver_local(env, payload)
 
     def close(self) -> None:
         self._closed = True

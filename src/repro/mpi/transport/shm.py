@@ -26,7 +26,10 @@ from multiprocessing import shared_memory
 
 from ..exceptions import InternalError, RankError
 from ..matching import Envelope
-from .base import HEADER_SIZE, Transport, pack_header, unpack_header
+from .base import (
+    CTRL_GOODBYE, HEADER_SIZE, Transport, control_envelope, pack_header,
+    unpack_header,
+)
 
 _CTRL = struct.Struct("<QQ")
 CTRL_SIZE = _CTRL.size
@@ -98,6 +101,25 @@ class _Ring:
         if first < n:
             self._buf[CTRL_SIZE:CTRL_SIZE + n - first] = frame[first:]
         self._store_tail(tail + n)
+
+    def try_write(self, frame: bytes) -> bool:
+        """Non-blocking write; False if the ring lacks space right now.
+
+        Used for control frames (heartbeats): blocking on a full ring
+        whose reader is dead would wedge the failure-detector thread —
+        the very thread meant to notice that death.
+        """
+        n = len(frame)
+        head, tail = self._load()
+        if self.capacity - (tail - head) <= n:
+            return False
+        pos = tail % self.capacity
+        first = min(n, self.capacity - pos)
+        self._buf[CTRL_SIZE + pos:CTRL_SIZE + pos + first] = frame[:first]
+        if first < n:
+            self._buf[CTRL_SIZE:CTRL_SIZE + n - first] = frame[first:]
+        self._store_tail(tail + n)
+        return True
 
     # -- consumer -----------------------------------------------------------
     def read_available(self) -> bytes:
@@ -220,9 +242,25 @@ class ShmTransport(Transport):
             for off in range(0, len(frame), limit) or [0]:
                 ring.write(frame[off:off + limit], self._closed)
 
+    def send_control(self, dest_world_rank: int, kind: int) -> None:
+        """Control frames use a non-blocking ring write.
+
+        There is no EOF on shared memory, so heartbeats are the *only*
+        liveness signal here; a full ring (reader slow or dead) simply
+        skips this beat rather than blocking the detector thread.
+        """
+        ring = self._out.get(dest_world_rank)
+        if ring is None or self._closed.is_set():
+            return
+        env = control_envelope(kind, self.world_rank, dest_world_rank)
+        with self._write_locks[dest_world_rank]:
+            ring.try_write(pack_header(env))
+
     def close(self) -> None:
         if self._closed.is_set():
             return
+        for peer in list(self._out):
+            self.send_control(peer, CTRL_GOODBYE)
         self._closed.set()
         for t in self._readers:
             t.join(timeout=2)

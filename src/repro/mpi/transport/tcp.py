@@ -6,20 +6,46 @@ each ordered pair of ranks shares exactly one TCP connection.  One reader
 thread per peer connection parses frames and delivers them into the local
 matching engine.  TCP's in-order delivery per connection provides the
 per-sender ordering the matching engine requires.
+
+Resilience: mesh dialing retries refused/timed-out connects with capped
+exponential backoff (a peer may not have reached ``listen`` yet); the
+accept loop survives half-open handshakes from peers that die mid-HELLO;
+and once the mesh is up, an unexpected EOF / ``ECONNRESET`` on a peer
+connection is reported to the attached failure detector instead of being
+silently swallowed.
 """
 
 from __future__ import annotations
 
+import errno
+import logging
+import random
 import socket
 import struct
 import threading
+import time
 
-from ..exceptions import InternalError, RankError
+from ..exceptions import InternalError, RankError, RankFailedError
 from ..matching import Envelope
-from .base import HEADER_SIZE, Transport, pack_header, unpack_header
+from .base import (
+    CTRL_GOODBYE, HEADER_SIZE, Transport, pack_header, unpack_header,
+)
+
+logger = logging.getLogger(__name__)
 
 # Connection preamble: the connecting side announces its world rank.
 _HELLO = struct.Struct("<i")
+
+# Dial-retry backoff (mesh establishment).
+_DIAL_INITIAL_BACKOFF = 0.02
+_DIAL_MAX_BACKOFF = 1.0
+
+#: Transient connect errnos worth retrying during mesh establishment: the
+#: peer's listener may simply not be up yet (startup race).
+_RETRYABLE_ERRNOS = frozenset({
+    errno.ECONNREFUSED, errno.ETIMEDOUT, errno.ECONNRESET,
+    errno.ECONNABORTED, errno.EAGAIN,
+})
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -33,6 +59,41 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+def dial_with_retry(
+    connect, timeout: float, describe: str,
+    initial_backoff: float = _DIAL_INITIAL_BACKOFF,
+    max_backoff: float = _DIAL_MAX_BACKOFF,
+):
+    """Call ``connect()`` until it succeeds or ``timeout`` elapses.
+
+    Retries transient connect failures (refused, timed out, reset) with
+    capped exponential backoff plus jitter — the fix for the startup race
+    where a rank dials a peer that has not reached ``listen()`` yet.
+    """
+    deadline = time.monotonic() + timeout
+    backoff = initial_backoff
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return connect()
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            err = getattr(exc, "errno", None)
+            transient = (
+                isinstance(exc, (ConnectionError, TimeoutError))
+                or err in _RETRYABLE_ERRNOS
+            )
+            if not transient or time.monotonic() >= deadline:
+                raise InternalError(
+                    f"{describe}: connect failed after {attempt} "
+                    f"attempt(s): {exc!r}"
+                ) from exc
+            # Full jitter keeps simultaneous dialers from re-colliding.
+            time.sleep(min(backoff, deadline - time.monotonic())
+                       * random.uniform(0.5, 1.0))
+            backoff = min(backoff * 2, max_backoff)
 
 
 class TcpTransport(Transport):
@@ -56,8 +117,7 @@ class TcpTransport(Transport):
         self._closed = threading.Event()
         self._accept_thread: threading.Thread | None = None
         self._mesh_ready = threading.Event()
-        self._expected_inbound = world_rank  # ranks below us dial in... no:
-        # ranks *above* us dial in; we dial ranks below us.
+        # Ranks *above* us dial in; we dial ranks below us.
         self._expected_inbound = world_size - world_rank - 1
 
     # -- setup -----------------------------------------------------------
@@ -78,11 +138,15 @@ class TcpTransport(Transport):
         )
         self._accept_thread.start()
 
-        # Dial every lower rank.
+        # Dial every lower rank, retrying the startup race where the peer
+        # has bound its port (the map says so) but not yet reached accept.
         for peer in range(self.world_rank):
-            port = self._port_map[peer]
-            sock = socket.create_connection(
-                (self._host, port), timeout=timeout
+            addr = (self._host, self._port_map[peer])
+            sock = dial_with_retry(
+                lambda: socket.create_connection(addr, timeout=timeout),
+                timeout,
+                f"rank {self.world_rank} dialing rank {peer} at "
+                f"{addr[0]}:{addr[1]}",
             )
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock.sendall(_HELLO.pack(self.world_rank))
@@ -101,8 +165,22 @@ class TcpTransport(Transport):
                 sock, _addr = self._listen_sock.accept()
             except OSError:
                 break
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            (peer_rank,) = _HELLO.unpack(_recv_exact(sock, _HELLO.size))
+            # A peer can die between connect() and sending its HELLO; a
+            # half-open socket must not kill the accept loop (which would
+            # wedge every later-arriving peer).
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                (peer_rank,) = _HELLO.unpack(_recv_exact(sock, _HELLO.size))
+            except (ConnectionError, OSError, struct.error) as exc:
+                logger.warning(
+                    "rank %d: dropping half-open inbound connection "
+                    "(peer died mid-handshake: %r)", self.world_rank, exc,
+                )
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
             self._register_peer(peer_rank, sock)
             accepted += 1
         self._maybe_ready()
@@ -132,9 +210,15 @@ class TcpTransport(Transport):
                     _recv_exact(sock, env.nbytes) if env.nbytes else b""
                 )
                 self._deliver_local(env, payload)
-        except (ConnectionError, OSError):
-            # Peer shut down; normal at teardown.
-            return
+        except (ConnectionError, OSError) as exc:
+            if self._closed.is_set():
+                return  # our own teardown
+            # Peer connection died while the job is live: either the peer
+            # crashed (report it) or it finalized cleanly (it sent GOODBYE
+            # first, which the detector uses to suppress the report).
+            self.report_peer_lost(
+                peer_rank, f"connection lost mid-run: {exc!r}"
+            )
 
     def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
         if dest_world_rank == self.world_rank:
@@ -149,12 +233,27 @@ class TcpTransport(Transport):
             ) from None
         frame = pack_header(env) + payload
         # One lock per peer keeps concurrent senders from interleaving frames.
-        with self._send_locks[dest_world_rank]:
-            sock.sendall(frame)
+        try:
+            with self._send_locks[dest_world_rank]:
+                sock.sendall(frame)
+        except (BrokenPipeError, ConnectionResetError, ConnectionError) as exc:
+            if self._closed.is_set():
+                raise
+            self.report_peer_lost(
+                dest_world_rank, f"send failed: {exc!r}"
+            )
+            raise RankFailedError(
+                f"send to rank {dest_world_rank} failed: peer is dead "
+                f"({exc!r})", rank=dest_world_rank,
+            ) from exc
 
     def close(self) -> None:
         if self._closed.is_set():
             return
+        # Announce clean departure before tearing sockets down, so peers'
+        # read loops interpret the coming EOF as a goodbye, not a crash.
+        for peer in list(self._peers):
+            self.send_control(peer, CTRL_GOODBYE)
         self._closed.set()
         try:
             self._listen_sock.close()

@@ -4,19 +4,30 @@ Same mesh topology and framing as the TCP transport, but over
 ``AF_UNIX`` sockets — the lower-latency local path (no TCP/IP stack,
 no port allocation), standing in for the shared-memory channels real MPI
 libraries use intra-node.  Selected with ``ombpy-run --transport uds``.
+
+Resilience mirrors the TCP transport: backed-off dial retries during
+mesh establishment, a half-open-handshake guard in the accept loop, and
+EOF/``ECONNRESET`` interpretation on the data path feeding the failure
+detector.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import struct
 import tempfile
 import threading
+import time
 
-from ..exceptions import InternalError, RankError
+from ..exceptions import InternalError, RankError, RankFailedError
 from ..matching import Envelope
-from .base import HEADER_SIZE, Transport, pack_header, unpack_header
+from .base import (
+    CTRL_GOODBYE, HEADER_SIZE, Transport, pack_header, unpack_header,
+)
+
+logger = logging.getLogger(__name__)
 
 _HELLO = struct.Struct("<i")
 
@@ -72,22 +83,22 @@ class UdsTransport(Transport):
         accept_thread.start()
         for peer in range(self.world_rank):
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            # The peer's socket file may not exist yet; retry briefly.
-            deadline = timeout
-            import time
-
-            start = time.monotonic()
+            # The peer's socket file may not exist yet (startup race):
+            # retry with capped exponential backoff until the deadline.
+            deadline = time.monotonic() + timeout
+            backoff = 0.005
             while True:
                 try:
                     sock.connect(socket_path(self._job_id, peer))
                     break
-                except (FileNotFoundError, ConnectionRefusedError):
-                    if time.monotonic() - start > deadline:
+                except (FileNotFoundError, ConnectionRefusedError) as exc:
+                    if time.monotonic() >= deadline:
                         raise InternalError(
                             f"rank {self.world_rank}: peer {peer} socket "
-                            "never appeared"
-                        ) from None
-                    time.sleep(0.01)
+                            f"never appeared ({exc!r})"
+                        ) from exc
+                    time.sleep(backoff)
+                    backoff = min(backoff * 2, 0.25)
             sock.sendall(_HELLO.pack(self.world_rank))
             self._register_peer(peer, sock)
         if not self._mesh_ready.wait(timeout):
@@ -102,7 +113,18 @@ class UdsTransport(Transport):
                 sock, _addr = self._listen.accept()
             except OSError:
                 break
-            (peer_rank,) = _HELLO.unpack(_recv_exact(sock, _HELLO.size))
+            try:
+                (peer_rank,) = _HELLO.unpack(_recv_exact(sock, _HELLO.size))
+            except (ConnectionError, OSError, struct.error) as exc:
+                logger.warning(
+                    "rank %d: dropping half-open UDS connection "
+                    "(peer died mid-handshake: %r)", self.world_rank, exc,
+                )
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
             self._register_peer(peer_rank, sock)
             accepted += 1
         self._maybe_ready()
@@ -111,7 +133,7 @@ class UdsTransport(Transport):
         self._peers[peer_rank] = sock
         self._send_locks[peer_rank] = threading.Lock()
         threading.Thread(
-            target=self._read_loop, args=(sock,), daemon=True,
+            target=self._read_loop, args=(peer_rank, sock), daemon=True,
             name=f"uds-read-r{self.world_rank}-from{peer_rank}",
         ).start()
         self._maybe_ready()
@@ -120,14 +142,18 @@ class UdsTransport(Transport):
         if len(self._peers) >= self.world_size - 1:
             self._mesh_ready.set()
 
-    def _read_loop(self, sock: socket.socket) -> None:
+    def _read_loop(self, peer_rank: int, sock: socket.socket) -> None:
         try:
             while not self._closed.is_set():
                 env = unpack_header(_recv_exact(sock, HEADER_SIZE))
                 payload = _recv_exact(sock, env.nbytes) if env.nbytes else b""
                 self._deliver_local(env, payload)
-        except (ConnectionError, OSError):
-            return
+        except (ConnectionError, OSError) as exc:
+            if self._closed.is_set():
+                return
+            self.report_peer_lost(
+                peer_rank, f"connection lost mid-run: {exc!r}"
+            )
 
     def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
         if dest_world_rank == self.world_rank:
@@ -140,12 +166,25 @@ class UdsTransport(Transport):
                 f"no UDS connection to rank {dest_world_rank}"
             ) from None
         frame = pack_header(env) + payload
-        with self._send_locks[dest_world_rank]:
-            sock.sendall(frame)
+        try:
+            with self._send_locks[dest_world_rank]:
+                sock.sendall(frame)
+        except (BrokenPipeError, ConnectionResetError, ConnectionError) as exc:
+            if self._closed.is_set():
+                raise
+            self.report_peer_lost(
+                dest_world_rank, f"send failed: {exc!r}"
+            )
+            raise RankFailedError(
+                f"send to rank {dest_world_rank} failed: peer is dead "
+                f"({exc!r})", rank=dest_world_rank,
+            ) from exc
 
     def close(self) -> None:
         if self._closed.is_set():
             return
+        for peer in list(self._peers):
+            self.send_control(peer, CTRL_GOODBYE)
         self._closed.set()
         try:
             self._listen.close()

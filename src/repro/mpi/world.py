@@ -34,6 +34,31 @@ ENV_SIZE = "OMBPY_SIZE"
 ENV_COORD = "OMBPY_COORD"
 ENV_TRANSPORT = "OMBPY_TRANSPORT"
 ENV_JOB = "OMBPY_JOB"
+ENV_FAULTS = "OMBPY_FAULTS"
+ENV_FAULT_SEED = "OMBPY_FAULT_SEED"
+ENV_FAULT_LOG = "OMBPY_FAULT_LOG"
+
+
+def _faults_from_env():
+    """Build a FaultPlan from the launcher's chaos env, if one is set."""
+    plan_path = os.environ.get(ENV_FAULTS)
+    seed = os.environ.get(ENV_FAULT_SEED)
+    if not plan_path and seed is None:
+        return None
+    from ..faults import FaultPlan
+
+    if plan_path:
+        return FaultPlan.from_file(plan_path)
+    return FaultPlan.chaos(int(seed))
+
+
+def _wrap_faults(transport, plan):
+    """Wrap a mesh-established transport in the fault injector."""
+    from ..faults import FaultyTransport
+
+    return FaultyTransport(
+        transport, plan, log_path=os.environ.get(ENV_FAULT_LOG)
+    )
 
 
 @dataclass
@@ -43,6 +68,7 @@ class World:
     comm: Comm
     endpoint: Endpoint
     _fabric: InprocFabric | None = None
+    _detector: object | None = None
 
     @property
     def rank(self) -> int:
@@ -54,6 +80,10 @@ class World:
 
     def finalize(self) -> None:
         """Tear down transports.  Collective in spirit: call on all ranks."""
+        # Stop liveness monitoring before sockets go down, so our own
+        # teardown is not reported as a peer failure.
+        if self._detector is not None:
+            self._detector.stop()
         self.endpoint.close()
         if self._fabric is not None:
             self._fabric.close()
@@ -63,6 +93,36 @@ class World:
 
     def __exit__(self, *exc: Any) -> None:
         self.finalize()
+
+
+def _assemble_world(
+    transport, size: int, thread_level: int, establish: bool
+) -> World:
+    """Common multi-process tail: faults, endpoint, mesh, detector, comm.
+
+    The fault injector (if the chaos env is set) wraps the transport
+    *before* the endpoint attaches, and the mesh is established after, so
+    no inbound frame can race the engine attachment.  The failure
+    detector binds to the *inner* transport — heartbeats must not consume
+    fault-plan RNG draws, or replay determinism dies.
+    """
+    plan = _faults_from_env()
+    wrapped = transport
+    if plan is not None and plan.active:
+        wrapped = _wrap_faults(transport, plan)
+    endpoint = Endpoint(wrapped)
+    if establish:
+        transport.establish_mesh()
+    from .resilience import detector_from_env
+
+    detector = detector_from_env(transport, endpoint.engine, endpoint)
+    if detector is not None:
+        detector.start()
+    comm = Comm(
+        endpoint, Group(list(range(size))), context=0,
+        thread_level=thread_level,
+    )
+    return World(comm, endpoint, _detector=detector)
 
 
 def init(thread_level: int = C.THREAD_MULTIPLE) -> World:
@@ -81,25 +141,14 @@ def init(thread_level: int = C.THREAD_MULTIPLE) -> World:
         from .transport.uds import UdsTransport
 
         transport = UdsTransport(rank, size, os.environ[ENV_JOB])
-        endpoint = Endpoint(transport)
-        transport.establish_mesh()
-        comm = Comm(
-            endpoint, Group(list(range(size))), context=0,
-            thread_level=thread_level,
-        )
-        return World(comm, endpoint)
+        return _assemble_world(transport, size, thread_level, establish=True)
     if fabric_kind == "shm":
         from .transport.shm import ShmTransport
 
         # Segments are created by the launcher before spawn, so attaching
         # here cannot race; no rendezvous needed.
         transport = ShmTransport(rank, size, os.environ[ENV_JOB])
-        endpoint = Endpoint(transport)
-        comm = Comm(
-            endpoint, Group(list(range(size))), context=0,
-            thread_level=thread_level,
-        )
-        return World(comm, endpoint)
+        return _assemble_world(transport, size, thread_level, establish=False)
 
     coord_host, coord_port = os.environ[ENV_COORD].rsplit(":", 1)
 
@@ -118,13 +167,7 @@ def init(thread_level: int = C.THREAD_MULTIPLE) -> World:
     port_map = {int(k): int(v) for k, v in json.loads(buf.decode()).items()}
 
     transport = TcpTransport(rank, size, listen, port_map)
-    endpoint = Endpoint(transport)
-    transport.establish_mesh()
-    comm = Comm(
-        endpoint, Group(list(range(size))), context=0,
-        thread_level=thread_level,
-    )
-    return World(comm, endpoint)
+    return _assemble_world(transport, size, thread_level, establish=True)
 
 
 def run_on_threads(
@@ -132,15 +175,29 @@ def run_on_threads(
     fn: Callable[[Comm], Any],
     thread_level: int = C.THREAD_MULTIPLE,
     timeout: float | None = 120.0,
+    fault_plan=None,
 ) -> list[Any]:
     """Run ``fn(comm)`` on ``n`` ranks-as-threads; return per-rank results.
 
     Any rank raising propagates the first exception (by rank order) to the
     caller after all threads have been joined, so failures in collective
     code surface as test failures rather than hangs.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) wraps every rank's
+    transport in the deterministic fault injector — the chaos-test path
+    for the threads fabric.  Scheduled crashes should use ``mode="raise"``
+    here: a hard exit would take the whole test process down.
     """
     fabric = InprocFabric(n)
-    endpoints = [Endpoint(fabric.create_transport(r)) for r in range(n)]
+    if fault_plan is not None and fault_plan.active:
+        from ..faults import FaultyTransport
+
+        endpoints = [
+            Endpoint(FaultyTransport(fabric.create_transport(r), fault_plan))
+            for r in range(n)
+        ]
+    else:
+        endpoints = [Endpoint(fabric.create_transport(r)) for r in range(n)]
     group = Group(list(range(n)))
     comms = [
         Comm(ep, group, context=0, thread_level=thread_level)
