@@ -148,6 +148,26 @@ class Comm:
 
     barrier = Barrier
 
+    # -- fault tolerance (ULFM extensions) ---------------------------------
+    def Revoke(self) -> None:
+        """Revoke the communicator after a failure (MPIX_Comm_revoke)."""
+        self._rt.revoke()
+
+    def Shrink(self, timeout: float | None = None) -> "Comm":
+        """Return a survivors-only communicator (MPIX_Comm_shrink)."""
+        return Comm(self._rt.shrink(timeout=timeout), self.pickle)
+
+    def Agree(self, flag: bool = True, timeout: float | None = None) -> bool:
+        """Fault-tolerant AND over live members (MPIX_Comm_agree)."""
+        return self._rt.agree(flag, timeout=timeout)
+
+    def Is_revoked(self) -> bool:
+        return self._rt.is_revoked()
+
+    def Get_failed(self) -> list[int]:
+        """Communicator-local ranks known to have failed."""
+        return sorted(self._rt.failed_ranks())
+
     # ======================================================================
     # Upper-case: direct buffer methods
     # ======================================================================

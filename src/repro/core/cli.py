@@ -58,6 +58,18 @@ def build_parser() -> argparse.ArgumentParser:
         "SEED",
     )
     parser.add_argument(
+        "--reliable", action="store_true",
+        help="with --threads: stack the ack/retransmit reliable-delivery "
+        "layer over the (possibly faulty) transport; for process runs "
+        "pass --reliable to ombpy-run instead",
+    )
+    parser.add_argument(
+        "--recover", action="store_true",
+        help="survive rank failures: on RankFailedError the survivors "
+        "revoke + shrink the communicator (ULFM-style) and re-run the "
+        "sweep; pair with ombpy-run --recover for process runs",
+    )
+    parser.add_argument(
         "--output", default=None, metavar="FILE",
         help="also write the result table to FILE (.csv or .json by "
         "extension)",
@@ -192,32 +204,64 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     if args.threads is not None:
+        def sweep(comm):
+            return bench.run(BenchContext(comm, options))
+
+        if args.recover:
+            from ..mpi import ulfm
+
+            def worker(comm):
+                table, _final = ulfm.run_with_recovery(comm, sweep)
+                return table
+        else:
+            worker = sweep
         tables = run_on_threads(
-            args.threads,
-            lambda comm: bench.run(BenchContext(comm, options)),
-            fault_plan=fault_plan,
+            args.threads, worker, fault_plan=fault_plan,
+            reliable=args.reliable, tolerate_crashes=args.recover,
         )
-        print_table(tables[0], options.full_stats)
+        # Under --recover a crashed rank leaves a None result; print the
+        # first survivor's table.
+        table = next(t for t in tables if t is not None)
+        print_table(table, options.full_stats)
         if args.output:
-            _write_output(tables[0], args.output, options.full_stats)
+            _write_output(table, args.output, options.full_stats)
         return 0
 
-    from ..mpi.exceptions import RANK_FAILED_EXIT, RankFailedError
+    from ..mpi.exceptions import (
+        RANK_FAILED_EXIT, CommRevokedError, RankFailedError,
+    )
 
     world = runtime_init()
+    comm = world.comm
     try:
-        table = bench.run(BenchContext(world.comm, options))
-        if world.rank == 0:
+        if args.recover and comm.size > 1:
+            from ..mpi import ulfm
+
+            table, comm = ulfm.run_with_recovery(
+                comm, lambda c: bench.run(BenchContext(c, options))
+            )
+        else:
+            table = bench.run(BenchContext(comm, options))
+        # Rank 0 of the *final* communicator prints: under --recover the
+        # original rank 0 may be the one that died.
+        if comm.rank == 0:
             print_table(table, options.full_stats)
             if args.output:
                 _write_output(table, args.output, options.full_stats)
-    except RankFailedError as exc:
-        # A peer died mid-run.  Exit with the dedicated cascade code so
-        # the launcher attributes the job failure to the dead rank, not
-        # to this survivor.
+    except (RankFailedError, CommRevokedError) as exc:
+        # A peer died mid-run (and recovery, if enabled, ran out of
+        # ranks).  Exit with the dedicated cascade code so the launcher
+        # attributes the job failure to the dead rank, not this survivor.
         print(f"ombpy: rank {world.rank}: {exc}", file=sys.stderr)
         return RANK_FAILED_EXIT
     finally:
+        stats = world.reliability_stats()
+        if stats is not None:
+            rendered = " ".join(f"{k}={v}" for k, v in stats.items())
+            print(
+                f"ombpy: rank {world.rank}: reliability {rendered}",
+                file=sys.stderr,
+            )
         world.finalize()
     return 0
 

@@ -24,9 +24,14 @@ Injected fault taxonomy:
   ``os._exit`` under process transports, :class:`InjectedCrash` raised
   in the sending thread under the threads transport.
 
-Control-plane frames (heartbeats, goodbyes) pass through untouched and
-consume no RNG draws: their timing is wall-clock driven, and letting
-them perturb the decision stream would destroy replay determinism.
+Control-plane frames (heartbeats, goodbyes, revocations),
+reliability-protocol ACKs, and ULFM recovery traffic pass through
+untouched and consume no RNG draws: their timing is wall-clock driven,
+and letting them perturb the decision stream would destroy replay
+determinism — and the recovery machinery must not depend on the very
+fault-absorption layer it reconfigures.  Reliability-layer
+*retransmissions* likewise bypass injection via
+:meth:`~repro.mpi.transport.base.Transport.send_unfaulted`.
 """
 
 from __future__ import annotations
@@ -37,8 +42,13 @@ import time
 from dataclasses import dataclass
 
 from ..mpi.matching import Envelope
-from ..mpi.transport.base import CONTROL_CONTEXT, Transport
+from ..mpi.transport.base import Transport, fault_exempt
 from .plan import FaultPlan
+
+#: Environment override for the held-message wall-clock backstop, in
+#: milliseconds.  Takes precedence over ``FaultPlan.backstop_ms`` so CI
+#: can tune slow hosts without editing committed plan files.
+ENV_BACKSTOP_MS = "OMBPY_FAULT_BACKSTOP_MS"
 
 
 class InjectedCrash(RuntimeError):
@@ -94,14 +104,12 @@ class FaultyTransport(Transport):
     sender that simply stops sending would otherwise strand its last
     held messages forever — deadlocking the *receiver*, which is a
     hang the chaos layer caused rather than found.  A background reaper
-    therefore force-releases any queue held longer than
-    ``MAX_HOLD_SECONDS`` of wall time.  Reaper timing is inherently
-    nondeterministic, which is why the event log records injection
-    *decisions* only — those are a pure function of (plan, rank, op).
+    therefore force-releases any queue held longer than the plan's
+    ``backstop_ms`` of wall time (``OMBPY_FAULT_BACKSTOP_MS`` overrides
+    it at run time).  Reaper timing is inherently nondeterministic,
+    which is why the event log records injection *decisions* only —
+    those are a pure function of (plan, rank, op).
     """
-
-    #: Wall-clock backstop for held messages (see class docstring).
-    MAX_HOLD_SECONDS = 0.5
 
     def __init__(
         self,
@@ -112,6 +120,7 @@ class FaultyTransport(Transport):
         super().__init__(inner.world_rank, inner.world_size)
         self.inner = inner
         self.plan = plan
+        self.max_hold_seconds = self._resolve_backstop(plan)
         self.events: list[FaultEvent] = []
         self._rng = plan.rng_for(inner.world_rank)
         self._crash = plan.crashes(inner.world_rank)
@@ -123,9 +132,32 @@ class FaultyTransport(Transport):
         self._reaper: threading.Thread | None = None
 
     # -- passthrough plumbing ---------------------------------------------
+    @staticmethod
+    def _resolve_backstop(plan: FaultPlan) -> float:
+        raw = os.environ.get(ENV_BACKSTOP_MS)
+        if raw is not None:
+            value = float(raw)
+            if value <= 0:
+                raise ValueError(
+                    f"{ENV_BACKSTOP_MS} must be > 0 ms, got {raw!r}"
+                )
+            return value / 1000.0
+        return plan.backstop_ms / 1000.0
+
     def attach(self, engine) -> None:
         self.engine = engine
         self.inner.attach(engine)
+
+    def report_peer_lost(self, peer_world_rank: int, reason: str) -> None:
+        # The detector installs itself on the innermost transport.
+        self.inner.report_peer_lost(peer_world_rank, reason)
+
+    def send_unfaulted(
+        self, dest_world_rank: int, env: Envelope, payload: bytes
+    ) -> None:
+        # Reliability-layer retransmissions: skip injection *and* the
+        # RNG (see Transport.send_unfaulted).
+        self.inner.send_unfaulted(dest_world_rank, env, payload)
 
     @property
     def name(self) -> str:
@@ -150,8 +182,9 @@ class FaultyTransport(Transport):
 
     # -- send path --------------------------------------------------------
     def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
-        if env.context == CONTROL_CONTEXT:
-            # Control plane is exempt: no faults, no RNG draws.
+        if fault_exempt(env.context):
+            # Control plane, reliability ACKs, and ULFM recovery traffic
+            # are exempt: no faults, no RNG draws.
             self.inner.send(dest_world_rank, env, payload)
             return
 
@@ -268,12 +301,12 @@ class FaultyTransport(Transport):
         self._reaper.start()
 
     def _reap_loop(self) -> None:
-        while not self._closed.wait(self.MAX_HOLD_SECONDS / 4):
+        while not self._closed.wait(self.max_hold_seconds / 4):
             now = time.monotonic()
             with self._lock:
                 for dest in sorted(self._held):
                     queue = self._held[dest]
-                    if now - queue.created >= self.MAX_HOLD_SECONDS:
+                    if now - queue.created >= self.max_hold_seconds:
                         del self._held[dest]
                         for denv, dpayload in queue.frames:
                             try:

@@ -18,8 +18,15 @@ JSON round-trips via :meth:`FaultPlan.to_json` / :meth:`from_json`::
       "truncate": 0.0,
       "stall": 0.0,
       "stall_ms": 1.0,
+      "backstop_ms": 500.0,
       "crash": {"rank": 1, "at_op": 40, "exit_code": 7, "mode": "exit"}
     }
+
+``backstop_ms`` caps how long the injector may hold a delayed message
+on the wall clock (the anti-deadlock reaper, see
+:class:`~repro.faults.injector.FaultyTransport`); the
+``OMBPY_FAULT_BACKSTOP_MS`` environment variable overrides it at run
+time, so slow CI hosts can stretch it without editing plan files.
 """
 
 from __future__ import annotations
@@ -77,6 +84,7 @@ class FaultPlan:
     truncate: float = 0.0
     stall: float = 0.0
     stall_ms: float = 1.0    # slow-rank stall per triggered send
+    backstop_ms: float = 500.0  # wall-clock cap on held (delayed) messages
     crash: CrashSpec | None = None
 
     def __post_init__(self) -> None:
@@ -88,6 +96,8 @@ class FaultPlan:
             raise ValueError("delay_hold must be >= 1")
         if self.stall_ms < 0:
             raise ValueError("stall_ms must be >= 0")
+        if self.backstop_ms <= 0:
+            raise ValueError("backstop_ms must be > 0")
 
     # -- construction -----------------------------------------------------
     @classmethod

@@ -11,7 +11,9 @@
 """
 
 from .harness import MLResult, run_sequential_vs_distributed
-from .kmeans_hpo import distributed_kmeans_hpo, sequential_kmeans_hpo
+from .kmeans_hpo import (
+    distributed_kmeans_hpo, fault_tolerant_kmeans_hpo, sequential_kmeans_hpo,
+)
 from .knn import distributed_knn, sequential_knn
 from .matmul import distributed_matmul, sequential_matmul
 from .scheduler import balanced_assignment
@@ -22,6 +24,7 @@ __all__ = [
     "distributed_kmeans_hpo",
     "distributed_knn",
     "distributed_matmul",
+    "fault_tolerant_kmeans_hpo",
     "run_sequential_vs_distributed",
     "sequential_kmeans_hpo",
     "sequential_knn",

@@ -80,6 +80,87 @@ def distributed_kmeans_hpo(
     return dict(sorted(merged.items()))
 
 
+def fault_tolerant_kmeans_hpo(
+    comm: Comm,
+    X: np.ndarray,
+    k_max: int = 10,
+    max_iter: int = 50,
+    random_state: int = 0,
+) -> tuple[dict[int, float] | None, Comm]:
+    """The k sweep with ULFM recovery: survive rank crashes mid-HPO.
+
+    Like :func:`distributed_kmeans_hpo`, but a rank failure during the
+    sweep does not lose the job: survivors revoke + shrink the
+    communicator, redistribute the ks whose owner died (their own
+    finished ks are kept, not recomputed), and gather on the new
+    communicator.  Returns ``(results-or-None, final_comm)`` — results
+    land on rank 0 *of the final communicator*, and the curve is
+    identical to the failure-free sweep because every k is fitted with
+    the same ``random_state``.
+    """
+    from ...mpi.exceptions import CommRevokedError, RankFailedError
+
+    if k_max < 1:
+        raise ValueError(f"k_max must be >= 1, got {k_max}")
+    all_ks = list(range(1, k_max + 1))
+    done: dict[int, float] = {}
+
+    def sweep(c: Comm) -> dict[int, float] | None:
+        todo = [k for k in all_ks if k not in done]
+        assignment = balanced_assignment(todo, c.size, cost=_COST)
+        # Fit one k at a time so a crash forfeits at most one fit.
+        for k in assignment[c.rank]:
+            done.update(_fit_inertias(X, [k], max_iter, random_state))
+        # Everyone contributes everything it has ever finished: after a
+        # failure the re-run may gather a k both from its original owner
+        # and from the rank that recomputed it — merging is idempotent.
+        flat = np.array(
+            [v for kv in sorted(done.items()) for v in kv], dtype="f8"
+        )
+        counts = [
+            int(np.frombuffer(b, dtype="<i8")[0])
+            for b in c.allgather_bytes(np.int64(len(flat) * 8).tobytes())
+        ]
+        blocks = c.allgatherv_bytes(flat.tobytes(), counts)
+        merged: dict[int, float] = {}
+        for block in blocks:
+            for k, inertia in np.frombuffer(block, dtype="f8").reshape(-1, 2):
+                merged[int(k)] = float(inertia)
+        # A k whose owner died before finishing is still missing; raise
+        # back into the recovery loop to redistribute the remainder.
+        missing = [k for k in all_ks if k not in merged]
+        if missing:
+            done.update(merged)
+            raise _IncompleteSweep(missing)
+        return dict(sorted(merged.items())) if c.rank == 0 else None
+
+    # Each pass either finishes, shrinks after a failure (at most
+    # size - 1 times), or redistributes the dead rank's unfinished ks
+    # (at most once per shrink) — so the loop is bounded.
+    current = comm
+    for _ in range(2 * comm.size + 2):
+        try:
+            return sweep(current), current
+        except _IncompleteSweep:
+            # Every rank that reached the allgather saw the same gap
+            # and re-enters together on the same communicator.
+            continue
+        except (CommRevokedError, RankFailedError):
+            if current.size <= 1:
+                raise
+            current.revoke()
+            current = current.shrink()
+    raise _IncompleteSweep([k for k in all_ks if k not in done])
+
+
+class _IncompleteSweep(RuntimeError):
+    """A recovered sweep is still missing ks (redistribute and retry)."""
+
+    def __init__(self, missing: list[int]) -> None:
+        super().__init__(f"k sweep incomplete: missing {missing}")
+        self.missing = missing
+
+
 def find_elbow(inertias: dict[int, float]) -> int:
     """The k after which inertia improvement flattens (max curvature).
 

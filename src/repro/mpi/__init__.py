@@ -8,10 +8,11 @@ datatypes, a threads-in-one-process transport for tests, a TCP mesh
 transport for real multi-process runs, and an ``ombpy-run`` launcher.
 """
 
-from . import constants, datatypes, ops
+from . import constants, datatypes, ops, ulfm
 from .comm import Comm, Endpoint
-from .exceptions import MPIError, RankFailedError
+from .exceptions import CommRevokedError, MPIError, RankFailedError
 from .group import Group
+from .reliability import ReliableTransport
 from .request import Request, testall, waitall, waitany
 from .status import Status
 from .world import World, init, run_on_processes, run_on_threads
@@ -25,10 +26,12 @@ __all__ = [
     "ANY_TAG",
     "PROC_NULL",
     "Comm",
+    "CommRevokedError",
     "Endpoint",
     "Group",
     "MPIError",
     "RankFailedError",
+    "ReliableTransport",
     "Request",
     "Status",
     "World",
@@ -39,6 +42,7 @@ __all__ = [
     "run_on_processes",
     "run_on_threads",
     "testall",
+    "ulfm",
     "waitall",
     "waitany",
 ]

@@ -13,18 +13,21 @@ collectives in :mod:`repro.mpi.collectives` are implemented against it too.
 from __future__ import annotations
 
 import itertools
+import struct
 import threading
 from typing import Sequence
 
 import numpy as np
 
 from . import constants as C
-from .exceptions import CommError, RankError, RootError, TagError
+from .exceptions import (
+    CommError, CommRevokedError, RankError, RootError, TagError,
+)
 from .group import Group
 from .matching import Envelope, MatchingEngine, RecvTicket
 from .request import Request, RecvRequest, SendRequest
 from .status import Status
-from .transport.base import Transport
+from .transport.base import CTRL_REVOKE, Transport
 
 # Bits of context id consumed per derivation level.
 _CTX_SHIFT = 16
@@ -38,6 +41,10 @@ class Endpoint:
         self.transport = transport
         self.engine = MatchingEngine()
         transport.attach(self.engine)
+        # Non-liveness control frames (CTRL_REVOKE) carry communicator
+        # state; the innermost transport routes them here rather than to
+        # the failure detector.
+        transport.innermost().control_listener = self
         self.world_rank = transport.world_rank
         self.world_size = transport.world_size
         # Optional runtime verifier (repro.analysis.verify) and buffer-race
@@ -45,6 +52,12 @@ class Endpoint:
         # never imports the analysis package.
         self.verifier = None
         self.sanitizer = None
+
+    def on_control(self, env: Envelope, payload: bytes) -> None:
+        """Handle a non-liveness control frame from a peer."""
+        if env.tag == CTRL_REVOKE and len(payload) >= 8:
+            (context,) = struct.unpack_from("<q", payload)
+            self.engine.revoke_context(context)
 
     def close(self) -> None:
         self.transport.close()
@@ -77,6 +90,10 @@ class Comm:
         # Per-communicator collective sequence number for internal tags.
         self._coll_seq = itertools.count()
         self._coll_lock = threading.Lock()
+        # ULFM recovery attempt counter.  shrink()/agree() are collective,
+        # so the counter stays aligned across member ranks and yields
+        # matching recovery tags/contexts.
+        self._ulfm_seq = itertools.count(1)
 
     # -- identity --------------------------------------------------------
     @property
@@ -110,6 +127,11 @@ class Comm:
     def _check_alive(self) -> None:
         if self._freed:
             raise CommError("operation on freed communicator")
+        if self._endpoint.engine.is_revoked(self._context):
+            raise CommRevokedError(
+                f"communicator context {self._context:#x} was revoked",
+                context=self._context,
+            )
 
     def _world_rank(self, comm_rank: int) -> int:
         return self._group.world_rank(comm_rank)
@@ -154,14 +176,14 @@ class Comm:
             raise RankError(f"receive source {source} out of range")
         if not C.is_valid_recv_tag(tag) and tag < C.INTERNAL_TAG_BASE:
             raise TagError(f"invalid receive tag {tag}")
+        src_world = (
+            None if source == C.ANY_SOURCE else self._world_rank(source)
+        )
         ticket = self._endpoint.engine.post_recv(
-            self._context, source, tag, max_bytes
+            self._context, source, tag, max_bytes, source_world=src_world
         )
         verifier = self._endpoint.verifier
         if verifier is not None:
-            src_world = (
-                None if source == C.ANY_SOURCE else self._world_rank(source)
-            )
             verifier.on_post(ticket, src_world, tag, self._context)
         return RecvRequest(ticket, sink)
 
@@ -416,6 +438,66 @@ class Comm:
     def Free(self) -> None:
         """Mark the communicator freed; later operations raise CommError."""
         self._freed = True
+
+    # -- fault tolerance (ULFM) ---------------------------------------------
+    def revoke(self) -> None:
+        """Revoke the communicator (ULFM ``MPI_Comm_revoke``).
+
+        Non-collective: any member may call it after observing a
+        failure.  Every operation on this communicator — here and, once
+        the revocation notice arrives, on every other member —
+        completes with :class:`~repro.mpi.exceptions.CommRevokedError`,
+        flushing ranks parked in its collectives so they can join
+        :meth:`shrink`.
+        """
+        from . import ulfm
+
+        ulfm.revoke(self)
+
+    def shrink(self, timeout: float | None = None) -> "Comm":
+        """Build a working communicator from the survivors (collective).
+
+        All surviving members must call this; they agree on the set of
+        failed ranks and return a new, smaller communicator with a
+        fresh context.  ULFM's ``MPI_Comm_shrink``.
+        """
+        from . import ulfm
+
+        return ulfm.shrink(self, timeout=timeout)
+
+    def agree(self, flag: bool = True, timeout: float | None = None) -> bool:
+        """Fault-tolerant agreement (ULFM ``MPI_Comm_agree``).
+
+        Returns the logical AND of every live member's ``flag``,
+        tolerating rank failures during the agreement itself.
+        """
+        from . import ulfm
+
+        return ulfm.agree(self, flag, timeout=timeout)
+
+    def is_revoked(self) -> bool:
+        """Whether this communicator has been revoked."""
+        return self._endpoint.engine.is_revoked(self._context)
+
+    def failed_ranks(self) -> set[int]:
+        """Communicator-local ranks recorded dead by the failure layer."""
+        dead = self._endpoint.engine.failed_ranks()
+        return {
+            self._group.rank_of(wr)
+            for wr in dead
+            if self._group.rank_of(wr) != C.UNDEFINED
+        }
+
+    def _next_ulfm_attempt(self) -> int:
+        """Reserve one recovery-attempt number (aligned across ranks)."""
+        with self._coll_lock:
+            return next(self._ulfm_seq)
+
+    # MPI-style capitalized aliases.
+    Revoke = revoke
+    Shrink = shrink
+    Agree = agree
+    Is_revoked = is_revoked
 
     def Compare(self, other: "Comm") -> int:
         """Compare with another communicator (IDENT/CONGRUENT/...)."""

@@ -28,6 +28,7 @@ ERR_INTERN = 17
 ERR_PENDING = 18
 ERR_IN_STATUS = 19
 ERR_PROC_FAILED = 20  # ULFM's MPI_ERR_PROC_FAILED
+ERR_REVOKED = 21      # ULFM's MPI_ERR_REVOKED
 
 #: Process exit code used by ``ombpy`` when a rank dies *because a peer
 #: failed* (uncaught :class:`RankFailedError`).  The launcher treats this
@@ -165,3 +166,23 @@ class RankFailedError(MPIError):
         super().__init__(message, ERR_PROC_FAILED)
         self.rank = rank
         self.wait_state = wait_state
+
+
+class CommRevokedError(MPIError):
+    """The communicator was revoked (ULFM's MPI_ERR_REVOKED).
+
+    After a peer failure, any member may call ``Comm.revoke()``; from
+    then on every communication operation on that communicator — on
+    every member rank, including ranks parked inside collectives when
+    the revocation arrives — raises this error.  Survivors recover by
+    calling ``Comm.shrink()`` and continuing on the result.
+
+    Attributes
+    ----------
+    context:
+        Context id of the revoked communicator (``-1`` if unknown).
+    """
+
+    def __init__(self, message: str, context: int = -1) -> None:
+        super().__init__(message, ERR_REVOKED)
+        self.context = context

@@ -117,8 +117,14 @@ def _supervise(
     timeout: float,
     grace: float,
     interrupted: threading.Event,
+    failfast: bool = True,
 ) -> tuple[list[int | None], tuple[int, int] | None]:
     """Poll all ranks concurrently; fail-fast on the first non-zero exit.
+
+    With ``failfast=False`` (the ``--recover`` mode) a rank failure does
+    not doom its survivors: they are expected to shrink their
+    communicator and finish, so supervision just keeps waiting (the
+    global ``timeout`` still applies).
 
     Returns (per-rank exit codes, first failure as ``(rank, code)`` or
     None).  Raises ``subprocess.TimeoutExpired`` if the whole job exceeds
@@ -141,7 +147,7 @@ def _supervise(
                     exit_codes[rank] = rc
                     if rc != 0:
                         failures.append((rank, rc))
-                        if kill_at is None:
+                        if failfast and kill_at is None:
                             kill_at = now + grace
         if interrupted.is_set():
             _kill_all(procs)
@@ -197,6 +203,8 @@ def launch(
     fault_seed: int | None = None,
     fault_log: str | None = None,
     failfast_grace: float = DEFAULT_FAILFAST_GRACE,
+    reliable: bool = False,
+    recover: bool = False,
 ) -> int:
     """Run ``command`` as ``n`` coordinated rank processes.
 
@@ -210,6 +218,13 @@ def launch(
     ``failfast_grace`` seconds to raise ``RankFailedError`` and exit
     with their own diagnostics, then are terminated; the returned exit
     code is the *first* failing rank's.
+
+    ``reliable`` arms the ack/retransmit delivery layer
+    (:mod:`repro.mpi.reliability`) in every rank.  ``recover`` switches
+    supervision from fail-fast to fault-tolerant: a rank failure no
+    longer dooms its survivors, and the job succeeds (exit 0) if *any*
+    rank finishes cleanly — the contract for ULFM-style
+    shrink-and-continue programs.
     """
     if n < 1:
         raise ValueError(f"process count must be >= 1, got {n}")
@@ -217,6 +232,10 @@ def launch(
         raise ValueError("no program given")
     if transport not in ("tcp", "uds", "shm"):
         raise ValueError(f"unknown transport {transport!r}")
+    if failfast_grace < 0:
+        raise ValueError(
+            f"grace period must be >= 0 seconds, got {failfast_grace}"
+        )
     if command[0].endswith(".py"):
         command = [sys.executable] + command
 
@@ -230,6 +249,10 @@ def launch(
         coord_env[ENV_FAULT_SEED] = str(fault_seed)
     if fault_log is not None:
         coord_env[ENV_FAULT_LOG] = os.path.abspath(fault_log)
+    if reliable:
+        from .reliability import ENV_RELIABLE
+
+        coord_env[ENV_RELIABLE] = "1"
     if transport == "tcp":
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -282,11 +305,20 @@ def launch(
             procs.append(subprocess.Popen(command, env=env))
 
         exit_codes, first_failure = _supervise(
-            procs, timeout, failfast_grace, interrupted
+            procs, timeout, failfast_grace, interrupted,
+            failfast=not recover,
         )
         if interrupted.is_set():
             return 130
         if first_failure is None:
+            return 0
+        if recover and any(code == 0 for code in exit_codes):
+            survivors = sum(1 for code in exit_codes if code == 0)
+            print(
+                f"ombpy-run: recovered — rank {first_failure[0]} failed "
+                f"but {survivors}/{n} rank(s) finished cleanly (--recover)",
+                file=sys.stderr,
+            )
             return 0
         rank, rc = first_failure
         codes = [
@@ -359,9 +391,23 @@ def main(argv: list[str] | None = None) -> int:
         "(identical across same-seed replays)",
     )
     parser.add_argument(
-        "--failfast-grace", type=float, default=DEFAULT_FAILFAST_GRACE,
+        "--grace", "--failfast-grace", type=float,
+        default=DEFAULT_FAILFAST_GRACE, dest="failfast_grace",
+        metavar="SECONDS",
         help="seconds survivors get to exit on their own after the "
-        "first rank failure, before being terminated",
+        "first rank failure, before being terminated "
+        "(--failfast-grace is accepted as an alias)",
+    )
+    parser.add_argument(
+        "--reliable", action="store_true",
+        help="run every rank with the ack/retransmit reliable-delivery "
+        "layer (absorbs injected drops/duplicates/truncations)",
+    )
+    parser.add_argument(
+        "--recover", action="store_true",
+        help="fault-tolerant supervision: a rank failure does not kill "
+        "the survivors, and the job succeeds if any rank finishes "
+        "cleanly (for ULFM shrink-and-continue programs)",
     )
     parser.add_argument(
         "command", nargs=argparse.REMAINDER,
@@ -373,7 +419,8 @@ def main(argv: list[str] | None = None) -> int:
             args.n, args.command, timeout=args.timeout,
             transport=args.transport, faults=args.faults,
             fault_seed=args.fault_seed, fault_log=args.fault_log,
-            failfast_grace=args.failfast_grace,
+            failfast_grace=args.failfast_grace, reliable=args.reliable,
+            recover=args.recover,
         )
     except subprocess.TimeoutExpired:
         print(

@@ -21,7 +21,7 @@ import threading
 from dataclasses import dataclass, field
 
 from .constants import ANY_SOURCE, ANY_TAG
-from .exceptions import TruncationError
+from .exceptions import CommRevokedError, TruncationError
 from .status import Status
 
 
@@ -144,18 +144,36 @@ class MatchingEngine:
         # Sticky endpoint failure (e.g. a peer rank died).  Once set, every
         # pending and future receive completes with this error: with a rank
         # gone the job cannot make progress, so fail fast everywhere rather
-        # than hang survivors until the global timeout.
+        # than hang survivors until the global timeout.  ULFM recovery
+        # clears it via acknowledge_failure(); the per-rank record in
+        # _failed_ranks is permanent.
         self._failure: Exception | None = None
+        self._failed_ranks: dict[int, Exception] = {}
+        # Revoked communicator contexts: permanently dead — posted
+        # receives fail, queued and future messages are discarded.
+        self._revoked: set[int] = set()
 
     # -- receiver side ---------------------------------------------------
     def post_recv(
-        self, context: int, source: int, tag: int, max_bytes: int
+        self, context: int, source: int, tag: int, max_bytes: int,
+        source_world: int | None = None,
     ) -> RecvTicket:
-        """Post a receive; match immediately against unexpected messages."""
+        """Post a receive; match immediately against unexpected messages.
+
+        ``source_world`` (the sender's world rank, when the caller knows
+        it) lets a receive targeting an already-dead peer fail promptly
+        even after the sticky failure has been acknowledged.
+        """
         with self._lock:
             ticket = RecvTicket(
                 context, source, tag, max_bytes, next(self._order)
             )
+            if context in self._revoked:
+                ticket.fail(CommRevokedError(
+                    f"communicator context {context:#x} was revoked",
+                    context=context,
+                ))
+                return ticket
             for i, um in enumerate(self._unexpected):
                 if ticket.matches(um.envelope):
                     del self._unexpected[i]
@@ -163,6 +181,9 @@ class MatchingEngine:
                     return ticket
             if self._failure is not None:
                 ticket.fail(self._failure)
+                return ticket
+            if source_world is not None and source_world in self._failed_ranks:
+                ticket.fail(self._failed_ranks[source_world])
                 return ticket
             self._posted.append(ticket)
             return ticket
@@ -183,6 +204,10 @@ class MatchingEngine:
     def deliver(self, env: Envelope, payload: bytes) -> None:
         """Deliver an incoming message (called from transport threads)."""
         with self._lock:
+            if env.context in self._revoked:
+                # Straggler on a revoked communicator (e.g. a frame a
+                # dead rank sent before dying): discard, don't queue.
+                return
             for i, ticket in enumerate(self._posted):
                 if ticket.matches(env):
                     del self._posted[i]
@@ -204,13 +229,39 @@ class MatchingEngine:
         and raise instead of waiting out their timeouts.
         """
         with self._lock:
+            rank = getattr(error, "rank", -1)
+            if isinstance(rank, int) and rank >= 0:
+                self._failed_ranks.setdefault(rank, error)
             if self._failure is not None:
                 return
             self._failure = error
             posted, self._posted = self._posted, []
             for ticket in posted:
                 ticket.fail(error)
+                if ticket.verifier is not None:
+                    # The error is delivered into the ticket; without
+                    # this the verifier would flag every failed receive
+                    # as a leaked request at finalize.
+                    ticket.verifier.on_consume(ticket)
             self._delivered.notify_all()
+
+    def acknowledge_failure(self) -> Exception | None:
+        """Clear the sticky failure so survivors can keep communicating.
+
+        ULFM's ``MPI_Comm_failure_ack`` analogue: the recorded failure
+        (returned, or None) stops poisoning new operations, while the
+        per-rank death record stays — receives addressed at a dead peer
+        still fail promptly, and :meth:`failed_ranks` still reports it
+        for ``shrink()`` to exclude.
+        """
+        with self._lock:
+            failure, self._failure = self._failure, None
+            return failure
+
+    def failed_ranks(self) -> set[int]:
+        """World ranks recorded dead (survives acknowledge_failure)."""
+        with self._lock:
+            return set(self._failed_ranks)
 
     def failure(self) -> Exception | None:
         """The sticky endpoint failure, if one was recorded."""
@@ -222,6 +273,61 @@ class MatchingEngine:
         failure = self.failure()
         if failure is not None:
             raise failure
+
+    # -- revocation (ULFM) -------------------------------------------------
+    def revoke_context(self, context: int) -> bool:
+        """Kill one communicator context: fail posted, purge queued.
+
+        Every posted receive on ``context`` completes with
+        :class:`~repro.mpi.exceptions.CommRevokedError` (waking ranks
+        parked inside the revoked communicator's collectives), queued
+        unexpected messages on it are discarded, and any message that
+        arrives later is dropped on delivery.  Returns False when the
+        context was already revoked.
+        """
+        with self._lock:
+            if context in self._revoked:
+                return False
+            self._revoked.add(context)
+            error = CommRevokedError(
+                f"communicator context {context:#x} was revoked",
+                context=context,
+            )
+            keep: list[RecvTicket] = []
+            for ticket in self._posted:
+                if ticket.context != context:
+                    keep.append(ticket)
+                    continue
+                ticket.fail(error)
+                if ticket.verifier is not None:
+                    ticket.verifier.on_consume(ticket)
+            self._posted = keep
+            self._unexpected = [
+                um for um in self._unexpected
+                if um.envelope.context != context
+            ]
+            self._delivered.notify_all()
+            return True
+
+    def is_revoked(self, context: int) -> bool:
+        """Whether ``context`` has been revoked."""
+        with self._lock:
+            return context in self._revoked
+
+    def purge_unexpected(self, context: int) -> int:
+        """Drop queued unexpected messages on ``context`` (non-sticky).
+
+        Unlike :meth:`revoke_context` this does not condemn the context:
+        the ULFM consensus uses it to clear protocol stragglers from a
+        context it will use again.
+        """
+        with self._lock:
+            before = len(self._unexpected)
+            self._unexpected = [
+                um for um in self._unexpected
+                if um.envelope.context != context
+            ]
+            return before - len(self._unexpected)
 
     def describe_pending(self) -> str:
         """Snapshot of the wait-state for failure diagnostics."""

@@ -35,14 +35,43 @@ HEADER_SIZE = _HEADER.size
 #: communicator contexts are always >= 0, so no collision is possible.
 CONTROL_CONTEXT = -1
 
+#: Reserved (negative) context id marking reliability-protocol ACK
+#: frames (see :mod:`repro.mpi.reliability`).  Like control frames,
+#: ACKs never reach the matching engine; unlike them they are consumed
+#: by the reliability layer's receive shim rather than the detector.
+ACK_CONTEXT = -2
+
+#: High context bit reserved for runtime-internal (ULFM recovery)
+#: traffic.  ``Comm._derive_context`` caps user contexts below this
+#: bit, so ``parent_context | ULFM_CONTEXT_FLAG`` can never collide
+#: with an application communicator.  Frames in this range bypass
+#: fault injection: the recovery protocol must not depend on the very
+#: machinery it is reconfiguring.
+ULFM_CONTEXT_FLAG = 1 << 62
+
 #: Control frame kinds, carried in the envelope tag.
 CTRL_HEARTBEAT = 0
 CTRL_GOODBYE = 1
+CTRL_REVOKE = 2  # payload: packed context id of the revoked communicator
 
 
-def control_envelope(kind: int, source: int, dest: int) -> Envelope:
-    """Build the envelope for a zero-payload control frame."""
-    return Envelope(CONTROL_CONTEXT, source, dest, kind, 0)
+def control_envelope(
+    kind: int, source: int, dest: int, nbytes: int = 0
+) -> Envelope:
+    """Build the envelope for a control frame."""
+    return Envelope(CONTROL_CONTEXT, source, dest, kind, nbytes)
+
+
+def fault_exempt(context: int) -> bool:
+    """Whether frames on ``context`` bypass fault injection.
+
+    Negative contexts (control plane, reliability ACKs) and ULFM
+    recovery traffic are wall-clock driven or load-bearing for
+    recovery itself; faulting them would destroy replay determinism
+    (extra RNG draws at nondeterministic points) or let the chaos
+    layer break the machinery that absorbs the chaos.
+    """
+    return context < 0 or bool(context & ULFM_CONTEXT_FLAG)
 
 
 def pack_header(env: Envelope) -> bytes:
@@ -68,18 +97,38 @@ class Transport(ABC):
         # Optional failure detector (repro.mpi.resilience); duck-typed so
         # transports stay importable without the resilience module.
         self.detector = None
+        # Optional endpoint-level control listener (duck-typed, set by
+        # Endpoint on the innermost transport): receives non-liveness
+        # control frames such as CTRL_REVOKE, which carry communicator
+        # state rather than peer-liveness signals.
+        self.control_listener = None
 
     def attach(self, engine: MatchingEngine) -> None:
         """Bind the matching engine that receives delivered messages."""
         self.engine = engine
 
+    def innermost(self) -> "Transport":
+        """Unwrap transport decorators (faults, reliability) to the fabric."""
+        t = self
+        while True:
+            inner = getattr(t, "inner", None)
+            if inner is None:
+                return t
+            t = inner
+
     def _deliver_local(self, env: Envelope, payload: bytes) -> None:
         """Deliver into the local matching engine (self-sends, loopback).
 
-        Control-plane frames are diverted to the failure detector (and
-        silently dropped when none is attached).
+        Control-plane frames are diverted to the failure detector or the
+        endpoint's control listener (and silently dropped when the
+        target is not attached).
         """
         if env.context == CONTROL_CONTEXT:
+            if env.tag == CTRL_REVOKE:
+                listener = self.control_listener
+                if listener is not None:
+                    listener.on_control(env, payload)
+                return
             detector = self.detector
             if detector is not None:
                 detector.on_control(env)
@@ -88,15 +137,19 @@ class Transport(ABC):
         self.engine.deliver(env, payload)
 
     # -- resilience hooks -------------------------------------------------
-    def send_control(self, dest_world_rank: int, kind: int) -> None:
-        """Best-effort send of a zero-payload control frame.
+    def send_control(
+        self, dest_world_rank: int, kind: int, payload: bytes = b""
+    ) -> None:
+        """Best-effort send of a control frame.
 
         Never raises: a peer that cannot be reached is reported to the
         detector (heartbeat case) or simply skipped (teardown case).
         """
-        env = control_envelope(kind, self.world_rank, dest_world_rank)
+        env = control_envelope(
+            kind, self.world_rank, dest_world_rank, len(payload)
+        )
         try:
-            self.send(dest_world_rank, env, b"")
+            self.send(dest_world_rank, env, payload)
         except Exception as exc:  # noqa: BLE001 - liveness probe
             if kind == CTRL_HEARTBEAT:
                 self.report_peer_lost(
@@ -108,6 +161,21 @@ class Transport(ABC):
         detector = self.detector
         if detector is not None:
             detector.on_peer_lost(peer_world_rank, reason)
+
+    def send_unfaulted(
+        self, dest_world_rank: int, env: Envelope, payload: bytes
+    ) -> None:
+        """Send bypassing any fault-injection layer in the stack.
+
+        Retransmissions by the reliability layer use this path: they are
+        wall-clock driven, so letting them consume fault-plan RNG draws
+        would shift every later op index and destroy replay determinism
+        (the same exemption the control plane gets).  The frame they
+        resend already survived or skipped injection once; injecting it
+        again would also let a hostile seed starve the retry loop.
+        ``FaultyTransport`` overrides this to skip itself.
+        """
+        self.send(dest_world_rank, env, payload)
 
     @abstractmethod
     def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:

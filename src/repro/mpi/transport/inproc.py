@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 
-from ..exceptions import InternalError, RankError
+from ..exceptions import InternalError, RankError, RankFailedError
 from ..matching import Envelope
 from .base import Transport
 
@@ -56,6 +56,24 @@ class InprocFabric:
         # Route through _deliver_local (not engine.deliver) so control
         # frames are intercepted uniformly across transports.
         t._deliver_local(env, payload)
+
+    def mark_rank_failed(self, world_rank: int, reason: str) -> None:
+        """Declare one rank dead to every other rank on the fabric.
+
+        The threads-fabric analogue of a process death: there is no
+        socket to EOF, so the harness calls this when a rank thread
+        crashes.  Routed through each survivor's failure detector when
+        one is attached, else straight into its matching engine.
+        """
+        for r, t in enumerate(self._transports):
+            if r == world_rank or t is None:
+                continue
+            if t.detector is not None:
+                t.detector.on_peer_lost(world_rank, reason)
+            elif t.engine is not None:
+                t.engine.set_failure(
+                    RankFailedError(reason, rank=world_rank)
+                )
 
     def close(self) -> None:
         self._closed = True

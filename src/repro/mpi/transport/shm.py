@@ -192,10 +192,23 @@ class ShmTransport(Transport):
                 _attach(segment_name(job_id, peer, world_rank), False)
             )
             self._write_locks[peer] = threading.Lock()
+
+    def attach(self, engine) -> None:
+        """Bind the engine, *then* start draining the rings.
+
+        Peer processes can write into our rings the moment they come up
+        (there is no rendezvous on shm); frames simply wait in shared
+        memory until the readers start.  Starting the readers before the
+        engine is bound would let an early frame hit an engine-less
+        transport and kill the reader thread.
+        """
+        super().attach(engine)
+        if self._readers:
+            return
         for peer, ring in self._in.items():
             t = threading.Thread(
                 target=self._read_loop, args=(ring,),
-                name=f"shm-read-r{world_rank}-from{peer}", daemon=True,
+                name=f"shm-read-r{self.world_rank}-from{peer}", daemon=True,
             )
             t.start()
             self._readers.append(t)
@@ -242,7 +255,9 @@ class ShmTransport(Transport):
             for off in range(0, len(frame), limit) or [0]:
                 ring.write(frame[off:off + limit], self._closed)
 
-    def send_control(self, dest_world_rank: int, kind: int) -> None:
+    def send_control(
+        self, dest_world_rank: int, kind: int, payload: bytes = b""
+    ) -> None:
         """Control frames use a non-blocking ring write.
 
         There is no EOF on shared memory, so heartbeats are the *only*
@@ -252,9 +267,11 @@ class ShmTransport(Transport):
         ring = self._out.get(dest_world_rank)
         if ring is None or self._closed.is_set():
             return
-        env = control_envelope(kind, self.world_rank, dest_world_rank)
+        env = control_envelope(
+            kind, self.world_rank, dest_world_rank, len(payload)
+        )
         with self._write_locks[dest_world_rank]:
-            ring.try_write(pack_header(env))
+            ring.try_write(pack_header(env) + payload)
 
     def close(self) -> None:
         if self._closed.is_set():

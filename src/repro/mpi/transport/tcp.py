@@ -91,7 +91,9 @@ def dial_with_retry(
                     f"attempt(s): {exc!r}"
                 ) from exc
             # Full jitter keeps simultaneous dialers from re-colliding.
-            time.sleep(min(backoff, deadline - time.monotonic())
+            # The deadline may slip past between the check above and
+            # here under load — clamp so sleep() never goes negative.
+            time.sleep(max(0.0, min(backoff, deadline - time.monotonic()))
                        * random.uniform(0.5, 1.0))
             backoff = min(backoff * 2, max_backoff)
 

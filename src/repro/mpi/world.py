@@ -26,6 +26,7 @@ from . import constants as C
 from .comm import Comm, Endpoint
 from .exceptions import InternalError
 from .group import Group
+from .reliability import reliable_from_env
 from .transport.inproc import InprocFabric
 from .transport.tcp import TcpTransport
 
@@ -37,6 +38,17 @@ ENV_JOB = "OMBPY_JOB"
 ENV_FAULTS = "OMBPY_FAULTS"
 ENV_FAULT_SEED = "OMBPY_FAULT_SEED"
 ENV_FAULT_LOG = "OMBPY_FAULT_LOG"
+
+
+def reliability_stats(transport) -> dict[str, int] | None:
+    """The reliable-delivery counters of a transport stack, if present."""
+    t = transport
+    while t is not None:
+        stats = getattr(t, "stats", None)
+        if callable(stats):
+            return stats()
+        t = getattr(t, "inner", None)
+    return None
 
 
 def _faults_from_env():
@@ -78,6 +90,10 @@ class World:
     def size(self) -> int:
         return self.comm.size
 
+    def reliability_stats(self) -> dict[str, int] | None:
+        """Reliable-delivery counters, or None when the layer is off."""
+        return reliability_stats(self.endpoint.transport)
+
     def finalize(self) -> None:
         """Tear down transports.  Collective in spirit: call on all ranks."""
         # Stop liveness monitoring before sockets go down, so our own
@@ -102,14 +118,18 @@ def _assemble_world(
 
     The fault injector (if the chaos env is set) wraps the transport
     *before* the endpoint attaches, and the mesh is established after, so
-    no inbound frame can race the engine attachment.  The failure
-    detector binds to the *inner* transport — heartbeats must not consume
-    fault-plan RNG draws, or replay determinism dies.
+    no inbound frame can race the engine attachment.  The reliability
+    layer (``OMBPY_RELIABLE``) stacks *outside* the injector — app →
+    reliable → faulty → wire — so injected drops/duplicates/truncations
+    are absorbed before the matching engine sees the stream.  The failure
+    detector binds to the *innermost* transport — heartbeats must not
+    consume fault-plan RNG draws, or replay determinism dies.
     """
     plan = _faults_from_env()
     wrapped = transport
     if plan is not None and plan.active:
         wrapped = _wrap_faults(transport, plan)
+    wrapped = reliable_from_env(wrapped)
     endpoint = Endpoint(wrapped)
     if establish:
         transport.establish_mesh()
@@ -176,6 +196,8 @@ def run_on_threads(
     thread_level: int = C.THREAD_MULTIPLE,
     timeout: float | None = 120.0,
     fault_plan=None,
+    reliable: bool = False,
+    tolerate_crashes: bool = False,
 ) -> list[Any]:
     """Run ``fn(comm)`` on ``n`` ranks-as-threads; return per-rank results.
 
@@ -187,17 +209,31 @@ def run_on_threads(
     transport in the deterministic fault injector — the chaos-test path
     for the threads fabric.  Scheduled crashes should use ``mode="raise"``
     here: a hard exit would take the whole test process down.
+
+    ``reliable`` stacks the ack/retransmit layer outside the injector
+    (app → reliable → faulty → fabric), absorbing injected drops,
+    duplicates, and truncations.  ``tolerate_crashes`` makes an injected
+    rank crash non-fatal to the harness: the crashed rank's peers see it
+    via the fabric's failure notification (as they would see a process
+    death), its own :class:`~repro.faults.InjectedCrash` is not
+    re-raised, and its result stays ``None`` — the ULFM recovery path
+    for the threads fabric.
     """
     fabric = InprocFabric(n)
-    if fault_plan is not None and fault_plan.active:
-        from ..faults import FaultyTransport
 
-        endpoints = [
-            Endpoint(FaultyTransport(fabric.create_transport(r), fault_plan))
-            for r in range(n)
-        ]
-    else:
-        endpoints = [Endpoint(fabric.create_transport(r)) for r in range(n)]
+    def make_transport(r: int):
+        transport = fabric.create_transport(r)
+        if fault_plan is not None and fault_plan.active:
+            from ..faults import FaultyTransport
+
+            transport = FaultyTransport(transport, fault_plan)
+        if reliable:
+            from .reliability import ReliableTransport
+
+            transport = ReliableTransport(transport)
+        return transport
+
+    endpoints = [Endpoint(make_transport(r)) for r in range(n)]
     group = Group(list(range(n)))
     comms = [
         Comm(ep, group, context=0, thread_level=thread_level)
@@ -211,6 +247,12 @@ def run_on_threads(
             results[r] = fn(comms[r])
         except BaseException as exc:  # noqa: BLE001 - propagated below
             errors[r] = exc
+            if type(exc).__name__ == "InjectedCrash":
+                # The thread analogue of a process death: peers find out
+                # through the fabric, as they would through EOF.
+                fabric.mark_rank_failed(
+                    r, f"rank {r} crashed (injected fault: {exc})"
+                )
 
     threads = [
         threading.Thread(target=runner, args=(r,), name=f"rank-{r}", daemon=True)
@@ -231,9 +273,13 @@ def run_on_threads(
             f"{len(alive)} rank thread(s) still running after {timeout}s: "
             f"{[t.name for t in alive]} (likely a collective mismatch)"
         )
+    for ep in endpoints:
+        ep.close()
     fabric.close()
     for err in errors:
         if err is not None:
+            if tolerate_crashes and type(err).__name__ == "InjectedCrash":
+                continue
             raise err
     return results
 

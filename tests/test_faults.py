@@ -6,7 +6,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.faults import CrashSpec, FaultEvent, FaultPlan, FaultyTransport, InjectedCrash
+from repro.faults import (
+    ENV_BACKSTOP_MS, CrashSpec, FaultEvent, FaultPlan, FaultyTransport,
+    InjectedCrash,
+)
 from repro.mpi.matching import Envelope, MatchingEngine
 from repro.mpi.transport.base import (
     CONTROL_CONTEXT, CTRL_HEARTBEAT, Transport, control_envelope,
@@ -100,6 +103,52 @@ class TestFaultPlan:
         plan = FaultPlan(seed=0, crash=CrashSpec(rank=2, at_op=9))
         assert plan.crashes(2) is plan.crash
         assert plan.crashes(0) is None
+
+
+class TestBackstop:
+    """Satellite: the held-message wall-clock backstop as a plan field."""
+
+    def test_plan_field_json_roundtrip(self):
+        plan = FaultPlan(seed=2, delay=0.5, backstop_ms=120.0)
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan and restored.backstop_ms == 120.0
+
+    def test_default_and_validation(self):
+        assert FaultPlan(seed=0).backstop_ms == 500.0
+        with pytest.raises(ValueError, match="backstop_ms"):
+            FaultPlan(seed=0, backstop_ms=0)
+
+    def test_env_knob_overrides_plan(self, monkeypatch):
+        plan = FaultPlan(seed=0, delay=0.1, backstop_ms=400.0)
+        monkeypatch.delenv(ENV_BACKSTOP_MS, raising=False)
+        faulty = FaultyTransport(RecordingTransport(), plan)
+        assert faulty.max_hold_seconds == pytest.approx(0.4)
+        faulty.close()
+        monkeypatch.setenv(ENV_BACKSTOP_MS, "50")
+        faulty = FaultyTransport(RecordingTransport(), plan)
+        assert faulty.max_hold_seconds == pytest.approx(0.05)
+        faulty.close()
+        monkeypatch.setenv(ENV_BACKSTOP_MS, "-1")
+        with pytest.raises(ValueError, match="must be > 0 ms"):
+            FaultyTransport(RecordingTransport(), plan)
+
+    def test_backstop_releases_stranded_held_message(self):
+        """A sender that goes quiet cannot strand its delayed messages."""
+        import time
+
+        plan = FaultPlan(seed=0, delay=1.0, delay_hold=1000,
+                         backstop_ms=50.0)
+        inner = RecordingTransport()
+        faulty = FaultyTransport(inner, plan)
+        try:
+            faulty.send(1, _env(1, 0, 2), b"hi")
+            assert inner.sent == []  # held, and no further op will free it
+            deadline = time.monotonic() + 5.0
+            while not inner.sent and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert [p for _d, _e, p in inner.sent] == [b"hi"]
+        finally:
+            faulty.close()
 
 
 def _drive(plan, ops, rank=0, size=4):

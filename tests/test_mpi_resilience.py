@@ -378,6 +378,53 @@ class TestFailureAttribution:
         assert first_failure == (1, 41)
 
 
+class TestGraceOption:
+    """Satellite: the --grace knob — validation and CLI wiring."""
+
+    def test_negative_grace_rejected_before_spawn(self):
+        from repro.mpi.launcher import launch
+
+        with pytest.raises(ValueError, match="grace period must be >= 0"):
+            launch(1, ["prog"], failfast_grace=-1.0)
+
+    def test_cli_reports_negative_grace(self, capfd):
+        from repro.mpi import launcher
+
+        assert launcher.main(["-n", "1", "--grace", "-2", "prog"]) == 1
+        assert "grace period must be >= 0" in capfd.readouterr().err
+
+    def test_grace_flag_and_alias_reach_launch(self, monkeypatch):
+        from repro.mpi import launcher
+
+        seen = {}
+
+        def fake_launch(n, command, **kwargs):
+            seen.update(kwargs, n=n, command=command)
+            return 0
+
+        monkeypatch.setattr(launcher, "launch", fake_launch)
+        assert launcher.main(["-n", "2", "--grace", "2.5", "prog"]) == 0
+        assert seen["failfast_grace"] == 2.5
+        assert launcher.main(
+            ["-n", "2", "--failfast-grace", "3.5", "prog"]
+        ) == 0
+        assert seen["failfast_grace"] == 3.5
+
+    def test_default_grace_when_flag_omitted(self, monkeypatch):
+        from repro.mpi import launcher
+
+        seen = {}
+
+        def fake_launch(n, command, **kwargs):
+            seen.update(kwargs)
+            return 0
+
+        monkeypatch.setattr(launcher, "launch", fake_launch)
+        assert launcher.main(["-n", "2", "prog"]) == 0
+        assert seen["failfast_grace"] == launcher.DEFAULT_FAILFAST_GRACE
+        assert seen["recover"] is False and seen["reliable"] is False
+
+
 @pytest.mark.slow
 class TestFailFastLaunch:
     @pytest.mark.parametrize("transport", ("tcp", "uds"))
@@ -462,6 +509,41 @@ class TestFailFastLaunch:
         err = capfd.readouterr().err
         assert "rank 1 failed first" in err
         assert "per-rank exit codes" in err
+
+    def test_recover_succeeds_when_survivors_finish(self, tmp_path, capfd):
+        """Satellite: --recover turns a partial failure into success."""
+        from repro.mpi.launcher import launch
+
+        script = tmp_path / "partial.py"
+        script.write_text(textwrap.dedent("""
+            import sys
+            from repro.mpi import init
+            w = init()
+            w.comm.barrier()
+            w.finalize()
+            sys.exit(5 if w.rank == 1 else 0)
+        """))
+        rc = launch(3, [str(script)], timeout=120, recover=True)
+        assert rc == 0
+        err = capfd.readouterr().err
+        assert "recovered" in err and "rank 1 failed" in err
+        # The very same job under default fail-fast supervision reports
+        # the failing rank's code.
+        assert launch(3, [str(script)], timeout=120) == 5
+
+    def test_recover_still_fails_when_no_rank_finishes(self, tmp_path):
+        from repro.mpi.launcher import launch
+
+        script = tmp_path / "allfail.py"
+        script.write_text(textwrap.dedent("""
+            import sys
+            from repro.mpi import init
+            w = init()
+            w.comm.barrier()
+            w.finalize()
+            sys.exit(3)
+        """))
+        assert launch(2, [str(script)], timeout=120, recover=True) == 3
 
     def test_fault_seed_replay_is_identical(self, tmp_path):
         """Same --fault-seed => byte-identical injected-event logs."""

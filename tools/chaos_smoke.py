@@ -16,6 +16,15 @@ end to end:
 Exit status 0 means every check passed.  Run from the repo root::
 
     python tools/chaos_smoke.py
+
+``--recover`` runs the *fault-tolerance* smoke instead: the same
+benchmarks under a harsher lossy plan (drops + duplicates + truncations)
+with the reliable-delivery layer armed must complete **correctly**
+(exit 0, results table printed, retransmit counters reported) on the tcp
+and uds fabrics; and with a scheduled rank crash plus ``--recover``, the
+survivors must shrink the communicator and finish the job with exit 0::
+
+    python tools/chaos_smoke.py --recover
 """
 
 from __future__ import annotations
@@ -52,6 +61,30 @@ CASES = [
     ("osu_latency", ["-m", "1:1024", "-i", "10", "-x", "2"]),
     ("osu_allreduce", ["-m", "4:1024", "-i", "10", "-x", "2"]),
 ]
+
+#: Lossy (but crash-free) plan for the reliable-delivery smoke: every
+#: message may be dropped, duplicated, truncated, or delayed, and the
+#: ack/retransmit layer must absorb all of it.  The short backstop keeps
+#: held (delayed) frames from stretching the run.
+LOSSY_PLAN = {
+    "seed": 11,
+    "drop": 0.05,
+    "duplicate": 0.05,
+    "truncate": 0.03,
+    "delay": 0.05,
+    "backstop_ms": 200.0,
+}
+
+#: Recovery plan: the lossy mix plus a hard crash of rank 1 early in the
+#: run.  With ``--recover`` the two survivors must shrink COMM_WORLD and
+#: finish the benchmark anyway.
+RECOVER_PLAN = {
+    "seed": 11,
+    "drop": 0.02,
+    "duplicate": 0.02,
+    "crash": {"rank": 1, "at_op": 25, "exit_code": CRASH_EXIT,
+              "mode": "exit"},
+}
 
 _failures: list[str] = []
 
@@ -131,7 +164,113 @@ def run_case(bench: str, bench_args: list[str], workdir: str,
     return logs
 
 
+def _launch(plan: dict, workdir: str, tag: str, n: int,
+            launcher_args: list[str], bench: str, bench_args: list[str],
+            ) -> tuple[subprocess.CompletedProcess, float, set[str]]:
+    """Run one launcher job under ``plan``; return (proc, elapsed, leaks)."""
+    plan_path = os.path.join(workdir, f"{tag}-plan.json")
+    with open(plan_path, "w", encoding="utf-8") as fh:
+        json.dump(plan, fh)
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, "-m", "repro.mpi.launcher", "-n", str(n),
+        "--timeout", str(LAUNCH_TIMEOUT), "--faults", plan_path,
+        *launcher_args,
+        sys.executable, "-m", "repro.core.cli", bench, *bench_args,
+    ]
+    leaks_before = snapshot_leaks()
+    start = time.monotonic()
+    proc = subprocess.run(
+        cmd, env=env, capture_output=True, text=True,
+        timeout=LAUNCH_TIMEOUT + 60,
+    )
+    elapsed = time.monotonic() - start
+    leaked = snapshot_leaks() - leaks_before
+    return proc, elapsed, leaked
+
+
+def run_reliable_case(bench: str, bench_args: list[str], transport: str,
+                      workdir: str) -> None:
+    """Lossy plan + ``--reliable``: the benchmark must finish correctly."""
+    proc, elapsed, leaked = _launch(
+        LOSSY_PLAN, workdir, f"rel-{bench}-{transport}", 2,
+        ["--transport", transport, "--reliable"], bench, bench_args,
+    )
+    print(f"{bench} [{transport}, reliable]: rc={proc.returncode} "
+          f"elapsed={elapsed:.1f}s")
+    check(
+        proc.returncode == 0,
+        f"{bench}/{transport}: clean exit under drop+dup+truncate faults "
+        f"(got rc={proc.returncode}; stderr: {proc.stderr.strip()[-300:]})",
+    )
+    check(
+        "# OMB-Py" in proc.stdout,
+        f"{bench}/{transport}: results table printed",
+    )
+    check(
+        "reliability" in proc.stderr and "retransmits=" in proc.stderr,
+        f"{bench}/{transport}: retransmit/duplicate counters reported",
+    )
+    check(not leaked, f"{bench}/{transport}: no leaked UDS/SHM artifacts "
+                      f"({sorted(leaked) or 'none'})")
+
+
+def run_recover_case(workdir: str) -> None:
+    """Crash plan + ``--recover``: survivors shrink and finish with rc 0."""
+    bench, bench_args = "osu_allreduce", [
+        "-m", "4:1024", "-i", "10", "-x", "2", "--recover",
+    ]
+    proc, elapsed, leaked = _launch(
+        RECOVER_PLAN, workdir, "recover", 3,
+        ["--reliable", "--recover"], bench, bench_args,
+    )
+    print(f"{bench} [recover]: rc={proc.returncode} elapsed={elapsed:.1f}s")
+    check(
+        proc.returncode == 0,
+        f"recover: job succeeds after rank 1 crash "
+        f"(got rc={proc.returncode}; stderr: {proc.stderr.strip()[-500:]})",
+    )
+    check(
+        elapsed < LAUNCH_TIMEOUT,
+        f"recover: finished in {elapsed:.1f}s, not the global timeout",
+    )
+    check(
+        "# OMB-Py" in proc.stdout,
+        "recover: survivors printed the results table",
+    )
+    check(
+        "recovered" in proc.stderr,
+        "recover: launcher reports the recovered completion",
+    )
+    orphans = subprocess.run(
+        ["pgrep", "-f", "repro.core.cli"], capture_output=True, text=True,
+    ).stdout.strip()
+    check(not orphans, f"recover: no orphaned rank processes "
+                       f"(found pids: {orphans or 'none'})")
+    check(not leaked, f"recover: no leaked UDS/SHM artifacts "
+                      f"({sorted(leaked) or 'none'})")
+
+
+def main_recover() -> int:
+    with tempfile.TemporaryDirectory(prefix="chaos-recover-") as workdir:
+        for transport in ("tcp", "uds"):
+            for bench, bench_args in CASES:
+                run_reliable_case(bench, bench_args, transport, workdir)
+        run_recover_case(workdir)
+
+    if _failures:
+        print(f"\nchaos recovery smoke FAILED ({len(_failures)} check(s)):")
+        for failure in _failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nchaos recovery smoke passed")
+    return 0
+
+
 def main() -> int:
+    if "--recover" in sys.argv[1:]:
+        return main_recover()
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as workdir:
         for bench, bench_args in CASES:
             run_case(bench, bench_args, workdir, attempt="a")
