@@ -22,6 +22,7 @@ the two flags compose.  The companion static checker is ``ombpy-lint``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ..mpi import init as runtime_init
@@ -73,6 +74,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="FILE",
         help="also write the result table to FILE (.csv or .json by "
         "extension)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect per-rank metrics during the sweep and write the "
+        "merged job view to --metrics-out (plus a per-rank summary "
+        "table on stderr)",
+    )
+    parser.add_argument(
+        "--metrics-out", default="metrics.json", metavar="FILE",
+        help="where to write the merged job metrics (default: "
+        "metrics.json)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record per-rank MPI spans and message events and write "
+        "the merged trace to FILE: Chrome trace JSON, or JSONL when "
+        "FILE ends in .jsonl (implies --metrics)",
     )
     parser.add_argument(
         "--simulate", default=None, metavar="CLUSTER",
@@ -169,9 +187,38 @@ def _write_output(table, path: str, full_stats: bool) -> None:
         target.write_text(table_to_csv(table, full_stats))
 
 
+def _write_job_telemetry(dumps: dict, args) -> None:
+    """Write merged metrics/trace files + the stderr summary (rank 0)."""
+    from ..telemetry.export import render_summary, write_job_files
+
+    if not dumps:
+        return
+    write_job_files(dumps, args.metrics_out, args.trace_out)
+    print(render_summary(dumps), end="", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    tele_env: list[str] = []
+    if args.metrics or args.trace_out:
+        from ..telemetry import ENV_METRICS, ENV_TRACE
 
+        # The flags travel as environment so the world bootstrap (both
+        # the threads fabric and launcher-spawned processes) arms every
+        # rank's telemetry uniformly.
+        os.environ[ENV_METRICS] = "1"
+        tele_env.append(ENV_METRICS)
+        if args.trace_out:
+            os.environ[ENV_TRACE] = "1"
+            tele_env.append(ENV_TRACE)
+    try:
+        return _run(args)
+    finally:
+        for key in tele_env:
+            os.environ.pop(key, None)
+
+
+def _run(args) -> int:
     if args.benchmark == "list":
         for name in available_benchmarks():
             print(name)
@@ -204,8 +251,14 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     if args.threads is not None:
+        tele_dumps: dict[int, dict] = {}
+
         def sweep(comm):
-            return bench.run(BenchContext(comm, options))
+            table = bench.run(BenchContext(comm, options))
+            tele = comm.endpoint.telemetry
+            if tele is not None:
+                tele_dumps[comm.endpoint.world_rank] = tele.dump()
+            return table
 
         if args.recover:
             from ..mpi import ulfm
@@ -225,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
         print_table(table, options.full_stats)
         if args.output:
             _write_output(table, args.output, options.full_stats)
+        if args.metrics or args.trace_out:
+            _write_job_telemetry(tele_dumps, args)
         return 0
 
     from ..mpi.exceptions import (
@@ -248,6 +303,16 @@ def main(argv: list[str] | None = None) -> int:
             print_table(table, options.full_stats)
             if args.output:
                 _write_output(table, args.output, options.full_stats)
+        tele = world.endpoint.telemetry
+        if tele is not None and (args.metrics or args.trace_out):
+            # Collective gather of every rank's dump over the control
+            # plane; rank 0 of the (possibly shrunk) communicator
+            # writes the job files.
+            from ..telemetry.export import collect_job
+
+            job_dumps = collect_job(comm, tele)
+            if job_dumps is not None:
+                _write_job_telemetry(job_dumps, args)
     except (RankFailedError, CommRevokedError) as exc:
         # A peer died mid-run (and recovery, if enabled, ran out of
         # ranks).  Exit with the dedicated cascade code so the launcher
@@ -256,7 +321,9 @@ def main(argv: list[str] | None = None) -> int:
         return RANK_FAILED_EXIT
     finally:
         stats = world.reliability_stats()
-        if stats is not None:
+        if stats is not None and world.endpoint.telemetry is None:
+            # Plain-stderr fallback; with telemetry on the same counters
+            # arrive in the job metrics via the registry mirror.
             rendered = " ".join(f"{k}={v}" for k, v in stats.items())
             print(
                 f"ombpy: rank {world.rank}: reliability {rendered}",

@@ -138,11 +138,16 @@ class Benchmark(ABC):
 
     def _sweep(self, ctx: BenchContext, table: ResultTable) -> None:
         opt = ctx.options
+        tele = ctx.runtime.endpoint.telemetry
         for size in message_sizes(opt.min_size, opt.max_size):
             if size < self.min_message_size:
                 continue
             iters, warm = opt.iterations_for(size)
-            value = self.run_size(ctx, size, iters, warm)
+            if tele is None:
+                value = self.run_size(ctx, size, iters, warm)
+            else:
+                with tele.phase(self.name, size=size, iterations=iters):
+                    value = self.run_size(ctx, size, iters, warm)
             avg, mn, mx, count = ctx.reduce_stats(value)
             if count == 0:
                 raise RuntimeError(

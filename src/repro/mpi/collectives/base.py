@@ -31,6 +31,9 @@ def ctag(comm: Comm) -> int:
 
 def csend(comm: Comm, dest: int, tag: int, payload: bytes) -> None:
     """Internal blocking send under a collective tag."""
+    tele = comm.endpoint.telemetry
+    if tele is not None:
+        tele.on_coll_message(len(payload))
     comm.send_bytes(payload, dest, tag)
 
 
@@ -49,6 +52,9 @@ def csendrecv(
     max_bytes: int,
 ) -> bytes:
     """Internal combined send/receive (deadlock-free pairwise exchange)."""
+    tele = comm.endpoint.telemetry
+    if tele is not None:
+        tele.on_coll_message(len(payload))
     got, _status = comm.sendrecv_bytes(
         payload, dest, tag, source, tag, max_bytes
     )

@@ -15,6 +15,7 @@ from __future__ import annotations
 import itertools
 import struct
 import threading
+import time
 from typing import Sequence
 
 import numpy as np
@@ -47,11 +48,13 @@ class Endpoint:
         transport.innermost().control_listener = self
         self.world_rank = transport.world_rank
         self.world_size = transport.world_size
-        # Optional runtime verifier (repro.analysis.verify) and buffer-race
-        # sanitizer (repro.analysis.sanitize); duck-typed so the runtime
-        # never imports the analysis package.
+        # Optional runtime verifier (repro.analysis.verify), buffer-race
+        # sanitizer (repro.analysis.sanitize), and telemetry
+        # (repro.telemetry); duck-typed so the runtime never imports
+        # those packages.
         self.verifier = None
         self.sanitizer = None
+        self.telemetry = None
 
     def on_control(self, env: Envelope, payload: bytes) -> None:
         """Handle a non-liveness control frame from a peer."""
@@ -156,6 +159,11 @@ class Comm:
         # complete, so don't queue more traffic toward it.
         self._endpoint.engine.check_failure()
         env = Envelope(self._context, self._rank, dest, tag, len(payload))
+        tele = self._endpoint.telemetry
+        if tele is not None:
+            tele.on_send(
+                self._endpoint.world_rank, self._world_rank(dest), env
+            )
         self._endpoint.transport.send(self._world_rank(dest), env, payload)
         return SendRequest(dest, tag, len(payload))
 
@@ -196,7 +204,15 @@ class Comm:
     ) -> tuple[bytes, Status]:
         """Blocking receive; returns (payload, status)."""
         req = self.irecv_bytes(source, tag, max_bytes)
-        req._ticket.wait(timeout)
+        tele = self._endpoint.telemetry
+        if tele is None:
+            req._ticket.wait(timeout)
+        else:
+            t0 = time.time_ns()
+            try:
+                req._ticket.wait(timeout)
+            finally:
+                tele.on_recv_wait(t0, time.time_ns() - t0, source, tag)
         req._finish()
         return req.payload(), req._ticket.status
 
@@ -253,12 +269,19 @@ class Comm:
                 getattr(op, "name", None) if op is not None else None,
             )
 
+    def _run_coll(self, name: str, fn, *args):
+        """Dispatch one collective, under a telemetry span when active."""
+        tele = self._endpoint.telemetry
+        if tele is None:
+            return fn(*args)
+        return tele.run_collective(name, fn, *args)
+
     def barrier(self) -> None:
         """Block until all ranks have entered the barrier."""
         from .collectives import barrier
 
         self._verify_collective("barrier")
-        barrier.barrier(self)
+        self._run_coll("barrier", barrier.barrier, self)
 
     def bcast_bytes(self, payload: bytes | None, root: int) -> bytes:
         """Broadcast raw bytes from ``root``; all ranks return the data."""
@@ -266,7 +289,7 @@ class Comm:
 
         self._check_root(root)
         self._verify_collective("bcast", root)
-        return bcast.bcast(self, payload, root)
+        return self._run_coll("bcast", bcast.bcast, self, payload, root)
 
     def reduce_array(
         self, send: np.ndarray, op, root: int
@@ -276,14 +299,14 @@ class Comm:
 
         self._check_root(root)
         self._verify_collective("reduce", root, op)
-        return reduce_mod.reduce(self, send, op, root)
+        return self._run_coll("reduce", reduce_mod.reduce, self, send, op, root)
 
     def allreduce_array(self, send: np.ndarray, op) -> np.ndarray:
         """Reduce arrays elementwise; every rank returns the result."""
         from .collectives import allreduce
 
         self._verify_collective("allreduce", op=op)
-        return allreduce.allreduce(self, send, op)
+        return self._run_coll("allreduce", allreduce.allreduce, self, send, op)
 
     def gather_bytes(self, payload: bytes, root: int) -> list[bytes] | None:
         """Gather equal-size byte blocks to ``root``."""
@@ -291,7 +314,7 @@ class Comm:
 
         self._check_root(root)
         self._verify_collective("gather", root)
-        return gather.gather(self, payload, root)
+        return self._run_coll("gather", gather.gather, self, payload, root)
 
     def scatter_bytes(
         self, blocks: Sequence[bytes] | None, root: int
@@ -301,21 +324,21 @@ class Comm:
 
         self._check_root(root)
         self._verify_collective("scatter", root)
-        return scatter.scatter(self, blocks, root)
+        return self._run_coll("scatter", scatter.scatter, self, blocks, root)
 
     def allgather_bytes(self, payload: bytes) -> list[bytes]:
         """All ranks gather every rank's equal-size block."""
         from .collectives import allgather
 
         self._verify_collective("allgather")
-        return allgather.allgather(self, payload)
+        return self._run_coll("allgather", allgather.allgather, self, payload)
 
     def alltoall_bytes(self, blocks: Sequence[bytes]) -> list[bytes]:
         """Personalized all-to-all exchange of byte blocks."""
         from .collectives import alltoall
 
         self._verify_collective("alltoall")
-        return alltoall.alltoall(self, blocks)
+        return self._run_coll("alltoall", alltoall.alltoall, self, blocks)
 
     def reduce_scatter_array(
         self, send: np.ndarray, counts: Sequence[int], op
@@ -324,14 +347,17 @@ class Comm:
         from .collectives import reduce_scatter
 
         self._verify_collective("reduce_scatter", op=op)
-        return reduce_scatter.reduce_scatter(self, send, counts, op)
+        return self._run_coll(
+            "reduce_scatter", reduce_scatter.reduce_scatter,
+            self, send, counts, op,
+        )
 
     def scan_array(self, send: np.ndarray, op) -> np.ndarray:
         """Inclusive prefix reduction over ranks."""
         from .collectives import scan
 
         self._verify_collective("scan", op=op)
-        return scan.scan(self, send, op)
+        return self._run_coll("scan", scan.scan, self, send, op)
 
     def gatherv_bytes(
         self, payload: bytes, counts: Sequence[int] | None, root: int
@@ -341,7 +367,9 @@ class Comm:
 
         self._check_root(root)
         self._verify_collective("gatherv", root)
-        return vector.gatherv(self, payload, counts, root)
+        return self._run_coll(
+            "gatherv", vector.gatherv, self, payload, counts, root
+        )
 
     def scatterv_bytes(
         self, blocks: Sequence[bytes] | None, root: int
@@ -351,7 +379,7 @@ class Comm:
 
         self._check_root(root)
         self._verify_collective("scatterv", root)
-        return vector.scatterv(self, blocks, root)
+        return self._run_coll("scatterv", vector.scatterv, self, blocks, root)
 
     def allgatherv_bytes(
         self, payload: bytes, counts: Sequence[int]
@@ -360,14 +388,16 @@ class Comm:
         from .collectives import vector
 
         self._verify_collective("allgatherv")
-        return vector.allgatherv(self, payload, counts)
+        return self._run_coll(
+            "allgatherv", vector.allgatherv, self, payload, counts
+        )
 
     def alltoallv_bytes(self, blocks: Sequence[bytes]) -> list[bytes]:
         """Personalized all-to-all of variable-size byte blocks."""
         from .collectives import vector
 
         self._verify_collective("alltoallv")
-        return vector.alltoallv(self, blocks)
+        return self._run_coll("alltoallv", vector.alltoallv, self, blocks)
 
     def _check_root(self, root: int) -> None:
         if not 0 <= root < self.size:

@@ -37,6 +37,7 @@ import sys
 import threading
 import time
 
+from ..telemetry import ENV_METRICS, ENV_OUT, ENV_TRACE
 from .exceptions import RANK_FAILED_EXIT
 from .world import (
     ENV_COORD, ENV_FAULT_LOG, ENV_FAULT_SEED, ENV_FAULTS, ENV_JOB, ENV_RANK,
@@ -205,6 +206,9 @@ def launch(
     failfast_grace: float = DEFAULT_FAILFAST_GRACE,
     reliable: bool = False,
     recover: bool = False,
+    metrics: bool = False,
+    metrics_out: str = "metrics.json",
+    trace_out: str | None = None,
 ) -> int:
     """Run ``command`` as ``n`` coordinated rank processes.
 
@@ -225,6 +229,14 @@ def launch(
     longer dooms its survivors, and the job succeeds (exit 0) if *any*
     rank finishes cleanly — the contract for ULFM-style
     shrink-and-continue programs.
+
+    ``metrics``/``trace_out`` arm per-rank telemetry
+    (:mod:`repro.telemetry`) in every rank: each rank dumps its metrics
+    (and, with ``trace_out``, its trace events) to a scratch file at
+    finalize; after the job the launcher merges them into
+    ``metrics_out`` (and ``trace_out`` — Chrome trace JSON, or JSONL
+    when the path ends in ``.jsonl``) and prints the per-rank summary
+    table on stderr.
     """
     if n < 1:
         raise ValueError(f"process count must be >= 1, got {n}")
@@ -253,6 +265,17 @@ def launch(
         from .reliability import ENV_RELIABLE
 
         coord_env[ENV_RELIABLE] = "1"
+    telemetry_base = None
+    if metrics or trace_out is not None:
+        import tempfile
+
+        telemetry_base = os.path.join(
+            tempfile.mkdtemp(prefix="ombpy-telemetry-"), "job"
+        )
+        coord_env[ENV_METRICS] = "1"
+        coord_env[ENV_OUT] = telemetry_base
+        if trace_out is not None:
+            coord_env[ENV_TRACE] = "1"
     if transport == "tcp":
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -355,6 +378,30 @@ def launch(
             from .transport.shm import destroy_job_segments
 
             destroy_job_segments(shm_segments)
+        if telemetry_base is not None:
+            _merge_telemetry(telemetry_base, n, metrics_out, trace_out)
+
+
+def _merge_telemetry(
+    base: str, n: int, metrics_out: str, trace_out: str | None
+) -> None:
+    """Merge per-rank dump files into the job artifacts (launcher side)."""
+    import shutil
+
+    from ..telemetry.export import (
+        read_rank_dumps, render_summary, write_job_files,
+    )
+
+    dumps = read_rank_dumps(base, n)
+    if dumps:
+        write_job_files(dumps, metrics_out, trace_out)
+        print(render_summary(dumps), end="", file=sys.stderr)
+    else:
+        print(
+            "ombpy-run: no telemetry dumps found (did the ranks exit "
+            "before World.finalize?)", file=sys.stderr,
+        )
+    shutil.rmtree(os.path.dirname(base), ignore_errors=True)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -410,6 +457,24 @@ def main(argv: list[str] | None = None) -> int:
         "cleanly (for ULFM shrink-and-continue programs)",
     )
     parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect per-rank metrics in every rank and merge them "
+        "into a job-level metrics file after the run (plus a per-rank "
+        "summary table on stderr)",
+    )
+    parser.add_argument(
+        "--metrics-out", default="metrics.json", metavar="FILE",
+        help="where to write the merged job metrics (default: "
+        "metrics.json)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record per-rank MPI spans and message events and merge "
+        "them into FILE: Chrome trace JSON (load in chrome://tracing "
+        "or Perfetto; one pid per rank), or compact JSONL when FILE "
+        "ends in .jsonl (implies --metrics)",
+    )
+    parser.add_argument(
         "command", nargs=argparse.REMAINDER,
         help="program and its arguments",
     )
@@ -420,7 +485,8 @@ def main(argv: list[str] | None = None) -> int:
             transport=args.transport, faults=args.faults,
             fault_seed=args.fault_seed, fault_log=args.fault_log,
             failfast_grace=args.failfast_grace, reliable=args.reliable,
-            recover=args.recover,
+            recover=args.recover, metrics=args.metrics,
+            metrics_out=args.metrics_out, trace_out=args.trace_out,
         )
     except subprocess.TimeoutExpired:
         print(

@@ -152,6 +152,9 @@ class MatchingEngine:
         # Revoked communicator contexts: permanently dead — posted
         # receives fail, queued and future messages are discarded.
         self._revoked: set[int] = set()
+        # Optional telemetry hooks (repro.telemetry); duck-typed so the
+        # engine never imports the telemetry package.
+        self.telemetry = None
 
     # -- receiver side ---------------------------------------------------
     def post_recv(
@@ -178,6 +181,8 @@ class MatchingEngine:
                 if ticket.matches(um.envelope):
                     del self._unexpected[i]
                     ticket.complete(um.envelope, um.payload)
+                    if self.telemetry is not None:
+                        self.telemetry.on_matched_from_queue(um.envelope)
                     return ticket
             if self._failure is not None:
                 ticket.fail(self._failure)
@@ -212,11 +217,20 @@ class MatchingEngine:
                 if ticket.matches(env):
                     del self._posted[i]
                     ticket.complete(env, payload)
+                    if self.telemetry is not None:
+                        self.telemetry.on_delivered(
+                            env, matched=True,
+                            queue_depth=len(self._unexpected),
+                        )
                     self._delivered.notify_all()
                     return
             self._unexpected.append(
                 _Unexpected(env, payload, next(self._order))
             )
+            if self.telemetry is not None:
+                self.telemetry.on_delivered(
+                    env, matched=False, queue_depth=len(self._unexpected)
+                )
             self._delivered.notify_all()
 
     # -- failure propagation ----------------------------------------------

@@ -165,6 +165,10 @@ class ReliableTransport(Transport):
         self._rx_lock = threading.Lock()
         self._stats = dict.fromkeys(_STAT_KEYS, 0)
         self._stats_lock = threading.Lock()
+        # Telemetry mirror: when a registry is bound, every protocol
+        # counter bump also lands in a "reliability.<key>" counter so
+        # the job-level metrics agree with stats() exactly.
+        self._tele_counters: dict | None = None
         # Jitter decorrelates retry storms; it is wall-clock-side only
         # and never touches the fault plan's decision stream.
         self._jitter = random.Random()
@@ -183,9 +187,27 @@ class ReliableTransport(Transport):
     def name(self) -> str:
         return f"reliable({self.inner.name})"
 
+    def bind_telemetry(self, tele) -> None:
+        """Mirror protocol counters into a telemetry metrics registry.
+
+        Called by :func:`repro.telemetry.runtime.install_on_endpoint`
+        while walking the transport stack; pass None to unbind.  The
+        plain ``stats()`` snapshot keeps working either way.
+        """
+        if tele is None or tele.metrics is None:
+            self._tele_counters = None
+            return
+        self._tele_counters = {
+            key: tele.metrics.counter(f"reliability.{key}")
+            for key in _STAT_KEYS
+        }
+
     def _count(self, key: str, n: int = 1) -> None:
         with self._stats_lock:
             self._stats[key] += n
+        counters = self._tele_counters
+        if counters is not None:
+            counters[key].inc(n)
 
     def stats(self) -> dict[str, int]:
         """Snapshot of the protocol counters."""

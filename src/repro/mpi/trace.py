@@ -1,13 +1,25 @@
 """Communication tracing — a PMPI-style profiling layer.
 
-Wraps a transport so every outgoing message is recorded as a
-:class:`TraceEvent`.  Used two ways:
+A thin structural-trace shim over :mod:`repro.telemetry`: a
+:class:`TraceLog` subscribes to the per-rank telemetry message stream
+and records every **send**, **recv** (arrival at the receiver's
+matching engine), and **complete** (a receive matched against the
+unexpected queue) as a :class:`TraceEvent`.  Used two ways:
 
-* as a debugging/profiling tool (`with trace_world(...)` in user code);
+* as a debugging/profiling tool (``with traced(comm) as log:`` in user
+  code) — for full span traces and job-level Chrome output use
+  ``ombpy --trace-out`` instead;
 * by the test suite to assert the *structure* of collective algorithms —
   a binomial broadcast must move exactly p-1 payload messages, a ring
   allgather exactly p*(p-1), recursive doubling p*log2(p) — independent
   of whether the numerical results happen to be right.
+
+Event coordinates: ``send`` events carry world ranks on both ends;
+``recv``/``complete`` events carry the sender's communicator-local rank
+in ``src_world`` (identical to the world rank on COMM_WORLD, which is
+what the structural tests trace) and the receiving endpoint's world
+rank in ``dst_world``.  Queries filter to ``kind="send"`` by default,
+so message-count assertions keep their historical meaning.
 """
 
 from __future__ import annotations
@@ -17,14 +29,13 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from ..telemetry import Telemetry, install_on_endpoint, uninstall_from_endpoint
 from .comm import Comm
-from .matching import Envelope
-from .transport.base import Transport
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One traced send."""
+    """One traced message event (send, recv, or complete)."""
 
     src_world: int
     dst_world: int
@@ -32,6 +43,7 @@ class TraceEvent:
     tag: int
     nbytes: int
     t_ns: int
+    kind: str = "send"
 
 
 @dataclass
@@ -45,91 +57,100 @@ class TraceLog:
         with self._lock:
             self.events.append(event)
 
-    def snapshot(self) -> list[TraceEvent]:
+    def on_message(
+        self, kind: str, src: int, dst: int, context: int, tag: int,
+        nbytes: int,
+    ) -> None:
+        """Telemetry message-sink entry point (see ``add_message_sink``)."""
+        self.record(TraceEvent(
+            src_world=src, dst_world=dst, context=context, tag=tag,
+            nbytes=nbytes, t_ns=time.perf_counter_ns(), kind=kind,
+        ))
+
+    def snapshot(self, kind: str | None = "send") -> list[TraceEvent]:
         """Consistent copy of the events recorded so far.
 
         Queries must not iterate ``self.events`` directly: transport
         reader threads append concurrently, and a list resize mid-iteration
-        raises ``RuntimeError`` (or silently skips events).
+        raises ``RuntimeError`` (or silently skips events).  ``kind``
+        filters to one event kind; pass None for all kinds.
         """
         with self._lock:
-            return list(self.events)
+            events = list(self.events)
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
 
     # -- queries --------------------------------------------------------
-    def message_count(self, include_self: bool = False) -> int:
+    def message_count(
+        self, include_self: bool = False, kind: str | None = "send"
+    ) -> int:
         """Total sends (self-sends excluded by default)."""
         return sum(
-            1 for e in self.snapshot()
+            1 for e in self.snapshot(kind)
             if include_self or e.src_world != e.dst_world
         )
 
-    def total_bytes(self, include_self: bool = False) -> int:
+    def total_bytes(
+        self, include_self: bool = False, kind: str | None = "send"
+    ) -> int:
         return sum(
-            e.nbytes for e in self.snapshot()
+            e.nbytes for e in self.snapshot(kind)
             if include_self or e.src_world != e.dst_world
         )
 
-    def by_pair(self) -> dict[tuple[int, int], int]:
+    def by_pair(self, kind: str | None = "send") -> dict[tuple[int, int], int]:
         """{(src, dst): message count}."""
         out: dict[tuple[int, int], int] = {}
-        for e in self.snapshot():
+        for e in self.snapshot(kind):
             key = (e.src_world, e.dst_world)
             out[key] = out.get(key, 0) + 1
         return out
 
-    def senders(self) -> set[int]:
-        return {e.src_world for e in self.snapshot()}
+    def senders(self, kind: str | None = "send") -> set[int]:
+        return {e.src_world for e in self.snapshot(kind)}
+
+    def receives(self) -> list[TraceEvent]:
+        """Arrival events (one per message reaching the matching engine)."""
+        return self.snapshot("recv")
+
+    def completions(self) -> list[TraceEvent]:
+        """Receive-completion events (posted hit or unexpected-queue hit)."""
+        return self.snapshot("complete")
 
     def clear(self) -> None:
         with self._lock:
             self.events.clear()
 
 
-class TracingTransport(Transport):
-    """Decorator transport: records, then forwards to the inner one."""
-
-    def __init__(self, inner: Transport, log: TraceLog) -> None:
-        super().__init__(inner.world_rank, inner.world_size)
-        self._inner = inner
-        self._log = log
-
-    def attach(self, engine) -> None:  # type: ignore[override]
-        super().attach(engine)
-        self._inner.attach(engine)
-
-    def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
-        self._log.record(TraceEvent(
-            src_world=self.world_rank,
-            dst_world=dest_world_rank,
-            context=env.context,
-            tag=env.tag,
-            nbytes=env.nbytes,
-            t_ns=time.perf_counter_ns(),
-        ))
-        self._inner.send(dest_world_rank, env, payload)
-
-    def close(self) -> None:
-        self._inner.close()
-
-
 @contextmanager
-def traced(comm: Comm):
-    """Trace all traffic leaving this rank's endpoint.
+def traced(comm: Comm, log: TraceLog | None = None):
+    """Trace all message traffic on this rank's endpoint.
 
-    Yields the shared :class:`TraceLog`.  Tracing is installed by swapping
-    the endpoint's transport for a recording decorator and restored on
-    exit; all communicators sharing the endpoint are traced.
+    Yields a :class:`TraceLog` subscribed to the endpoint's telemetry
+    message stream.  When the endpoint has no telemetry installed (the
+    common case — no ``--metrics``/``--trace-out``), a minimal
+    sink-only :class:`~repro.telemetry.Telemetry` is installed for the
+    duration and removed on exit; an already-active telemetry is reused
+    and left untouched.  All communicators sharing the endpoint are
+    traced.
     """
     endpoint = comm.endpoint
-    original = endpoint.transport
-    log = TraceLog()
-    wrapper = TracingTransport(original, log)
-    wrapper.engine = endpoint.engine
-    endpoint.transport = wrapper
+    if log is None:
+        log = TraceLog()
+    tele = endpoint.telemetry
+    installed = None
+    if tele is None:
+        installed = Telemetry(endpoint.world_rank, metrics=False, trace=False)
+        install_on_endpoint(endpoint, installed)
+        tele = installed
+    tele.add_message_sink(log.on_message)
     try:
         yield log
     finally:
-        endpoint.transport = original
+        tele.remove_message_sink(log.on_message)
+        if installed is not None:
+            uninstall_from_endpoint(endpoint)
 
 
 def run_traced(n: int, fn, timeout: float = 60.0) -> TraceLog:
@@ -144,15 +165,8 @@ def run_traced(n: int, fn, timeout: float = 60.0) -> TraceLog:
     shared = TraceLog()
 
     def work(comm: Comm):
-        endpoint = comm.endpoint
-        original = endpoint.transport
-        wrapper = TracingTransport(original, shared)
-        wrapper.engine = endpoint.engine
-        endpoint.transport = wrapper
-        try:
+        with traced(comm, shared):
             return fn(comm)
-        finally:
-            endpoint.transport = original
 
     run_on_threads(n, work, timeout=timeout)
     return shared

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 from typing import Callable, TypeVar
 
 from .comm import Comm
@@ -83,6 +84,7 @@ def revoke(comm: Comm) -> None:
     local revocation is unconditional and idempotent.
     """
     endpoint = comm.endpoint
+    _count(endpoint, "ulfm.revokes")
     payload = _WORD.pack(comm.context)
     already_dead = endpoint.engine.failed_ranks()
     for wr in comm.Get_group().world_ranks():
@@ -101,6 +103,7 @@ def shrink(comm: Comm, timeout: float | None = None) -> Comm:
     and the (rank-aligned) recovery attempt number, so all survivors
     construct the identical communicator without further traffic.
     """
+    _count(comm.endpoint, "ulfm.shrinks")
     dead, _flag, attempt = _converge(comm, True, timeout)
     survivors = [
         wr for wr in comm.Get_group().world_ranks() if wr not in dead
@@ -119,8 +122,16 @@ def agree(
     comm: Comm, flag: bool = True, timeout: float | None = None
 ) -> bool:
     """Fault-tolerant agreement: AND of every live member's ``flag``."""
+    _count(comm.endpoint, "ulfm.agreements")
     _dead, result, _attempt = _converge(comm, flag, timeout)
     return result
+
+
+def _count(endpoint, name: str, n: int = 1) -> None:
+    """Bump a telemetry counter when the endpoint carries a registry."""
+    tele = endpoint.telemetry
+    if tele is not None and tele.metrics is not None:
+        tele.metrics.counter(name).inc(n)
 
 
 def run_with_recovery(
@@ -200,6 +211,8 @@ def _converge(
     engine.acknowledge_failure()
     dead = {wr for wr in engine.failed_ranks() if wr in member_set}
     flag_word = 1 if flag else 0
+    tele = endpoint.telemetry
+    t0 = time.time_ns()
 
     max_rounds = 4 * len(members) + 4
     for rnd in range(max_rounds):
@@ -265,6 +278,13 @@ def _converge(
             # Clear recovery-protocol stragglers (duplicate round
             # messages a peer resent before converging).
             engine.purge_unexpected(uctx)
+            if tele is not None:
+                _count(endpoint, "ulfm.rounds", rnd + 1)
+                if tele.tracer is not None:
+                    tele.tracer.complete(
+                        "ulfm.converge", "ulfm", t0, time.time_ns() - t0,
+                        {"rounds": rnd + 1, "dead": sorted(dead)},
+                    )
             return dead, flag_word == 1, attempt
 
     raise MPIError(

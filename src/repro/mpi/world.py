@@ -22,6 +22,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..telemetry import ENV_OUT, install_on_endpoint, telemetry_from_env
 from . import constants as C
 from .comm import Comm, Endpoint
 from .exceptions import InternalError
@@ -96,6 +97,13 @@ class World:
 
     def finalize(self) -> None:
         """Tear down transports.  Collective in spirit: call on all ranks."""
+        # Persist this rank's telemetry before the channel goes down so
+        # the launcher can merge the per-rank dumps after the job exits.
+        tele = self.endpoint.telemetry
+        if tele is not None and os.environ.get(ENV_OUT):
+            from ..telemetry.export import write_rank_dump
+
+            write_rank_dump(os.environ[ENV_OUT], tele)
         # Stop liveness monitoring before sockets go down, so our own
         # teardown is not reported as a peer failure.
         if self._detector is not None:
@@ -131,6 +139,9 @@ def _assemble_world(
         wrapped = _wrap_faults(transport, plan)
     wrapped = reliable_from_env(wrapped)
     endpoint = Endpoint(wrapped)
+    tele = telemetry_from_env(transport.world_rank)
+    if tele is not None:
+        install_on_endpoint(endpoint, tele)
     if establish:
         transport.establish_mesh()
     from .resilience import detector_from_env
@@ -150,6 +161,9 @@ def init(thread_level: int = C.THREAD_MULTIPLE) -> World:
     if ENV_RANK not in os.environ:
         fabric = InprocFabric(1)
         endpoint = Endpoint(fabric.create_transport(0))
+        tele = telemetry_from_env(0)
+        if tele is not None:
+            install_on_endpoint(endpoint, tele)
         comm = Comm(endpoint, Group([0]), context=0, thread_level=thread_level)
         return World(comm, endpoint, fabric)
 
@@ -234,6 +248,10 @@ def run_on_threads(
         return transport
 
     endpoints = [Endpoint(make_transport(r)) for r in range(n)]
+    for ep in endpoints:
+        tele = telemetry_from_env(ep.world_rank)
+        if tele is not None:
+            install_on_endpoint(ep, tele)
     group = Group(list(range(n)))
     comms = [
         Comm(ep, group, context=0, thread_level=thread_level)
@@ -274,6 +292,10 @@ def run_on_threads(
             f"{[t.name for t in alive]} (likely a collective mismatch)"
         )
     for ep in endpoints:
+        if ep.telemetry is not None and os.environ.get(ENV_OUT):
+            from ..telemetry.export import write_rank_dump
+
+            write_rank_dump(os.environ[ENV_OUT], ep.telemetry)
         ep.close()
     fabric.close()
     for err in errors:

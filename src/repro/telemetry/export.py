@@ -1,0 +1,212 @@
+"""Job-level telemetry assembly: gather, merge, and write.
+
+A *dump* is one rank's JSON-ready payload (``Telemetry.dump()``:
+metrics snapshot + trace events).  This module moves dumps from the
+ranks to wherever the whole-job view is built and renders the three
+job-level artifacts:
+
+* ``metrics.json`` — per-rank registries plus a merged ``job`` section;
+* ``trace.json`` — Chrome trace (one pid per rank) or compact JSONL
+  when the output path ends in ``.jsonl``;
+* the end-of-job per-rank summary table printed to stderr.
+
+Two transport paths exist for the gather:
+
+* **in-job** (:func:`collect_job`): every rank serializes its dump and
+  rank 0 collects them with ``gatherv_bytes`` over COMM_WORLD — the
+  same byte-level plane all application traffic uses, so it works
+  unchanged on the threads, TCP, UDS, and SHM fabrics;
+* **launcher-side** (:func:`write_rank_dump` / :func:`read_rank_dumps`):
+  each rank writes ``<base>.rank<r>.json`` at finalize and ``ombpy-run``
+  merges after the job exits — this covers arbitrary programs that never
+  call the CLI's gather.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from .metrics import merge_snapshots
+from .runtime import SCHEMA, Telemetry
+
+METRICS_SCHEMA = "ombpy-metrics/1"
+
+
+# -- dump (de)serialization ----------------------------------------------
+def dump_to_bytes(dump: dict) -> bytes:
+    return json.dumps(dump, separators=(",", ":"), sort_keys=True).encode()
+
+
+def dump_from_bytes(data: bytes) -> dict:
+    dump = json.loads(data.decode())
+    if not isinstance(dump, dict) or dump.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a telemetry dump (expected schema {SCHEMA!r})"
+        )
+    if not isinstance(dump.get("rank"), int):
+        raise ValueError("telemetry dump missing integer 'rank'")
+    return dump
+
+
+# -- per-rank dump files (launcher path) ---------------------------------
+def rank_dump_path(base: str, rank: int) -> str:
+    return f"{base}.rank{rank}.json"
+
+
+def write_rank_dump(base: str, tele: Telemetry) -> str:
+    """Write one rank's dump to ``<base>.rank<r>.json``; returns the path."""
+    path = rank_dump_path(base, tele.rank)
+    with open(path, "wb") as fh:
+        fh.write(dump_to_bytes(tele.dump()))
+    return path
+
+
+def read_rank_dumps(base: str, n: int) -> dict[int, dict]:
+    """Read whatever per-rank dumps exist under ``base`` (missing ok)."""
+    dumps: dict[int, dict] = {}
+    for rank in range(n):
+        try:
+            with open(rank_dump_path(base, rank), "rb") as fh:
+                dumps[rank] = dump_from_bytes(fh.read())
+        except (OSError, ValueError):
+            continue
+    return dumps
+
+
+# -- in-job gather (control-plane path) ----------------------------------
+def collect_job(comm, tele: Telemetry) -> dict[int, dict] | None:
+    """Gather every rank's dump to rank 0 over the communicator.
+
+    Collective: all ranks must call it.  Returns {rank: dump} on rank 0
+    and None elsewhere.  The dump rides the same byte-level plane as
+    application traffic, so the snapshot round-trips the process
+    transports exactly like any other message.
+    """
+    payload = dump_to_bytes(tele.dump())
+    gathered = comm.gatherv_bytes(payload, None, 0)
+    if gathered is None:
+        return None
+    dumps = {}
+    for blob in gathered:
+        dump = dump_from_bytes(blob)
+        dumps[dump["rank"]] = dump
+    return dumps
+
+
+# -- job-level artifacts -------------------------------------------------
+def merged_metrics(dumps: dict[int, dict]) -> dict:
+    """Per-rank registries + a merged job section (counters summed)."""
+    per_rank = {
+        str(rank): dump.get("metrics") or {}
+        for rank, dump in sorted(dumps.items())
+    }
+    return {
+        "schema": METRICS_SCHEMA,
+        "nranks": len(dumps),
+        "ranks": per_rank,
+        "job": merge_snapshots(list(per_rank.values())),
+    }
+
+
+def chrome_trace(dumps: dict[int, dict]) -> dict:
+    """Merge per-rank trace events into one Chrome trace document.
+
+    One pid per rank (with a ``process_name`` metadata record), ts/dur
+    in microseconds relative to the earliest event in the job.
+    """
+    base_ts = min(
+        (e[3] for dump in dumps.values() for e in dump.get("trace", [])),
+        default=0,
+    )
+    trace_events: list[dict] = []
+    for rank, dump in sorted(dumps.items()):
+        trace_events.append({
+            "ph": "M", "name": "process_name", "pid": rank, "tid": 0,
+            "args": {"name": f"rank {rank}"},
+        })
+        for ph, name, cat, ts_ns, dur_ns, tid, args in dump.get("trace", []):
+            event = {
+                "name": name, "cat": cat, "ph": ph, "pid": rank, "tid": tid,
+                "ts": (ts_ns - base_ts) / 1000.0,
+            }
+            if ph == "X":
+                event["dur"] = dur_ns / 1000.0
+            elif ph == "i":
+                event["s"] = "t"
+            if args:
+                event["args"] = args
+            trace_events.append(event)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def trace_jsonl(dumps: dict[int, dict]) -> str:
+    """Compact JSONL: one ``[rank, ph, name, cat, ts, dur, tid, args]``/line."""
+    out = io.StringIO()
+    for rank, dump in sorted(dumps.items()):
+        for event in dump.get("trace", []):
+            out.write(
+                json.dumps([rank] + list(event), separators=(",", ":"))
+            )
+            out.write("\n")
+    return out.getvalue()
+
+
+def write_job_files(
+    dumps: dict[int, dict],
+    metrics_path: str | None = None,
+    trace_path: str | None = None,
+) -> None:
+    """Write the merged job artifacts (either path may be None)."""
+    if metrics_path:
+        with open(metrics_path, "w") as fh:
+            json.dump(merged_metrics(dumps), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    if trace_path:
+        if trace_path.endswith(".jsonl"):
+            with open(trace_path, "w") as fh:
+                fh.write(trace_jsonl(dumps))
+        else:
+            with open(trace_path, "w") as fh:
+                json.dump(chrome_trace(dumps), fh)
+                fh.write("\n")
+
+
+# -- summary table -------------------------------------------------------
+def _rank_row(metrics: dict) -> tuple[int, int, int, int, float]:
+    counters = metrics.get("counters", {})
+    hist = metrics.get("histograms", {}).get("coll.us", {})
+    return (
+        int(counters.get("comm.msgs_sent", 0)),
+        int(counters.get("comm.bytes_sent", 0)),
+        int(counters.get("comm.msgs_recvd", 0)),
+        int(counters.get("reliability.retransmits", 0)),
+        float(hist.get("sum", 0.0)) / 1000.0,
+    )
+
+
+def render_summary(dumps: dict[int, dict]) -> str:
+    """Per-rank end-of-job table (msgs, bytes, retransmits, coll time)."""
+    out = io.StringIO()
+    header = (
+        f"{'# rank':<8}{'msgs':>12}{'bytes':>16}{'recvd':>12}"
+        f"{'retrans':>10}{'coll_ms':>12}\n"
+    )
+    out.write("# telemetry: per-rank summary\n")
+    out.write(header)
+    totals = [0, 0, 0, 0, 0.0]
+    for rank, dump in sorted(dumps.items()):
+        row = _rank_row(dump.get("metrics") or {})
+        for i, v in enumerate(row):
+            totals[i] += v
+        dropped = dump.get("trace_dropped", 0)
+        note = f"  (+{dropped} trace events dropped)" if dropped else ""
+        out.write(
+            f"{rank:<8}{row[0]:>12}{row[1]:>16}{row[2]:>12}{row[3]:>10}"
+            f"{row[4]:>12.2f}{note}\n"
+        )
+    out.write(
+        f"{'job':<8}{totals[0]:>12}{totals[1]:>16}{totals[2]:>12}"
+        f"{totals[3]:>10}{totals[4]:>12.2f}\n"
+    )
+    return out.getvalue()

@@ -1,0 +1,224 @@
+"""Metrics primitives: counters, gauges, and log2-bucket histograms.
+
+The registry is the per-rank store every runtime layer reports into:
+the communicator counts messages and bytes, the matching engine counts
+queue traffic, the reliability layer mirrors its protocol counters, the
+collectives record latency histograms.  Snapshots are plain
+JSON-serializable dicts, so a rank's registry can ride the existing
+byte-level control plane (``gatherv_bytes``) or a per-rank dump file to
+wherever the whole-job view is assembled.
+
+Design constraints:
+
+* **cheap** — instruments are tiny lock-guarded objects; the hot paths
+  pre-resolve them once (see :class:`~repro.telemetry.runtime.Telemetry`)
+  so a counted send costs one lock + one integer add.  When telemetry is
+  disabled nothing here is ever constructed.
+* **thread-safe** — transports deliver from reader threads while
+  application threads send; every mutation takes the instrument's lock.
+* **mergeable** — :func:`merge_snapshots` folds any number of per-rank
+  snapshots into one job-level view (counters sum, gauges take the max,
+  histogram bins add elementwise).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+#: Number of log2 latency bins.  Bin 0 is [0, 1); bin i (i >= 1) is
+#: [2**(i-1), 2**i); the last bin absorbs everything larger.  28 bins
+#: cover [0, ~134s) in microseconds — wider than any sane MPI call.
+DEFAULT_BUCKETS = 28
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-written (or peak) float value."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, v: float) -> None:
+        with self._lock:
+            self._value = float(v)
+
+    def set_max(self, v: float) -> None:
+        """Record ``v`` if it exceeds the current value (peak tracking)."""
+        with self._lock:
+            if v > self._value:
+                self._value = float(v)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed log2-bucket histogram (values in microseconds by convention).
+
+    Bucket boundaries are powers of two: bucket 0 holds values below 1,
+    bucket i holds [2**(i-1), 2**i), and the final bucket is unbounded.
+    Log2 binning keeps ``observe`` branch-free (one ``bit_length``) and
+    makes bins from different ranks merge by elementwise addition.
+    """
+
+    __slots__ = ("_buckets", "_count", "_sum", "_lock")
+
+    def __init__(self, nbuckets: int = DEFAULT_BUCKETS) -> None:
+        if nbuckets < 2:
+            raise ValueError(f"histogram needs >= 2 buckets, got {nbuckets}")
+        self._buckets = [0] * nbuckets
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def bucket_index(value: float, nbuckets: int = DEFAULT_BUCKETS) -> int:
+        """The log2 bin for ``value`` (clamped into the last bin)."""
+        if value < 1:
+            return 0
+        return min(int(value).bit_length(), nbuckets - 1)
+
+    @staticmethod
+    def bucket_bounds(i: int, nbuckets: int = DEFAULT_BUCKETS) -> tuple[float, float]:
+        """[lo, hi) of bin ``i`` (the last bin's hi is +inf)."""
+        if i == 0:
+            return 0.0, 1.0
+        hi = float("inf") if i == nbuckets - 1 else float(1 << i)
+        return float(1 << (i - 1)), hi
+
+    def observe(self, value: float) -> None:
+        idx = self.bucket_index(value, len(self._buckets))
+        with self._lock:
+            self._buckets[idx] += 1
+            self._count += 1
+            self._sum += value
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": list(self._buckets),
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments with a snapshot view."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter()
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge()
+            return g
+
+    def histogram(self, name: str, nbuckets: int = DEFAULT_BUCKETS) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(nbuckets)
+            return h
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: {"counters": ..., "gauges": ..., "histograms": ...}."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: c.value for k, c in sorted(counters.items())},
+            "gauges": {k: g.value for k, g in sorted(gauges.items())},
+            "histograms": {
+                k: h.snapshot() for k, h in sorted(histograms.items())
+            },
+        }
+
+
+def snapshot_to_bytes(snapshot: dict) -> bytes:
+    """Serialize a snapshot for the control plane (compact JSON)."""
+    return json.dumps(snapshot, separators=(",", ":"), sort_keys=True).encode()
+
+
+def snapshot_from_bytes(data: bytes) -> dict:
+    """Inverse of :func:`snapshot_to_bytes`; validates the shape."""
+    snap = json.loads(data.decode())
+    if not isinstance(snap, dict):
+        raise ValueError("metrics snapshot must be a JSON object")
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(snap.get(key, {}), dict):
+            raise ValueError(f"metrics snapshot field {key!r} must be a dict")
+    return snap
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Fold per-rank snapshots into one job-level snapshot.
+
+    Counters and histogram bins add; gauges keep the max across ranks
+    (they are peaks/levels, not totals).
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, v in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(v)
+        for name, v in snap.get("gauges", {}).items():
+            gauges[name] = max(gauges.get(name, float("-inf")), float(v))
+        for name, h in snap.get("histograms", {}).items():
+            got = histograms.get(name)
+            if got is None:
+                histograms[name] = {
+                    "count": int(h["count"]),
+                    "sum": float(h["sum"]),
+                    "buckets": [int(b) for b in h["buckets"]],
+                }
+                continue
+            got["count"] += int(h["count"])
+            got["sum"] += float(h["sum"])
+            theirs = h["buckets"]
+            if len(theirs) > len(got["buckets"]):
+                got["buckets"].extend([0] * (len(theirs) - len(got["buckets"])))
+            for i, b in enumerate(theirs):
+                got["buckets"][i] += int(b)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }

@@ -6,6 +6,7 @@ algorithm it claims, not merely that results are numerically right.
 """
 
 import math
+import threading
 
 import numpy as np
 import pytest
@@ -38,6 +39,42 @@ class TestTracer:
         assert log.message_count() == 1
         assert log.total_bytes() == 3
         assert log.by_pair() == {(0, 1): 1}
+
+    def test_records_receive_and_completion_events(self):
+        # Hold traffic until every rank's trace sink is installed, so
+        # the receiver cannot miss an early arrival.
+        gate = threading.Barrier(2)
+
+        def work(comm):
+            gate.wait()
+            if comm.rank == 0:
+                comm.send_bytes(b"abc", 1, 9)
+            elif comm.rank == 1:
+                comm.recv_bytes(0, 9, 8)
+
+        log = run_traced(2, work)
+        # The one payload message is seen arriving at rank 1...
+        recvs = [e for e in log.receives() if e.nbytes == 3]
+        assert len(recvs) == 1
+        assert recvs[0].src_world == 0
+        assert recvs[0].dst_world == 1
+        # ...and completing against a receive (posted or unexpected).
+        completes = [e for e in log.completions() if e.nbytes == 3]
+        assert len(completes) == 1
+
+    def test_every_send_eventually_completes(self):
+        gate = threading.Barrier(4)
+
+        def work(comm):
+            gate.wait()
+            comm.allgather_bytes(bytes([comm.rank]) * 8)
+            comm.barrier()
+
+        log = run_traced(4, work)
+        sends = log.message_count(include_self=True)
+        assert sends > 0
+        assert len(log.receives()) == sends
+        assert len(log.completions()) == sends
 
     def test_self_sends_filtered_by_default(self):
         def work(comm):
@@ -84,7 +121,7 @@ class TestAlgorithmStructure:
         log = _collective_trace(n, work, "bcast", "binomial")
         # p-1 header messages + p-1 payload messages.
         payload_msgs = [
-            e for e in log.events
+            e for e in log.snapshot()
             if e.nbytes == 64 and e.src_world != e.dst_world
         ]
         assert len(payload_msgs) == n - 1
@@ -97,7 +134,7 @@ class TestAlgorithmStructure:
             comm.bcast_bytes(payload if comm.rank == 0 else None, 0)
 
         log = _collective_trace(n, work, "bcast", "linear")
-        payload_msgs = [e for e in log.events if e.nbytes == 32]
+        payload_msgs = [e for e in log.snapshot() if e.nbytes == 32]
         assert len(payload_msgs) == n - 1
         assert all(e.src_world == 0 for e in payload_msgs)
 
@@ -107,7 +144,7 @@ class TestAlgorithmStructure:
             comm.allgather_bytes(bytes([comm.rank]) * 16)
 
         log = _collective_trace(n, work, "allgather", "ring")
-        data_msgs = [e for e in log.events if e.nbytes == 16]
+        data_msgs = [e for e in log.snapshot() if e.nbytes == 16]
         # Ring: p-1 steps, every rank sends one block per step.
         assert len(data_msgs) == n * (n - 1)
         # Each rank only ever sends to its right neighbour.
@@ -120,7 +157,7 @@ class TestAlgorithmStructure:
             comm.allreduce_array(np.ones(4), ops.SUM)
 
         log = _collective_trace(n, work, "allreduce", "recursive_doubling")
-        data_msgs = [e for e in log.events if e.nbytes == 32]
+        data_msgs = [e for e in log.snapshot() if e.nbytes == 32]
         # Power-of-two p: log2(p) rounds, p messages per round.
         assert len(data_msgs) == n * int(math.log2(n))
 
@@ -131,7 +168,7 @@ class TestAlgorithmStructure:
 
         log = _collective_trace(n, work, "alltoall", "pairwise")
         data_msgs = [
-            e for e in log.events
+            e for e in log.snapshot()
             if e.nbytes == 8 and e.src_world != e.dst_world
         ]
         # Every ordered pair exchanges exactly one block.
@@ -159,7 +196,7 @@ class TestAlgorithmStructure:
         log = _collective_trace(n, work)
         # ceil(log2 p) rounds, one zero-byte token per rank per round.
         expected = n * math.ceil(math.log2(n))
-        zero_msgs = [e for e in log.events if e.nbytes == 0]
+        zero_msgs = [e for e in log.snapshot() if e.nbytes == 0]
         assert len(zero_msgs) == expected
 
     def test_bruck_total_volume_exceeds_pairwise_per_message_economy(self):

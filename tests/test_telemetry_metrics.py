@@ -1,0 +1,206 @@
+"""Unit tests for the telemetry metrics primitives.
+
+Covers the log2-bucket histogram math, registry snapshots, the
+serialization used on the control plane, and cross-rank merging.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry,
+    merge_snapshots, snapshot_from_bytes, snapshot_to_bytes,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_gauge_set_and_peak(self):
+        g = Gauge()
+        g.set(3.5)
+        assert g.value == 3.5
+        g.set_max(2.0)
+        assert g.value == 3.5
+        g.set_max(7.0)
+        assert g.value == 7.0
+
+    def test_counter_thread_safety(self):
+        c = Counter()
+
+        def bump():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+
+class TestHistogramBuckets:
+    def test_bucket_zero_holds_sub_one(self):
+        assert Histogram.bucket_index(0) == 0
+        assert Histogram.bucket_index(0.25) == 0
+        assert Histogram.bucket_index(0.999) == 0
+
+    def test_log2_boundaries(self):
+        # Bucket i (i >= 1) holds [2**(i-1), 2**i).
+        assert Histogram.bucket_index(1) == 1
+        assert Histogram.bucket_index(1.9) == 1
+        assert Histogram.bucket_index(2) == 2
+        assert Histogram.bucket_index(3.99) == 2
+        assert Histogram.bucket_index(4) == 3
+        assert Histogram.bucket_index(1024) == 11
+        assert Histogram.bucket_index(1023) == 10
+
+    def test_last_bucket_absorbs_everything(self):
+        huge = 1 << 60
+        assert Histogram.bucket_index(huge) == DEFAULT_BUCKETS - 1
+        assert Histogram.bucket_index(float("1e30")) == DEFAULT_BUCKETS - 1
+
+    def test_bounds_match_index(self):
+        # Every bucket's [lo, hi) must map back to itself.
+        for i in range(DEFAULT_BUCKETS - 1):
+            lo, hi = Histogram.bucket_bounds(i)
+            assert Histogram.bucket_index(lo) == i
+            assert Histogram.bucket_index(hi - 0.001) == i
+
+    def test_last_bucket_unbounded(self):
+        lo, hi = Histogram.bucket_bounds(DEFAULT_BUCKETS - 1)
+        assert hi == float("inf")
+        assert Histogram.bucket_index(lo) == DEFAULT_BUCKETS - 1
+
+    def test_observe_accumulates(self):
+        h = Histogram()
+        for v in (0.5, 1.5, 1.7, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(103.7)
+        assert snap["buckets"][0] == 1
+        assert snap["buckets"][1] == 2
+        assert snap["buckets"][Histogram.bucket_index(100.0)] == 1
+        assert sum(snap["buckets"]) == 4
+
+    def test_rejects_degenerate_bucket_count(self):
+        with pytest.raises(ValueError):
+            Histogram(nbuckets=1)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_shape_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc(2)
+        reg.counter("a").inc()
+        reg.gauge("depth").set(4)
+        reg.histogram("lat").observe(10)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["counters"]["z"] == 2
+        assert snap["gauges"]["depth"] == 4.0
+        assert snap["histograms"]["lat"]["count"] == 1
+
+
+class TestSerialization:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("comm.msgs_sent").inc(17)
+        reg.counter("comm.bytes_sent").inc(4096)
+        reg.gauge("match.unexpected_peak").set_max(3)
+        reg.histogram("p2p.recv_wait_us").observe(12.5)
+        return reg.snapshot()
+
+    def test_round_trip_identity(self):
+        snap = self._populated()
+        assert snapshot_from_bytes(snapshot_to_bytes(snap)) == snap
+
+    def test_serialized_form_is_compact_json(self):
+        data = snapshot_to_bytes(self._populated())
+        assert b" " not in data
+        assert json.loads(data.decode())
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            snapshot_from_bytes(b"[1,2,3]")
+
+    def test_rejects_malformed_fields(self):
+        with pytest.raises(ValueError):
+            snapshot_from_bytes(b'{"counters": 7}')
+
+    def test_survives_process_transport(self):
+        """A snapshot gathered over a real process mesh round-trips intact.
+
+        This is the control-plane property the job aggregation relies
+        on: rank snapshots ride ``gatherv_bytes`` to rank 0 unchanged.
+        """
+        from repro.mpi.world import run_on_threads
+
+        snap = self._populated()
+        payload = snapshot_to_bytes(snap)
+
+        def fn(comm):
+            blobs = comm.gatherv_bytes(payload, None, 0)
+            if comm.rank != 0:
+                return None
+            return [snapshot_from_bytes(b) for b in blobs]
+
+        results = run_on_threads(3, fn)
+        assert results[0] == [snap, snap, snap]
+
+
+class TestMerge:
+    def test_counters_sum_gauges_max(self):
+        a = {"counters": {"x": 2}, "gauges": {"peak": 5.0}, "histograms": {}}
+        b = {"counters": {"x": 3, "y": 1}, "gauges": {"peak": 7.0},
+             "histograms": {}}
+        merged = merge_snapshots([a, b])
+        assert merged["counters"] == {"x": 5, "y": 1}
+        assert merged["gauges"]["peak"] == 7.0
+
+    def test_histogram_bins_add_elementwise(self):
+        h1 = Histogram(nbuckets=4)
+        h2 = Histogram(nbuckets=4)
+        for v in (0.5, 3):
+            h1.observe(v)
+        for v in (3, 100):
+            h2.observe(v)
+        merged = merge_snapshots([
+            {"histograms": {"h": h1.snapshot()}},
+            {"histograms": {"h": h2.snapshot()}},
+        ])
+        out = merged["histograms"]["h"]
+        assert out["count"] == 4
+        assert out["sum"] == pytest.approx(106.5)
+        assert out["buckets"] == [1, 0, 2, 1]
+
+    def test_merge_pads_shorter_histograms(self):
+        short = Histogram(nbuckets=3)
+        long = Histogram(nbuckets=5)
+        short.observe(100)  # clamps into short's last bin (index 2)
+        long.observe(100)   # clamps into long's last bin (index 4)
+        merged = merge_snapshots([
+            {"histograms": {"h": short.snapshot()}},
+            {"histograms": {"h": long.snapshot()}},
+        ])
+        buckets = merged["histograms"]["h"]["buckets"]
+        assert len(buckets) == 5
+        assert sum(buckets) == 2
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_snapshots([])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Validate telemetry artifacts emitted by ``--metrics`` / ``--trace-out``.
+
+Checks that a Chrome trace JSON (or ``.jsonl`` compact trace) is loadable
+and structurally sound, and optionally that a merged ``metrics.json``
+agrees with it.  Used by the CI telemetry smoke job and handy locally::
+
+    python tools/validate_trace.py trace.json
+    python tools/validate_trace.py trace.json --metrics metrics.json --nranks 4
+
+Chrome-trace invariants enforced:
+
+* top level is an object with a ``traceEvents`` list and ms display unit;
+* every pid (= rank) carries a ``process_name`` metadata event;
+* data events have non-negative ``ts``/``dur`` and known phases;
+* instant events carry a scope field;
+* per ``(pid, tid)`` lane, span **end** times are non-decreasing — spans
+  are recorded at completion, so a regressing end time means clock or
+  buffering breakage (a small tolerance absorbs float µs rounding).
+
+Exit status 0 means every check passed; failures print one line each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Float µs slack for end-time monotonicity (ns → µs conversion rounding).
+END_TOLERANCE_US = 0.5
+
+DATA_PHASES = {"X", "i"}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def _fail(msg: str) -> None:
+    raise ValidationError(msg)
+
+
+def load_trace(path: str) -> list[dict]:
+    """Load trace events from Chrome JSON or compact JSONL."""
+    with open(path, "r", encoding="utf-8") as fh:
+        if path.endswith(".jsonl"):
+            events = []
+            for i, line in enumerate(fh):
+                if not line.strip():
+                    continue
+                row = json.loads(line)
+                if not (isinstance(row, list) and len(row) == 8):
+                    _fail(f"line {i + 1}: JSONL row is not an 8-field list")
+                rank, ph, name, cat, ts, dur, tid, args = row
+                events.append({
+                    "pid": rank, "ph": ph, "name": name, "cat": cat,
+                    "ts": ts / 1000.0, "dur": dur / 1000.0, "tid": tid,
+                    "args": args, "s": "t",
+                })
+            # JSONL carries no metadata events; synthesize them so the
+            # structural checks below apply uniformly.
+            for pid in {e["pid"] for e in events}:
+                events.append({
+                    "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": f"rank {pid}"},
+                })
+            return events
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        _fail("top level must be an object with a traceEvents list")
+    if doc.get("displayTimeUnit") != "ms":
+        _fail("displayTimeUnit must be 'ms'")
+    return doc["traceEvents"]
+
+
+def validate_events(events: list[dict], nranks: int | None = None) -> dict:
+    """Run all structural checks; returns summary stats for reporting."""
+    if not events:
+        _fail("trace contains no events")
+    meta_pids = set()
+    data = []
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") == "process_name":
+                meta_pids.add(e["pid"])
+            continue
+        if ph not in DATA_PHASES:
+            _fail(f"event {i}: unknown phase {ph!r}")
+        for field in ("name", "cat", "ts", "tid", "pid"):
+            if field not in e:
+                _fail(f"event {i}: missing field {field!r}")
+        if e["ts"] < 0:
+            _fail(f"event {i}: negative ts {e['ts']}")
+        if ph == "X" and e.get("dur", 0) < 0:
+            _fail(f"event {i}: negative dur {e['dur']}")
+        if ph == "i" and e.get("s") not in ("t", "p", "g"):
+            _fail(f"event {i}: instant without a valid scope")
+        data.append(e)
+
+    pids = {e["pid"] for e in data}
+    if missing := pids - meta_pids:
+        _fail(f"pids without process_name metadata: {sorted(missing)}")
+    if nranks is not None:
+        if not pids <= set(range(nranks)):
+            _fail(f"pids {sorted(pids)} not within 0..{nranks - 1}")
+
+    # Spans are appended at completion: end times per lane must only grow.
+    ends: dict[tuple, float] = {}
+    for i, e in enumerate(data):
+        if e["ph"] != "X":
+            continue
+        lane = (e["pid"], e["tid"])
+        end = e["ts"] + e["dur"]
+        if end + END_TOLERANCE_US < ends.get(lane, 0.0):
+            _fail(
+                f"event {i}: span end {end:.3f}us regresses behind "
+                f"{ends[lane]:.3f}us in lane pid={lane[0]} tid={lane[1]}"
+            )
+        ends[lane] = max(ends.get(lane, 0.0), end)
+
+    return {
+        "events": len(data),
+        "ranks": sorted(pids),
+        "spans": sum(1 for e in data if e["ph"] == "X"),
+        "instants": sum(1 for e in data if e["ph"] == "i"),
+    }
+
+
+def validate_metrics(path: str, nranks: int | None = None) -> dict:
+    """Check a merged metrics.json: schema, rank set, job == sum(ranks)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "ombpy-metrics/1":
+        _fail(f"metrics schema {doc.get('schema')!r} != 'ombpy-metrics/1'")
+    ranks = doc.get("ranks")
+    if not isinstance(ranks, dict) or not ranks:
+        _fail("metrics.json has no per-rank section")
+    if nranks is not None and len(ranks) != nranks:
+        _fail(f"metrics cover {len(ranks)} ranks, expected {nranks}")
+    job = doc.get("job", {}).get("counters", {})
+    for name in sorted(job):
+        total = sum(
+            r.get("counters", {}).get(name, 0) for r in ranks.values()
+        )
+        if job[name] != total:
+            _fail(
+                f"job counter {name} = {job[name]} but per-rank sum is "
+                f"{total}"
+            )
+    return {"ranks": len(ranks), "job_counters": len(job)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace.json or trace.jsonl to check")
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="also validate a merged metrics.json",
+    )
+    parser.add_argument(
+        "--nranks", type=int, default=None,
+        help="expected rank count (checks pid/rank coverage)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        stats = validate_events(load_trace(args.trace), args.nranks)
+        print(
+            f"{args.trace}: OK — {stats['events']} events "
+            f"({stats['spans']} spans, {stats['instants']} instants) "
+            f"across ranks {stats['ranks']}"
+        )
+        if args.metrics:
+            mstats = validate_metrics(args.metrics, args.nranks)
+            print(
+                f"{args.metrics}: OK — {mstats['ranks']} ranks, "
+                f"{mstats['job_counters']} job counters"
+            )
+    except ValidationError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
