@@ -1,0 +1,356 @@
+"""Static communication graph: OMB401-403.
+
+PR 1's runtime verifier checks envelope matching *while a job runs*;
+this pass is its static complement.  It extracts every send / recv /
+collective **site** from the program (with the enclosing ``if rank == K``
+guard recorded as the site's *rank role*), matches sends against recvs
+symbolically by tag, and flags:
+
+========  ==============================================================
+OMB401    send with a literal tag that no recv in the program can match
+OMB402    recv with a literal tag that no send in the program can match
+OMB403    two rank roles whose first blocking operation toward each
+          other is a recv — a head-to-head wait cycle across functions
+========  ==============================================================
+
+Matching is deliberately generous: a symbolic (non-literal) or wildcard
+(``ANY_TAG``/``ANY_SOURCE``) counterpart matches anything, so OMB401/402
+only fire when *every* potential partner uses a different literal — the
+"nobody can ever rendezvous with this tag" case.  OMB403 is scoped to
+one module at a time: role guards in one file describe one SPMD program,
+while roles in unrelated files do not talk to each other.
+
+Runs under ``ombpy-lint --commgraph``; see ``docs/perf-lint.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from . import rules as _rules
+from .findings import Finding
+from .interproc import FunctionInfo, Program
+
+__all__ = [
+    "CommSite",
+    "COMMGRAPH_RULES",
+    "extract_sites",
+    "run_commgraph_rules",
+]
+
+#: Wildcard marker for ANY_TAG / ANY_SOURCE arguments.
+ANY = "ANY"
+
+_SEND_METHODS = frozenset(
+    _rules.LOWER_SENDS | _rules.UPPER_SENDS
+    | {"send_bytes", "isend_bytes", "sendrecv_bytes"}
+)
+_RECV_METHODS = frozenset(
+    _rules.LOWER_RECVS | _rules.UPPER_RECVS
+    | {"recv_bytes", "irecv_bytes"}
+)
+_COLLECTIVE_METHODS = frozenset({
+    "bcast", "reduce", "allreduce", "gather", "scatter", "allgather",
+    "alltoall", "scan", "exscan", "barrier",
+    "Bcast", "Reduce", "Allreduce", "Gather", "Scatter", "Allgather",
+    "Alltoall", "Reduce_scatter", "Scan", "Exscan", "Barrier",
+    "bcast_bytes", "gather_bytes", "scatter_bytes", "allgather_bytes",
+    "alltoall_bytes",
+})
+
+#: Blocking subsets for the wait-cycle rule (non-blocking posts and the
+#: combined sendrecv cannot deadlock head-to-head).
+_BLOCKING_RECVS = frozenset({"recv", "Recv", "recv_bytes"})
+_BLOCKING_SENDS = frozenset({"send", "Send", "ssend", "Ssend", "send_bytes"})
+
+#: Positional index of the tag argument, extending rules.TAG_POSITION
+#: with the repro byte-level API (send_bytes(payload, dest, tag),
+#: recv_bytes(source, tag, max_bytes)).
+_TAG_POSITION = dict(_rules.TAG_POSITION)
+_TAG_POSITION.update({
+    "send_bytes": 2, "isend_bytes": 2,
+    "recv_bytes": 1, "irecv_bytes": 1,
+})
+
+#: Positional index of the peer (dest for sends, source for recvs).
+_PEER_POSITION = {
+    "send": 1, "isend": 1, "ssend": 1, "issend": 1,
+    "Send": 1, "Isend": 1, "Ssend": 1, "Issend": 1,
+    "send_bytes": 1, "isend_bytes": 1,
+    "recv": 0, "irecv": 0, "recv_bytes": 0, "irecv_bytes": 0,
+    "Recv": 1, "Irecv": 1,
+}
+_PEER_KEYWORDS = frozenset({"dest", "source", "peer"})
+
+_RANKISH = frozenset({
+    "rank", "world_rank", "my_rank", "myrank", "me", "myid", "rank_id",
+})
+
+
+@dataclass
+class CommSite:
+    """One send/recv/collective call site with its static context."""
+
+    kind: str                     # "send" | "recv" | "collective"
+    method: str
+    #: literal tag, ANY for a wildcard, None when symbolic
+    tag: int | str | None
+    #: literal peer rank, ANY for a wildcard, None when symbolic
+    peer: int | str | None
+    #: enclosing `if rank == K` guard value; None outside any guard
+    role: int | None
+    path: str
+    line: int
+    col: int
+    func: str                     # qualname of the enclosing function
+
+
+def _is_rankish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _RANKISH
+    if isinstance(node, ast.Attribute):
+        return node.attr in _RANKISH
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr in ("Get_rank", "rank")
+    return False
+
+
+def _rank_eq(test: ast.expr) -> int | None:
+    """``rank == K`` (either side) -> K; anything else -> None."""
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)):
+        return None
+    left, right = test.left, test.comparators[0]
+    for subject, value in ((left, right), (right, left)):
+        if _is_rankish(subject):
+            literal = _rules._literal_int(value)
+            if literal is not None:
+                return literal
+    return None
+
+
+def _arg_value(node: ast.expr) -> int | str | None:
+    literal = _rules._literal_int(node)
+    if literal is not None:
+        return literal
+    text = None
+    if isinstance(node, ast.Attribute):
+        text = node.attr
+    elif isinstance(node, ast.Name):
+        text = node.id
+    if text in ("ANY_TAG", "ANY_SOURCE"):
+        return ANY
+    return None
+
+
+def _call_arg(call: ast.Call, method: str,
+              positions: dict[str, int],
+              keywords: frozenset[str]) -> int | str | None:
+    index = positions.get(method)
+    if index is not None and index < len(call.args):
+        return _arg_value(call.args[index])
+    for kw in call.keywords:
+        if kw.arg in keywords:
+            return _arg_value(kw.value)
+    return None
+
+
+def _site_kind(call: ast.Call) -> str | None:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    method = func.attr
+    if method in _SEND_METHODS:
+        kind = "send"
+    elif method in _RECV_METHODS:
+        kind = "recv"
+    elif method in _COLLECTIVE_METHODS:
+        kind = "collective"
+    else:
+        return None
+    if not method.endswith("_bytes") and method not in _rules._DISTINCTIVE \
+            and not _rules._comm_like(func.value):
+        return None
+    return kind
+
+
+def extract_sites(info: FunctionInfo) -> list[CommSite]:
+    """All communication sites in one function, with rank-role context,
+    in source order."""
+    sites: list[CommSite] = []
+
+    def record(call: ast.Call, role: int | None) -> None:
+        kind = _site_kind(call)
+        if kind is None:
+            return
+        method = call.func.attr  # type: ignore[union-attr]
+        tag = _call_arg(call, method, _TAG_POSITION, _rules.TAG_KEYWORDS)
+        peer = _call_arg(call, method, _PEER_POSITION, _PEER_KEYWORDS)
+        sites.append(CommSite(
+            kind=kind, method=method, tag=tag, peer=peer, role=role,
+            path=info.path, line=call.lineno, col=call.col_offset + 1,
+            func=info.qualname,
+        ))
+
+    def walk(node: ast.AST, role: int | None) -> None:
+        if node is not info.node and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+        ):
+            return
+        if isinstance(node, ast.If):
+            walk(node.test, role)
+            guard = _rank_eq(node.test)
+            for stmt in node.body:
+                walk(stmt, guard if guard is not None else role)
+            for stmt in node.orelse:
+                # `else` of a rank guard is "some other rank": role unknown.
+                walk(stmt, role if guard is None else None)
+            return
+        if isinstance(node, ast.Call):
+            record(node, role)
+        for child in ast.iter_child_nodes(node):
+            walk(child, role)
+
+    walk(info.node, None)
+    return sites
+
+
+def _internal_tag(tag: int | str | None) -> bool:
+    return isinstance(tag, int) \
+        and (tag < 0 or tag >= _rules.INTERNAL_TAG_BASE)
+
+
+def _finding(rule: str, site: CommSite, message: str) -> Finding:
+    return Finding(
+        rule=rule, severity="warning", path=site.path,
+        line=site.line, col=site.col, message=message,
+    )
+
+
+# -- OMB401 / OMB402: statically-unmatched literal tags --------------------
+
+def check_unmatched_sends(sites: list[CommSite]) -> list[Finding]:
+    """A send whose literal tag no recv in the program can ever match."""
+    recv_tags = {s.tag for s in sites if s.kind == "recv"}
+    wildcard_recv = None in recv_tags or ANY in recv_tags
+    findings = []
+    for site in sites:
+        if site.kind != "send" or not isinstance(site.tag, int) \
+                or _internal_tag(site.tag):
+            continue
+        if wildcard_recv or site.tag in recv_tags:
+            continue
+        findings.append(_finding(
+            "OMB401", site,
+            f"'{site.method}()' sends with tag {site.tag} but no recv in "
+            "the program uses that tag (or a wildcard); this message can "
+            "never be matched",
+        ))
+    return findings
+
+
+def check_unmatched_recvs(sites: list[CommSite]) -> list[Finding]:
+    """A recv whose literal tag no send in the program can ever match."""
+    send_tags = {s.tag for s in sites if s.kind == "send"}
+    symbolic_send = None in send_tags
+    findings = []
+    for site in sites:
+        if site.kind != "recv" or not isinstance(site.tag, int) \
+                or _internal_tag(site.tag):
+            continue
+        if symbolic_send or site.tag in send_tags:
+            continue
+        findings.append(_finding(
+            "OMB402", site,
+            f"'{site.method}()' waits for tag {site.tag} but no send in "
+            "the program uses that tag; this recv blocks forever",
+        ))
+    return findings
+
+
+# -- OMB403: head-to-head wait cycle across rank roles ---------------------
+
+def check_wait_cycles(sites: list[CommSite]) -> list[Finding]:
+    """Two rank roles whose *first* blocking operation toward each other
+    is a recv: both block before either sends — a deadlock cycle the
+    runtime verifier would only see as a hang."""
+    findings = []
+    by_path: dict[str, list[CommSite]] = {}
+    for site in sites:
+        if site.role is not None and isinstance(site.peer, int):
+            by_path.setdefault(site.path, []).append(site)
+    for path_sites in by_path.values():
+        # first blocking op per (role, peer), in source order
+        first: dict[tuple[int, int], CommSite] = {}
+        for site in path_sites:
+            blocking = (
+                (site.kind == "recv" and site.method in _BLOCKING_RECVS)
+                or (site.kind == "send" and site.method in _BLOCKING_SENDS)
+            )
+            if not blocking:
+                continue
+            key = (site.role, site.peer)  # type: ignore[arg-type]
+            first.setdefault(key, site)
+        reported: set[tuple[int, int]] = set()
+        for (role, peer), site in sorted(
+            first.items(), key=lambda kv: (kv[1].line, kv[1].col),
+        ):
+            if site.kind != "recv":
+                continue
+            other = first.get((peer, role))
+            if other is None or other.kind != "recv":
+                continue
+            pair = (min(role, peer), max(role, peer))
+            if pair in reported:
+                continue
+            reported.add(pair)
+            findings.append(_finding(
+                "OMB403", site,
+                f"rank {role} blocks in '{site.method}()' waiting on rank "
+                f"{peer} while rank {peer} blocks in '{other.method}()' "
+                f"waiting on rank {role}; neither reaches its send — "
+                "reorder one side or use sendrecv/non-blocking posts",
+            ))
+    return findings
+
+
+# -- registry --------------------------------------------------------------
+
+#: rule ID -> (checker over the global site list, one-line description).
+COMMGRAPH_RULES = {
+    "OMB401": (
+        check_unmatched_sends,
+        "send with a literal tag no recv in the program matches",
+    ),
+    "OMB402": (
+        check_unmatched_recvs,
+        "recv with a literal tag no send in the program matches",
+    ),
+    "OMB403": (
+        check_wait_cycles,
+        "head-to-head blocking recv cycle between rank roles",
+    ),
+}
+
+
+def run_commgraph_rules(
+    program: Program,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+) -> list[Finding]:
+    """Extract every site, then run the (selected) graph rules."""
+    sites: list[CommSite] = []
+    for info in program.functions:
+        # extract_sites stops at nested function boundaries, so the
+        # module-level scope and the per-function scopes never double
+        # count a site.
+        sites.extend(extract_sites(info))
+    findings: list[Finding] = []
+    for rule_id, (fn, _doc) in COMMGRAPH_RULES.items():
+        if select is not None and rule_id not in select:
+            continue
+        if ignore is not None and rule_id in ignore:
+            continue
+        findings.extend(fn(sites))
+    return findings

@@ -331,3 +331,61 @@ def buffer_reads(
     ]
     reads.sort(key=lambda item: item[1])
     return reads
+
+
+# -- statement line spans (pragma resolution) ------------------------------
+
+#: Header expressions of compound statements: a pragma on any line of the
+#: *header* suppresses header findings, but must not silence the body.
+_HEADER_FIELDS = {
+    ast.If: ("test",),
+    ast.While: ("test",),
+    ast.For: ("target", "iter"),
+    ast.AsyncFor: ("target", "iter"),
+    ast.With: ("items",),
+    ast.AsyncWith: ("items",),
+    ast.FunctionDef: ("args", "returns"),
+    ast.AsyncFunctionDef: ("args", "returns"),
+    ast.ClassDef: ("bases", "keywords"),
+    ast.Match: ("subject",),
+}
+_COMPOUND = tuple(_HEADER_FIELDS) + (
+    ast.Try, getattr(ast, "TryStar", ast.Try),
+)
+
+
+def _header_end(stmt: ast.stmt) -> int:
+    """Last line of a compound statement's header (test/iter/items...)."""
+    end = stmt.lineno
+    for field_name in _HEADER_FIELDS.get(type(stmt), ()):
+        value = getattr(stmt, field_name, None)
+        values = value if isinstance(value, list) else [value]
+        for item in values:
+            item_end = getattr(item, "end_lineno", None)
+            if item_end is not None:
+                end = max(end, item_end)
+    return end
+
+
+def statement_spans(tree: ast.AST) -> dict[int, tuple[int, int]]:
+    """Map each source line to the full line span of its statement.
+
+    A simple statement continued across lines (backslash or open parens)
+    spans all of them: a suppression pragma anywhere in that span applies
+    to findings anywhere in it.  Compound statements contribute only
+    their *header* span, so a pragma on an ``if``/``for`` line never
+    silences the body.  Inner statements win over enclosing ones
+    (``ast.walk`` yields parents first; children overwrite).
+    """
+    spans: dict[int, tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        if isinstance(node, _COMPOUND):
+            end = _header_end(node)
+        else:
+            end = getattr(node, "end_lineno", None) or start
+        for line in range(start, end + 1):
+            spans[line] = (start, end)
+    return spans

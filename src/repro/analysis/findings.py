@@ -25,6 +25,7 @@ class Finding:
     line: int        # 1-based line, 0 for runtime findings
     col: int         # 1-based column, 0 for runtime findings
     message: str
+    end_line: int = 0  # last line of the flagged node; 0 when unknown
 
     def format(self) -> str:
         """Render in the conventional ``path:line:col: ID message`` shape."""
@@ -77,6 +78,12 @@ def findings_to_sarif(
     rule_ids = sorted(set(rule_docs) | {f.rule for f in findings})
     results = []
     for f in sort_findings(findings):
+        region = {
+            "startLine": max(f.line, 1),
+            "startColumn": max(f.col, 1),
+        }
+        if f.end_line > f.line:
+            region["endLine"] = f.end_line
         results.append({
             "ruleId": f.rule,
             "level": _SARIF_LEVELS.get(f.severity, "warning"),
@@ -84,10 +91,7 @@ def findings_to_sarif(
             "locations": [{
                 "physicalLocation": {
                     "artifactLocation": {"uri": f.path},
-                    "region": {
-                        "startLine": max(f.line, 1),
-                        "startColumn": max(f.col, 1),
-                    },
+                    "region": region,
                 },
             }],
         })

@@ -85,6 +85,61 @@ def unpack_header(data: bytes) -> Envelope:
     return Envelope(context, source, dest, tag, nbytes)
 
 
+def unpack_header_from(buf, offset: int = 0) -> Envelope:
+    """Deserialize a header in place from any buffer, without slicing it
+    out first — the zero-copy variant for transport read loops."""
+    context, source, dest, tag, nbytes = _HEADER.unpack_from(buf, offset)
+    return Envelope(context, source, dest, tag, nbytes)
+
+
+def send_frame(sock, header: bytes, payload: bytes) -> None:
+    """Write ``header + payload`` to a stream socket without building the
+    concatenated frame.
+
+    ``sendmsg`` gathers both parts into one syscall (kernel-side
+    scatter/gather); on a partial write the remainder goes out through
+    ``sendall`` over zero-copy memoryview slices.  Callers must hold the
+    per-peer send lock so frames never interleave.
+    """
+    total = len(header) + len(payload)
+    try:
+        sent = sock.sendmsg([header, payload])
+    except (AttributeError, NotImplementedError):
+        # Platform without sendmsg: two sendalls still avoid the copy.
+        sock.sendall(header)
+        if payload:
+            sock.sendall(payload)
+        return
+    if sent >= total:
+        return
+    if sent < len(header):
+        with memoryview(header) as view:
+            sock.sendall(view[sent:])
+        if payload:
+            sock.sendall(payload)
+    else:
+        with memoryview(payload) as view:
+            sock.sendall(view[sent - len(header):])
+
+
+def recv_exact_into(sock, n: int) -> bytearray:
+    """Read exactly ``n`` bytes into one preallocated buffer.
+
+    Replaces the chunk-list + ``b"".join`` pattern: every ``recv_into``
+    lands directly in its final position, so the bytes are copied once
+    (kernel -> buffer) instead of twice.  Raises ConnectionError on EOF.
+    """
+    buf = bytearray(n)
+    got = 0
+    with memoryview(buf) as view:
+        while got < n:
+            r = sock.recv_into(view[got:], n - got)
+            if r == 0:
+                raise ConnectionError("peer closed connection mid-frame")
+            got += r
+    return buf
+
+
 class Transport(ABC):
     """Moves framed messages between world ranks."""
 

@@ -28,7 +28,7 @@ from ..exceptions import InternalError, RankError
 from ..matching import Envelope
 from .base import (
     CTRL_GOODBYE, HEADER_SIZE, Transport, control_envelope, pack_header,
-    unpack_header,
+    unpack_header_from,
 )
 
 _CTRL = struct.Struct("<QQ")
@@ -76,8 +76,9 @@ class _Ring:
         struct.pack_into("<Q", self._buf, 8, tail)
 
     # -- producer -----------------------------------------------------------
-    def write(self, frame: bytes, stop: threading.Event) -> None:
-        """Copy a frame in, blocking (with backoff) while the ring is full."""
+    def write(self, frame, stop: threading.Event) -> None:
+        """Copy bytes in (bytes or memoryview), blocking (with backoff)
+        while the ring is full."""
         n = len(frame)
         if n >= self.capacity:
             raise InternalError(
@@ -122,19 +123,30 @@ class _Ring:
         return True
 
     # -- consumer -----------------------------------------------------------
-    def read_available(self) -> bytes:
-        """Drain whatever is currently in the ring (may be empty)."""
+    def read_into(self, out: bytearray) -> int:
+        """Drain the ring by appending onto ``out``; returns bytes read.
+
+        Extending a caller-owned bytearray from memoryview slices of the
+        segment copies each byte exactly once (ring -> accumulator), with
+        no intermediate bytes objects even at the wrap point.
+        """
         head, tail = self._load()
         n = tail - head
         if n == 0:
-            return b""
+            return 0
         pos = head % self.capacity
         first = min(n, self.capacity - pos)
-        out = bytes(self._buf[CTRL_SIZE + pos:CTRL_SIZE + pos + first])
+        out += self._buf[CTRL_SIZE + pos:CTRL_SIZE + pos + first]
         if first < n:
-            out += bytes(self._buf[CTRL_SIZE:CTRL_SIZE + n - first])
+            out += self._buf[CTRL_SIZE:CTRL_SIZE + n - first]
         self._store_head(head + n)
-        return out
+        return n
+
+    def read_available(self) -> bytes:
+        """Drain whatever is currently in the ring (may be empty)."""
+        out = bytearray()
+        self.read_into(out)
+        return bytes(out)
 
     def close(self) -> None:
         # Release the memoryview before closing the mapping.
@@ -214,11 +226,14 @@ class ShmTransport(Transport):
             self._readers.append(t)
 
     def _read_loop(self, ring: _Ring) -> None:
-        pending = b""
+        # One reusable accumulator: the ring drains straight into it,
+        # headers are unpacked in place, and consumed frames are trimmed
+        # with an in-place `del` — the only per-message copy left is the
+        # payload handed to the engine (which outlives the accumulator).
+        pending = bytearray()
         spins = 0
         while not self._closed.is_set():
-            chunk = ring.read_available()
-            if not chunk:
+            if not ring.read_into(pending):
                 spins += 1
                 # Back off quickly: on oversubscribed hosts (ranks >
                 # cores) spinning readers starve the senders they wait on.
@@ -226,16 +241,19 @@ class ShmTransport(Transport):
                     time.sleep(100e-6)
                 continue
             spins = 0
-            pending += chunk
             # Parse as many complete frames as are buffered.
-            while len(pending) >= HEADER_SIZE:
-                env = unpack_header(pending[:HEADER_SIZE])
+            offset = 0
+            while len(pending) - offset >= HEADER_SIZE:
+                env = unpack_header_from(pending, offset)
                 total = HEADER_SIZE + env.nbytes
-                if len(pending) < total:
+                if len(pending) - offset < total:
                     break
-                payload = pending[HEADER_SIZE:total]
-                pending = pending[total:]
+                with memoryview(pending) as view:
+                    payload = bytes(view[offset + HEADER_SIZE:offset + total])  # ombpy-lint: ignore[OMB301,OMB302]
+                offset += total
                 self._deliver_local(env, payload)
+            if offset:
+                del pending[:offset]
 
     def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
         if dest_world_rank == self.world_rank:
@@ -247,13 +265,18 @@ class ShmTransport(Transport):
             raise RankError(
                 f"no shm ring to rank {dest_world_rank}"
             ) from None
-        frame = pack_header(env) + payload
-        # Large messages are chunked through the ring in capacity-sized
-        # pieces under one lock acquisition, preserving frame atomicity.
+        header = pack_header(env)
+        # Header and payload go in as separate ring writes under one lock
+        # acquisition, so the byte stream stays contiguous without ever
+        # concatenating them; large payloads are chunked through the ring
+        # as zero-copy memoryview slices.
         with self._write_locks[dest_world_rank]:
-            limit = ring.capacity // 2
-            for off in range(0, len(frame), limit) or [0]:
-                ring.write(frame[off:off + limit], self._closed)
+            ring.write(header, self._closed)
+            if payload:
+                limit = ring.capacity // 2
+                with memoryview(payload) as view:
+                    for off in range(0, len(view), limit):
+                        ring.write(view[off:off + limit], self._closed)
 
     def send_control(
         self, dest_world_rank: int, kind: int, payload: bytes = b""

@@ -28,7 +28,8 @@ import time
 from ..exceptions import InternalError, RankError, RankFailedError
 from ..matching import Envelope
 from .base import (
-    CTRL_GOODBYE, HEADER_SIZE, Transport, pack_header, unpack_header,
+    CTRL_GOODBYE, HEADER_SIZE, Transport, pack_header, recv_exact_into,
+    send_frame, unpack_header,
 )
 
 logger = logging.getLogger(__name__)
@@ -48,17 +49,13 @@ _RETRYABLE_ERRNOS = frozenset({
 })
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    """Read exactly ``n`` bytes or raise ConnectionError on EOF."""
-    chunks: list[bytes] = []
-    remaining = n
-    while remaining > 0:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
-            raise ConnectionError("peer closed connection mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+def _recv_exact(sock: socket.socket, n: int) -> bytearray:
+    """Read exactly ``n`` bytes or raise ConnectionError on EOF.
+
+    Single-allocation ``recv_into`` (see ``base.recv_exact_into``): the
+    payload is copied exactly once, kernel to buffer.
+    """
+    return recv_exact_into(sock, n)
 
 
 def dial_with_retry(
@@ -233,11 +230,12 @@ class TcpTransport(Transport):
                 f"no connection to rank {dest_world_rank} "
                 f"(world size {self.world_size})"
             ) from None
-        frame = pack_header(env) + payload
-        # One lock per peer keeps concurrent senders from interleaving frames.
+        header = pack_header(env)
+        # One lock per peer keeps concurrent senders from interleaving
+        # frames; send_frame gathers header+payload without concatenating.
         try:
             with self._send_locks[dest_world_rank]:
-                sock.sendall(frame)
+                send_frame(sock, header, payload)
         except (BrokenPipeError, ConnectionResetError, ConnectionError) as exc:
             if self._closed.is_set():
                 raise

@@ -24,7 +24,8 @@ import time
 from ..exceptions import InternalError, RankError, RankFailedError
 from ..matching import Envelope
 from .base import (
-    CTRL_GOODBYE, HEADER_SIZE, Transport, pack_header, unpack_header,
+    CTRL_GOODBYE, HEADER_SIZE, Transport, pack_header, recv_exact_into,
+    send_frame, unpack_header,
 )
 
 logger = logging.getLogger(__name__)
@@ -32,16 +33,9 @@ logger = logging.getLogger(__name__)
 _HELLO = struct.Struct("<i")
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks: list[bytes] = []
-    remaining = n
-    while remaining > 0:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
-            raise ConnectionError("peer closed connection mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+def _recv_exact(sock: socket.socket, n: int) -> bytearray:
+    """Read exactly ``n`` bytes, copied once (see base.recv_exact_into)."""
+    return recv_exact_into(sock, n)
 
 
 def socket_dir(job_id: str) -> str:
@@ -165,10 +159,11 @@ class UdsTransport(Transport):
             raise RankError(
                 f"no UDS connection to rank {dest_world_rank}"
             ) from None
-        frame = pack_header(env) + payload
+        header = pack_header(env)
+        # send_frame gathers header+payload in one syscall, no concat copy.
         try:
             with self._send_locks[dest_world_rank]:
-                sock.sendall(frame)
+                send_frame(sock, header, payload)
         except (BrokenPipeError, ConnectionResetError, ConnectionError) as exc:
             if self._closed.is_set():
                 raise

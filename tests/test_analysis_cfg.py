@@ -1,0 +1,237 @@
+"""CFG builder: structured-flow edges, loop depths, dominators, and the
+well-formedness invariants property-tested over randomly generated ASTs."""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import build_cfg, dominators
+
+
+def cfg_of(source: str):
+    tree = ast.parse(source)
+    return build_cfg(tree)
+
+
+def func_cfg(source: str):
+    tree = ast.parse(source)
+    fn = next(
+        n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)
+    )
+    return fn, build_cfg(fn)
+
+
+class TestStructure:
+    def test_straight_line(self):
+        cfg = cfg_of("x = 1\ny = 2\n")
+        assert cfg.check() == []
+        assert cfg.max_depth() == 0
+        # entry flows to exit through the linear statements
+        assert cfg.exit in cfg.reachable()
+
+    def test_if_else_diamond(self):
+        cfg = cfg_of("if c:\n    a = 1\nelse:\n    b = 2\nz = 3\n")
+        assert cfg.check() == []
+        labels = {b.label for b in cfg.blocks.values()}
+        assert {"then", "else", "after-if"} <= labels
+
+    def test_loop_depth_annotation(self):
+        src = (
+            "def f():\n"
+            "    setup()\n"
+            "    for i in it:\n"
+            "        one()\n"
+            "        while c:\n"
+            "            two()\n"
+            "    done()\n"
+        )
+        fn, cfg = func_cfg(src)
+        depth_by_call = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name):
+                depth_by_call[node.func.id] = cfg.depth_of(node)
+        assert depth_by_call == {
+            "setup": 0, "one": 1, "two": 2, "done": 0,
+        }
+        assert cfg.max_depth() == 2
+
+    def test_loop_has_back_edge(self):
+        cfg = cfg_of("while c:\n    x = 1\n")
+        header = next(
+            b for b in cfg.blocks.values() if b.label == "loop-header"
+        )
+        body = next(
+            b for b in cfg.blocks.values() if b.label == "loop-body"
+        )
+        assert header.id in cfg.blocks[body.id].succs
+
+    def test_break_exits_loop(self):
+        cfg = cfg_of("while c:\n    break\n")
+        after = next(
+            b for b in cfg.blocks.values() if b.label == "after-loop"
+        )
+        body = next(
+            b for b in cfg.blocks.values() if b.label == "loop-body"
+        )
+        assert after.id in body.succs
+
+    def test_return_goes_to_exit(self):
+        _fn, cfg = func_cfg("def f():\n    if c:\n        return 1\n    g()\n")
+        assert cfg.check() == []
+
+    def test_try_except_edges(self):
+        cfg = cfg_of(
+            "try:\n    risky()\nexcept ValueError:\n    h()\nz = 1\n"
+        )
+        assert cfg.check() == []
+        labels = {b.label for b in cfg.blocks.values()}
+        assert "except" in labels
+
+    def test_unreachable_code_still_annotated(self):
+        _fn, cfg = func_cfg("def f():\n    return 1\n    x = dead()\n")
+        assert cfg.check() == []
+
+
+class TestDominators:
+    def test_entry_dominates_everything_reachable(self):
+        cfg = cfg_of("if c:\n    a = 1\nelse:\n    b = 2\nz = 3\n")
+        doms = dominators(cfg)
+        for bid in cfg.reachable():
+            assert cfg.entry in doms[bid]
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = cfg_of("if c:\n    a = 1\nelse:\n    b = 2\nz = 3\n")
+        doms = dominators(cfg)
+        then_id = next(
+            b.id for b in cfg.blocks.values() if b.label == "then"
+        )
+        after_id = next(
+            b.id for b in cfg.blocks.values() if b.label == "after-if"
+        )
+        assert then_id not in doms[after_id]
+
+    def test_strict_dominance_antisymmetric(self):
+        cfg = cfg_of("while c:\n    if d:\n        break\n    x = 1\ny = 2\n")
+        doms = dominators(cfg)
+        for a in cfg.blocks:
+            for b in cfg.blocks:
+                if a != b and a in doms[b]:
+                    assert b not in doms[a]
+
+
+# -- random-AST property tests ---------------------------------------------
+# Statements are built as AST nodes directly (not parsed source), so
+# break/continue can appear anywhere — the builder must stay well-formed
+# even on programs a parser would reject.
+
+def _name(value: str = "x") -> ast.Name:
+    return ast.Name(id=value, ctx=ast.Load())
+
+
+def _simple(kind: str) -> ast.stmt:
+    if kind == "assign":
+        return ast.Assign(
+            targets=[ast.Name(id="x", ctx=ast.Store())],
+            value=ast.Constant(value=1),
+        )
+    if kind == "expr":
+        return ast.Expr(value=ast.Call(func=_name("f"), args=[], keywords=[]))
+    if kind == "return":
+        return ast.Return(value=None)
+    if kind == "raise":
+        return ast.Raise(exc=_name("E"), cause=None)
+    if kind == "break":
+        return ast.Break()
+    if kind == "continue":
+        return ast.Continue()
+    return ast.Pass()
+
+
+_SIMPLE_KINDS = st.sampled_from(
+    ["assign", "expr", "return", "raise", "break", "continue", "pass"]
+)
+
+
+@st.composite
+def _stmt(draw, depth: int) -> ast.stmt:
+    if depth <= 0:
+        return _simple(draw(_SIMPLE_KINDS))
+    kind = draw(st.sampled_from(
+        ["simple", "if", "while", "for", "try", "with"]
+    ))
+    if kind == "simple":
+        return _simple(draw(_SIMPLE_KINDS))
+    body = draw(_body(depth - 1))
+    if kind == "if":
+        orelse = draw(st.one_of(st.just([]), _body(depth - 1)))
+        return ast.If(test=_name("c"), body=body, orelse=orelse)
+    if kind == "while":
+        return ast.While(test=_name("c"), body=body, orelse=[])
+    if kind == "for":
+        return ast.For(
+            target=ast.Name(id="i", ctx=ast.Store()),
+            iter=_name("it"), body=body, orelse=[],
+        )
+    if kind == "try":
+        handler = ast.ExceptHandler(
+            type=_name("E"), name=None, body=draw(_body(depth - 1)),
+        )
+        final = draw(st.one_of(st.just([]), _body(depth - 1)))
+        return ast.Try(
+            body=body, handlers=[handler], orelse=[], finalbody=final,
+        )
+    item = ast.withitem(context_expr=_name("cm"), optional_vars=None)
+    return ast.With(items=[item], body=body)
+
+
+def _body(depth: int):
+    return st.lists(_stmt(depth), min_size=1, max_size=3)
+
+
+@given(_body(3))
+@settings(max_examples=120, deadline=None)
+def test_cfg_well_formed_on_random_asts(body):
+    fn = ast.FunctionDef(
+        name="f",
+        args=ast.arguments(
+            posonlyargs=[], args=[], kwonlyargs=[], kw_defaults=[],
+            defaults=[],
+        ),
+        body=body, decorator_list=[], returns=None,
+    )
+    cfg = build_cfg(fn)
+    # every non-exit block has a successor; pred/succ links consistent
+    assert cfg.check() == []
+    assert cfg.entry != cfg.exit
+
+
+@given(_body(3))
+@settings(max_examples=120, deadline=None)
+def test_dominators_acyclic_on_random_asts(body):
+    fn = ast.FunctionDef(
+        name="f",
+        args=ast.arguments(
+            posonlyargs=[], args=[], kwonlyargs=[], kw_defaults=[],
+            defaults=[],
+        ),
+        body=body, decorator_list=[], returns=None,
+    )
+    cfg = build_cfg(fn)
+    doms = dominators(cfg)
+    assert doms[cfg.entry] == {cfg.entry}
+    reachable = cfg.reachable()
+    for bid in reachable:
+        assert cfg.entry in doms[bid]
+        assert bid in doms[bid]
+    # strict dominance is antisymmetric => the dominance relation has no
+    # cycles between distinct blocks
+    for a in cfg.blocks:
+        for b in cfg.blocks:
+            if a != b and a in doms[b] and b in doms[a]:
+                raise AssertionError(
+                    f"dominance cycle between blocks {a} and {b}"
+                )

@@ -1,0 +1,210 @@
+"""Static communication graph (OMB401-403): site extraction with rank
+roles, symbolic tag matching, and head-to-head wait-cycle detection."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.commgraph import (
+    ANY,
+    extract_sites,
+    run_commgraph_rules,
+)
+from repro.analysis.interproc import Program
+
+
+def program_of(*sources: str) -> Program:
+    prog = Program()
+    for i, src in enumerate(sources):
+        prog.add_module(f"mod{i}.py", ast.parse(src))
+    prog.finalize()
+    return prog
+
+
+def rules_of(*sources: str) -> list[str]:
+    findings = run_commgraph_rules(program_of(*sources))
+    return sorted(f.rule for f in findings)
+
+
+def sites_of(src: str):
+    prog = program_of(src)
+    out = []
+    for info in prog.functions:
+        out.extend(extract_sites(info))
+    return out
+
+
+class TestSiteExtraction:
+    def test_tags_peers_and_kinds(self):
+        src = (
+            "def exchange(comm, rank, buf):\n"
+            "    comm.send_bytes(buf, 1, 7)\n"
+            "    comm.recv_bytes(0, 7)\n"
+            "    comm.allreduce(buf)\n"
+        )
+        sites = sorted(sites_of(src), key=lambda s: s.line)
+        assert [s.kind for s in sites] == ["send", "recv", "collective"]
+        send, recv, coll = sites
+        assert (send.tag, send.peer) == (7, 1)
+        assert (recv.tag, recv.peer) == (7, 0)
+        assert coll.method == "allreduce"
+
+    def test_keyword_and_wildcard_arguments(self):
+        src = (
+            "def pull(comm, rank, buf):\n"
+            "    comm.recv(source=ANY_SOURCE, tag=ANY_TAG)\n"
+        )
+        (site,) = sites_of(src)
+        assert site.tag == ANY
+        assert site.peer == ANY
+
+    def test_rank_guard_becomes_role(self):
+        src = (
+            "def main(comm, rank, buf):\n"
+            "    if rank == 0:\n"
+            "        comm.send_bytes(buf, 1, 5)\n"
+            "    elif rank == 1:\n"
+            "        comm.recv_bytes(0, 5)\n"
+            "    comm.bcast_bytes(buf)\n"
+        )
+        by_method = {s.method: s for s in sites_of(src)}
+        assert by_method["send_bytes"].role == 0
+        assert by_method["recv_bytes"].role == 1
+        assert by_method["bcast_bytes"].role is None  # outside any guard
+
+    def test_symbolic_tag_is_none(self):
+        src = (
+            "def relay(comm, rank, buf, tag):\n"
+            "    comm.send_bytes(buf, 1, tag)\n"
+        )
+        (site,) = sites_of(src)
+        assert site.tag is None
+
+    def test_ambiguous_receiver_ignored(self):
+        # queue.send(...) on a non-comm-looking receiver is not MPI.
+        src = (
+            "def post(queue, item):\n"
+            "    queue.send(item)\n"
+        )
+        assert sites_of(src) == []
+
+
+class TestOMB401UnmatchedSend:
+    def test_literal_tag_with_no_matching_recv(self):
+        src = (
+            "def left(comm, rank, buf):\n"
+            "    comm.send_bytes(buf, 1, 42)\n"
+            "def right(comm, rank):\n"
+            "    comm.recv_bytes(0, 7)\n"
+        )
+        found = rules_of(src)
+        assert "OMB401" in found
+        assert "OMB402" in found  # tag 7 recv is just as unmatched
+
+    def test_matching_literal_tags_clean(self):
+        src = (
+            "def left(comm, rank, buf):\n"
+            "    comm.send_bytes(buf, 1, 42)\n"
+            "def right(comm, rank):\n"
+            "    comm.recv_bytes(0, 42)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_wildcard_recv_matches_any_send(self):
+        src = (
+            "def left(comm, rank, buf):\n"
+            "    comm.send_bytes(buf, 1, 42)\n"
+            "def right(comm, rank):\n"
+            "    comm.recv(source=0, tag=ANY_TAG)\n"
+        )
+        assert "OMB401" not in rules_of(src)
+
+    def test_symbolic_recv_tag_matches_any_send(self):
+        src = (
+            "def left(comm, rank, buf):\n"
+            "    comm.send_bytes(buf, 1, 42)\n"
+            "def right(comm, rank, tag):\n"
+            "    comm.recv_bytes(0, tag)\n"
+        )
+        assert "OMB401" not in rules_of(src)
+
+    def test_internal_tags_exempt(self):
+        # Tags >= 2**30 belong to the runtime's internal protocol.
+        src = (
+            "def beat(comm, rank, buf):\n"
+            f"    comm.send_bytes(buf, 1, {2**30 + 3})\n"
+        )
+        assert "OMB401" not in rules_of(src)
+
+
+class TestOMB402UnmatchedRecv:
+    def test_literal_recv_tag_with_no_send(self):
+        src = (
+            "def right(comm, rank):\n"
+            "    comm.recv_bytes(0, 13)\n"
+        )
+        assert "OMB402" in rules_of(src)
+
+    def test_symbolic_send_matches_all_recvs(self):
+        src = (
+            "def left(comm, rank, buf, tag):\n"
+            "    comm.send_bytes(buf, 1, tag)\n"
+            "def right(comm, rank):\n"
+            "    comm.recv_bytes(0, 13)\n"
+        )
+        assert "OMB402" not in rules_of(src)
+
+
+class TestOMB403WaitCycle:
+    def test_head_to_head_recv_flagged(self):
+        src = (
+            "def main(comm, rank, buf):\n"
+            "    if rank == 0:\n"
+            "        comm.recv_bytes(1, 3)\n"
+            "        comm.send_bytes(buf, 1, 3)\n"
+            "    if rank == 1:\n"
+            "        comm.recv_bytes(0, 3)\n"
+            "        comm.send_bytes(buf, 0, 3)\n"
+        )
+        found = rules_of(src)
+        assert found.count("OMB403") == 1  # one finding per role pair
+
+    def test_send_first_order_clean(self):
+        src = (
+            "def main(comm, rank, buf):\n"
+            "    if rank == 0:\n"
+            "        comm.send_bytes(buf, 1, 3)\n"
+            "        comm.recv_bytes(1, 3)\n"
+            "    if rank == 1:\n"
+            "        comm.recv_bytes(0, 3)\n"
+            "        comm.send_bytes(buf, 0, 3)\n"
+        )
+        assert "OMB403" not in rules_of(src)
+
+    def test_nonblocking_recv_clean(self):
+        src = (
+            "def main(comm, rank, buf):\n"
+            "    if rank == 0:\n"
+            "        req = comm.irecv_bytes(1, 3)\n"
+            "        comm.send_bytes(buf, 1, 3)\n"
+            "    if rank == 1:\n"
+            "        req = comm.irecv_bytes(0, 3)\n"
+            "        comm.send_bytes(buf, 0, 3)\n"
+        )
+        assert "OMB403" not in rules_of(src)
+
+    def test_roles_in_different_files_do_not_pair(self):
+        # OMB403 is per-module: unrelated files are unrelated programs.
+        left = (
+            "def a(comm, rank, buf):\n"
+            "    if rank == 0:\n"
+            "        comm.recv_bytes(1, 3)\n"
+            "        comm.send_bytes(buf, 1, 3)\n"
+        )
+        right = (
+            "def b(comm, rank, buf):\n"
+            "    if rank == 1:\n"
+            "        comm.recv_bytes(0, 3)\n"
+            "        comm.send_bytes(buf, 0, 3)\n"
+        )
+        assert "OMB403" not in rules_of(left, right)

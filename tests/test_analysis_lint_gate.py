@@ -1,0 +1,180 @@
+"""Suppression pragmas across multi-line statements, and the baseline
+gate that lets grandfathered findings through while rejecting new ones."""
+
+from __future__ import annotations
+
+import ast
+import json
+
+import pytest
+
+from repro.analysis.dataflow import statement_spans
+from repro.analysis.lint import (
+    BASELINE_SCHEMA,
+    apply_baseline,
+    fingerprint,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    main,
+)
+
+
+class TestStatementSpans:
+    def test_simple_statements_span_all_lines(self):
+        src = (
+            "x = (1 +\n"
+            "     2)\n"
+            "y = 1 + \\\n"
+            "    2\n"
+        )
+        spans = statement_spans(ast.parse(src))
+        assert spans[1] == (1, 2)
+        assert spans[2] == (1, 2)
+        assert spans[3] == (3, 4)
+        assert spans[4] == (3, 4)
+
+    def test_compound_statement_spans_header_only(self):
+        src = (
+            "if (a and\n"
+            "        b):\n"
+            "    body()\n"
+        )
+        spans = statement_spans(ast.parse(src))
+        assert spans[1] == (1, 2)  # the two header lines share a span
+        assert spans[2] == (1, 2)
+        assert spans[3] == (3, 3)  # the body is its own statement
+
+
+class TestPragmaAcrossContinuations:
+    def test_pragma_on_last_line_of_paren_continuation(self):
+        src = (
+            "import numpy as np\n"
+            "comm.send(\n"
+            "    np.zeros(4),\n"
+            "    dest=1,\n"
+            ")  # ombpy-lint: ignore[OMB001]\n"
+        )
+        assert lint_source(src) == []
+
+    def test_pragma_on_first_line_of_paren_continuation(self):
+        src = (
+            "import numpy as np\n"
+            "comm.send(  # ombpy-lint: ignore[OMB001]\n"
+            "    np.zeros(4),\n"
+            "    dest=1,\n"
+            ")\n"
+        )
+        assert lint_source(src) == []
+
+    def test_pragma_after_backslash_continuation(self):
+        src = (
+            "import numpy as np\n"
+            "req = comm.\\\n"
+            "    send(np.zeros(4), dest=1)  # ombpy-lint: ignore[OMB001]\n"
+        )
+        assert lint_source(src) == []
+
+    def test_disable_alias(self):
+        src = (
+            "import numpy as np\n"
+            "comm.send(np.zeros(4), dest=1)  # ombpy: disable[OMB001]\n"
+        )
+        assert lint_source(src) == []
+
+    def test_unrelated_rule_pragma_does_not_suppress(self):
+        src = (
+            "import numpy as np\n"
+            "comm.send(\n"
+            "    np.zeros(4),\n"
+            ")  # ombpy-lint: ignore[OMB004]\n"
+        )
+        assert [f.rule for f in lint_source(src)] == ["OMB001"]
+
+    def test_pragma_on_compound_header_does_not_silence_body(self):
+        # The header span covers the `for` line only; a pragma there must
+        # not blanket-suppress findings inside the body.
+        src = (
+            "import numpy as np\n"
+            "for i in range(2):  # ombpy-lint: ignore[OMB001]\n"
+            "    comm.send(np.zeros(4), dest=1)\n"
+        )
+        assert [f.rule for f in lint_source(src)] == ["OMB001"]
+
+
+HOT_COPY = (
+    "def send_bytes(self, payload, dest, tag):\n"
+    "    frozen = bytes(payload)\n"
+    "    self._post(frozen, dest, tag)\n"
+)
+
+
+class TestBaselineGate:
+    def test_grandfathered_finding_absorbed(self, tmp_path):
+        (tmp_path / "hot.py").write_text(HOT_COPY)
+        findings = lint_paths([tmp_path], perf=True)
+        assert [f.rule for f in findings] == ["OMB301"]
+        baseline = {fingerprint(findings[0]): 1}
+        fresh, grandfathered = apply_baseline(findings, baseline)
+        assert fresh == []
+        assert grandfathered == 1
+
+    def test_new_copy_on_send_path_rejected(self, tmp_path):
+        # The CI gate scenario: a baseline built before someone adds a
+        # bytes() copy to the send path must flag the new site.
+        (tmp_path / "hot.py").write_text(HOT_COPY)
+        baseline: dict[str, int] = {}  # built when the tree was clean
+        findings = lint_paths([tmp_path], perf=True)
+        fresh, grandfathered = apply_baseline(findings, baseline)
+        assert [f.rule for f in fresh] == ["OMB301"]
+        assert grandfathered == 0
+
+    def test_second_copy_at_grandfathered_site_rejected(self, tmp_path):
+        # The baseline is a multiset: one grandfathered copy does not
+        # license a second identical one in the same file.
+        (tmp_path / "hot.py").write_text(HOT_COPY)
+        findings = lint_paths([tmp_path], perf=True)
+        baseline = {fingerprint(findings[0]): 1}
+        doubled = findings + findings
+        fresh, grandfathered = apply_baseline(doubled, baseline)
+        assert len(fresh) == 1
+        assert grandfathered == 1
+
+    def test_load_baseline_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"schema": "nope", "fingerprints": {}}))
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+    def test_cli_gate_end_to_end(self, tmp_path, capsys):
+        target = tmp_path / "hot.py"
+        target.write_text(HOT_COPY)
+        baseline = tmp_path / "baseline.json"
+        inventory = tmp_path / "perf_lint.json"
+
+        # No baseline coverage -> the finding fails the build (exit 1).
+        baseline.write_text(json.dumps(
+            {"schema": BASELINE_SCHEMA, "fingerprints": {}}
+        ))
+        rc = main([
+            str(target), "--perf",
+            "--baseline", str(baseline), "--inventory", str(inventory),
+        ])
+        assert rc == 1
+
+        # The inventory records the finding even when grandfathered.
+        findings = lint_paths([target], perf=True)
+        baseline.write_text(json.dumps({
+            "schema": BASELINE_SCHEMA,
+            "fingerprints": {fingerprint(findings[0]): 1},
+        }))
+        rc = main([
+            str(target), "--perf",
+            "--baseline", str(baseline), "--inventory", str(inventory),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "grandfathered" in out
+        doc = json.loads(inventory.read_text())
+        assert doc["count"] == 1
+        assert doc["by_rule"] == {"OMB301": 1}

@@ -143,10 +143,15 @@ class TestScheduler:
         st.integers(1, 8),
     )
     @settings(max_examples=40, deadline=None)
-    def test_lpt_never_worse_than_naive(self, ks, nparts):
-        assert makespan(balanced_assignment(ks, nparts)) <= makespan(
+    def test_lpt_within_graham_bound_of_naive(self, ks, nparts):
+        # LPT is not pointwise better than a sorted contiguous split
+        # (e.g. [3,4,5,6,7] into 2: LPT 14 vs naive 13); its guarantee
+        # is Graham's bound against the optimum, and OPT <= naive, so
+        # LPT <= (4/3 - 1/(3m)) * naive must always hold.
+        bound = (4.0 / 3.0 - 1.0 / (3.0 * nparts)) * makespan(
             naive_block_assignment(sorted(ks), nparts)
         )
+        assert makespan(balanced_assignment(ks, nparts)) <= bound + 1e-9
 
 
 class TestHarness:

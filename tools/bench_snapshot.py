@@ -25,6 +25,7 @@ import json
 import os
 import platform
 import sys
+import time
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
@@ -72,6 +73,40 @@ def _best_of(repeats: int, name: str, nranks: int,
     return best
 
 
+#: Whole-program analysis over src/ must stay under this (seconds); the
+#: perf-lint CI job runs it on every push, so analyzer cost is itself a
+#: perf budget on the BENCH trajectory.
+ANALYZER_BUDGET_S = 30.0
+
+
+def analyzer_snapshot() -> dict:
+    """Time one whole-program ``--perf --commgraph`` pass over ``src/``."""
+    from repro.analysis.interproc import load_program
+    from repro.analysis.commgraph import run_commgraph_rules
+    from repro.analysis.perf import run_perf_rules
+
+    target = os.path.join(REPO, "src")
+    start = time.perf_counter()
+    program = load_program([target])
+    load_s = time.perf_counter() - start
+    findings = run_perf_rules(program) + run_commgraph_rules(program)
+    total_s = time.perf_counter() - start
+    print(
+        f"analyzer: {total_s:.2f}s over src/ "
+        f"({len(program.functions)} functions, {len(findings)} findings, "
+        f"budget {ANALYZER_BUDGET_S:.0f}s)"
+    )
+    return {
+        "target": "src/",
+        "functions": len(program.functions),
+        "findings": len(findings),
+        "load_seconds": round(load_s, 3),
+        "total_seconds": round(total_s, 3),
+        "budget_seconds": ANALYZER_BUDGET_S,
+        "within_budget": total_s < ANALYZER_BUDGET_S,
+    }
+
+
 def snapshot(repeats: int) -> dict:
     results = {}
     for name, nranks, options in CASES:
@@ -110,6 +145,7 @@ def snapshot(repeats: int) -> dict:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": results,
+        "analyzer": analyzer_snapshot(),
     }
 
 
