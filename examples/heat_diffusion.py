@@ -40,45 +40,71 @@ def solve(comm, n: int, iters: int, tol: float) -> tuple[np.ndarray, int]:
     up_src, up_dst = cart.Shift(0, 1)      # (from above, to below)
     left_src, left_dst = cart.Shift(1, 1)
 
-    tag = 7
-    for it in range(1, iters + 1):
-        # Vertical halos: send my bottom row down, receive top halo, etc.
-        down = grid.sendrecv_bytes(
-            u[rows, 1:cols + 1].tobytes(), up_dst, tag, up_src, tag,
-            cols * 8,
-        )[0]
-        if up_src >= 0:
-            u[0, 1:cols + 1] = np.frombuffer(down, dtype="f8")
-        upw = grid.sendrecv_bytes(
-            u[1, 1:cols + 1].tobytes(), up_src, tag, up_dst, tag, cols * 8,
-        )[0]
-        if up_dst >= 0:
-            u[rows + 1, 1:cols + 1] = np.frombuffer(upw, dtype="f8")
-        # Horizontal halos.
-        right = grid.sendrecv_bytes(
-            np.ascontiguousarray(u[1:rows + 1, cols]).tobytes(),
-            left_dst, tag, left_src, tag, rows * 8,
-        )[0]
-        if left_src >= 0:
-            u[1:rows + 1, 0] = np.frombuffer(right, dtype="f8")
-        leftw = grid.sendrecv_bytes(
-            np.ascontiguousarray(u[1:rows + 1, 1]).tobytes(),
-            left_src, tag, left_dst, tag, rows * 8,
-        )[0]
-        if left_dst >= 0:
-            u[1:rows + 1, cols + 1] = np.frombuffer(leftw, dtype="f8")
+    # One tag per direction; halos cross as four nonblocking pairs.
+    tag_down, tag_up, tag_right, tag_left = 7, 8, 9, 10
 
-        new_core = 0.25 * (
-            u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+    # Staging buffers for the outgoing halo rows/columns, double-buffered:
+    # the fabric hands payloads to the receiver by reference, so set A may
+    # still be read by a neighbour finishing iteration i while we stage
+    # iteration i+1 — which must therefore use set B.  By i+2 the
+    # neighbour's unpack of set A is ordered before our waits, so
+    # alternating two sets is sufficient.
+    stage = [
+        [np.empty(cols), np.empty(cols), np.empty(rows), np.empty(rows)]
+        for _ in range(2)
+    ]
+    views = [[b.data.cast("B") for b in bufs] for bufs in stage]
+
+    core = np.empty((rows, cols))
+    diff = np.empty((rows, cols))
+    local_delta = np.empty(1)
+
+    for it in range(1, iters + 1):
+        # Post all four halo receives before any send (deadlock-free in
+        # any grid shape), then stage and send, then complete everything.
+        r_top = grid.irecv_bytes(up_src, tag_down, cols * 8)
+        r_bot = grid.irecv_bytes(up_dst, tag_up, cols * 8)
+        r_lft = grid.irecv_bytes(left_src, tag_right, rows * 8)
+        r_rgt = grid.irecv_bytes(left_dst, tag_left, rows * 8)
+
+        bot, top, rgt, lft = stage[it & 1]
+        bview, tview, rview, lview = views[it & 1]
+        bot[:] = u[rows, 1:cols + 1]
+        top[:] = u[1, 1:cols + 1]
+        rgt[:] = u[1:rows + 1, cols]
+        lft[:] = u[1:rows + 1, 1]
+
+        sends = (
+            grid.isend_bytes(bview, up_dst, tag_down),
+            grid.isend_bytes(tview, up_src, tag_up),
+            grid.isend_bytes(rview, left_dst, tag_right),
+            grid.isend_bytes(lview, left_src, tag_left),
         )
-        delta = float(np.max(np.abs(new_core - u[1:-1, 1:-1])))
-        u[1:-1, 1:-1] = new_core
+        for req in (r_top, r_bot, r_lft, r_rgt, *sends):
+            req.wait()
+
+        if up_src >= 0:
+            u[0, 1:cols + 1] = memoryview(r_top.payload()).cast("d")
+        if up_dst >= 0:
+            u[rows + 1, 1:cols + 1] = memoryview(r_bot.payload()).cast("d")
+        if left_src >= 0:
+            u[1:rows + 1, 0] = memoryview(r_lft.payload()).cast("d")
+        if left_dst >= 0:
+            u[1:rows + 1, cols + 1] = memoryview(r_rgt.payload()).cast("d")
+
+        # 5-point stencil into preallocated scratch (no per-iter allocs).
+        np.add(u[:-2, 1:-1], u[2:, 1:-1], out=core)
+        np.add(core, u[1:-1, :-2], out=core)
+        np.add(core, u[1:-1, 2:], out=core)
+        core *= 0.25
+        np.subtract(core, u[1:-1, 1:-1], out=diff)
+        np.abs(diff, out=diff)
+        local_delta[0] = diff.max()
+        u[1:-1, 1:-1] = core
         if py == 0:
             u[0, :] = 100.0
 
-        global_delta = grid.allreduce_array(
-            np.array([delta]), ops.MAX
-        )[0]
+        global_delta = grid.allreduce_array(local_delta, ops.MAX)[0]
         if global_delta < tol:
             return u[1:-1, 1:-1], it
     return u[1:-1, 1:-1], iters

@@ -19,6 +19,16 @@ and MUST (dynamic, PMPI-based) divide the problem for C MPI codes:
   operation and, with per-rank vector clocks and content snapshots,
   detects write-after-Isend, read/write-before-Wait, overlapping pinned
   regions, and mid-collective buffer mutation.
+
+On top of the linter sits a whole-program engine
+(:mod:`repro.analysis.interproc`) with four opt-in rule families:
+``--perf`` (:mod:`.perf`, OMB3xx hot-path waste), ``--commgraph``
+(:mod:`.commgraph`, OMB4xx send/recv matching), ``--protocol``
+(:mod:`.protocol`, OMB50x — a rank-symbolic verifier that proves
+collective-order and deadlock properties parametrically in the job
+size, using the :mod:`.rankdom` symbolic-rank domain), and ``--scale``
+(:mod:`.scale`, OMB51x — scalability debt priced with LogGP cost
+estimates from :mod:`repro.simulator`).
 """
 
 from __future__ import annotations

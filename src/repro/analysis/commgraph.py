@@ -28,6 +28,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 
+from . import rankdom
 from . import rules as _rules
 from .findings import Finding
 from .interproc import FunctionInfo, Program
@@ -83,11 +84,6 @@ _PEER_POSITION = {
 }
 _PEER_KEYWORDS = frozenset({"dest", "source", "peer"})
 
-_RANKISH = frozenset({
-    "rank", "world_rank", "my_rank", "myrank", "me", "myid", "rank_id",
-})
-
-
 @dataclass
 class CommSite:
     """One send/recv/collective call site with its static context."""
@@ -104,30 +100,6 @@ class CommSite:
     line: int
     col: int
     func: str                     # qualname of the enclosing function
-
-
-def _is_rankish(node: ast.expr) -> bool:
-    if isinstance(node, ast.Name):
-        return node.id in _RANKISH
-    if isinstance(node, ast.Attribute):
-        return node.attr in _RANKISH
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-        return node.func.attr in ("Get_rank", "rank")
-    return False
-
-
-def _rank_eq(test: ast.expr) -> int | None:
-    """``rank == K`` (either side) -> K; anything else -> None."""
-    if not (isinstance(test, ast.Compare) and len(test.ops) == 1
-            and isinstance(test.ops[0], ast.Eq)):
-        return None
-    left, right = test.left, test.comparators[0]
-    for subject, value in ((left, right), (right, left)):
-        if _is_rankish(subject):
-            literal = _rules._literal_int(value)
-            if literal is not None:
-                return literal
-    return None
 
 
 def _arg_value(node: ast.expr) -> int | str | None:
@@ -200,12 +172,20 @@ def extract_sites(info: FunctionInfo) -> list[CommSite]:
             return
         if isinstance(node, ast.If):
             walk(node.test, role)
-            guard = _rank_eq(node.test)
+            # Guards normalize through the symbolic-rank domain, so
+            # `rank == 0`, `0 == rank`, `not rank` and the else-arm of
+            # `rank != 0` all land on the same role.
+            guard = rankdom.rank_guard_value(node.test)
+            else_guard = rankdom.else_guard_value(node.test)
             for stmt in node.body:
                 walk(stmt, guard if guard is not None else role)
             for stmt in node.orelse:
-                # `else` of a rank guard is "some other rank": role unknown.
-                walk(stmt, role if guard is None else None)
+                if else_guard is not None:
+                    walk(stmt, else_guard)
+                else:
+                    # `else` of a multi-rank guard is "some other rank":
+                    # role unknown.  A non-rank test keeps the outer role.
+                    walk(stmt, role if guard is None else None)
             return
         if isinstance(node, ast.Call):
             record(node, role)
@@ -230,16 +210,34 @@ def _finding(rule: str, site: CommSite, message: str) -> Finding:
 
 # -- OMB401 / OMB402: statically-unmatched literal tags --------------------
 
+def _can_rendezvous(send: CommSite, recv: CommSite) -> bool:
+    """Could this send ever match this recv?  Generous: unknown values
+    match anything; only a *proven* tag or endpoint mismatch excludes a
+    pairing.  Roles arrive pre-normalized through the symbolic-rank
+    domain, so textually different but equivalent guards pair cleanly."""
+    if isinstance(send.tag, int) and isinstance(recv.tag, int) \
+            and send.tag != recv.tag:
+        return False
+    # send's destination vs. the rank the recv runs on
+    if isinstance(send.peer, int) and isinstance(recv.role, int) \
+            and send.peer != recv.role:
+        return False
+    # recv's source vs. the rank the send runs on
+    if isinstance(recv.peer, int) and isinstance(send.role, int) \
+            and recv.peer != send.role:
+        return False
+    return True
+
+
 def check_unmatched_sends(sites: list[CommSite]) -> list[Finding]:
     """A send whose literal tag no recv in the program can ever match."""
-    recv_tags = {s.tag for s in sites if s.kind == "recv"}
-    wildcard_recv = None in recv_tags or ANY in recv_tags
+    recvs = [s for s in sites if s.kind == "recv"]
     findings = []
     for site in sites:
         if site.kind != "send" or not isinstance(site.tag, int) \
                 or _internal_tag(site.tag):
             continue
-        if wildcard_recv or site.tag in recv_tags:
+        if any(_can_rendezvous(site, recv) for recv in recvs):
             continue
         findings.append(_finding(
             "OMB401", site,
@@ -252,14 +250,13 @@ def check_unmatched_sends(sites: list[CommSite]) -> list[Finding]:
 
 def check_unmatched_recvs(sites: list[CommSite]) -> list[Finding]:
     """A recv whose literal tag no send in the program can ever match."""
-    send_tags = {s.tag for s in sites if s.kind == "send"}
-    symbolic_send = None in send_tags
+    sends = [s for s in sites if s.kind == "send"]
     findings = []
     for site in sites:
         if site.kind != "recv" or not isinstance(site.tag, int) \
                 or _internal_tag(site.tag):
             continue
-        if symbolic_send or site.tag in send_tags:
+        if any(_can_rendezvous(send, site) for send in sends):
             continue
         findings.append(_finding(
             "OMB402", site,

@@ -243,9 +243,12 @@ class Program:
                 todo.append(info.qualname)
         # Close over callees: anything a hot function calls runs per
         # message too (over-approximate: name-resolved edges).
+        # Sorted edge order keeps the attributed caller (and with it the
+        # baseline fingerprint of every downstream finding) independent
+        # of set-iteration order across interpreter runs.
         while todo:
             qual = todo.pop()
-            for callee in self.call_edges.get(qual, ()):
+            for callee in sorted(self.call_edges.get(qual, ())):
                 if callee not in self.hot:
                     caller = by_qual[qual]
                     self.hot[callee] = f"called from hot '{caller.name}()'"

@@ -3,8 +3,8 @@
 Usage::
 
     ombpy-lint [paths...] [--format text|json|sarif] [--select IDs]
-               [--ignore IDs] [--perf] [--commgraph]
-               [--inventory FILE] [--baseline FILE]
+               [--ignore IDs] [--perf] [--commgraph] [--protocol]
+               [--scale] [--inventory FILE] [--baseline FILE]
     python -m repro.analysis.lint examples/ benchmarks/
 
 Exit status: 0 clean, 1 findings reported, 2 usage error.
@@ -17,7 +17,10 @@ applies to the whole statement.
 
 ``--perf`` adds the whole-program performance family (OMB301-310) and
 ``--commgraph`` the static communication-graph rules (OMB401-403); both
-are documented in ``docs/perf-lint.md``.  ``--inventory`` writes the
+are documented in ``docs/perf-lint.md``.  ``--protocol`` runs the
+rank-symbolic protocol verifier (OMB501-506) and ``--scale`` the
+scalability-debt rules with LogGP cost annotations (OMB510-515); see
+``docs/protocol-lint.md``.  ``--inventory`` writes the
 machine-readable finding inventory (``results/perf_lint.json``);
 ``--baseline`` filters findings already grandfathered in a baseline file
 (``tools/perf_lint_baseline.json``), so only *new* sites fail.
@@ -155,12 +158,15 @@ def lint_paths(
     ignore: set[str] | None = None,
     perf: bool = False,
     commgraph: bool = False,
+    protocol: bool = False,
+    scale: bool = False,
 ) -> list[Finding]:
     """Lint files and directories (recursing into ``*.py``).
 
-    With ``perf``/``commgraph``, the whole-program engine loads every
-    file under ``paths`` into one :class:`~repro.analysis.interproc.Program`
-    and runs the OMB3xx/OMB4xx families on top of the per-file rules.
+    With ``perf``/``commgraph``/``protocol``/``scale``, the whole-program
+    engine loads every file under ``paths`` into one
+    :class:`~repro.analysis.interproc.Program` and runs the OMB3xx/OMB4xx/
+    OMB5xx families on top of the per-file rules.
     """
     findings: list[Finding] = []
     for raw in paths:
@@ -170,7 +176,7 @@ def lint_paths(
                 findings.extend(lint_file(f, select=select, ignore=ignore))
         else:
             findings.extend(lint_file(p, select=select, ignore=ignore))
-    if perf or commgraph:
+    if perf or commgraph or protocol or scale:
         from .interproc import load_program
 
         program = load_program(list(paths))
@@ -183,6 +189,14 @@ def lint_paths(
             from .commgraph import run_commgraph_rules
 
             extra.extend(run_commgraph_rules(program, select, ignore))
+        if protocol:
+            from .protocol import run_protocol_rules
+
+            extra.extend(run_protocol_rules(program, select, ignore))
+        if scale:
+            from .scale import run_scale_rules
+
+            extra.extend(run_scale_rules(program, select, ignore))
         findings.extend(_filter_program_findings(extra))
     return sort_findings(findings)
 
@@ -191,10 +205,14 @@ def _all_rule_docs() -> dict[str, str]:
     """Every rule ID -> one-line description, across all families."""
     from .commgraph import COMMGRAPH_RULES
     from .perf import PERF_RULES
+    from .protocol import PROTOCOL_RULES
+    from .scale import SCALE_RULES
 
     docs = {rule_id: doc for rule_id, (_fn, doc) in RULES.items()}
     docs.update({r: doc for r, (_fn, doc) in PERF_RULES.items()})
     docs.update({r: doc for r, (_fn, doc) in COMMGRAPH_RULES.items()})
+    docs.update({r: doc for r, (_fn, doc) in PROTOCOL_RULES.items()})
+    docs.update({r: doc for r, (_fn, doc) in SCALE_RULES.items()})
     return docs
 
 
@@ -322,6 +340,18 @@ def build_parser() -> argparse.ArgumentParser:
         "unmatched tags and head-to-head wait cycles",
     )
     parser.add_argument(
+        "--protocol", action="store_true",
+        help="also run the rank-symbolic protocol verifier (OMB501-506): "
+        "collective-order mismatches and rank-dependent deadlocks, proven "
+        "parametrically across job sizes",
+    )
+    parser.add_argument(
+        "--scale", action="store_true",
+        help="also run the scalability rules (OMB510-515): O(N²) meshes, "
+        "linear collectives, per-peer threads/fds, unbounded hold buffers "
+        "— each priced with a LogGP cost estimate at N=1024",
+    )
+    parser.add_argument(
         "--inventory", default=None, metavar="FILE",
         help="write the machine-readable finding inventory to FILE "
         "(e.g. results/perf_lint.json)",
@@ -365,6 +395,7 @@ def main(argv: list[str] | None = None) -> int:
     findings = lint_paths(
         args.paths, select=select, ignore=ignore,
         perf=args.perf, commgraph=args.commgraph,
+        protocol=args.protocol, scale=args.scale,
     )
     if args.inventory:
         write_inventory(args.inventory, findings, args.paths)

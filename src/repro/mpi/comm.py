@@ -34,6 +34,9 @@ from .transport.base import CTRL_REVOKE, Transport
 _CTX_SHIFT = 16
 _CTX_MASK = (1 << _CTX_SHIFT) - 1
 
+# Payload layout of a CTRL_REVOKE frame: the revoked context id.
+_REVOKE_FRAME = struct.Struct("<q")
+
 
 class Endpoint:
     """Per-process communication endpoint: one transport + one engine."""
@@ -59,7 +62,7 @@ class Endpoint:
     def on_control(self, env: Envelope, payload: bytes) -> None:
         """Handle a non-liveness control frame from a peer."""
         if env.tag == CTRL_REVOKE and len(payload) >= 8:
-            (context,) = struct.unpack_from("<q", payload)
+            (context,) = _REVOKE_FRAME.unpack_from(payload)
             self.engine.revoke_context(context)
 
     def close(self) -> None:

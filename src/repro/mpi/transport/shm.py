@@ -32,6 +32,7 @@ from .base import (
 )
 
 _CTRL = struct.Struct("<QQ")
+_WORD = struct.Struct("<Q")
 CTRL_SIZE = _CTRL.size
 DEFAULT_CAPACITY = 1 << 20  # 1 MiB per directed pair
 
@@ -70,10 +71,10 @@ class _Ring:
         return _CTRL.unpack_from(self._buf, 0)
 
     def _store_head(self, head: int) -> None:
-        struct.pack_into("<Q", self._buf, 0, head)
+        _WORD.pack_into(self._buf, 0, head)
 
     def _store_tail(self, tail: int) -> None:
-        struct.pack_into("<Q", self._buf, 8, tail)
+        _WORD.pack_into(self._buf, 8, tail)
 
     # -- producer -----------------------------------------------------------
     def write(self, frame, stop: threading.Event) -> None:

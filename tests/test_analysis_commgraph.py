@@ -208,3 +208,62 @@ class TestOMB403WaitCycle:
             "        comm.send_bytes(buf, 0, 3)\n"
         )
         assert "OMB403" not in rules_of(left, right)
+
+
+class TestGuardNormalization:
+    """Equivalent-but-textually-different rank predicates must land on
+    the same role (the OMB402 false-positive class): `rank == 0`,
+    `0 == rank`, `not rank`, and the else arm of `rank != 0` all name
+    the rank-0 role."""
+
+    def test_not_rank_pairs_with_literal_guard(self):
+        src = (
+            "def main(comm, rank, buf):\n"
+            "    if not rank:\n"
+            "        comm.send_bytes(buf, 1, 3)\n"
+            "    if rank == 1:\n"
+            "        comm.recv_bytes(0, 3)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_reversed_compare_pairs(self):
+        src = (
+            "def main(comm, rank, buf):\n"
+            "    if 0 == rank:\n"
+            "        comm.send_bytes(buf, 1, 3)\n"
+            "    if 1 == rank:\n"
+            "        comm.recv_bytes(0, 3)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_else_of_rank_ne_zero_is_role_zero(self):
+        src = (
+            "def main(comm, rank, buf):\n"
+            "    if rank != 0:\n"
+            "        comm.recv_bytes(0, 3)\n"
+            "    else:\n"
+            "        comm.send_bytes(buf, 1, 3)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_bare_rank_truthiness_else_arm(self):
+        src = (
+            "def main(comm, rank, buf):\n"
+            "    if rank:\n"
+            "        comm.recv_bytes(0, 3)\n"
+            "    else:\n"
+            "        comm.send_bytes(buf, 1, 3)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_true_tag_mismatch_still_flagged(self):
+        # Normalization must not swallow real mismatches: these tags
+        # can never rendezvous, whatever the guard spelling.
+        src = (
+            "def main(comm, rank, buf):\n"
+            "    if not rank:\n"
+            "        comm.send_bytes(buf, 1, 3)\n"
+            "    if rank == 1:\n"
+            "        comm.recv_bytes(0, 4)\n"
+        )
+        assert rules_of(src) == ["OMB401", "OMB402"]

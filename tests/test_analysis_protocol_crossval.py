@@ -1,0 +1,234 @@
+"""Cross-validation of the rank-symbolic verifier against concrete
+execution.
+
+Property-based: generate small rank-branching programs from a grammar,
+derive ground truth by *concretely* evaluating every guard and peer
+expression with real Python semantics at N ∈ {2, 3, 4, 5, 8} and
+scheduling the resulting op lists under the runtime's semantics
+(buffered sends, blocking receives, all-ranks collectives).  The
+symbolic verdict must never disagree in the dangerous direction:
+
+* no false "verified-safe" — a program that concretely deadlocks at a
+  size the verifier replayed must produce a finding;
+* no phantom deadlock proofs — an OMB501/502/505 (or error-grade
+  OMB504) report must correspond to a concrete deadlock at some
+  replayed size;
+* bounded flag rate — concretely-clean programs are mostly report-free
+  (the verifier is a prover, not an alarm bell).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.interproc import Program
+from repro.analysis.protocol import build_traces, verify_function
+
+SIZES = (2, 3, 4, 5, 8)
+
+#: Deadlock-proof rules: claims of a concrete hang, not hygiene notes.
+DEADLOCK_RULES = frozenset({"OMB501", "OMB502", "OMB505"})
+
+PEERS = ("0", "1", "(rank + 1) % size", "(rank - 1) % size")
+GUARDS = ("rank == 0", "rank == 1", "rank % 2 == 0", "rank < size - 1")
+COLLS = ("barrier", "bcast")
+
+op_st = st.one_of(
+    st.tuples(st.just("send"), st.sampled_from(PEERS),
+              st.integers(min_value=1, max_value=2)),
+    st.tuples(st.just("recv"), st.sampled_from(PEERS),
+              st.integers(min_value=1, max_value=2)),
+    st.tuples(st.just("coll"), st.sampled_from(COLLS), st.just(0)),
+)
+
+stmt_st = st.one_of(
+    st.tuples(st.just("op"), op_st),
+    st.tuples(
+        st.just("if"),
+        st.sampled_from(GUARDS),
+        st.lists(op_st, min_size=1, max_size=2),
+        st.lists(op_st, min_size=0, max_size=2),
+    ),
+)
+
+program_st = st.lists(stmt_st, min_size=1, max_size=4)
+
+
+# -- rendering --------------------------------------------------------------
+
+def _render_op(op, indent: str) -> str:
+    kind, a, b = op
+    if kind == "send":
+        return f"{indent}comm.send_bytes(buf, {a}, {b})\n"
+    if kind == "recv":
+        return f"{indent}data = comm.recv_bytes({a}, {b}, 64)\n"
+    if a == "barrier":
+        return f"{indent}comm.barrier()\n"
+    return f"{indent}comm.bcast_bytes(buf, 0)\n"
+
+
+def render(spec) -> str:
+    out = "def work(comm, rank, size, buf):\n"
+    for stmt in spec:
+        if stmt[0] == "op":
+            out += _render_op(stmt[1], "    ")
+        else:
+            _, guard, then_ops, else_ops = stmt
+            out += f"    if {guard}:\n"
+            for op in then_ops:
+                out += _render_op(op, "        ")
+            if else_ops:
+                out += "    else:\n"
+                for op in else_ops:
+                    out += _render_op(op, "        ")
+    return out
+
+
+# -- concrete ground truth --------------------------------------------------
+
+def concrete_ops(spec, rank: int, size: int):
+    """The op list rank ``rank`` executes at job size ``size``, with
+    every guard and peer evaluated by the Python interpreter itself."""
+    env = {"rank": rank, "size": size}
+    ops = []
+
+    def emit(op):
+        kind, a, b = op
+        if kind == "coll":
+            ops.append(("coll", a, 0))
+        else:
+            ops.append((kind, eval(a, {}, env), b))
+
+    for stmt in spec:
+        if stmt[0] == "op":
+            emit(stmt[1])
+        else:
+            _, guard, then_ops, else_ops = stmt
+            for op in then_ops if eval(guard, {}, env) else else_ops:
+                emit(op)
+    return ops
+
+
+def concrete_deadlocks(spec, size: int) -> bool:
+    """Schedule the concrete op lists under runtime semantics: sends
+    are buffered (complete immediately), receives block on a matching
+    (source, tag) message, collectives block until every rank is at the
+    same one.  True when the schedule reaches a stuck state."""
+    traces = [concrete_ops(spec, r, size) for r in range(size)]
+    idx = [0] * size
+    mailbox: dict[tuple[int, int, int], int] = {}
+    while True:
+        heads = [
+            traces[r][idx[r]] if idx[r] < len(traces[r]) else None
+            for r in range(size)
+        ]
+        if all(h is None for h in heads):
+            return False
+        progressed = False
+        for r, head in enumerate(heads):
+            if head is None:
+                continue
+            kind, a, b = head
+            if kind == "send":
+                mailbox[(a, r, b)] = mailbox.get((a, r, b), 0) + 1
+                idx[r] += 1
+                progressed = True
+            elif kind == "recv":
+                key = (r, a, b)
+                if mailbox.get(key, 0) > 0:
+                    mailbox[key] -= 1
+                    idx[r] += 1
+                    progressed = True
+        heads = [
+            traces[r][idx[r]] if idx[r] < len(traces[r]) else None
+            for r in range(size)
+        ]
+        if (
+            all(h is not None and h[0] == "coll" for h in heads)
+            and len({h[1] for h in heads}) == 1
+        ):
+            for r in range(size):
+                idx[r] += 1
+            progressed = True
+        if not progressed:
+            return True
+
+
+# -- the properties ---------------------------------------------------------
+
+def verdict(spec):
+    prog = Program()
+    prog.add_module("gen.py", ast.parse(render(spec)))
+    prog.finalize()
+    info = next(i for i in prog.functions if i.name == "work")
+    reports = verify_function(info, frozenset(), sizes=SIZES)
+    eligible = [
+        n for n in SIZES if build_traces(info, frozenset(), n) is not None
+    ]
+    return reports, eligible
+
+
+@settings(max_examples=80, deadline=None)
+@given(program_st)
+def test_no_false_verified_safe(spec):
+    reports, eligible = verdict(spec)
+    hangs = [n for n in eligible if concrete_deadlocks(spec, n)]
+    if hangs and not reports:
+        raise AssertionError(
+            f"symbolically silent but concretely deadlocks at N={hangs}:\n"
+            f"{render(spec)}"
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(program_st)
+def test_no_phantom_deadlock_proofs(spec):
+    reports, eligible = verdict(spec)
+    proofs = [r for r in reports if r.rule in DEADLOCK_RULES]
+    if proofs and not any(concrete_deadlocks(spec, n) for n in eligible):
+        raise AssertionError(
+            f"claims {[r.rule for r in proofs]} but runs clean at every "
+            f"eligible size {eligible}:\n{render(spec)}"
+        )
+
+
+def test_flag_rate_is_bounded():
+    # Deterministic corpus: enumerate a few hundred grammar points and
+    # require that concretely-clean programs are mostly report-free.
+    import itertools
+    import random
+
+    rng = random.Random(7)
+    clean = flagged_clean = 0
+    for _ in range(200):
+        n_stmts = rng.randint(1, 4)
+        spec = []
+        for _ in range(n_stmts):
+            if rng.random() < 0.5:
+                spec.append(("op", _rand_op(rng)))
+            else:
+                spec.append((
+                    "if", rng.choice(GUARDS),
+                    [_rand_op(rng) for _ in range(rng.randint(1, 2))],
+                    [_rand_op(rng) for _ in range(rng.randint(0, 2))],
+                ))
+        reports, eligible = verdict(spec)
+        if not eligible:
+            continue
+        if any(concrete_deadlocks(spec, n) for n in eligible):
+            continue
+        clean += 1
+        if any(r.rule in DEADLOCK_RULES for r in reports):
+            flagged_clean += 1
+    assert clean >= 20, "corpus produced too few clean programs"
+    # No deadlock proof may land on a concretely-clean program at all.
+    assert flagged_clean == 0, (clean, flagged_clean)
+
+
+def _rand_op(rng):
+    kind = rng.choice(("send", "recv", "coll"))
+    if kind == "coll":
+        return ("coll", rng.choice(COLLS), 0)
+    return (kind, rng.choice(PEERS), rng.randint(1, 2))

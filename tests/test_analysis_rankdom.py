@@ -1,0 +1,113 @@
+"""Symbolic-rank domain: expression folding, three-valued predicates,
+and guard normalization (the OMB402 false-positive class)."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rankdom import (
+    else_guard_value,
+    eval_expr,
+    eval_pred,
+    is_rankish,
+    is_sizeish,
+    mentions_scale,
+    rank_guard_value,
+)
+
+
+def expr(src: str) -> ast.expr:
+    return ast.parse(src, mode="eval").body
+
+
+class TestEvalExpr:
+    def test_arithmetic_over_rank_and_size(self):
+        env = {"rank": 3, "size": 8}
+        assert eval_expr(expr("(rank + 1) % size"), env) == 4
+        assert eval_expr(expr("size - 1"), env) == 7
+        assert eval_expr(expr("2 * rank"), env) == 6
+        assert eval_expr(expr("rank // 2"), env) == 1
+        assert eval_expr(expr("1 << rank"), env) == 8
+
+    def test_aliases_and_attributes(self):
+        env = {"rank": 2, "size": 4}
+        assert eval_expr(expr("world_rank"), env) == 2
+        assert eval_expr(expr("comm.rank"), env) == 2
+        assert eval_expr(expr("self.world_size"), env) == 4
+        assert eval_expr(expr("comm.Get_rank()"), env) == 2
+
+    def test_locals_and_unknowns(self):
+        env = {"rank": 0, "size": 2, "step": 5}
+        assert eval_expr(expr("step + 1"), env) == 6
+        assert eval_expr(expr("mystery"), env) is None
+        assert eval_expr(expr("rank + mystery"), env) is None
+
+    def test_division_by_zero_is_unknown(self):
+        assert eval_expr(expr("rank % size"), {"rank": 1, "size": 0}) is None
+
+
+class TestEvalPred:
+    def test_three_valued_compare(self):
+        assert eval_pred(expr("rank == 0"), {"rank": 0, "size": 2}) is True
+        assert eval_pred(expr("rank == 0"), {"rank": 1, "size": 2}) is False
+        assert eval_pred(expr("rank == k"), {"rank": 1, "size": 2}) is None
+
+    def test_not_and_boolops(self):
+        env = {"rank": 0, "size": 4}
+        assert eval_pred(expr("not rank"), env) is True
+        assert eval_pred(expr("rank == 0 and size > 2"), env) is True
+        assert eval_pred(expr("rank == 1 or size == 4"), env) is True
+        # An unknown operand only matters when it could decide.
+        assert eval_pred(expr("rank == 1 and mystery"), env) is False
+        assert eval_pred(expr("rank == 0 or mystery"), env) is True
+        assert eval_pred(expr("rank == 0 and mystery"), env) is None
+
+    def test_bare_truthiness(self):
+        assert eval_pred(expr("rank"), {"rank": 0, "size": 2}) is False
+        assert eval_pred(expr("rank"), {"rank": 1, "size": 2}) is True
+
+    def test_chained_compare(self):
+        env = {"rank": 2, "size": 8}
+        assert eval_pred(expr("0 < rank < size"), env) is True
+        assert eval_pred(expr("0 < rank < 2"), env) is False
+
+
+class TestGuardNormalization:
+    def test_equivalent_spellings_of_rank_eq_zero(self):
+        for spelling in ("rank == 0", "0 == rank", "not rank",
+                         "rank < 1", "rank <= 0"):
+            assert rank_guard_value(expr(spelling)) == 0, spelling
+
+    def test_nonzero_roles(self):
+        assert rank_guard_value(expr("rank == 1")) == 1
+        # Structural path: K beyond the probe sizes still names role K.
+        assert rank_guard_value(expr("rank == 5")) == 5
+        assert rank_guard_value(expr("rank == 31")) == 31
+
+    def test_non_single_rank_guards(self):
+        assert rank_guard_value(expr("rank % 2 == 0")) is None
+        assert rank_guard_value(expr("rank != 0")) is None
+        assert rank_guard_value(expr("size == 2")) is None
+        assert rank_guard_value(expr("flag")) is None
+
+    def test_else_guard(self):
+        assert else_guard_value(expr("rank != 0")) == 0
+        assert else_guard_value(expr("rank")) == 0
+        assert else_guard_value(expr("0 != rank")) == 0
+        assert else_guard_value(expr("rank == 0")) is None
+
+
+class TestScaleLeaves:
+    def test_rank_and_size_recognition(self):
+        assert is_rankish(expr("rank"))
+        assert is_rankish(expr("self.world_rank"))
+        assert is_sizeish(expr("nprocs"))
+        assert is_sizeish(expr("comm.Get_size()"))
+        assert not is_rankish(expr("count"))
+
+    def test_mentions_scale(self):
+        assert mentions_scale(expr("range(size)"))
+        assert mentions_scale(expr("range(self.world_rank)"))
+        assert mentions_scale(expr("range(1, size - 1)"))
+        assert not mentions_scale(expr("range(10)"))
+        assert not mentions_scale(expr("items"))

@@ -1,0 +1,201 @@
+"""Scalability rules (OMB510-515): detection and the LogGP pricing
+contract — every finding's cost string must match what the simulator's
+analytic model computes for the same pattern."""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.interproc import Program, load_program
+from repro.analysis.scale import (
+    ANNOTATE_N,
+    DEFAULT_MSG_BYTES,
+    DEFAULT_NET,
+    fmt_us,
+    projected_cost_us,
+    run_scale_rules,
+    scale_inventory,
+)
+from repro.simulator.collective_cost import _ceil_log2
+
+
+def program_of(*sources: str) -> Program:
+    prog = Program()
+    for i, src in enumerate(sources):
+        prog.add_module(f"mod{i}.py", ast.parse(src))
+    prog.finalize()
+    return prog
+
+
+def rules_of(*sources: str) -> list[str]:
+    return sorted(f.rule for f in run_scale_rules(program_of(*sources)))
+
+
+class TestDetection:
+    def test_mesh_dial_in_rank_loop(self):
+        src = (
+            "def establish(self, size):\n"
+            "    for peer in range(self.world_rank):\n"
+            "        sock = dial_with_retry(\n"
+            "            lambda: socket.create_connection(addr))\n"
+        )
+        assert rules_of(src) == ["OMB510"]
+
+    def test_root_accumulation(self):
+        src = (
+            "def gather_all(comm, rank, size):\n"
+            "    parts = []\n"
+            "    for src in range(size):\n"
+            "        parts.append(comm.recv_bytes(src, 1, 64))\n"
+            "    return parts\n"
+        )
+        assert rules_of(src) == ["OMB511"]
+
+    def test_linear_fanout(self):
+        src = (
+            "def blast(comm, rank, size, buf):\n"
+            "    for dst in range(size):\n"
+            "        comm.send_bytes(buf, dst, 1)\n"
+        )
+        assert rules_of(src) == ["OMB512"]
+
+    def test_helper_wrappers_count_as_comm(self):
+        src = (
+            "def linear(comm, size, tag, block):\n"
+            "    for src in range(size):\n"
+            "        out = crecv(comm, src, tag, block)\n"
+        )
+        assert rules_of(src) == ["OMB511"]
+
+    def test_pairwise_exchange_is_not_flagged(self):
+        # sendrecv per step is the optimal alltoall shape, not debt.
+        src = (
+            "def alltoall(comm, rank, size, buf):\n"
+            "    for step in range(1, size):\n"
+            "        peer = rank ^ step\n"
+            "        out = comm.sendrecv_bytes(buf, peer, 1, peer, 1, 64)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_bounded_loop_is_not_flagged(self):
+        src = (
+            "def warmup(comm, rank, buf):\n"
+            "    for i in range(10):\n"
+            "        comm.send_bytes(buf, 0, 1)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_thread_per_peer_in_rank_loop(self):
+        src = (
+            "def start(self, size):\n"
+            "    for peer in range(size):\n"
+            "        t = threading.Thread(target=self._loop, args=(peer,))\n"
+            "        t.start()\n"
+        )
+        assert rules_of(src) == ["OMB513"]
+
+    def test_thread_in_helper_called_from_rank_loop(self):
+        # One level of interprocedural vision: the loop dials, the
+        # helper it calls starts the per-peer reader thread.
+        src = (
+            "def establish(self, size):\n"
+            "    for peer in range(size):\n"
+            "        self._register(peer)\n"
+            "\n"
+            "def _register(self, peer):\n"
+            "    t = threading.Thread(target=self._read, args=(peer,))\n"
+            "    t.start()\n"
+        )
+        assert "OMB513" in rules_of(src)
+
+    def test_thread_outside_any_rank_loop_is_fine(self):
+        src = (
+            "def start_progress(self):\n"
+            "    t = threading.Thread(target=self._progress)\n"
+            "    t.start()\n"
+        )
+        assert rules_of(src) == []
+
+    def test_fd_per_peer(self):
+        src = (
+            "def mesh(self, size):\n"
+            "    for peer in range(size):\n"
+            "        s = socket.socket(socket.AF_UNIX)\n"
+            "        s.connect(path(peer))\n"
+        )
+        assert rules_of(src) == ["OMB510", "OMB514"]
+
+    def test_unbounded_hold_buffer(self):
+        src = (
+            "def on_frame(self, peer, seq, data):\n"
+            "    if seq != peer.next_expected:\n"
+            "        peer.buffered[seq] = data\n"
+        )
+        assert rules_of(src) == ["OMB515"]
+
+    def test_hold_buffer_with_window_bound_is_fine(self):
+        src = (
+            "def on_frame(self, peer, seq, data):\n"
+            "    if seq != peer.next_expected:\n"
+            "        if len(peer.buffered) < self.max_window:\n"
+            "            peer.buffered[seq] = data\n"
+        )
+        assert rules_of(src) == []
+
+
+class TestLogGPContract:
+    def test_cost_model_matches_the_simulator(self):
+        # The annotation numbers are the simulator's analytic model:
+        # latency_us from the LogGP NetworkModel, log-tree depth from
+        # collective_cost._ceil_log2.  Recompute them independently.
+        lat = DEFAULT_NET.latency_us
+        m = DEFAULT_MSG_BYTES
+        for n in (2, 64, 256, 1024):
+            assert projected_cost_us("linear", n) == (n - 1) * lat(m)
+            assert projected_cost_us("tree", n) == _ceil_log2(n) * lat(m)
+            assert projected_cost_us("mesh", n) == 3 * (n - 1) * lat(0)
+            assert projected_cost_us("perpeer", n) == (n - 1) * lat(0)
+
+    def test_every_finding_is_priced(self):
+        # Acceptance bar: each OMB51x finding carries a LogGP cost
+        # string whose figures match the simulator-derived model.
+        program = load_program(["src", "benchmarks", "examples"])
+        findings = run_scale_rules(program)
+        assert findings, "expected OMB51x sites in the shipped tree"
+        expected = {
+            "mesh": fmt_us(projected_cost_us("mesh", ANNOTATE_N)),
+            "linear": fmt_us(projected_cost_us("linear", ANNOTATE_N)),
+            "tree": fmt_us(projected_cost_us("tree", ANNOTATE_N)),
+            "perpeer": fmt_us(projected_cost_us("perpeer", ANNOTATE_N)),
+        }
+        for f in findings:
+            assert f"LogGP @N={ANNOTATE_N}" in f.message, f.format()
+            if f.rule == "OMB510":
+                assert expected["mesh"] in f.message, f.format()
+            elif f.rule in ("OMB511", "OMB512"):
+                assert expected["linear"] in f.message, f.format()
+                assert expected["tree"] in f.message, f.format()
+            elif f.rule in ("OMB513", "OMB514"):
+                assert expected["perpeer"] in f.message, f.format()
+            elif f.rule == "OMB515":
+                assert expected["linear"] in f.message, f.format()
+
+    def test_inventory_ranks_by_cost(self):
+        program = load_program(["src"])
+        sites = scale_inventory(program)
+        assert sites
+        for s in sites:
+            assert s.cost_us(64) < s.cost_us(256) < s.cost_us(1024)
+
+    def test_known_sites_are_inventoried(self):
+        program = load_program(["src"])
+        by_rule = {}
+        for s in scale_inventory(program):
+            by_rule.setdefault(s.rule, set()).add(s.path)
+        assert "src/repro/mpi/transport/tcp.py" in by_rule["OMB510"]
+        assert "src/repro/mpi/reliability.py" in by_rule["OMB515"]
+        assert any(
+            re.search(r"transport/(tcp|uds)\.py", p)
+            for p in by_rule["OMB513"]
+        )

@@ -80,27 +80,42 @@ ANALYZER_BUDGET_S = 30.0
 
 
 def analyzer_snapshot() -> dict:
-    """Time one whole-program ``--perf --commgraph`` pass over ``src/``."""
+    """Time one whole-program pass of every family over ``src/`` —
+    perf + commgraph + the rank-symbolic protocol verifier + scale."""
     from repro.analysis.interproc import load_program
     from repro.analysis.commgraph import run_commgraph_rules
     from repro.analysis.perf import run_perf_rules
+    from repro.analysis.protocol import run_protocol_rules
+    from repro.analysis.scale import run_scale_rules
 
     target = os.path.join(REPO, "src")
     start = time.perf_counter()
     program = load_program([target])
     load_s = time.perf_counter() - start
-    findings = run_perf_rules(program) + run_commgraph_rules(program)
+    passes = {}
+    findings = []
+    for name, run in (
+        ("perf", run_perf_rules),
+        ("commgraph", run_commgraph_rules),
+        ("protocol", run_protocol_rules),
+        ("scale", run_scale_rules),
+    ):
+        t0 = time.perf_counter()
+        findings.extend(run(program))
+        passes[name] = round(time.perf_counter() - t0, 3)
     total_s = time.perf_counter() - start
     print(
         f"analyzer: {total_s:.2f}s over src/ "
         f"({len(program.functions)} functions, {len(findings)} findings, "
-        f"budget {ANALYZER_BUDGET_S:.0f}s)"
+        f"budget {ANALYZER_BUDGET_S:.0f}s; "
+        + ", ".join(f"{k} {v:.2f}s" for k, v in passes.items()) + ")"
     )
     return {
         "target": "src/",
         "functions": len(program.functions),
         "findings": len(findings),
         "load_seconds": round(load_s, 3),
+        "pass_seconds": passes,
         "total_seconds": round(total_s, 3),
         "budget_seconds": ANALYZER_BUDGET_S,
         "within_budget": total_s < ANALYZER_BUDGET_S,

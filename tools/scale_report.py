@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Render the scale-debt inventory (``results/scale_report.md``).
+
+Runs the OMB510-515 scalability rules over the shipped tree and writes a
+markdown table of every site, ranked by its projected LogGP cost at
+N=1024 — so "which laptop-scale assumption hurts first" is one sorted
+read, not a grep through lint output.  CI regenerates the report on
+every push next to the finding inventory::
+
+    python tools/scale_report.py
+    python tools/scale_report.py --out /tmp/scale.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.analysis.interproc import load_program          # noqa: E402
+from repro.analysis.scale import (                          # noqa: E402
+    ANNOTATE_N,
+    DEFAULT_MSG_BYTES,
+    DEFAULT_NET,
+    REPORT_SIZES,
+    SCALE_RULES,
+    fmt_us,
+    scale_inventory,
+)
+
+#: The self-host target set (must match the CI perf-lint job).
+LINT_PATHS = ["src", "benchmarks", "examples"]
+DEFAULT_OUT = os.path.join("results", "scale_report.md")
+
+
+def render(sites) -> str:
+    ranked = sorted(
+        sites, key=lambda s: (-s.cost_us(ANNOTATE_N), s.path, s.line)
+    )
+    sizes = " / ".join(f"N={n}" for n in REPORT_SIZES)
+    lines = [
+        "# Scale debt",
+        "",
+        f"OMB510-515 sites ranked by projected LogGP cost at "
+        f"N={ANNOTATE_N} (α={DEFAULT_NET.alpha_us:g} µs, "
+        f"β={DEFAULT_NET.beta_us_per_byte:.3g} µs/B, "
+        f"m={DEFAULT_MSG_BYTES} B).  Costs at {sizes} show how each "
+        "site's pattern grows; see docs/protocol-lint.md for the rules "
+        "and the cost model.",
+        "",
+        "| rule | site | what | "
+        + " | ".join(f"cost @N={n}" for n in REPORT_SIZES)
+        + " |",
+        "|---|---|---|" + "---|" * len(REPORT_SIZES),
+    ]
+    for s in ranked:
+        costs = " | ".join(fmt_us(s.cost_us(n)) for n in REPORT_SIZES)
+        lines.append(
+            f"| {s.rule} | `{s.path}:{s.line}` (`{s.func}`) "
+            f"| {s.summary} | {costs} |"
+        )
+    if not ranked:
+        lines.append("| — | — | no OMB51x sites found | " +
+                     " | ".join("—" for _ in REPORT_SIZES) + " |")
+    lines += [
+        "",
+        "## Rule legend",
+        "",
+    ]
+    for rule_id, (_fn, doc) in sorted(SCALE_RULES.items()):
+        lines.append(f"- **{rule_id}** — {doc}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help=f"report file to write (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    os.chdir(REPO)  # repo-root-relative paths keep the table stable
+    program = load_program(LINT_PATHS)
+    sites = scale_inventory(program)
+    text = render(sites)
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {args.out}: {len(sites)} OMB51x site(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
