@@ -28,6 +28,8 @@ setup(
             "ombpy-run=repro.mpi.launcher:main",
             "ombpy-compare=repro.core.compare:main",
             "ombpy-lint=repro.analysis.lint:main",
+            "ombpy-serve=repro.service.cli:serve_main",
+            "ombpy-submit=repro.service.cli:submit_main",
         ],
     },
 )

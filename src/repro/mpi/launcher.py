@@ -194,6 +194,157 @@ def _attribute_failure(
     return failures[0] if failures else None
 
 
+def cleanup_job_resources(
+    transport: str,
+    job_id: str | None,
+    shm_segments: list | None = None,
+) -> None:
+    """Remove a job's shared on-disk artifacts (UDS dirs, SHM segments).
+
+    Idempotent and safe to call at any point after spawn — from the
+    launcher's own teardown, from a daemon draining and restarting its
+    rank pool (:mod:`repro.service`), or from both: a second call finds
+    nothing left and does nothing.  This must not live only in an
+    ``atexit``/``finally`` path, because a long-lived service drains and
+    relaunches pools many times inside one process lifetime.
+    """
+    if transport == "uds" and job_id:
+        import shutil
+
+        from .transport.uds import socket_dir
+
+        shutil.rmtree(socket_dir(job_id), ignore_errors=True)
+    if shm_segments:
+        from .transport.shm import destroy_job_segments
+
+        destroy_job_segments(shm_segments)
+
+
+class SpawnedRanks:
+    """A live set of spawned rank processes plus their shared resources.
+
+    Returned by :func:`spawn_ranks`.  The caller owns supervision (poll
+    ``procs``, decide when the job is over) and must call
+    :meth:`cleanup` when done; ``cleanup`` is idempotent, so calling it
+    from both a drain path and a ``finally`` block is safe.
+    """
+
+    def __init__(
+        self,
+        procs: list[subprocess.Popen],
+        transport: str,
+        job_id: str | None,
+        shm_segments: list | None,
+        server: socket.socket | None,
+        coordinator: threading.Thread | None,
+    ) -> None:
+        self.procs = procs
+        self.transport = transport
+        self.job_id = job_id
+        self._shm_segments = shm_segments
+        self._server = server
+        self._coordinator = coordinator
+        self._cleaned = False
+
+    def poll_exits(self) -> list[int | None]:
+        """Per-rank exit codes so far (None = still running)."""
+        return [proc.poll() for proc in self.procs]
+
+    def terminate(self) -> None:
+        """Terminate, then kill, then reap every still-running rank."""
+        _kill_all(self.procs)
+
+    def cleanup(self) -> None:
+        """Kill stragglers and remove every shared artifact (idempotent)."""
+        _kill_all(self.procs)
+        if self._coordinator is not None:
+            self._coordinator.join(timeout=5)
+            self._coordinator = None
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+            self._server = None
+        if self._cleaned:
+            return
+        self._cleaned = True
+        cleanup_job_resources(self.transport, self.job_id, self._shm_segments)
+        self._shm_segments = None
+
+
+def spawn_ranks(
+    n: int,
+    command: list[str],
+    transport: str = "tcp",
+    env_extra: dict[str, str] | None = None,
+    rendezvous_timeout: float = 300.0,
+) -> SpawnedRanks:
+    """Spawn ``command`` as ``n`` coordinated rank processes (no supervision).
+
+    Sets up the transport rendezvous (TCP port-map coordinator, UDS job
+    id, or pre-created SHM segments), exports the ``OMBPY_RANK``/
+    ``OMBPY_SIZE`` environment per child, and returns a
+    :class:`SpawnedRanks` handle.  This is the spawn half of
+    :func:`launch`, shared with the persistent benchmark service
+    (:mod:`repro.service`), which supervises the pool itself and keeps
+    it warm across jobs.
+    """
+    if n < 1:
+        raise ValueError(f"process count must be >= 1, got {n}")
+    if not command:
+        raise ValueError("no program given")
+    if transport not in ("tcp", "uds", "shm"):
+        raise ValueError(f"unknown transport {transport!r}")
+    if command[0].endswith(".py"):
+        command = [sys.executable] + command
+
+    coordinator = None
+    server = None
+    shm_segments = None
+    job_id = None
+    coord_env: dict[str, str] = {ENV_TRANSPORT: transport}
+    if transport == "tcp":
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(n)
+        coord_env[ENV_COORD] = f"127.0.0.1:{server.getsockname()[1]}"
+        coordinator = threading.Thread(
+            target=_coordinate, args=(server, n, rendezvous_timeout),
+            daemon=True,
+        )
+        coordinator.start()
+    else:
+        job_id = f"{os.getpid()}-{os.urandom(4).hex()}"
+        coord_env[ENV_JOB] = job_id
+        if transport == "shm":
+            from .transport.shm import create_job_segments
+
+            capacity = int(os.environ.get("OMBPY_SHM_CAPACITY", 1 << 20))
+            shm_segments = create_job_segments(job_id, n, capacity)
+
+    procs: list[subprocess.Popen] = []
+    try:
+        for rank in range(n):
+            env = os.environ.copy()
+            env[ENV_RANK] = str(rank)
+            env[ENV_SIZE] = str(n)
+            env.update(coord_env)
+            if env_extra:
+                env.update(env_extra)
+            procs.append(subprocess.Popen(command, env=env))
+    except Exception:
+        handle = SpawnedRanks(
+            procs, transport, job_id, shm_segments, server, coordinator
+        )
+        handle.cleanup()
+        raise
+    return SpawnedRanks(
+        procs, transport, job_id, shm_segments, server, coordinator
+    )
+
+
 def launch(
     n: int,
     command: list[str],
@@ -238,33 +389,22 @@ def launch(
     when the path ends in ``.jsonl``) and prints the per-rank summary
     table on stderr.
     """
-    if n < 1:
-        raise ValueError(f"process count must be >= 1, got {n}")
-    if not command:
-        raise ValueError("no program given")
-    if transport not in ("tcp", "uds", "shm"):
-        raise ValueError(f"unknown transport {transport!r}")
     if failfast_grace < 0:
         raise ValueError(
             f"grace period must be >= 0 seconds, got {failfast_grace}"
         )
-    if command[0].endswith(".py"):
-        command = [sys.executable] + command
 
-    coordinator = None
-    server = None
-    shm_segments = None
-    coord_env: dict[str, str] = {ENV_TRANSPORT: transport}
+    feature_env: dict[str, str] = dict(env_extra or {})
     if faults is not None:
-        coord_env[ENV_FAULTS] = os.path.abspath(faults)
+        feature_env[ENV_FAULTS] = os.path.abspath(faults)
     elif fault_seed is not None:
-        coord_env[ENV_FAULT_SEED] = str(fault_seed)
+        feature_env[ENV_FAULT_SEED] = str(fault_seed)
     if fault_log is not None:
-        coord_env[ENV_FAULT_LOG] = os.path.abspath(fault_log)
+        feature_env[ENV_FAULT_LOG] = os.path.abspath(fault_log)
     if reliable:
         from .reliability import ENV_RELIABLE
 
-        coord_env[ENV_RELIABLE] = "1"
+        feature_env[ENV_RELIABLE] = "1"
     telemetry_base = None
     if metrics or trace_out is not None:
         import tempfile
@@ -272,33 +412,14 @@ def launch(
         telemetry_base = os.path.join(
             tempfile.mkdtemp(prefix="ombpy-telemetry-"), "job"
         )
-        coord_env[ENV_METRICS] = "1"
-        coord_env[ENV_OUT] = telemetry_base
+        feature_env[ENV_METRICS] = "1"
+        feature_env[ENV_OUT] = telemetry_base
         if trace_out is not None:
-            coord_env[ENV_TRACE] = "1"
-    if transport == "tcp":
-        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        server.bind(("127.0.0.1", 0))
-        server.listen(n)
-        coord_env[ENV_COORD] = f"127.0.0.1:{server.getsockname()[1]}"
-        coordinator = threading.Thread(
-            target=_coordinate, args=(server, n, timeout), daemon=True
-        )
-        coordinator.start()
-    else:
-        coord_env[ENV_JOB] = f"{os.getpid()}-{os.urandom(4).hex()}"
-        if transport == "shm":
-            from .transport.shm import create_job_segments
+            feature_env[ENV_TRACE] = "1"
 
-            capacity = int(os.environ.get("OMBPY_SHM_CAPACITY", 1 << 20))
-            shm_segments = create_job_segments(
-                coord_env[ENV_JOB], n, capacity
-            )
-
-    procs: list[subprocess.Popen] = []
     interrupted = threading.Event()
     old_handlers: dict[int, object] = {}
+    procs: list[subprocess.Popen] = []
 
     def _forward_signal(signum, _frame):
         interrupted.set()
@@ -317,15 +438,13 @@ def launch(
     except ValueError:
         old_handlers = {}
 
+    handle = None
     try:
-        for rank in range(n):
-            env = os.environ.copy()
-            env[ENV_RANK] = str(rank)
-            env[ENV_SIZE] = str(n)
-            env.update(coord_env)
-            if env_extra:
-                env.update(env_extra)
-            procs.append(subprocess.Popen(command, env=env))
+        handle = spawn_ranks(
+            n, command, transport=transport, env_extra=feature_env,
+            rendezvous_timeout=timeout,
+        )
+        procs.extend(handle.procs)
 
         exit_codes, first_failure = _supervise(
             procs, timeout, failfast_grace, interrupted,
@@ -358,26 +477,13 @@ def launch(
     finally:
         # Whatever happened above (timeout, interrupt, exception), leave
         # no child process, socket dir, or SHM segment behind.
-        _kill_all(procs)
+        if handle is not None:
+            handle.cleanup()
         for signum, handler in old_handlers.items():
             try:
                 signal.signal(signum, handler)
             except (ValueError, OSError):
                 pass
-        if coordinator is not None:
-            coordinator.join(timeout=5)
-        if server is not None:
-            server.close()
-        if transport == "uds":
-            import shutil
-
-            from .transport.uds import socket_dir
-
-            shutil.rmtree(socket_dir(coord_env[ENV_JOB]), ignore_errors=True)
-        if shm_segments is not None:
-            from .transport.shm import destroy_job_segments
-
-            destroy_job_segments(shm_segments)
         if telemetry_base is not None:
             _merge_telemetry(telemetry_base, n, metrics_out, trace_out)
 

@@ -1,0 +1,42 @@
+"""``repro.service`` — the self-healing benchmark-as-a-service daemon.
+
+A benchmark invocation through ``ombpy-run`` pays full launch cost —
+process spawn, transport rendezvous, mesh dial — for every job, and a
+single rank crash ends the process.  This package keeps a **rank pool
+warm** across jobs and converts the runtime's recovery primitives
+(:mod:`repro.mpi.ulfm`, :mod:`repro.mpi.resilience`) into load-bearing
+infrastructure:
+
+* :mod:`repro.service.server` — the daemon: job queue with FIFO +
+  priority admission control and backpressure, per-job wall-clock
+  deadlines enforced by a revoke-based watchdog, capped-exponential
+  retry of retryable jobs, graceful drain on SIGTERM, and degraded-mode
+  serving after a rank death;
+* :mod:`repro.service.pool` — the warm rank pool substrates: an
+  in-process threads pool (concurrent jobs, each isolated in its own
+  communicator context) and a process pool spawned once via
+  :func:`repro.mpi.launcher.spawn_ranks` whose worker ranks shrink and
+  keep serving when a peer dies (:mod:`repro.service.worker`);
+* :mod:`repro.service.client` — :class:`ServiceClient` with client-side
+  timeouts and jittered reconnect backoff, plus the ``ombpy-submit``
+  CLI (:mod:`repro.service.cli`; the server side is ``ombpy-serve``);
+* :mod:`repro.service.protocol` — the newline-delimited JSON wire
+  protocol and job specifications;
+* :mod:`repro.service.config` — the ``OMBPY_SERVICE_*`` environment
+  knobs with validation.
+
+See ``docs/service.md`` for the protocol, the SERVING → DEGRADED →
+DRAINING lifecycle, and failure semantics.
+"""
+
+from .config import ServiceConfig
+from .client import ServiceClient
+from .protocol import JobSpec
+from .server import BenchmarkService
+
+__all__ = [
+    "BenchmarkService",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceConfig",
+]

@@ -1,0 +1,172 @@
+"""The service wire protocol: newline-delimited JSON over UDS or TCP.
+
+One request object per line, one reply object per line, UTF-8.  A
+connection may issue any number of requests; replies come back in
+order.  Every reply carries ``ok`` (bool) and ``reply`` (a tag from
+:data:`REPLIES`); failures carry ``reason``.
+
+Requests (``op`` field):
+
+* ``SUBMIT {job: {...}}`` → ``ACCEPTED {job_id, queue_depth}`` or
+  ``REJECTED {reason}`` (queue full, draining, invalid spec, pool too
+  degraded for the requested rank count);
+* ``STATUS`` → ``STATUS {state, pool, queue_depth, running, jobs,
+  metrics, uptime_s}`` — the ``GET /health`` analogue;
+* ``JOB {job_id}`` → ``JOB {job}`` with the job record;
+* ``RESULT {job_id, wait?, timeout_s?}`` → ``RESULT {job}`` once the
+  job is terminal (optionally blocking server-side up to ``timeout_s``);
+* ``CANCEL {job_id}`` → ``CANCELLED {job}``;
+* ``DRAIN`` → ``DRAINING`` — stop admitting, finish what is queued.
+
+Job lifecycle states: ``QUEUED → RUNNING → DONE`` with terminal
+failure states ``FAILED`` (error or rank failure past the retry cap),
+``DEADLINE`` (wall-clock deadline exceeded; the watchdog revoked the
+job's communicator context) and ``CANCELLED``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+#: Reply tags.
+ACCEPTED = "ACCEPTED"
+REJECTED = "REJECTED"
+ERROR = "ERROR"
+REPLIES = (
+    ACCEPTED, REJECTED, ERROR, "STATUS", "JOB", "RESULT", "CANCELLED",
+    "DRAINING",
+)
+
+#: Job states.
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+DEADLINE = "DEADLINE"
+CANCELLED = "CANCELLED"
+TERMINAL_STATES = (DONE, FAILED, DEADLINE, CANCELLED)
+
+#: Job kinds.
+KIND_BENCHMARK = "benchmark"
+KIND_SLEEP = "sleep"
+
+#: Maximum accepted request line (a job spec is tiny; anything larger
+#: is a confused or hostile client).
+MAX_LINE_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a client asks the pool to run."""
+
+    kind: str = KIND_BENCHMARK
+    benchmark: str = "osu_latency"
+    ranks: int = 2
+    options: dict = field(default_factory=dict)
+    priority: int = 0
+    deadline_s: float | None = None
+    max_retries: int | None = None
+    seconds: float = 0.0          # KIND_SLEEP: how long to hold the ranks
+    validate: bool = False        # run under the runtime MPI verifier
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_BENCHMARK, KIND_SLEEP):
+            raise ValueError(
+                f"job kind must be '{KIND_BENCHMARK}' or '{KIND_SLEEP}', "
+                f"got {self.kind!r}"
+            )
+        if self.ranks < 1:
+            raise ValueError(f"job ranks must be >= 1, got {self.ranks}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"job deadline must be > 0 seconds, got {self.deadline_s}"
+            )
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError(
+                f"job retry cap must be >= 0, got {self.max_retries}"
+            )
+        if self.kind == KIND_SLEEP and self.seconds < 0:
+            raise ValueError(
+                f"sleep duration must be >= 0 seconds, got {self.seconds}"
+            )
+
+    def to_wire(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_wire(cls, obj: Any) -> "JobSpec":
+        if not isinstance(obj, dict):
+            raise ValueError(f"job spec must be an object, got {type(obj).__name__}")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(obj) - known
+        if unknown:
+            raise ValueError(
+                f"unknown job spec field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**obj)
+
+
+def table_to_wire(table) -> dict:
+    """Serialize a :class:`repro.core.results.ResultTable` for the wire."""
+    return {
+        "benchmark": table.benchmark,
+        "metric": table.metric,
+        "ranks": table.ranks,
+        "buffer": table.buffer,
+        "api": table.api,
+        "rows": [
+            {
+                "size": r.size,
+                "value": r.value,
+                "minimum": r.minimum,
+                "maximum": r.maximum,
+                "iterations": r.iterations,
+            }
+            for r in table.rows
+        ],
+    }
+
+
+def table_from_wire(obj: dict):
+    """Rebuild a :class:`~repro.core.results.ResultTable` from the wire."""
+    from ..core.results import ResultRow, ResultTable
+
+    table = ResultTable(
+        benchmark=obj["benchmark"], metric=obj["metric"],
+        ranks=obj["ranks"], buffer=obj["buffer"], api=obj["api"],
+    )
+    for row in obj.get("rows", ()):
+        table.add(ResultRow(
+            size=row["size"], value=row["value"],
+            minimum=row.get("minimum", 0.0),
+            maximum=row.get("maximum", 0.0),
+            iterations=row.get("iterations", 0),
+        ))
+    return table
+
+
+def encode(obj: dict) -> bytes:
+    """One wire message: compact JSON + newline."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def read_message(fh) -> dict | None:
+    """Read one message from a file-like socket reader; None on EOF."""
+    line = fh.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ValueError(f"wire message exceeds {MAX_LINE_BYTES} bytes")
+    obj = json.loads(line.decode("utf-8"))
+    if not isinstance(obj, dict):
+        raise ValueError("wire message must be a JSON object")
+    return obj
+
+
+def write_message(sock: socket.socket, obj: dict) -> None:
+    """Write one message to a socket."""
+    sock.sendall(encode(obj))

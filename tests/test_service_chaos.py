@@ -1,0 +1,142 @@
+"""Chaos tests: the service survives a rank death and keeps serving.
+
+A seeded :class:`~repro.faults.FaultPlan` crashes one pool rank mid-job
+(deterministically — the crash triggers on that rank's N-th send op).
+The contract under test is the tentpole claim: the single warm pool
+
+* reports the death (DEGRADED state, failed rank visible in STATUS),
+* fails-or-retries the victim job per policy,
+* completes at least three subsequently submitted jobs on the shrunken
+  rank set, and
+* exports the crash, the shrink, and per-job outcomes through telemetry.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import CrashSpec, FaultPlan
+from repro.service import BenchmarkService, JobSpec, ServiceClient, ServiceConfig
+from repro.service.protocol import DONE, FAILED
+from repro.service.server import DEGRADED
+
+FAST = {"min_size": 1, "max_size": 16, "iterations": 3, "warmup": 1}
+
+#: Rank 2 dies on its 3rd data send.  2-rank jobs run on free ranks
+#: {0, 1}, so the crash fires exactly when a >=3-rank job (or two
+#: concurrent 2-rank jobs) first pulls rank 2 into service.
+CRASH_PLAN = FaultPlan(seed=11, crash=CrashSpec(rank=2, at_op=3,
+                                                mode="raise"))
+
+
+@pytest.fixture
+def chaos_service(tmp_path):
+    svc = BenchmarkService(
+        pool_size=4,
+        socket_path=str(tmp_path / "chaos.sock"),
+        config=ServiceConfig(default_deadline_s=60.0, retry_max=1,
+                             retry_backoff_ms=10.0),
+        fault_plan=CRASH_PLAN,
+        metrics_out=str(tmp_path / "telemetry.json"),
+    )
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture
+def client(chaos_service):
+    with ServiceClient(socket_path=chaos_service.address,
+                       timeout=30.0) as c:
+        yield c
+
+
+class TestDegradedServing:
+    def test_crash_retry_and_degraded_mode(self, chaos_service, client,
+                                           tmp_path):
+        # Jobs on ranks {0, 1} are untouched by the plan.
+        pre = client.run(JobSpec(benchmark="osu_latency", ranks=2,
+                                 options=FAST), timeout=60)
+        assert pre["state"] == DONE
+
+        # A 3-rank job pulls in rank 2 -> deterministic mid-job crash.
+        victim = client.run(JobSpec(benchmark="osu_allreduce", ranks=3,
+                                    options={**FAST, "min_size": 4}),
+                            timeout=90)
+        # retry_max=1 and 3 ranks still live: the retry must succeed.
+        assert victim["state"] == DONE
+        assert victim["attempts"] == 2
+
+        status = client.status()
+        assert status["state"] == DEGRADED
+        assert status["pool"]["live"] == 3
+        assert status["pool"]["failed_ranks"] == [2]
+
+        # >= 3 subsequent jobs complete on the shrunken pool.
+        for _ in range(3):
+            job = client.run(JobSpec(benchmark="osu_latency", ranks=2,
+                                     options=FAST), timeout=60)
+            assert job["state"] == DONE
+
+        counters = client.status()["metrics"]["counters"]
+        assert counters["service.pool.rank_deaths"] == 1
+        assert counters["service.jobs.retries"] == 1
+        assert counters["service.jobs.completed"] >= 5
+
+        # Merged telemetry lands on disk at shutdown with the crash,
+        # the shrink, and every job outcome visible.
+        chaos_service.stop()
+        doc = json.loads((tmp_path / "telemetry.json").read_text())
+        svc_counters = doc["service"]["counters"]
+        assert svc_counters["service.pool.rank_deaths"] == 1
+        assert svc_counters["service.jobs.retries"] == 1
+        assert doc["service"]["gauges"]["service.pool.live"] == 3
+        assert doc["service"]["gauges"]["service.degraded"] == 1
+        states = [job["state"] for job in doc["jobs"].values()]
+        assert states.count(DONE) >= 5
+
+    def test_job_too_big_for_shrunken_pool_fails_cleanly(self, client):
+        victim = client.run(JobSpec(benchmark="osu_allreduce", ranks=4,
+                                    options={**FAST, "min_size": 4}),
+                            timeout=90)
+        # With only 3 survivors, a 4-rank job cannot be retried.
+        assert victim["state"] == FAILED
+        assert "pool shrank below job size" in victim["error"]
+        # New 4-rank submissions are now rejected at admission...
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError, match="only 3 are live"):
+            client.submit(JobSpec(benchmark="osu_allreduce", ranks=4))
+        # ...while right-sized jobs keep flowing.
+        for _ in range(3):
+            job = client.run(JobSpec(benchmark="osu_latency", ranks=2,
+                                     options=FAST), timeout=60)
+            assert job["state"] == DONE
+
+    def test_retry_cap_exhaustion(self, tmp_path):
+        # Both retries land on a pool whose rank 1 dies immediately,
+        # then rank 2 on the retry: with retry_max=1 the second death
+        # exhausts the budget.
+        plan = FaultPlan(seed=5, crash=CrashSpec(rank=1, at_op=1,
+                                                 mode="raise"))
+        svc = BenchmarkService(
+            pool_size=3,
+            socket_path=str(tmp_path / "cap.sock"),
+            config=ServiceConfig(default_deadline_s=60.0, retry_max=0,
+                                 retry_backoff_ms=10.0),
+            fault_plan=plan,
+        )
+        svc.start()
+        try:
+            with ServiceClient(socket_path=svc.address, timeout=30.0) as c:
+                victim = c.run(JobSpec(benchmark="osu_latency", ranks=2,
+                                       options=FAST), timeout=60)
+                assert victim["state"] == FAILED
+                assert victim["attempts"] == 1
+                assert "rank failure" in victim["error"]
+                # Survivors {0, 2} still serve.
+                job = c.run(JobSpec(benchmark="osu_latency", ranks=2,
+                                    options=FAST), timeout=60)
+                assert job["state"] == DONE
+        finally:
+            svc.stop()

@@ -164,18 +164,108 @@ def snapshot(repeats: int) -> dict:
     }
 
 
+def service_snapshot(repeats: int) -> dict:
+    """Warm-submit vs cold-launch latency for one small benchmark job.
+
+    Cold = a fresh ``ombpy-run``-equivalent launch (process spawn +
+    rendezvous + import) per job.  Warm = the same job submitted to an
+    already-running ``ombpy-serve`` rank pool over its UDS socket,
+    including all client/protocol overhead.  The service exists to
+    amortize launch cost, so the warm path must win by a wide margin —
+    the snapshot records both and their ratio.
+    """
+    import subprocess
+    import tempfile
+
+    from repro.service import BenchmarkService, JobSpec, ServiceClient
+
+    bench_args = ["osu_latency", "-m", "1:64", "-i", "5", "-x", "1"]
+    job = JobSpec(
+        benchmark="osu_latency", ranks=2,
+        options={"min_size": 1, "max_size": 64, "iterations": 5,
+                 "warmup": 1},
+    )
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+
+    cold_s = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.mpi.launcher", "-n", "2",
+             "--timeout", "120",
+             sys.executable, "-m", "repro.core.cli", *bench_args],
+            env=env, capture_output=True, text=True, timeout=180,
+        )
+        elapsed = time.perf_counter() - start
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"cold launch failed (rc={proc.returncode}): "
+                f"{proc.stderr[-300:]}"
+            )
+        cold_s.append(elapsed)
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as workdir:
+        svc = BenchmarkService(
+            pool_size=2, socket_path=os.path.join(workdir, "svc.sock"),
+        )
+        svc.start()
+        try:
+            with ServiceClient(socket_path=svc.address, timeout=60.0) as c:
+                record = c.run(job, timeout=60)    # first job warms caches
+                assert record["state"] == "DONE", record
+                warm_s = []
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    record = c.run(job, timeout=60)
+                    warm_s.append(time.perf_counter() - start)
+                    assert record["state"] == "DONE", record
+        finally:
+            svc.stop()
+
+    cold, warm = min(cold_s), min(warm_s)
+    speedup = cold / warm if warm > 0 else float("inf")
+    print(f"service: cold launch {cold:.3f}s vs warm submit {warm:.3f}s "
+          f"({speedup:.1f}x)")
+    return {
+        "schema": "ombpy-bench-service/1",
+        "job": "osu_latency -m 1:64 -i 5 -x 1 (2 ranks)",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cold_launch_seconds": round(cold, 4),
+        "warm_submit_seconds": round(warm, 4),
+        "cold_launch_all": [round(v, 4) for v in cold_s],
+        "warm_submit_all": [round(v, 4) for v in warm_s],
+        "speedup": round(speedup, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default=os.path.join(REPO, "BENCH_telemetry.json"),
+        "--out", default=None,
         help="where to write the snapshot (default: repo root)",
     )
     parser.add_argument(
         "--repeats", type=int, default=3,
         help="runs per configuration; best-of is recorded (default 3)",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="snapshot warm ombpy-serve submit latency vs cold launch "
+        "into BENCH_service.json instead of the telemetry set",
+    )
     args = parser.parse_args(argv)
-    doc = snapshot(args.repeats)
+    if args.service:
+        if args.out is None:
+            args.out = os.path.join(REPO, "BENCH_service.json")
+        doc = service_snapshot(args.repeats)
+    else:
+        if args.out is None:
+            args.out = os.path.join(REPO, "BENCH_telemetry.json")
+        doc = snapshot(args.repeats)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")

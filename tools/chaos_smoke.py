@@ -25,6 +25,14 @@ and uds fabrics; and with a scheduled rank crash plus ``--recover``, the
 survivors must shrink the communicator and finish the job with exit 0::
 
     python tools/chaos_smoke.py --recover
+
+``--service`` runs the *benchmark-service* smoke: one ``ombpy-serve``
+warm rank pool (with a scheduled mid-job rank crash in its fault plan)
+must serve ``osu_latency``, survive the crash during a 3-rank
+``osu_allreduce`` (retrying it to completion), report DEGRADED health,
+complete three more jobs on the shrunken pool, and drain cleanly::
+
+    python tools/chaos_smoke.py --service
 """
 
 from __future__ import annotations
@@ -268,9 +276,124 @@ def main_recover() -> int:
     return 0
 
 
+#: Service-smoke plan: rank 2 of the 4-rank pool raises an injected
+#: crash on its 3rd data send — i.e. the first time a job pulls it in.
+SERVICE_PLAN = {
+    "seed": 11,
+    "crash": {"rank": 2, "at_op": 3, "mode": "raise"},
+}
+
+
+def _submit(sock: str, *args: str) -> subprocess.CompletedProcess:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c",
+         "import sys; from repro.service.cli import submit_main; "
+         "sys.exit(submit_main())",
+         *args, "--socket", sock],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+def main_service() -> int:
+    with tempfile.TemporaryDirectory(prefix="chaos-service-") as workdir:
+        plan_path = os.path.join(workdir, "plan.json")
+        with open(plan_path, "w", encoding="utf-8") as fh:
+            json.dump(SERVICE_PLAN, fh)
+        sock = os.path.join(workdir, "svc.sock")
+        tele = os.path.join(workdir, "telemetry.json")
+        env = os.environ.copy()
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        leaks_before = snapshot_leaks()
+        serve = subprocess.Popen(
+            [sys.executable, "-c",
+             "import sys; from repro.service.cli import serve_main; "
+             "sys.exit(serve_main())",
+             "--pool-size", "4", "--socket", sock,
+             "--faults", plan_path, "--retry-max", "1",
+             "--metrics-out", tele],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            ready = serve.stdout.readline()
+            check("OMBPY-SERVE READY" in ready,
+                  f"serve: READY line printed (got {ready.strip()!r})")
+
+            status = _submit(sock, "status")
+            check(status.returncode == 0 and "state=SERVING" in status.stdout,
+                  f"serve: healthy at startup ({status.stdout.strip()!r})")
+
+            latency = _submit(sock, "submit", "osu_latency", "--ranks", "2",
+                              "-m", "1:1024", "-i", "10", "-x", "2",
+                              "--wait", "--timeout", "60")
+            check(latency.returncode == 0 and "DONE" in latency.stdout,
+                  f"service: osu_latency completes warm "
+                  f"(rc={latency.returncode}; "
+                  f"{latency.stderr.strip()[-200:]})")
+
+            # The chaos job: 3 ranks pulls in the doomed rank 2.
+            chaos = _submit(sock, "submit", "osu_allreduce", "--ranks", "3",
+                            "-m", "4:1024", "-i", "10", "-x", "2",
+                            "--wait", "--timeout", "90")
+            check(chaos.returncode == 0 and "DONE" in chaos.stdout,
+                  f"service: osu_allreduce survives the injected rank "
+                  f"crash via retry (rc={chaos.returncode}; "
+                  f"{chaos.stdout.strip()[-200:]})")
+            check("attempt 2" in chaos.stdout,
+                  "service: the chaos job reports its retry attempt")
+
+            status = _submit(sock, "status")
+            check("state=DEGRADED" in status.stdout
+                  and "pool=3/4" in status.stdout
+                  and "failed=[2]" in status.stdout,
+                  f"service: health reports DEGRADED with the dead rank "
+                  f"({status.stdout.strip().splitlines()[:1]})")
+
+            for i in range(3):
+                job = _submit(sock, "submit", "osu_latency", "--ranks", "2",
+                              "-m", "1:64", "-i", "5", "-x", "1",
+                              "--wait", "--timeout", "60")
+                check(job.returncode == 0 and "DONE" in job.stdout,
+                      f"service: degraded-mode job {i + 1}/3 completes")
+
+            drain = _submit(sock, "drain")
+            check(drain.returncode == 0, "service: drain accepted")
+            rc = serve.wait(timeout=60)
+            check(rc == 0, f"serve: clean exit after drain (rc={rc})")
+            check(os.path.exists(tele),
+                  "service: merged telemetry written on shutdown")
+            if os.path.exists(tele):
+                with open(tele, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+                counters = doc["service"]["counters"]
+                check(counters.get("service.pool.rank_deaths") == 1
+                      and counters.get("service.jobs.retries") == 1,
+                      f"service: telemetry records the crash and retry "
+                      f"({counters})")
+            leaked = snapshot_leaks() - leaks_before
+            check(not leaked, f"service: no leaked UDS/SHM artifacts "
+                              f"({sorted(leaked) or 'none'})")
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+                serve.wait(timeout=10)
+
+    if _failures:
+        print(f"\nservice smoke FAILED ({len(_failures)} check(s)):")
+        for failure in _failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nservice smoke passed")
+    return 0
+
+
 def main() -> int:
     if "--recover" in sys.argv[1:]:
         return main_recover()
+    if "--service" in sys.argv[1:]:
+        return main_service()
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as workdir:
         for bench, bench_args in CASES:
             run_case(bench, bench_args, workdir, attempt="a")
