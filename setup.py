@@ -30,6 +30,7 @@ setup(
             "ombpy-lint=repro.analysis.lint:main",
             "ombpy-serve=repro.service.cli:serve_main",
             "ombpy-submit=repro.service.cli:submit_main",
+            "ombpy-campaign=repro.campaign.cli:main",
         ],
     },
 )

@@ -1,0 +1,217 @@
+"""The write-ahead journal: append-only JSONL, fsynced, replayable.
+
+Every campaign state transition is appended (and fsynced) **before**
+the driver acts on it, so the on-disk journal is always at least as
+advanced as the world.  After a crash — driver SIGKILL included —
+:func:`replay` reconstructs the exact completed/failed/quarantined
+sets; ``ombpy-campaign resume`` then runs only what never finished.
+
+Record types (every record also carries ``ts``)::
+
+    CAMPAIGN_BEGIN    {schema, name, fingerprint, cells}
+    CELL_PLANNED      {cell}
+    CELL_STARTED      {cell, attempt, backend}
+    CELL_DONE         {cell, attempt, elapsed_s, backend}
+    CELL_FAILED       {cell, attempt, error, kind, charged}
+    CELL_QUARANTINED  {cell, failures}
+    CAMPAIGN_RESUMED  {fingerprint}
+    CAMPAIGN_END      {status, done, missed}
+
+A crash can tear the final line in half; replay tolerates exactly one
+torn trailing record (flagged on the state), since an append that never
+became durable is indistinguishable from one that never happened.  A
+torn record anywhere *else* means real corruption and raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+JOURNAL_SCHEMA = "ombpy-campaign-journal/1"
+
+CAMPAIGN_BEGIN = "CAMPAIGN_BEGIN"
+CELL_PLANNED = "CELL_PLANNED"
+CELL_STARTED = "CELL_STARTED"
+CELL_DONE = "CELL_DONE"
+CELL_FAILED = "CELL_FAILED"
+CELL_QUARANTINED = "CELL_QUARANTINED"
+CAMPAIGN_RESUMED = "CAMPAIGN_RESUMED"
+CAMPAIGN_END = "CAMPAIGN_END"
+
+RECORD_TYPES = (
+    CAMPAIGN_BEGIN, CELL_PLANNED, CELL_STARTED, CELL_DONE, CELL_FAILED,
+    CELL_QUARANTINED, CAMPAIGN_RESUMED, CAMPAIGN_END,
+)
+
+
+class Journal:
+    """Append-only journal writer.  Thread-safe; every append is
+    flushed and fsynced before it returns — the durability contract the
+    resume semantics rest on."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        _truncate_torn_tail(path)
+        self._fh = open(path, "a", encoding="utf-8")  # noqa: SIM115
+
+    def append(self, record_type: str, **fields) -> dict:
+        if record_type not in RECORD_TYPES:
+            raise ValueError(f"unknown journal record type {record_type!r}")
+        record = {"type": record_type, "ts": round(time.time(), 3), **fields}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._fh.closed:
+                raise ValueError("journal is closed")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _truncate_torn_tail(path: str) -> None:
+    """Drop a torn trailing record before appending to a journal.
+
+    A crash mid-``write`` leaves a final line without a newline; a new
+    append would concatenate onto it and corrupt *both* records.  The
+    torn record was never acknowledged durable, so discarding it is
+    exactly equivalent to the crash having landed one write earlier.
+    """
+    try:
+        with open(path, "r+b") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if size == 0:
+                return
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) == b"\n":
+                return
+            fh.seek(0)
+            body = fh.read(size)
+            keep = body.rfind(b"\n") + 1
+            fh.truncate(keep)
+            fh.flush()
+            os.fsync(fh.fileno())
+    except FileNotFoundError:
+        return
+
+
+@dataclass
+class JournalState:
+    """What a journal replay knows about a campaign."""
+
+    name: str | None = None
+    fingerprint: str | None = None
+    planned: list[str] = field(default_factory=list)
+    done: set[str] = field(default_factory=set)
+    #: Charged failure counts per cell (quarantine accounting survives
+    #: crashes because it is replayed, not held in memory).
+    failures: dict[str, int] = field(default_factory=dict)
+    last_error: dict[str, str] = field(default_factory=dict)
+    quarantined: set[str] = field(default_factory=set)
+    #: Cells with a STARTED record newer than any terminal record —
+    #: in flight at crash time; re-run on resume.
+    inflight: set[str] = field(default_factory=set)
+    ended: str | None = None
+    resumes: int = 0
+    records: int = 0
+    torn_tail: bool = False
+
+    def pending(self) -> list[str]:
+        """Planned cells not yet done or quarantined, in plan order."""
+        return [
+            c for c in self.planned
+            if c not in self.done and c not in self.quarantined
+        ]
+
+
+def replay(path: str) -> JournalState:
+    """Rebuild campaign state from a journal file.
+
+    Tolerates one torn trailing line (crash mid-append); raises
+    ``ValueError`` on corruption anywhere else or on structurally
+    invalid records.
+    """
+    state = JournalState()
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except FileNotFoundError:
+        return state
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except ValueError:
+            if index == len(lines) - 1:
+                state.torn_tail = True
+                break
+            raise ValueError(
+                f"{path}:{index + 1}: corrupt journal record"
+            ) from None
+        _apply(state, record, path, index + 1)
+    return state
+
+
+def _apply(state: JournalState, record: dict, path: str, lineno: int) -> None:
+    rtype = record.get("type")
+    cell = record.get("cell")
+    if rtype == CAMPAIGN_BEGIN:
+        state.name = record.get("name")
+        state.fingerprint = record.get("fingerprint")
+    elif rtype == CELL_PLANNED:
+        _require_cell(cell, path, lineno)
+        if cell not in state.planned:
+            state.planned.append(cell)
+    elif rtype == CELL_STARTED:
+        _require_cell(cell, path, lineno)
+        state.inflight.add(cell)
+    elif rtype == CELL_DONE:
+        _require_cell(cell, path, lineno)
+        state.done.add(cell)
+        state.inflight.discard(cell)
+    elif rtype == CELL_FAILED:
+        _require_cell(cell, path, lineno)
+        state.inflight.discard(cell)
+        if record.get("charged", True):
+            state.failures[cell] = state.failures.get(cell, 0) + 1
+        if record.get("error"):
+            state.last_error[cell] = record["error"]
+    elif rtype == CELL_QUARANTINED:
+        _require_cell(cell, path, lineno)
+        state.quarantined.add(cell)
+        state.inflight.discard(cell)
+    elif rtype == CAMPAIGN_RESUMED:
+        state.resumes += 1
+        state.ended = None
+    elif rtype == CAMPAIGN_END:
+        state.ended = record.get("status")
+    else:
+        raise ValueError(
+            f"{path}:{lineno}: unknown journal record type {rtype!r}"
+        )
+    state.records += 1
+
+
+def _require_cell(cell, path: str, lineno: int) -> None:
+    if not isinstance(cell, str) or not cell:
+        raise ValueError(
+            f"{path}:{lineno}: journal cell record without a cell id"
+        )

@@ -1,0 +1,297 @@
+"""Declarative campaign specs and their expansion into cells.
+
+A campaign spec is a YAML or JSON document describing a sweep of
+benchmark x transport x ranks x message-size range x flags.  Expansion
+produces a deterministic, de-duplicated list of :class:`CellSpec`
+cells; the sha-256 **fingerprint** of the expanded list is written to
+the journal at campaign begin and re-checked on resume, so a resumed
+driver can never silently run a different grid against an old journal.
+
+Document format (``docs/campaign.md`` has the full reference)::
+
+    name: paper-sweep
+    sweep:
+      - benchmarks: [osu_latency, osu_allreduce]
+        transports: [threads, tcp]
+        ranks: [2, 4]
+        sizes: ["1:1024", "4096:65536"]
+        iterations: 10
+        warmup: 2
+        buffer: bytearray
+        api: buffer
+        reliable: false
+        validate: false
+        fault_seed: null
+
+Every ``sweep`` block is a cartesian product over its list-valued axes;
+multiple blocks concatenate.  Combinations that cannot run (fewer ranks
+than the benchmark's minimum) are dropped at expansion and reported, not
+discovered mid-campaign.  YAML input needs PyYAML; without it, JSON
+specs work unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, field
+
+SPEC_SCHEMA = "ombpy-campaign-spec/1"
+
+TRANSPORTS = ("threads", "tcp", "uds", "shm")
+
+#: Axes that may be lists inside a sweep block (cartesian product).
+_AXES = ("benchmarks", "transports", "ranks", "sizes")
+#: Scalar per-block settings with their defaults.
+_SCALARS = {
+    "iterations": 10,
+    "warmup": 2,
+    "buffer": "bytearray",
+    "api": "buffer",
+    "reliable": False,
+    "validate": False,
+    "fault_seed": None,
+}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One executable point of the sweep grid."""
+
+    benchmark: str
+    transport: str
+    ranks: int
+    min_size: int
+    max_size: int
+    iterations: int = 10
+    warmup: int = 2
+    buffer: str = "bytearray"
+    api: str = "buffer"
+    reliable: bool = False
+    validate: bool = False
+    fault_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"cell transport must be one of {TRANSPORTS}, "
+                f"got {self.transport!r}"
+            )
+        if self.ranks < 1:
+            raise ValueError(f"cell ranks must be >= 1, got {self.ranks}")
+        if self.min_size < 0 or self.max_size < self.min_size:
+            raise ValueError(
+                f"invalid cell size range "
+                f"[{self.min_size}, {self.max_size}]"
+            )
+        if self.iterations < 1 or self.warmup < 0:
+            raise ValueError(
+                "cell iterations must be >= 1 and warmup >= 0"
+            )
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-scannable id: grid coordinates + content hash.
+
+        The trailing hash covers *every* field, so two cells differing
+        only in, say, iteration count or flags never collide.
+        """
+        digest = hashlib.sha256(
+            json.dumps(asdict(self), sort_keys=True).encode()
+        ).hexdigest()[:8]
+        return (
+            f"{self.benchmark}.{self.transport}.n{self.ranks}"
+            f".s{self.min_size}-{self.max_size}.{digest}"
+        )
+
+    def to_wire(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "CellSpec":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(obj) - known
+        if unknown:
+            raise ValueError(
+                f"unknown cell field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**obj)
+
+    def options(self) -> dict:
+        """Benchmark options for :class:`repro.core.options.Options`."""
+        return {
+            "min_size": self.min_size,
+            "max_size": self.max_size,
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+            "buffer": self.buffer,
+            "api": self.api,
+        }
+
+
+@dataclass
+class CampaignSpec:
+    """A named campaign: the expanded cell grid plus its provenance."""
+
+    name: str
+    cells: list[CellSpec] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    document: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """sha-256 over the canonical expanded grid.
+
+        Depends only on the name and the expanded cells — editing
+        comments or re-ordering axes in the document does not change
+        it; adding, removing, or altering any cell does.
+        """
+        canonical = json.dumps(
+            {
+                "schema": SPEC_SCHEMA,
+                "name": self.name,
+                "cells": [c.to_wire() for c in self.cells],
+            },
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def cell_ids(self) -> list[str]:
+        return [c.cell_id for c in self.cells]
+
+    @classmethod
+    def from_document(cls, doc: dict) -> "CampaignSpec":
+        """Expand a parsed spec document; raises ``ValueError`` on any
+        malformed field so a bad spec dies before the first cell runs."""
+        if not isinstance(doc, dict):
+            raise ValueError(
+                f"campaign spec must be a mapping, got {type(doc).__name__}"
+            )
+        schema = doc.get("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise ValueError(
+                f"unsupported spec schema {schema!r} "
+                f"(this driver reads {SPEC_SCHEMA})"
+            )
+        name = doc.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError("campaign spec needs a non-empty 'name'")
+        blocks = doc.get("sweep")
+        if not isinstance(blocks, list) or not blocks:
+            raise ValueError(
+                "campaign spec needs a non-empty 'sweep' list of blocks"
+            )
+        known = set(_AXES) | set(_SCALARS) | {"schema", "name"}
+        cells: list[CellSpec] = []
+        skipped: list[str] = []
+        seen: set[str] = set()
+        for index, block in enumerate(blocks):
+            if not isinstance(block, dict):
+                raise ValueError(f"sweep block {index} must be a mapping")
+            unknown = set(block) - known
+            if unknown:
+                raise ValueError(
+                    f"sweep block {index} has unknown field(s): "
+                    f"{', '.join(sorted(unknown))}"
+                )
+            for cell in _expand_block(block, index):
+                if cell.cell_id in seen:
+                    continue
+                seen.add(cell.cell_id)
+                if not _runnable(cell, skipped):
+                    continue
+                cells.append(cell)
+        if not cells:
+            raise ValueError("campaign spec expanded to zero runnable cells")
+        return cls(name=name, cells=cells, skipped=skipped, document=doc)
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignSpec":
+        """Load and expand a spec file (JSON always; YAML with PyYAML)."""
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            try:
+                import yaml
+            except ImportError:
+                raise ValueError(
+                    f"{path} is not JSON and PyYAML is not installed; "
+                    "install pyyaml or write the spec as JSON"
+                ) from None
+            try:
+                doc = yaml.safe_load(text)
+            except yaml.YAMLError as exc:
+                raise ValueError(f"{path}: bad YAML: {exc}") from None
+        return cls.from_document(doc)
+
+
+def _as_list(block: dict, key: str, index: int) -> list:
+    value = block.get(key)
+    if value is None:
+        raise ValueError(f"sweep block {index} is missing '{key}'")
+    if not isinstance(value, list):
+        value = [value]
+    if not value:
+        raise ValueError(f"sweep block {index} has an empty '{key}'")
+    return value
+
+
+def _parse_size(entry, index: int) -> tuple[int, int]:
+    """One sizes-axis entry: ``"MIN:MAX"``, ``{"min":..,"max":..}``, or
+    a single int (a one-size cell)."""
+    if isinstance(entry, str):
+        lo, sep, hi = entry.partition(":")
+        try:
+            return int(lo), int(hi) if sep else int(lo)
+        except ValueError:
+            raise ValueError(
+                f"sweep block {index}: size range must look like "
+                f"'MIN:MAX', got {entry!r}"
+            ) from None
+    if isinstance(entry, dict):
+        extra = set(entry) - {"min", "max"}
+        if extra or "min" not in entry or "max" not in entry:
+            raise ValueError(
+                f"sweep block {index}: size mapping needs exactly "
+                f"'min' and 'max', got {sorted(entry)}"
+            )
+        return int(entry["min"]), int(entry["max"])
+    if isinstance(entry, int):
+        return entry, entry
+    raise ValueError(
+        f"sweep block {index}: bad size entry {entry!r}"
+    )
+
+
+def _expand_block(block: dict, index: int):
+    benchmarks = _as_list(block, "benchmarks", index)
+    transports = _as_list(block, "transports", index)
+    ranks = _as_list(block, "ranks", index)
+    sizes = [_parse_size(s, index) for s in _as_list(block, "sizes", index)]
+    scalars = {k: block.get(k, d) for k, d in _SCALARS.items()}
+    for bench, transport, n, (lo, hi) in itertools.product(
+        benchmarks, transports, ranks, sizes
+    ):
+        yield CellSpec(
+            benchmark=str(bench), transport=str(transport), ranks=int(n),
+            min_size=lo, max_size=hi, **scalars,
+        )
+
+
+def _runnable(cell: CellSpec, skipped: list[str]) -> bool:
+    """Drop grid points the benchmark itself can never run."""
+    from ..core.registry import get_benchmark
+
+    try:
+        bench = get_benchmark(cell.benchmark)
+    except KeyError as exc:
+        raise ValueError(str(exc)) from None
+    if cell.ranks < bench.min_ranks:
+        skipped.append(
+            f"{cell.cell_id}: {cell.benchmark} needs at least "
+            f"{bench.min_ranks} ranks, grid point has {cell.ranks}"
+        )
+        return False
+    return True

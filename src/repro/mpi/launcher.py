@@ -360,6 +360,7 @@ def launch(
     metrics: bool = False,
     metrics_out: str = "metrics.json",
     trace_out: str | None = None,
+    exit_report: str | None = None,
 ) -> int:
     """Run ``command`` as ``n`` coordinated rank processes.
 
@@ -388,6 +389,13 @@ def launch(
     ``metrics_out`` (and ``trace_out`` — Chrome trace JSON, or JSONL
     when the path ends in ``.jsonl``) and prints the per-rank summary
     table on stderr.
+
+    ``exit_report`` names a JSON file the launcher writes on *every*
+    exit path (success, rank failure, timeout, interrupt) describing
+    what happened — ``{schema, n, transport, exit_codes,
+    first_failure, interrupted, timeout, elapsed_s, exit_code}`` — so
+    a supervising driver (the campaign cold backend) can classify the
+    failure mode without parsing stderr.
     """
     if failfast_grace < 0:
         raise ValueError(
@@ -420,6 +428,18 @@ def launch(
     interrupted = threading.Event()
     old_handlers: dict[int, object] = {}
     procs: list[subprocess.Popen] = []
+    start = time.monotonic()
+    report: dict = {
+        "schema": "ombpy-run-report/1",
+        "n": n,
+        "transport": transport,
+        "exit_codes": None,
+        "first_failure": None,
+        "interrupted": False,
+        "timeout": False,
+        "elapsed_s": None,
+        "exit_code": None,
+    }
 
     def _forward_signal(signum, _frame):
         interrupted.set()
@@ -450,9 +470,20 @@ def launch(
             procs, timeout, failfast_grace, interrupted,
             failfast=not recover,
         )
+        report["exit_codes"] = [
+            None if code is None else _normalize_exit(code)
+            for code in exit_codes
+        ]
+        if first_failure is not None:
+            report["first_failure"] = {
+                "rank": first_failure[0],
+                "exit_code": _normalize_exit(first_failure[1]),
+            }
         if interrupted.is_set():
+            report["exit_code"] = 130
             return 130
         if first_failure is None:
+            report["exit_code"] = 0
             return 0
         if recover and any(code == 0 for code in exit_codes):
             survivors = sum(1 for code in exit_codes if code == 0)
@@ -461,6 +492,7 @@ def launch(
                 f"but {survivors}/{n} rank(s) finished cleanly (--recover)",
                 file=sys.stderr,
             )
+            report["exit_code"] = 0
             return 0
         rank, rc = first_failure
         codes = [
@@ -473,7 +505,12 @@ def launch(
             f"{RANK_FAILED_EXIT} = peer-failure cascade)",
             file=sys.stderr,
         )
-        return _normalize_exit(rc)
+        report["exit_code"] = _normalize_exit(rc)
+        return report["exit_code"]
+    except subprocess.TimeoutExpired:
+        report["timeout"] = True
+        report["exit_code"] = 124
+        raise
     finally:
         # Whatever happened above (timeout, interrupt, exception), leave
         # no child process, socket dir, or SHM segment behind.
@@ -486,6 +523,24 @@ def launch(
                 pass
         if telemetry_base is not None:
             _merge_telemetry(telemetry_base, n, metrics_out, trace_out)
+        if exit_report is not None:
+            report["interrupted"] = interrupted.is_set()
+            report["elapsed_s"] = round(time.monotonic() - start, 3)
+            _write_exit_report(exit_report, report)
+
+
+def _write_exit_report(path: str, report: dict) -> None:
+    """Atomically publish the supervision report (best-effort: a report
+    that cannot be written must not turn a finished job into a crash)."""
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except OSError as exc:
+        print(f"ombpy-run: could not write exit report {path}: {exc}",
+              file=sys.stderr)
 
 
 def _merge_telemetry(
@@ -581,6 +636,12 @@ def main(argv: list[str] | None = None) -> int:
         "ends in .jsonl (implies --metrics)",
     )
     parser.add_argument(
+        "--exit-report", default=None, metavar="FILE",
+        help="write a JSON supervision report (per-rank exit codes, "
+        "first failing rank, timeout/interrupt flags) to FILE on every "
+        "exit path, for supervising drivers",
+    )
+    parser.add_argument(
         "command", nargs=argparse.REMAINDER,
         help="program and its arguments",
     )
@@ -593,6 +654,7 @@ def main(argv: list[str] | None = None) -> int:
             failfast_grace=args.failfast_grace, reliable=args.reliable,
             recover=args.recover, metrics=args.metrics,
             metrics_out=args.metrics_out, trace_out=args.trace_out,
+            exit_report=args.exit_report,
         )
     except subprocess.TimeoutExpired:
         print(

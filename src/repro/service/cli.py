@@ -11,8 +11,23 @@ wait for readiness by watching stdout instead of sleeping.
 
 ``ombpy-submit`` is the client: ``submit`` a benchmark or sleep job,
 ``status`` (health probe), ``result`` (optionally blocking), ``cancel``,
-``drain``.  Exit codes: 0 on success (``DONE`` for awaited jobs), 1 on
-job failure, 2 on usage/connection errors.
+``drain``.  Each failure mode gets a distinct, documented exit code
+(table in ``docs/service.md``) so shell pipelines and the campaign
+driver can branch on *why* a job died without parsing stderr:
+
+====  =======================================================
+code  meaning
+====  =======================================================
+0     success (``DONE`` for awaited jobs)
+1     job failed (application error past the retry cap)
+2     usage or connection error
+3     rejected by admission control (queue full / draining /
+      pool too degraded)
+4     per-job wall-clock deadline exceeded
+5     rank failure (pool lost ranks; includes collateral and
+      pool-degraded failures)
+6     cancelled
+====  =======================================================
 """
 
 from __future__ import annotations
@@ -23,13 +38,43 @@ import sys
 import threading
 
 from .client import ServiceClient, ServiceError
-from .config import ServiceConfig
 from .protocol import (
-    DONE, KIND_BENCHMARK, KIND_SLEEP, JobSpec, TERMINAL_STATES,
-    table_from_wire,
+    CANCELLED, DEADLINE, DONE, FAILED, KIND_BENCHMARK, KIND_SLEEP,
+    REJECTED, JobSpec, TERMINAL_STATES, table_from_wire,
 )
+from .config import ServiceConfig
 
 DEFAULT_SOCKET = "/tmp/ombpy-service.sock"
+
+#: ``ombpy-submit`` exit codes, one per failure mode (see module
+#: docstring and docs/service.md).
+EXIT_DONE = 0
+EXIT_FAILED = 1
+EXIT_USAGE = 2
+EXIT_REJECTED = 3
+EXIT_DEADLINE = 4
+EXIT_RANK_FAILURE = 5
+EXIT_CANCELLED = 6
+
+#: Server-side failure kinds that count as rank failures for the exit
+#: code: the pool (not the application) is what broke.
+_RANK_FAILURE_KINDS = (
+    "rank_failure", "collateral", "pool_degraded", "pool_lost",
+)
+
+
+def exit_code_for(job: dict) -> int:
+    """Map a terminal job record to its documented exit code."""
+    state = job.get("state")
+    if state == DONE:
+        return EXIT_DONE
+    if state == DEADLINE:
+        return EXIT_DEADLINE
+    if state == CANCELLED:
+        return EXIT_CANCELLED
+    if state == FAILED and job.get("failure_kind") in _RANK_FAILURE_KINDS:
+        return EXIT_RANK_FAILURE
+    return EXIT_FAILED
 
 
 def _tcp_addr(text: str) -> tuple[str, int]:
@@ -281,10 +326,12 @@ def submit_main(argv: list[str] | None = None) -> int:
             return _dispatch(client, args)
     except (ConnectionError, OSError, TimeoutError) as exc:
         print(f"ombpy-submit: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except ServiceError as exc:
         print(f"ombpy-submit: {exc}", file=sys.stderr)
-        return 1
+        if exc.reply.get("reply") == REJECTED:
+            return EXIT_REJECTED
+        return EXIT_FAILED
 
 
 def _dispatch(client: ServiceClient, args) -> int:
@@ -334,10 +381,10 @@ def _dispatch(client: ServiceClient, args) -> int:
         job_id = client.submit(spec)
         if not args.wait:
             print(job_id)
-            return 0
+            return EXIT_DONE
         job = client.result(job_id, wait=True, timeout=args.timeout)
         _print_job(job)
-        return 0 if job["state"] == DONE else 1
+        return exit_code_for(job)
 
     if args.command == "result":
         if args.wait:
@@ -347,9 +394,9 @@ def _dispatch(client: ServiceClient, args) -> int:
             job = client.job(args.job_id)
             if job["state"] not in TERMINAL_STATES:
                 print(f"{job['job_id']}: {job['state']}")
-                return 1
+                return EXIT_FAILED
         _print_job(job)
-        return 0 if job["state"] == DONE else 1
+        return exit_code_for(job)
 
     if args.command == "cancel":
         job = client.cancel(args.job_id)

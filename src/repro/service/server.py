@@ -65,8 +65,8 @@ class JobRecord:
 
     __slots__ = (
         "job_id", "spec", "state", "attempts", "collateral_requeues",
-        "result", "error", "submitted_at", "started_at", "finished_at",
-        "deadline_at", "run",
+        "result", "error", "failure_kind", "submitted_at", "started_at",
+        "finished_at", "deadline_at", "run",
     )
 
     def __init__(self, job_id: str, spec: JobSpec) -> None:
@@ -77,6 +77,11 @@ class JobRecord:
         self.collateral_requeues = 0
         self.result: dict | None = None
         self.error: str | None = None
+        #: Why a FAILED job failed: "rank_failure", "collateral",
+        #: "pool_degraded", "pool_lost", or "app_error".  Clients
+        #: (ombpy-submit exit codes, the campaign driver's retry
+        #: accounting) branch on this instead of parsing the error text.
+        self.failure_kind: str | None = None
         self.submitted_at = time.time()
         self.started_at: float | None = None
         self.finished_at: float | None = None
@@ -91,6 +96,7 @@ class JobRecord:
             "attempts": self.attempts,
             "result": self.result,
             "error": self.error,
+            "failure_kind": self.failure_kind,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -405,6 +411,7 @@ class BenchmarkService:
                         self._finish(
                             rec, FAILED,
                             error=f"pool lost: {event.get('reason')}",
+                            failure_kind="pool_lost",
                         )
                 self._queue.clear()
                 self._g_queue.set(0)
@@ -448,13 +455,14 @@ class BenchmarkService:
                 self._finish(rec, FAILED, error=(
                     f"rank failure: {error} (pool shrank below job size: "
                     f"needs {rec.spec.ranks}, {self.pool.live_count()} live)"
-                ))
+                ), failure_kind="rank_failure")
                 return
             if rec.attempts <= cap:
                 self._schedule_retry(rec, error)
                 return
             self._finish(rec, FAILED, error=f"rank failure: {error} "
-                         f"(retries exhausted after {rec.attempts} attempts)")
+                         f"(retries exhausted after {rec.attempts} attempts)",
+                         failure_kind="rank_failure")
             return
         if kinds and kinds <= {"rank_failed", "revoked"}:
             # None of this job's members died: an unrelated death on the
@@ -472,9 +480,10 @@ class BenchmarkService:
                 self._changed.notify_all()
                 return
             self._finish(rec, FAILED,
-                         error=f"collateral rank-failure exposure: {error}")
+                         error=f"collateral rank-failure exposure: {error}",
+                         failure_kind="collateral")
             return
-        self._finish(rec, FAILED, error=error)
+        self._finish(rec, FAILED, error=error, failure_kind="app_error")
 
     def _schedule_retry(self, rec: JobRecord, error: str) -> None:
         """Queue a retryable job behind its capped-exponential backoff."""
@@ -559,6 +568,7 @@ class BenchmarkService:
                         f"{rec.spec.ranks} ranks, "
                         f"{self.pool.live_count()} live"
                     ),
+                    failure_kind="pool_degraded",
                 )
                 continue
             if self.pool.can_dispatch(rec.spec.ranks):
@@ -587,13 +597,16 @@ class BenchmarkService:
         self.stop()
 
     def _finish(self, rec: JobRecord, state: str,
-                error: str | None = None) -> None:
+                error: str | None = None,
+                failure_kind: str | None = None) -> None:
         """Move a job to a terminal state.  Lock held."""
         rec.state = state
         if error is not None:
             rec.error = error
         elif state == DONE:
             rec.error = None    # drop any stale retry annotation
+        if state == FAILED:
+            rec.failure_kind = failure_kind or "app_error"
         rec.finished_at = time.time()
         rec.deadline_at = None
         if state == DONE:

@@ -1,0 +1,194 @@
+"""Journal tests: durability, replay, and the crash-resume property.
+
+The hypothesis property at the bottom is the campaign driver's core
+guarantee: kill the driver after *any* prefix of journal records (the
+SIGKILL can land between any two fsyncs, or mid-append), resume, and
+the completed-cell set is identical to an uninterrupted run with no
+cell executed twice.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.journal import (
+    CAMPAIGN_BEGIN, CAMPAIGN_END, CAMPAIGN_RESUMED, CELL_DONE, CELL_FAILED,
+    CELL_PLANNED, CELL_QUARANTINED, CELL_STARTED, Journal, replay,
+)
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultsStore
+from tests.test_campaign_scheduler import (
+    ScriptedBackend, make_doc, start_journal,
+)
+
+
+class TestJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append(CAMPAIGN_BEGIN, name="t", fingerprint="f00",
+                           cells=2)
+            journal.append(CELL_PLANNED, cell="a")
+            journal.append(CELL_PLANNED, cell="b")
+            journal.append(CELL_STARTED, cell="a", attempt=1, backend="x")
+            journal.append(CELL_DONE, cell="a", attempt=1, elapsed_s=0.1,
+                           backend="x")
+            journal.append(CELL_FAILED, cell="b", attempt=1, error="boom",
+                           kind="app_error", charged=True)
+        state = replay(path)
+        assert state.name == "t" and state.fingerprint == "f00"
+        assert state.planned == ["a", "b"]
+        assert state.done == {"a"}
+        assert state.failures == {"b": 1}
+        assert state.last_error == {"b": "boom"}
+        assert state.pending() == ["b"]
+        assert state.ended is None
+
+    def test_uncharged_failures_do_not_count(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append(CELL_PLANNED, cell="a")
+            journal.append(CELL_FAILED, cell="a", attempt=1,
+                           error="driver stopping", kind="interrupted",
+                           charged=False)
+        assert replay(path).failures == {}
+
+    def test_quarantine_and_end_and_resume(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append(CELL_PLANNED, cell="a")
+            journal.append(CELL_QUARANTINED, cell="a", failures=3)
+            journal.append(CAMPAIGN_END, status="degraded", done=0,
+                           missed=["a"])
+            journal.append(CAMPAIGN_RESUMED, fingerprint="f00")
+        state = replay(path)
+        assert state.quarantined == {"a"}
+        assert state.pending() == []
+        assert state.ended is None       # the resume reopened it
+        assert state.resumes == 1
+
+    def test_inflight_tracking(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append(CELL_PLANNED, cell="a")
+            journal.append(CELL_STARTED, cell="a", attempt=1, backend="x")
+        state = replay(path)
+        assert state.inflight == {"a"}
+        assert state.pending() == ["a"]  # crash mid-cell: re-run it
+
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = replay(str(tmp_path / "nope.jsonl"))
+        assert state.records == 0 and state.pending() == []
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append(CELL_PLANNED, cell="a")
+            journal.append(CELL_DONE, cell="a", attempt=1)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "CELL_DONE", "cel')   # crash mid-append
+        state = replay(path)
+        assert state.torn_tail
+        assert state.done == {"a"}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("garbage\n")
+            fh.write(json.dumps({"type": CELL_PLANNED, "cell": "a"}) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            replay(path)
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "CELL_EXPLODED", "cell": "a"}))
+            fh.write("\n")
+        with pytest.raises(ValueError, match="CELL_EXPLODED"):
+            replay(path)
+        with Journal(str(tmp_path / "k.jsonl")) as journal:
+            with pytest.raises(ValueError, match="CELL_EXPLODED"):
+                journal.append("CELL_EXPLODED", cell="a")
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.jsonl"))
+        journal.close()
+        with pytest.raises(ValueError, match="closed"):
+            journal.append(CELL_PLANNED, cell="a")
+
+
+# ---------------------------------------------------------------------------
+# The crash-resume property.
+# ---------------------------------------------------------------------------
+def _run_campaign(root: str, spec: CampaignSpec,
+                  journal_lines: list[str] | None = None) -> tuple:
+    """One driver run (fresh or resumed) with a scripted backend."""
+    path = os.path.join(root, "journal.jsonl")
+    if journal_lines is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(journal_lines)
+    state = replay(path)
+    backend = ScriptedBackend()
+    with Journal(path) as journal:
+        if state.records == 0:
+            start_journal(journal, spec)
+            state = replay(path)
+        else:
+            journal.append(CAMPAIGN_RESUMED, fingerprint=spec.fingerprint())
+        scheduler = CampaignScheduler(
+            spec, journal, ResultsStore(root), backend,
+            state=state, sleep=lambda _s: None,
+        )
+        result = scheduler.run()
+    return result, backend, path
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_resume_after_any_journal_prefix_is_exactly_once(tmp_path_factory,
+                                                         data):
+    """Truncate the journal after any record (+ optionally a torn half
+    record, as a real SIGKILL mid-``write`` leaves), resume, and check:
+    identical completed-cell set, and no cell executed twice."""
+    spec = CampaignSpec.from_document(make_doc(sizes=["1:4", "8:16",
+                                                      "32:64"]))
+    root = str(tmp_path_factory.mktemp("full"))
+    full_result, _, full_path = _run_campaign(root, spec)
+    assert full_result.status == "complete"
+    with open(full_path, encoding="utf-8") as fh:
+        lines = fh.readlines()
+
+    cut = data.draw(st.integers(min_value=0, max_value=len(lines)),
+                    label="records kept")
+    torn = data.draw(st.booleans(), label="torn half-record at the cut")
+    prefix = lines[:cut]
+    if torn and cut < len(lines):
+        prefix = prefix + [lines[cut][: max(1, len(lines[cut]) // 2)]]
+
+    done_in_prefix = {
+        json.loads(line)["cell"]
+        for line in lines[:cut]
+        if json.loads(line).get("type") == CELL_DONE
+    }
+
+    resume_root = str(tmp_path_factory.mktemp("resume"))
+    result, backend, resumed_path = _run_campaign(
+        resume_root, spec, journal_lines=prefix,
+    )
+    assert result.status == "complete"
+    assert set(result.completed) == set(full_result.completed)
+
+    # Nothing that was durably DONE before the crash ran again.
+    assert not (set(backend.executed) & done_in_prefix)
+
+    # Exactly one CELL_DONE per cell across crash + resume.
+    counts: dict[str, int] = {}
+    with open(resumed_path, encoding="utf-8") as fh:
+        for line in fh:
+            record = json.loads(line)
+            if record.get("type") == CELL_DONE:
+                counts[record["cell"]] = counts.get(record["cell"], 0) + 1
+    assert counts == {c: 1 for c in spec.cell_ids()}

@@ -1,0 +1,174 @@
+"""Campaign spec tests: expansion, fingerprinting, validation."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import SPEC_SCHEMA, CampaignSpec, CellSpec
+
+
+def doc(**kw):
+    base = {
+        "name": "t",
+        "sweep": [
+            {
+                "benchmarks": ["osu_latency"],
+                "transports": ["threads"],
+                "ranks": [2],
+                "sizes": ["1:16"],
+            }
+        ],
+    }
+    base.update(kw)
+    return base
+
+
+class TestExpansion:
+    def test_cartesian_product(self):
+        spec = CampaignSpec.from_document(doc(sweep=[{
+            "benchmarks": ["osu_latency", "osu_allreduce"],
+            "transports": ["threads", "tcp"],
+            "ranks": [2, 4],
+            "sizes": ["1:16", "32:64"],
+        }]))
+        assert len(spec.cells) == 16
+        assert len(set(spec.cell_ids())) == 16
+
+    def test_multiple_blocks_concatenate(self):
+        spec = CampaignSpec.from_document(doc(sweep=[
+            {"benchmarks": ["osu_latency"], "transports": ["threads"],
+             "ranks": [2], "sizes": ["1:16"]},
+            {"benchmarks": ["osu_allreduce"], "transports": ["tcp"],
+             "ranks": [4], "sizes": ["4:64"], "iterations": 5},
+        ]))
+        assert len(spec.cells) == 2
+        assert spec.cells[1].iterations == 5
+
+    def test_duplicate_cells_dedup(self):
+        block = {"benchmarks": ["osu_latency"], "transports": ["threads"],
+                 "ranks": [2], "sizes": ["1:16"]}
+        spec = CampaignSpec.from_document(doc(sweep=[block, dict(block)]))
+        assert len(spec.cells) == 1
+
+    def test_scalar_axis_promoted_to_list(self):
+        spec = CampaignSpec.from_document(doc(sweep=[{
+            "benchmarks": "osu_latency", "transports": "threads",
+            "ranks": 2, "sizes": "1:16",
+        }]))
+        assert len(spec.cells) == 1
+
+    def test_size_forms(self):
+        spec = CampaignSpec.from_document(doc(sweep=[{
+            "benchmarks": ["osu_latency"], "transports": ["threads"],
+            "ranks": [2],
+            "sizes": ["1:16", {"min": 32, "max": 64}, 128],
+        }]))
+        ranges = {(c.min_size, c.max_size) for c in spec.cells}
+        assert ranges == {(1, 16), (32, 64), (128, 128)}
+
+    def test_underranked_cells_skipped_not_fatal(self):
+        spec = CampaignSpec.from_document(doc(sweep=[{
+            "benchmarks": ["osu_latency"], "transports": ["threads"],
+            "ranks": [1, 2], "sizes": ["1:16"],
+        }]))
+        assert len(spec.cells) == 1
+        assert spec.cells[0].ranks == 2
+        assert len(spec.skipped) == 1
+        assert "at least" in spec.skipped[0]
+
+
+class TestFingerprint:
+    def test_stable_across_document_cosmetics(self):
+        a = CampaignSpec.from_document(doc())
+        b = CampaignSpec.from_document(
+            {"schema": SPEC_SCHEMA, **doc()}    # explicit schema, same grid
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_changes_when_any_cell_changes(self):
+        a = CampaignSpec.from_document(doc())
+        changed = doc()
+        changed["sweep"][0]["iterations"] = 99
+        b = CampaignSpec.from_document(changed)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_changes_with_name(self):
+        a = CampaignSpec.from_document(doc())
+        b = CampaignSpec.from_document(doc(name="other"))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_cell_id_hash_distinguishes_flag_only_changes(self):
+        a = CellSpec(benchmark="osu_latency", transport="threads", ranks=2,
+                     min_size=1, max_size=16)
+        b = CellSpec(benchmark="osu_latency", transport="threads", ranks=2,
+                     min_size=1, max_size=16, iterations=99)
+        assert a.cell_id != b.cell_id
+        assert a.cell_id.startswith("osu_latency.threads.n2.s1-16.")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad, match", [
+        (doc(name=""), "name"),
+        (doc(sweep=[]), "sweep"),
+        (doc(sweep=[{"benchmarks": ["osu_latency"]}]), "missing"),
+        (doc(schema="nope/9"), "schema"),
+        (doc(sweep=[{"benchmarks": ["osu_latency"],
+                     "transports": ["threads"], "ranks": [2],
+                     "sizes": ["1:16"], "bogus": 1}]), "unknown field"),
+        (doc(sweep=[{"benchmarks": ["osu_latency"],
+                     "transports": ["threads"], "ranks": [2],
+                     "sizes": ["x:y"]}]), "MIN:MAX"),
+        (doc(sweep=[{"benchmarks": ["osu_latency"],
+                     "transports": ["carrier-pigeon"], "ranks": [2],
+                     "sizes": ["1:16"]}]), "transport"),
+    ])
+    def test_malformed_documents_rejected(self, bad, match):
+        with pytest.raises(ValueError, match=match):
+            CampaignSpec.from_document(bad)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="osu_nope"):
+            CampaignSpec.from_document(doc(sweep=[{
+                "benchmarks": ["osu_nope"], "transports": ["threads"],
+                "ranks": [2], "sizes": ["1:16"],
+            }]))
+
+    def test_all_cells_skipped_is_an_error(self):
+        with pytest.raises(ValueError, match="zero runnable"):
+            CampaignSpec.from_document(doc(sweep=[{
+                "benchmarks": ["osu_latency"], "transports": ["threads"],
+                "ranks": [1], "sizes": ["1:16"],
+            }]))
+
+    def test_cell_wire_round_trip_rejects_unknown_fields(self):
+        cell = CampaignSpec.from_document(doc()).cells[0]
+        assert CellSpec.from_wire(cell.to_wire()) == cell
+        with pytest.raises(ValueError, match="unknown cell field"):
+            CellSpec.from_wire({**cell.to_wire(), "surprise": 1})
+
+    def test_options_feed_the_benchmark_runner(self):
+        from repro.core.options import Options
+
+        cell = CampaignSpec.from_document(doc()).cells[0]
+        options = Options(**cell.options())
+        assert options.min_size == 1 and options.max_size == 16
+
+
+class TestLoad:
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(doc()))
+        assert len(CampaignSpec.load(str(path)).cells) == 1
+
+    def test_yaml_file(self, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "spec.yaml"
+        path.write_text(
+            "name: t\n"
+            "sweep:\n"
+            "  - benchmarks: [osu_latency]\n"
+            "    transports: [threads]\n"
+            "    ranks: [2]\n"
+            "    sizes: ['1:16']\n"
+        )
+        assert len(CampaignSpec.load(str(path)).cells) == 1

@@ -242,6 +242,98 @@ def service_snapshot(repeats: int) -> dict:
     }
 
 
+#: The campaign-snapshot sweep: one benchmark, four size-range cells on
+#: the threads transport — small enough to run in seconds, enough cells
+#: that per-cell dispatch overhead dominates the measurement.
+_CAMPAIGN_DOC = {
+    "name": "bench",
+    "sweep": [
+        {
+            "benchmarks": ["osu_latency"],
+            "transports": ["threads"],
+            "ranks": [2],
+            "sizes": ["1:16", "32:64", "128:256", "512:1024"],
+            "iterations": 5,
+            "warmup": 1,
+        }
+    ],
+}
+
+
+def campaign_snapshot(repeats: int) -> dict:
+    """Campaign throughput: cells/second warm vs cold, plus the cost of
+    a no-op resume (journal replay + manifest rewrite on a finished
+    campaign) — the fixed tax every crash recovery pays."""
+    import tempfile
+
+    from repro.campaign import cli as campaign_cli
+    from repro.service import BenchmarkService
+
+    ncells = 4
+
+    def timed(args: list[str]) -> float:
+        start = time.perf_counter()
+        rc = campaign_cli.main(args)
+        elapsed = time.perf_counter() - start
+        if rc != 0:
+            raise RuntimeError(f"ombpy-campaign {args[0]} failed rc={rc}")
+        return elapsed
+
+    with tempfile.TemporaryDirectory(prefix="bench-campaign-") as workdir:
+        spec_path = os.path.join(workdir, "spec.json")
+        with open(spec_path, "w", encoding="utf-8") as fh:
+            json.dump(_CAMPAIGN_DOC, fh)
+
+        cold_s, resume_s = [], []
+        for i in range(repeats):
+            out = os.path.join(workdir, f"cold-{i}")
+            cold_s.append(timed(
+                ["run", spec_path, "--out", out, "--backend", "cold",
+                 "--concurrency", "1", "--cell-timeout", "120"]
+            ))
+            resume_s.append(timed(["resume", out, "--backend", "cold"]))
+
+        warm_s = []
+        svc = BenchmarkService(
+            pool_size=2, socket_path=os.path.join(workdir, "svc.sock"),
+        )
+        svc.start()
+        try:
+            for i in range(repeats):
+                out = os.path.join(workdir, f"warm-{i}")
+                warm_s.append(timed(
+                    ["run", spec_path, "--out", out, "--backend", "warm",
+                     "--service-socket", svc.address,
+                     "--concurrency", "1", "--cell-timeout", "120"]
+                ))
+        finally:
+            svc.stop()
+
+    cold, warm, resume = min(cold_s), min(warm_s), min(resume_s)
+    speedup = cold / warm if warm > 0 else float("inf")
+    print(f"campaign: {ncells} cells cold {cold:.3f}s "
+          f"({ncells / cold:.2f} cells/s) vs warm {warm:.3f}s "
+          f"({ncells / warm:.2f} cells/s, {speedup:.1f}x); "
+          f"no-op resume {resume:.3f}s")
+    return {
+        "schema": "ombpy-bench-campaign/1",
+        "sweep": "osu_latency threads n2, 4 size-range cells (-i 5 -x 1)",
+        "cells": ncells,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cold_campaign_seconds": round(cold, 4),
+        "warm_campaign_seconds": round(warm, 4),
+        "cold_cells_per_second": round(ncells / cold, 3),
+        "warm_cells_per_second": round(ncells / warm, 3),
+        "warm_speedup": round(speedup, 2),
+        "noop_resume_seconds": round(resume, 4),
+        "cold_all": [round(v, 4) for v in cold_s],
+        "warm_all": [round(v, 4) for v in warm_s],
+        "resume_all": [round(v, 4) for v in resume_s],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -257,11 +349,20 @@ def main(argv=None) -> int:
         help="snapshot warm ombpy-serve submit latency vs cold launch "
         "into BENCH_service.json instead of the telemetry set",
     )
+    parser.add_argument(
+        "--campaign", action="store_true",
+        help="snapshot campaign throughput (cells/sec warm vs cold, "
+        "no-op resume overhead) into BENCH_campaign.json",
+    )
     args = parser.parse_args(argv)
     if args.service:
         if args.out is None:
             args.out = os.path.join(REPO, "BENCH_service.json")
         doc = service_snapshot(args.repeats)
+    elif args.campaign:
+        if args.out is None:
+            args.out = os.path.join(REPO, "BENCH_campaign.json")
+        doc = campaign_snapshot(args.repeats)
     else:
         if args.out is None:
             args.out = os.path.join(REPO, "BENCH_telemetry.json")

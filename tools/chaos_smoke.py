@@ -33,6 +33,17 @@ must serve ``osu_latency``, survive the crash during a 3-rank
 complete three more jobs on the shrunken pool, and drain cleanly::
 
     python tools/chaos_smoke.py --service
+
+``--campaign`` runs the *campaign-driver* crash smoke: a small
+2-transport sweep is started with ``ombpy-campaign run``, the driver is
+SIGKILLed the moment its journal records the first completed cell, and
+``ombpy-campaign resume`` must finish the remaining cells — exit 0, a
+``complete`` manifest identical to an uninterrupted control run, and no
+cell executed twice (exactly one ``CELL_DONE`` per cell across the
+whole journal).  Artifacts land in ``results/campaign_smoke/`` for CI
+upload::
+
+    python tools/chaos_smoke.py --campaign
 """
 
 from __future__ import annotations
@@ -40,6 +51,8 @@ from __future__ import annotations
 import glob
 import json
 import os
+import shutil
+import signal
 import subprocess
 import sys
 import tempfile
@@ -389,11 +402,164 @@ def main_service() -> int:
     return 0
 
 
+#: The campaign crash-smoke sweep: 2 benchmarks x 2 transports = 4
+#: cells, small enough for CI, slow enough (tcp spawns processes) that
+#: a SIGKILL after the first CELL_DONE always lands mid-flight.
+CAMPAIGN_SPEC = {
+    "name": "campaign-smoke",
+    "sweep": [
+        {
+            "benchmarks": ["osu_latency", "osu_allreduce"],
+            "transports": ["threads", "tcp"],
+            "ranks": [2],
+            "sizes": ["1:64"],
+            "iterations": 5,
+            "warmup": 1,
+        }
+    ],
+}
+
+
+def _campaign(*args: str, **popen_kw):
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [sys.executable, "-m", "repro.campaign.cli", *args]
+    return subprocess.Popen(
+        cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, **popen_kw,
+    )
+
+
+def _journal_records(campaign_dir: str) -> list[dict]:
+    path = os.path.join(campaign_dir, "journal.jsonl")
+    records = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    pass    # torn tail mid-crash: exactly what resume handles
+    except FileNotFoundError:
+        pass
+    return records
+
+
+def main_campaign() -> int:
+    out_root = os.path.join(REPO, "results", "campaign_smoke")
+    shutil.rmtree(out_root, ignore_errors=True)
+    os.makedirs(out_root)
+    spec_path = os.path.join(out_root, "spec.json")
+    with open(spec_path, "w", encoding="utf-8") as fh:
+        json.dump(CAMPAIGN_SPEC, fh, indent=2)
+
+    knobs = ["--backend", "cold", "--concurrency", "1",
+             "--cell-timeout", "120"]
+
+    # Control: the same sweep, uninterrupted.
+    control_dir = os.path.join(out_root, "control")
+    control = _campaign("run", spec_path, "--out", control_dir, *knobs)
+    out, _ = control.communicate(timeout=600)
+    check(control.returncode == 0,
+          f"control run exits 0 (rc={control.returncode}; {out[-300:]})")
+    with open(os.path.join(control_dir, "MANIFEST.json"),
+              encoding="utf-8") as fh:
+        control_manifest = json.load(fh)
+    check(control_manifest["status"] == "complete"
+          and len(control_manifest["completed"]) == 4,
+          f"control manifest complete with 4 cells "
+          f"({control_manifest['status']}, "
+          f"{len(control_manifest['completed'])} completed)")
+
+    # Victim: SIGKILL the driver the moment the first cell completes.
+    victim_dir = os.path.join(out_root, "victim")
+    victim = _campaign("run", spec_path, "--out", victim_dir, *knobs)
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline:
+        if victim.poll() is not None:
+            break
+        done = [r for r in _journal_records(victim_dir)
+                if r.get("type") == "CELL_DONE"]
+        if done:
+            break
+        time.sleep(0.02)
+    check(victim.poll() is None,
+          "driver still mid-campaign at kill time (first CELL_DONE "
+          "journaled, more cells pending)")
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.communicate()
+    check(victim.returncode == -signal.SIGKILL,
+          f"driver died of SIGKILL (rc={victim.returncode})")
+
+    done_before = {r["cell"] for r in _journal_records(victim_dir)
+                   if r.get("type") == "CELL_DONE"}
+    check(0 < len(done_before) < 4,
+          f"kill landed mid-campaign ({len(done_before)}/4 cells done)")
+
+    resume = _campaign("resume", victim_dir, *knobs)
+    out, _ = resume.communicate(timeout=600)
+    check(resume.returncode == 0,
+          f"resume exits 0 (rc={resume.returncode}; {out[-300:]})")
+
+    with open(os.path.join(victim_dir, "MANIFEST.json"),
+              encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    check(manifest["status"] == "complete" and not manifest["missed"],
+          f"resumed manifest is complete with nothing missed "
+          f"({manifest['status']}, missed={manifest['missed']})")
+    check(manifest["completed"] == control_manifest["completed"],
+          "resumed run completed the exact cell set of the "
+          "uninterrupted control run")
+
+    records = _journal_records(victim_dir)
+    done_counts: dict[str, int] = {}
+    for record in records:
+        if record.get("type") == "CELL_DONE":
+            cell = record["cell"]
+            done_counts[cell] = done_counts.get(cell, 0) + 1
+    dupes = {c: n for c, n in done_counts.items() if n != 1}
+    check(not dupes and len(done_counts) == 4,
+          f"exactly one CELL_DONE per cell across crash + resume "
+          f"(counts: {done_counts})")
+    resumed_at = next(
+        (i for i, r in enumerate(records)
+         if r.get("type") == "CAMPAIGN_RESUMED"), None,
+    )
+    check(resumed_at is not None, "journal records the resume")
+    re_executed = {
+        r["cell"] for r in records[resumed_at or 0:]
+        if r.get("type") == "CELL_STARTED" and r["cell"] in done_before
+    }
+    check(not re_executed,
+          f"no already-done cell was re-executed after resume "
+          f"({sorted(re_executed) or 'none'})")
+
+    results_path = os.path.join(victim_dir, "results.jsonl")
+    cells_with_data = set()
+    with open(results_path, encoding="utf-8") as fh:
+        for line in fh:
+            record = json.loads(line)
+            if record.get("rows"):
+                cells_with_data.add(record["cell"])
+    check(cells_with_data == set(manifest["completed"]),
+          "every completed cell has durable rows in the results store")
+
+    if _failures:
+        print(f"\ncampaign smoke FAILED ({len(_failures)} check(s)):")
+        for failure in _failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ncampaign smoke passed")
+    return 0
+
+
 def main() -> int:
     if "--recover" in sys.argv[1:]:
         return main_recover()
     if "--service" in sys.argv[1:]:
         return main_service()
+    if "--campaign" in sys.argv[1:]:
+        return main_campaign()
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as workdir:
         for bench, bench_args in CASES:
             run_case(bench, bench_args, workdir, attempt="a")
