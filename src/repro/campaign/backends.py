@@ -104,9 +104,14 @@ class ColdLaunchBackend:
             out_path = os.path.join(workdir, "table.json")
             report_path = os.path.join(workdir, "exit-report.json")
             cmd = self._command(cell, timeout_s, out_path, report_path)
+            env = _python_env()
+            if cell.groups is not None:
+                # The threads path reads the topology from the
+                # environment; the launcher path also gets --groups.
+                env["OMBPY_GROUPS"] = cell.groups
             try:
                 proc = subprocess.Popen(
-                    cmd, env=_python_env(), stdout=subprocess.PIPE,
+                    cmd, env=env, stdout=subprocess.PIPE,
                     stderr=subprocess.PIPE, text=True,
                 )
             except OSError as exc:
@@ -173,6 +178,8 @@ class ColdLaunchBackend:
             "-n", str(cell.ranks), "--transport", cell.transport,
             "--timeout", str(timeout_s), "--exit-report", report_path,
         ]
+        if cell.groups is not None:
+            launcher_cmd += ["--groups", cell.groups]
         if cell.reliable:
             launcher_cmd.append("--reliable")
         if cell.fault_seed is not None:
@@ -240,12 +247,14 @@ class WarmServiceBackend:
 
     def supports(self, cell: CellSpec) -> bool:
         """Warm pools serve the in-process fabric; fault-injected cells
-        must not poison a shared long-lived pool."""
+        must not poison a shared long-lived pool, and grouped cells need
+        a per-cell topology the pool's ranks were not launched with."""
         return (
             not self._broken.is_set()
             and cell.transport == "threads"
             and cell.fault_seed is None
             and not cell.reliable
+            and cell.groups is None
         )
 
     def interrupt(self) -> None:

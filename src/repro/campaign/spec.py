@@ -15,6 +15,7 @@ Document format (``docs/campaign.md`` has the full reference)::
         transports: [threads, tcp]
         ranks: [2, 4]
         sizes: ["1:1024", "4096:65536"]
+        groups: [null, "2x2"]
         iterations: 10
         warmup: 2
         buffer: bytearray
@@ -42,7 +43,9 @@ SPEC_SCHEMA = "ombpy-campaign-spec/1"
 TRANSPORTS = ("threads", "tcp", "uds", "shm")
 
 #: Axes that may be lists inside a sweep block (cartesian product).
-_AXES = ("benchmarks", "transports", "ranks", "sizes")
+#: ``groups`` is optional (default: one flat-topology point, ``null``);
+#: entries are ``--groups``-style specs and sweep the node-group axis.
+_AXES = ("benchmarks", "transports", "ranks", "sizes", "groups")
 #: Scalar per-block settings with their defaults.
 _SCALARS = {
     "iterations": 10,
@@ -71,8 +74,16 @@ class CellSpec:
     reliable: bool = False
     validate: bool = False
     fault_seed: int | None = None
+    groups: str | None = None
 
     def __post_init__(self) -> None:
+        if self.groups is not None and (
+            not isinstance(self.groups, str) or not self.groups
+        ):
+            raise ValueError(
+                f"cell groups must be a non-empty spec string or null, "
+                f"got {self.groups!r}"
+            )
         if self.transport not in TRANSPORTS:
             raise ValueError(
                 f"cell transport must be one of {TRANSPORTS}, "
@@ -270,13 +281,20 @@ def _expand_block(block: dict, index: int):
     transports = _as_list(block, "transports", index)
     ranks = _as_list(block, "ranks", index)
     sizes = [_parse_size(s, index) for s in _as_list(block, "sizes", index)]
+    # The groups axis is optional: absent means one flat-topology point.
+    groups_axis = block.get("groups", [None])
+    if not isinstance(groups_axis, list):
+        groups_axis = [groups_axis]
+    if not groups_axis:
+        raise ValueError(f"sweep block {index} has an empty 'groups'")
     scalars = {k: block.get(k, d) for k, d in _SCALARS.items()}
-    for bench, transport, n, (lo, hi) in itertools.product(
-        benchmarks, transports, ranks, sizes
+    for bench, transport, n, (lo, hi), groups in itertools.product(
+        benchmarks, transports, ranks, sizes, groups_axis
     ):
         yield CellSpec(
             benchmark=str(bench), transport=str(transport), ranks=int(n),
-            min_size=lo, max_size=hi, **scalars,
+            min_size=lo, max_size=hi,
+            groups=None if groups is None else str(groups), **scalars,
         )
 
 
@@ -294,4 +312,15 @@ def _runnable(cell: CellSpec, skipped: list[str]) -> bool:
             f"{bench.min_ranks} ranks, grid point has {cell.ranks}"
         )
         return False
+    if cell.groups is not None:
+        from ..mpi.topology import TopologyError, parse_groups
+
+        try:
+            parse_groups(cell.groups, cell.ranks)
+        except TopologyError as exc:
+            skipped.append(
+                f"{cell.cell_id}: groups {cell.groups!r} does not fit "
+                f"{cell.ranks} ranks: {exc}"
+            )
+            return False
     return True

@@ -15,6 +15,7 @@ from ..comm import Comm
 from . import selector
 from .base import check_equal_blocks  # noqa: F401 (re-exported for tests)
 from .base import csendrecv, ctag, is_power_of_two
+from .hierarchy import hier_allgather, partition
 
 
 def _recursive_doubling(
@@ -73,6 +74,7 @@ _ALGORITHMS = {
     "recursive_doubling": _recursive_doubling,
     "ring": _ring,
     "linear": _linear,
+    "hierarchical": hier_allgather,
 }
 
 
@@ -80,7 +82,9 @@ def allgather(comm: Comm, payload: bytes) -> list[bytes]:
     """Every rank returns the ordered list of all ranks' blocks."""
     if comm.size == 1:
         return [payload]
-    alg = selector.pick("allgather", len(payload), comm.size)
+    alg = selector.pick(
+        "allgather", len(payload), comm.size, groups=partition(comm)
+    )
     if alg == "recursive_doubling" and not is_power_of_two(comm.size):
         alg = "ring"
     tag = ctag(comm)

@@ -26,6 +26,7 @@ from .base import (
     floor_pow2,
     to_bytes,
 )
+from .hierarchy import hier_allreduce, partition
 
 
 def _recursive_doubling(
@@ -136,6 +137,7 @@ _ALGORITHMS = {
     "recursive_doubling": _recursive_doubling,
     "ring": _ring,
     "reduce_bcast": _reduce_bcast,
+    "hierarchical": hier_allreduce,
 }
 
 
@@ -145,9 +147,13 @@ def allreduce(comm: Comm, send: np.ndarray, op: Op) -> np.ndarray:
     if comm.size == 1:
         return send.copy()
     if not op.Is_commutative():
+        # Order-preserving path; the two-level tree reorders, so it is
+        # never eligible here.
         alg = "reduce_bcast"
     else:
-        alg = selector.pick("allreduce", send.nbytes, comm.size)
+        alg = selector.pick(
+            "allreduce", send.nbytes, comm.size, groups=partition(comm)
+        )
         if alg == "ring" and send.shape[0] < comm.size:
             alg = "recursive_doubling"
     tag = ctag(comm)

@@ -1,27 +1,41 @@
-"""Dissemination barrier.
+"""Barrier.
 
-``ceil(log2 p)`` rounds; in round ``k`` each rank sends a zero-byte token to
-``(rank + 2^k) mod p`` and waits for one from ``(rank - 2^k) mod p``.  After
-the last round every rank transitively depends on every other, which is the
-barrier property.
+Algorithms:
+
+* ``dissemination`` — ``ceil(log2 p)`` rounds; in round ``k`` each rank
+  sends a zero-byte token to ``(rank + 2^k) mod p`` and waits for one
+  from ``(rank - 2^k) mod p``.  After the last round every rank
+  transitively depends on every other, which is the barrier property.
+* ``hierarchical`` — intra-group fan-in, leader-level barrier,
+  intra-group release (:mod:`.hierarchy`); selected automatically when
+  the launch declared node groups.
 """
 
 from __future__ import annotations
 
 from ..comm import Comm
+from . import selector
 from .base import csendrecv, ctag
+from .hierarchy import hier_barrier, partition
 
 
-def barrier(comm: Comm) -> None:
-    """Block until all ranks of ``comm`` have entered."""
-    size = comm.size
-    if size == 1:
-        return
-    tag = ctag(comm)
-    rank = comm.rank
+def _dissemination(comm: Comm, tag: int) -> None:
+    rank, size = comm.rank, comm.size
     dist = 1
     while dist < size:
         dest = (rank + dist) % size
         source = (rank - dist) % size
         csendrecv(comm, b"", dest, source, tag, 0)
         dist <<= 1
+
+
+def barrier(comm: Comm) -> None:
+    """Block until all ranks of ``comm`` have entered."""
+    if comm.size == 1:
+        return
+    alg = selector.pick("barrier", 0, comm.size, groups=partition(comm))
+    tag = ctag(comm)
+    if alg == "hierarchical":
+        hier_barrier(comm, tag)
+        return
+    _dissemination(comm, tag)

@@ -21,6 +21,7 @@ from ..comm import Comm
 from ..exceptions import RootError
 from . import selector
 from .base import ceil_pow2, crecv, csend, ctag, rank_of, vrank_of
+from .hierarchy import hier_bcast, partition
 
 _LEN = struct.Struct("<q")
 
@@ -158,6 +159,7 @@ _ALGORITHMS = {
     "binomial": _binomial,
     "scatter_allgather": _scatter_allgather,
     "linear": _linear,
+    "hierarchical": hier_bcast,
 }
 
 
@@ -171,14 +173,20 @@ def bcast(comm: Comm, payload: bytes | None, root: int) -> bytes:
         return payload
     tag = ctag(comm)
     # Length header so non-roots can size buffers and pick the same
-    # algorithm as the root.
+    # algorithm as the root.  On a grouped communicator the header rides
+    # the hierarchy as well — a flat binomial here would open the very
+    # cross-group connections the two-level algorithms avoid.
+    part = partition(comm)
     if rank == root:
         assert payload is not None
         hdr = _LEN.pack(len(payload))
     else:
-        hdr = b""
-    hdr = _binomial(comm, hdr if rank == root else None, root, tag, _LEN.size)
+        hdr = None
+    if part is not None:
+        hdr = hier_bcast(comm, hdr, root, tag, _LEN.size)
+    else:
+        hdr = _binomial(comm, hdr, root, tag, _LEN.size)
     (nbytes,) = _LEN.unpack(hdr)
 
-    alg = selector.pick("bcast", nbytes, size)
+    alg = selector.pick("bcast", nbytes, size, groups=part)
     return _ALGORITHMS[alg](comm, payload, root, tag, nbytes)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..comm import Comm
 from . import selector
 from .base import crecv, csend, ctag, rank_of, vrank_of
+from .hierarchy import hier_gather, partition
 
 
 def _binomial(
@@ -66,7 +67,11 @@ def _linear(
     return out
 
 
-_ALGORITHMS = {"binomial": _binomial, "linear": _linear}
+_ALGORITHMS = {
+    "binomial": _binomial,
+    "linear": _linear,
+    "hierarchical": hier_gather,
+}
 
 
 def gather(comm: Comm, payload: bytes, root: int) -> list[bytes] | None:
@@ -74,5 +79,7 @@ def gather(comm: Comm, payload: bytes, root: int) -> list[bytes] | None:
     if comm.size == 1:
         return [payload]
     tag = ctag(comm)
-    alg = selector.pick("gather", len(payload), comm.size)
+    alg = selector.pick(
+        "gather", len(payload), comm.size, groups=partition(comm)
+    )
     return _ALGORITHMS[alg](comm, payload, root, tag)

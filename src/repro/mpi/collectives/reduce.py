@@ -3,8 +3,9 @@
 Algorithms:
 
 * ``binomial`` — partial results flow up a binomial tree (commutative ops);
-* ``rabenseifner`` — pairwise reduce-scatter followed by a gather of result
-  segments to the root; bandwidth-optimal for long messages;
+* ``rabenseifner`` — pairwise reduce-scatter followed by a binomial
+  gather of result segments to the root; bandwidth-optimal for long
+  messages;
 * ``linear`` — every rank sends to the root, which folds contributions in
   rank order.  Used automatically for non-commutative operations, where
   combining order must match ``x0 op x1 op ... op x(p-1)``.
@@ -84,19 +85,39 @@ def _rabenseifner(
     counts = [seg] * size
     my_seg = _pairwise_segments(comm, padded, counts, op, tag)
 
-    # Gather segments to the root (linear; segment messages are n/p-sized).
-    if rank == root:
-        out = np.empty(seg * size, dtype=send.dtype)
-        out[root * seg:(root + 1) * seg] = my_seg
-        for src in range(size):
-            if src != root:
-                data = crecv(comm, src, tag, seg * send.dtype.itemsize)
-                out[src * seg:(src + 1) * seg] = np.frombuffer(
-                    data, dtype=send.dtype
-                )
-        return out[:n]
-    csend(comm, root, tag, to_bytes(my_seg))
-    return None
+    # Binomial gather of the reduced segments (in vrank space, so any
+    # root works): log2(p) rounds at the root instead of p-1 serialized
+    # receives, and pure data movement — bit-identical to the old
+    # linear phase.  Internal nodes forward their whole subtree range
+    # as one message, so segments stay single-copy on the way up.
+    seg_bytes = seg * send.dtype.itemsize
+    vrank = vrank_of(rank, root, size)
+    held: list[bytes] = [to_bytes(my_seg)]
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = rank_of(vrank - mask, root, size)
+            csend(comm, parent, tag, b"".join(held))
+            return None
+        child_v = vrank | mask
+        if child_v < size:
+            span = min(mask, size - child_v)
+            child = rank_of(child_v, root, size)
+            data = crecv(comm, child, tag, span * seg_bytes)
+            held.extend(
+                data[i * seg_bytes:(i + 1) * seg_bytes]
+                for i in range(span)
+            )
+        mask <<= 1
+    # Root: held is ordered by vrank; place each segment at its owner's
+    # comm-rank offset.
+    out = np.empty(seg * size, dtype=send.dtype)
+    for v, blk in enumerate(held):
+        owner = rank_of(v, root, size)
+        out[owner * seg:(owner + 1) * seg] = np.frombuffer(
+            blk, dtype=send.dtype
+        )
+    return out[:n]
 
 
 _ALGORITHMS = {

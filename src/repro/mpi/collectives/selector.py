@@ -45,11 +45,34 @@ def forced(op: str) -> str | None:
     return env or None
 
 
-def pick(op: str, nbytes: int, size: int) -> str:
-    """Select the algorithm name for one collective invocation."""
+#: Collectives with a topology-aware two-level implementation
+#: (:mod:`repro.mpi.collectives.hierarchy`).
+HIERARCHICAL_OPS = frozenset(
+    {"allreduce", "bcast", "barrier", "gather", "allgather"}
+)
+
+
+def pick(op: str, nbytes: int, size: int, groups=None) -> str:
+    """Select the algorithm name for one collective invocation.
+
+    ``groups`` is the communicator's effective group partition (from
+    :func:`repro.mpi.collectives.hierarchy.partition`); when present and
+    the op has a two-level implementation, the hierarchical algorithm
+    wins over the size-based table — matching MVAPICH2, where SMP-aware
+    collectives take precedence whenever the topology is known.  An
+    explicit override (:func:`force` / ``OMBPY_COLL_<OP>``) still beats
+    everything, so flat-vs-hierarchical ablations stay possible.
+    """
     override = forced(op)
     if override is not None:
-        return override
+        if override == "hierarchical" and groups is None:
+            # Forcing hierarchy without a usable group partition would
+            # just crash in dispatch; fall through to the flat table.
+            pass
+        else:
+            return override
+    if groups is not None and op in HIERARCHICAL_OPS:
+        return "hierarchical"
     if op == "bcast":
         if size <= 2 or nbytes <= BCAST_SHORT_MSG:
             return "binomial"
@@ -88,15 +111,17 @@ def pick(op: str, nbytes: int, size: int) -> str:
 def available(op: str) -> tuple[str, ...]:
     """List the algorithms implemented for ``op`` (for ablations/tests)."""
     table = {
-        "bcast": ("binomial", "scatter_allgather", "linear"),
-        "allreduce": ("recursive_doubling", "ring", "reduce_bcast"),
-        "allgather": ("recursive_doubling", "ring", "linear"),
+        "bcast": ("binomial", "scatter_allgather", "linear", "hierarchical"),
+        "allreduce": (
+            "recursive_doubling", "ring", "reduce_bcast", "hierarchical",
+        ),
+        "allgather": ("recursive_doubling", "ring", "linear", "hierarchical"),
         "alltoall": ("bruck", "pairwise"),
         "reduce": ("binomial", "rabenseifner", "linear"),
         "reduce_scatter": ("recursive_halving", "pairwise"),
-        "gather": ("binomial", "linear"),
+        "gather": ("binomial", "linear", "hierarchical"),
         "scatter": ("binomial", "linear"),
-        "barrier": ("dissemination",),
+        "barrier": ("dissemination", "hierarchical"),
         "scan": ("recursive_doubling", "linear"),
     }
     return table[op]

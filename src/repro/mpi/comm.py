@@ -58,6 +58,10 @@ class Endpoint:
         self.verifier = None
         self.sanitizer = None
         self.telemetry = None
+        # Node-group topology (repro.mpi.topology.GroupMap) when the
+        # launch declared one (--groups / OMBPY_GROUPS); the collective
+        # selector switches to hierarchical algorithms when present.
+        self.group_map = None
 
     def on_control(self, env: Envelope, payload: bytes) -> None:
         """Handle a non-liveness control frame from a peer."""
@@ -190,6 +194,12 @@ class Comm:
         src_world = (
             None if source == C.ANY_SOURCE else self._world_rank(source)
         )
+        if src_world is not None and src_world != self._endpoint.world_rank:
+            # On lazy connection-cache fabrics the channel is how this
+            # rank *observes* the sender (EOF on crash, refused dial on
+            # death): hint the transport so a pure receiver is not blind
+            # to a peer that dies before ever being dialed.
+            self._endpoint.transport.ensure_peer(src_world)
         ticket = self._endpoint.engine.post_recv(
             self._context, source, tag, max_bytes, source_world=src_world
         )

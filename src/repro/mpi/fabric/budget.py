@@ -1,0 +1,150 @@
+"""Spawn-time file-descriptor budgeting against ``RLIMIT_NOFILE``.
+
+Stream fabrics cost roughly one socket per active peer and the SHM
+transport one fd per ring segment, so a wide flat topology can blow
+through the soft fd limit — and it does so as an opaque ``EMFILE``
+deep inside a dial loop or a ``SharedMemory`` constructor, long after
+the launcher printed a healthy banner.  The guard here prices the
+*planned* topology before the first fork and fails fast with the two
+actionable remedies: raise ``ulimit -n``, or pass ``--groups`` so the
+fabric only keeps O(group_size + n_groups) descriptors per rank.
+
+The numbers are deliberately worst-case (every peer pair active at
+once): a benchmark that exercises the full mesh is exactly the run
+that must not die halfway through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+try:  # gate: some minimal platforms ship Python without `resource`
+    import resource
+except ImportError:  # pragma: no cover - POSIX always has it
+    resource = None  # type: ignore[assignment]
+
+#: Descriptors reserved for everything that is not ours: stdio, the
+#: interpreter's own files, logging, telemetry sinks, pipes to children.
+FD_MARGIN = 64
+
+
+def soft_nofile_limit() -> int | None:
+    """The ``RLIMIT_NOFILE`` soft limit, or ``None`` if unknowable."""
+    if resource is None:
+        return None
+    soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft == resource.RLIM_INFINITY:
+        return None
+    return int(soft)
+
+
+@dataclass(frozen=True)
+class FdBudget:
+    """Worst-case descriptor demand of one planned launch."""
+
+    transport: str
+    world_size: int
+    #: fds the launcher process itself must hold (SHM segment creation
+    #: keeps every ring's fd open for the job's lifetime).
+    launcher_fds: int
+    #: worst-case fds any single rank process holds at once.
+    per_rank_fds: int
+    #: ``None`` when no grouping was planned.
+    n_groups: int | None = None
+    max_group_size: int | None = None
+
+    @property
+    def peak_fds(self) -> int:
+        """The single largest per-process demand in the job."""
+        return max(self.launcher_fds, self.per_rank_fds)
+
+    def describe(self) -> str:
+        shape = (
+            f"{self.world_size} ranks, flat"
+            if self.n_groups is None
+            else f"{self.world_size} ranks in {self.n_groups} group(s) "
+                 f"of <= {self.max_group_size}"
+        )
+        return (
+            f"transport={self.transport} ({shape}): worst case "
+            f"{self.per_rank_fds} fds per rank, {self.launcher_fds} in "
+            f"the launcher"
+        )
+
+
+def plan_fd_budget(
+    world_size: int,
+    transport: str,
+    group_map=None,
+    margin: int = FD_MARGIN,
+) -> FdBudget:
+    """Price the descriptor demand of a planned topology.
+
+    ``group_map`` is duck-typed (anything with ``n_groups`` /
+    ``max_group_size``, i.e. :class:`repro.mpi.topology.GroupMap`) to
+    keep this module import-light for the launcher's hot path.
+    """
+    n = world_size
+    n_groups = getattr(group_map, "n_groups", None)
+    gmax = getattr(group_map, "max_group_size", None)
+    grouped = n_groups is not None and gmax is not None and n_groups > 1
+
+    if transport in ("tcp", "uds"):
+        # Lazy fabric: 1 listener + 1 socket per concurrently active
+        # peer.  Under a group map the two-level collectives touch only
+        # intra-group peers plus one peer per other group.
+        active = (gmax - 1) + (n_groups - 1) if grouped else n - 1
+        per_rank = 1 + active + margin
+        launcher = margin  # only pipes/stdio; sockets live in the ranks
+    elif transport == "shm":
+        # One fd per directed ring segment.  The launcher pre-creates
+        # (and keeps) every segment; each rank maps its 2·(peers) rings.
+        if grouped:
+            # Hybrid path: SHM inside the group, lazy UDS across groups.
+            launcher = gmax * (gmax - 1) * n_groups + margin
+            per_rank = 2 * (gmax - 1) + 1 + (n_groups - 1) + margin
+        else:
+            launcher = n * (n - 1) + margin
+            per_rank = 2 * (n - 1) + margin
+    else:  # threads / singleton: everything shares one process's stdio
+        launcher = margin
+        per_rank = margin
+
+    return FdBudget(
+        transport=transport,
+        world_size=n,
+        launcher_fds=launcher,
+        per_rank_fds=per_rank,
+        n_groups=n_groups if grouped else None,
+        max_group_size=gmax if grouped else None,
+    )
+
+
+def check_fd_budget(
+    world_size: int,
+    transport: str,
+    group_map=None,
+    *,
+    soft_limit: int | None = None,
+    margin: int = FD_MARGIN,
+) -> FdBudget:
+    """Fail fast if the planned topology cannot fit ``RLIMIT_NOFILE``.
+
+    Returns the computed :class:`FdBudget` when it fits (or when the
+    limit is unknowable).  Raises :class:`RuntimeError` with the limit,
+    the demand, and both remedies otherwise.  ``soft_limit`` overrides
+    the probed rlimit for tests.
+    """
+    budget = plan_fd_budget(world_size, transport, group_map, margin=margin)
+    limit = soft_nofile_limit() if soft_limit is None else soft_limit
+    if limit is None or budget.peak_fds <= limit:
+        return budget
+    raise RuntimeError(
+        f"planned topology needs up to {budget.peak_fds} file "
+        f"descriptors in one process ({budget.describe()}) but the "
+        f"RLIMIT_NOFILE soft limit is {limit}.  Raise it "
+        f"(`ulimit -n {budget.peak_fds}`) or shrink the per-process "
+        f"footprint by grouping ranks (`--groups`/`OMBPY_GROUPS`, e.g. "
+        f"`--groups auto`), which caps each rank at "
+        f"O(group_size + n_groups) descriptors."
+    )

@@ -208,7 +208,9 @@ def cleanup_job_resources(
     ``atexit``/``finally`` path, because a long-lived service drains and
     relaunches pools many times inside one process lifetime.
     """
-    if transport == "uds" and job_id:
+    # A grouped shm launch is a hybrid: inter-group traffic rides UDS
+    # streams, so its socket dir needs removing too (no-op when absent).
+    if transport in ("uds", "shm") and job_id:
         import shutil
 
         from .transport.uds import socket_dir
@@ -279,6 +281,7 @@ def spawn_ranks(
     transport: str = "tcp",
     env_extra: dict[str, str] | None = None,
     rendezvous_timeout: float = 300.0,
+    groups: str | None = None,
 ) -> SpawnedRanks:
     """Spawn ``command`` as ``n`` coordinated rank processes (no supervision).
 
@@ -289,6 +292,15 @@ def spawn_ranks(
     :func:`launch`, shared with the persistent benchmark service
     (:mod:`repro.service`), which supervises the pool itself and keeps
     it warm across jobs.
+
+    ``groups`` declares the node-group topology (``"GxS"``, ``"a,b,c"``,
+    a group size, or ``"auto"`` — see :mod:`repro.mpi.topology`); the
+    normalized spec is exported to every rank via ``OMBPY_GROUPS`` so
+    the collectives go hierarchical, and on ``shm`` only intra-group
+    ring segments are created (inter-group traffic rides the stream
+    fabric).  Before anything is spawned the planned topology is checked
+    against ``RLIMIT_NOFILE`` so an over-wide launch fails fast with a
+    remedy instead of dying mid-rendezvous with ``EMFILE``.
     """
     if n < 1:
         raise ValueError(f"process count must be >= 1, got {n}")
@@ -299,11 +311,26 @@ def spawn_ranks(
     if command[0].endswith(".py"):
         command = [sys.executable] + command
 
+    from .topology import ENV_GROUPS, parse_groups
+
+    group_map = None
+    groups_spec = groups or os.environ.get(ENV_GROUPS)
+    if groups_spec:
+        group_map = parse_groups(groups_spec, n)
+
+    # Fail fast on fd exhaustion: check the planned topology against the
+    # soft RLIMIT_NOFILE before creating a single socket or segment.
+    from .fabric import check_fd_budget
+
+    check_fd_budget(n, transport, group_map)
+
     coordinator = None
     server = None
     shm_segments = None
     job_id = None
     coord_env: dict[str, str] = {ENV_TRANSPORT: transport}
+    if group_map is not None:
+        coord_env[ENV_GROUPS] = group_map.spec()
     if transport == "tcp":
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -319,10 +346,13 @@ def spawn_ranks(
         job_id = f"{os.getpid()}-{os.urandom(4).hex()}"
         coord_env[ENV_JOB] = job_id
         if transport == "shm":
-            from .transport.shm import create_job_segments
+            from .transport.shm import create_job_segments, intra_group_pairs
 
             capacity = int(os.environ.get("OMBPY_SHM_CAPACITY", 1 << 20))
-            shm_segments = create_job_segments(job_id, n, capacity)
+            pairs = None
+            if group_map is not None and group_map.n_groups > 1:
+                pairs = intra_group_pairs(group_map)
+            shm_segments = create_job_segments(job_id, n, capacity, pairs)
 
     procs: list[subprocess.Popen] = []
     try:
@@ -351,6 +381,7 @@ def launch(
     timeout: float = 300.0,
     env_extra: dict[str, str] | None = None,
     transport: str = "tcp",
+    groups: str | None = None,
     faults: str | None = None,
     fault_seed: int | None = None,
     fault_log: str | None = None,
@@ -367,6 +398,11 @@ def launch(
     ``transport`` selects the inter-process fabric: ``"tcp"`` (localhost
     mesh with a port-map rendezvous), ``"uds"`` (Unix-domain-socket
     mesh), or ``"shm"`` (shared-memory rings).
+
+    ``groups`` declares the node-group topology (see
+    :func:`spawn_ranks`): ranks in a group share the fast intra-group
+    path, one leader per group carries inter-group traffic, and the
+    collectives switch to their two-level hierarchical algorithms.
 
     ``faults``/``fault_seed``/``fault_log`` arm the deterministic fault
     injector in every rank (see :mod:`repro.faults`).  On any rank's
@@ -462,7 +498,7 @@ def launch(
     try:
         handle = spawn_ranks(
             n, command, transport=transport, env_extra=feature_env,
-            rendezvous_timeout=timeout,
+            rendezvous_timeout=timeout, groups=groups,
         )
         procs.extend(handle.procs)
 
@@ -584,6 +620,13 @@ def main(argv: list[str] | None = None) -> int:
         "sockets, or shared-memory rings",
     )
     parser.add_argument(
+        "--groups", default=None, metavar="SPEC",
+        help="node-group topology: 'GxS' (G groups of S ranks), "
+        "'a,b,c' (explicit sizes), a plain group size, or 'auto' "
+        "(~sqrt(n) per group); enables hierarchical two-level "
+        "collectives and, on shm, intra-group-only ring segments",
+    )
+    parser.add_argument(
         "--faults", default=None, metavar="PLAN.json",
         help="run every rank under the deterministic fault injector "
         "with this FaultPlan (see docs/resilience.md)",
@@ -649,7 +692,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return launch(
             args.n, args.command, timeout=args.timeout,
-            transport=args.transport, faults=args.faults,
+            transport=args.transport, groups=args.groups,
+            faults=args.faults,
             fault_seed=args.fault_seed, fault_log=args.fault_log,
             failfast_grace=args.failfast_grace, reliable=args.reliable,
             recover=args.recover, metrics=args.metrics,

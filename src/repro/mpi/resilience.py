@@ -8,7 +8,9 @@ complementary signals:
   TCP/UDS meshes the kernel closes a dead process's sockets immediately,
   so a crashed rank is detected within milliseconds;
 * **active** — a heartbeat thread sends tiny control frames
-  (:data:`~repro.mpi.transport.base.CTRL_HEARTBEAT`) to every peer over
+  (:data:`~repro.mpi.transport.base.CTRL_HEARTBEAT`) to every *connected*
+  peer (``transport.connected_peers()`` — all of them on eager fabrics,
+  only established channels on the lazy stream fabric) over
   the existing channels and declares a peer dead after
   ``heartbeat_timeout`` seconds of silence.  This catches ranks that are
   alive at the socket level but wedged (``SIGSTOP``, runaway GC, a stuck
@@ -73,9 +75,11 @@ class FailureDetector:
         self.heartbeat_timeout = heartbeat_timeout
         self.endpoint = endpoint
         self.rank = transport.world_rank
-        self._peers = [
-            r for r in range(transport.world_size) if r != self.rank
-        ]
+        # Peers currently under active heartbeat watch.  On eager fabrics
+        # this converges to every peer immediately; on lazy fabrics
+        # (repro.mpi.fabric) it tracks transport.connected_peers(), so
+        # the detector never dials the very O(N) mesh the fabric avoids.
+        self._watched: set[int] = set()
         self._lock = threading.Lock()
         self._last_seen: dict[int, float] = {}
         self._departed: set[int] = set()
@@ -89,8 +93,10 @@ class FailureDetector:
         self.transport.detector = self
         now = time.monotonic()
         with self._lock:
-            for peer in self._peers:
-                self._last_seen.setdefault(peer, now)
+            for peer in self.transport.connected_peers():
+                if peer != self.rank:
+                    self._watched.add(peer)
+                    self._last_seen.setdefault(peer, now)
         self._thread = threading.Thread(
             target=self._loop, name=f"hb-r{self.rank}", daemon=True
         )
@@ -152,21 +158,32 @@ class FailureDetector:
 
     def _loop(self) -> None:
         while not self._stop.wait(self.interval):
+            # Heartbeat only peers we actually hold a channel to: on a
+            # lazy fabric, probing everyone would eagerly dial the whole
+            # mesh.  An unestablished peer is still observable — the
+            # first send or ensure_peer() dial fails fast if it is dead.
+            active = {
+                p for p in self.transport.connected_peers()
+                if p != self.rank
+            }
+            now = time.monotonic()
             with self._lock:
                 departed = set(self._departed)
                 failed = set(self._failed)
+                # A peer (re-)entering the watch set gets a fresh clock:
+                # silence accumulated while unconnected (e.g. across an
+                # LRU eviction) is absence of traffic, not of life.
+                for peer in active - self._watched:
+                    self._last_seen[peer] = now
+                self._watched = active
                 last_seen = dict(self._last_seen)
             gone = departed | failed
-            for peer in self._peers:
-                if peer in gone:
-                    continue
+            for peer in active - gone:
                 self.transport.send_control(peer, CTRL_HEARTBEAT)
             if self.heartbeat_timeout <= 0:
                 continue
             now = time.monotonic()
-            for peer in self._peers:
-                if peer in gone:
-                    continue
+            for peer in active - gone:
                 silence = now - last_seen.get(peer, now)
                 if silence > self.heartbeat_timeout:
                     self._declare(

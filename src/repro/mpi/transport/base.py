@@ -53,6 +53,12 @@ ULFM_CONTEXT_FLAG = 1 << 62
 CTRL_HEARTBEAT = 0
 CTRL_GOODBYE = 1
 CTRL_REVOKE = 2  # payload: packed context id of the revoked communicator
+#: Connection-level farewell (lazy stream fabrics): "I am closing *this
+#: connection*" — unlike CTRL_GOODBYE it says nothing about the rank,
+#: which stays alive and re-dialable.  Consumed inside the fabric's
+#: reader (never reaches the detector), so an LRU eviction is not
+#: misread as a peer death.
+CTRL_BYE = 3
 
 
 def control_envelope(
@@ -216,6 +222,32 @@ class Transport(ABC):
         detector = self.detector
         if detector is not None:
             detector.on_peer_lost(peer_world_rank, reason)
+
+    def ensure_peer(self, peer_world_rank: int) -> None:
+        """Hint that traffic from ``peer_world_rank`` is expected soon.
+
+        Lazy connection-cache fabrics (:mod:`repro.mpi.fabric`) override
+        this to kick a background dial, so a rank blocked in a receive
+        still establishes the channel that lets it *observe* the peer's
+        death (EOF / refused dial) instead of hanging.  Eager fabrics
+        ignore it; decorator transports forward it inward.
+        """
+        inner = getattr(self, "inner", None)
+        if inner is not None:
+            inner.ensure_peer(peer_world_rank)
+
+    def connected_peers(self) -> list[int]:
+        """World ranks this transport currently holds a channel to.
+
+        The failure detector heartbeats exactly this set: on an eager
+        fabric that is every peer (the default below), on a lazy fabric
+        only the established ones — heartbeating the rest would dial the
+        very O(N) mesh the fabric exists to avoid.
+        """
+        inner = getattr(self, "inner", None)
+        if inner is not None:
+            return inner.connected_peers()
+        return [r for r in range(self.world_size) if r != self.world_rank]
 
     def send_unfaulted(
         self, dest_world_rank: int, env: Envelope, payload: bytes

@@ -155,21 +155,49 @@ class _Ring:
         self._shm.close()
 
 
+def intra_group_pairs(group_map) -> list[tuple[int, int]]:
+    """Directed (src, dst) pairs that share a node group.
+
+    The hybrid fabric only needs shm rings within a group; inter-group
+    traffic rides the stream fabric, so a grouped launch creates
+    O(sum g_i^2) segments instead of O(N^2).
+    """
+    out: list[tuple[int, int]] = []
+    for g in range(group_map.n_groups):
+        members = group_map.members(g)
+        for src in members:
+            for dst in members:
+                if src != dst:
+                    out.append((src, dst))
+    return out
+
+
 def create_job_segments(
-    job_id: str, world_size: int, capacity: int = DEFAULT_CAPACITY
+    job_id: str,
+    world_size: int,
+    capacity: int = DEFAULT_CAPACITY,
+    pairs: list[tuple[int, int]] | None = None,
 ) -> list[shared_memory.SharedMemory]:
-    """Launcher-side: create every directed-pair ring segment."""
+    """Launcher-side: create the directed-pair ring segments.
+
+    ``pairs`` restricts creation to the given directed (src, dst) pairs
+    (used by grouped launches); the default is the full mesh.
+    """
+    if pairs is None:
+        pairs = [
+            (src, dst)
+            for src in range(world_size)
+            for dst in range(world_size)
+            if src != dst
+        ]
     segments = []
-    for src in range(world_size):
-        for dst in range(world_size):
-            if src == dst:
-                continue
-            shm = _attach(
-                segment_name(job_id, src, dst), create=True,
-                size=CTRL_SIZE + capacity,
-            )
-            shm.buf[:CTRL_SIZE] = _CTRL.pack(0, 0)
-            segments.append(shm)
+    for src, dst in pairs:
+        shm = _attach(
+            segment_name(job_id, src, dst), create=True,
+            size=CTRL_SIZE + capacity,
+        )
+        shm.buf[:CTRL_SIZE] = _CTRL.pack(0, 0)
+        segments.append(shm)
     return segments
 
 
@@ -188,14 +216,25 @@ def destroy_job_segments(
 class ShmTransport(Transport):
     """Per-rank handle: outgoing rings to every peer + reader threads."""
 
-    def __init__(self, world_rank: int, world_size: int, job_id: str) -> None:
+    def __init__(
+        self,
+        world_rank: int,
+        world_size: int,
+        job_id: str,
+        peers: list[int] | None = None,
+    ) -> None:
         super().__init__(world_rank, world_size)
         self._closed = threading.Event()
         self._out: dict[int, _Ring] = {}
         self._in: dict[int, _Ring] = {}
         self._write_locks: dict[int, threading.Lock] = {}
         self._readers: list[threading.Thread] = []
-        for peer in range(world_size):
+        # ``peers`` restricts the rings attached (grouped/hybrid launches
+        # only create intra-group segments); default is the full mesh.
+        ring_peers = (
+            list(peers) if peers is not None else list(range(world_size))
+        )
+        for peer in ring_peers:
             if peer == world_rank:
                 continue
             self._out[peer] = _Ring(
@@ -205,6 +244,10 @@ class ShmTransport(Transport):
                 _attach(segment_name(job_id, peer, world_rank), False)
             )
             self._write_locks[peer] = threading.Lock()
+
+    def connected_peers(self) -> list[int]:
+        """Shm channels exist from attach time: exactly the ring peers."""
+        return sorted(self._out)
 
     def attach(self, engine) -> None:
         """Bind the engine, *then* start draining the rings.

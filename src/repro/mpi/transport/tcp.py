@@ -1,102 +1,38 @@
-"""TCP mesh transport for multi-process runs.
+"""TCP transport for multi-process runs, on the lazy stream fabric.
 
 Each rank binds a listening socket; the launcher distributes the full
-``rank -> port`` map; every rank then connects to every *lower* rank, so
-each ordered pair of ranks shares exactly one TCP connection.  One reader
-thread per peer connection parses frames and delivers them into the local
-matching engine.  TCP's in-order delivery per connection provides the
-per-sender ordering the matching engine requires.
+``rank -> port`` map; connections are then established *on first send*
+by :class:`~repro.mpi.fabric.stream.LazyStreamFabric` instead of the old
+eager O(N²) mesh — ``establish_mesh`` just starts the acceptor and
+returns.  TCP's in-order delivery per connection provides the per-sender
+ordering the matching engine requires, and the fabric's reader chaining
+preserves it across LRU eviction and re-dial.
 
-Resilience: mesh dialing retries refused/timed-out connects with capped
-exponential backoff (a peer may not have reached ``listen`` yet); the
-accept loop survives half-open handshakes from peers that die mid-HELLO;
-and once the mesh is up, an unexpected EOF / ``ECONNRESET`` on a peer
-connection is reported to the attached failure detector instead of being
-silently swallowed.
+Failure semantics are unchanged: an unexpected EOF / ``ECONNRESET`` on
+an established connection is reported to the attached failure detector,
+and a dial that stays refused is a dead peer (the port map is only
+distributed after every rank reached ``listen``, so there is no
+listener-startup race to wait out).
 """
 
 from __future__ import annotations
 
-import errno
-import logging
-import random
 import socket
-import struct
-import threading
-import time
 
-from ..exceptions import InternalError, RankError, RankFailedError
+from ..exceptions import RankError
+from ..fabric.stream import LazyStreamFabric, dial_with_retry  # noqa: F401
 from ..matching import Envelope
-from .base import (
-    CTRL_GOODBYE, HEADER_SIZE, Transport, pack_header, recv_exact_into,
-    send_frame, unpack_header,
-)
+from .base import CTRL_GOODBYE, Transport
 
-logger = logging.getLogger(__name__)
-
-# Connection preamble: the connecting side announces its world rank.
-_HELLO = struct.Struct("<i")
-
-# Dial-retry backoff (mesh establishment).
-_DIAL_INITIAL_BACKOFF = 0.02
-_DIAL_MAX_BACKOFF = 1.0
-
-#: Transient connect errnos worth retrying during mesh establishment: the
-#: peer's listener may simply not be up yet (startup race).
-_RETRYABLE_ERRNOS = frozenset({
-    errno.ECONNREFUSED, errno.ETIMEDOUT, errno.ECONNRESET,
-    errno.ECONNABORTED, errno.EAGAIN,
-})
+__all__ = ["TcpTransport", "dial_with_retry"]
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytearray:
-    """Read exactly ``n`` bytes or raise ConnectionError on EOF.
-
-    Single-allocation ``recv_into`` (see ``base.recv_exact_into``): the
-    payload is copied exactly once, kernel to buffer.
-    """
-    return recv_exact_into(sock, n)
-
-
-def dial_with_retry(
-    connect, timeout: float, describe: str,
-    initial_backoff: float = _DIAL_INITIAL_BACKOFF,
-    max_backoff: float = _DIAL_MAX_BACKOFF,
-):
-    """Call ``connect()`` until it succeeds or ``timeout`` elapses.
-
-    Retries transient connect failures (refused, timed out, reset) with
-    capped exponential backoff plus jitter — the fix for the startup race
-    where a rank dials a peer that has not reached ``listen()`` yet.
-    """
-    deadline = time.monotonic() + timeout
-    backoff = initial_backoff
-    attempt = 0
-    while True:
-        attempt += 1
-        try:
-            return connect()
-        except (ConnectionError, TimeoutError, OSError) as exc:
-            err = getattr(exc, "errno", None)
-            transient = (
-                isinstance(exc, (ConnectionError, TimeoutError))
-                or err in _RETRYABLE_ERRNOS
-            )
-            if not transient or time.monotonic() >= deadline:
-                raise InternalError(
-                    f"{describe}: connect failed after {attempt} "
-                    f"attempt(s): {exc!r}"
-                ) from exc
-            # Full jitter keeps simultaneous dialers from re-colliding.
-            # The deadline may slip past between the check above and
-            # here under load — clamp so sleep() never goes negative.
-            time.sleep(max(0.0, min(backoff, deadline - time.monotonic()))
-                       * random.uniform(0.5, 1.0))
-            backoff = min(backoff * 2, max_backoff)
+def _nodelay(sock: socket.socket) -> None:
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
 
 class TcpTransport(Transport):
-    """Full-mesh localhost TCP transport for one rank."""
+    """Localhost TCP transport for one rank (lazy connection cache)."""
 
     def __init__(
         self,
@@ -108,16 +44,11 @@ class TcpTransport(Transport):
     ) -> None:
         super().__init__(world_rank, world_size)
         self._host = host
-        self._listen_sock = listen_sock
         self._port_map = port_map
-        self._peers: dict[int, socket.socket] = {}
-        self._send_locks: dict[int, threading.Lock] = {}
-        self._readers: list[threading.Thread] = []
-        self._closed = threading.Event()
-        self._accept_thread: threading.Thread | None = None
-        self._mesh_ready = threading.Event()
-        # Ranks *above* us dial in; we dial ranks below us.
-        self._expected_inbound = world_size - world_rank - 1
+        self._fabric = LazyStreamFabric(
+            self, listen_sock, self._dial_peer,
+            label="tcp", configure=_nodelay,
+        )
 
     # -- setup -----------------------------------------------------------
     @staticmethod
@@ -130,141 +61,41 @@ class TcpTransport(Transport):
         return s
 
     def establish_mesh(self, timeout: float = 60.0) -> None:
-        """Accept inbound peers and dial lower ranks; blocks until complete."""
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"tcp-accept-r{self.world_rank}",
-            daemon=True,
-        )
-        self._accept_thread.start()
+        """Start the acceptor; O(1) — peers are dialed on first send."""
+        self._fabric.start()
 
-        # Dial every lower rank, retrying the startup race where the peer
-        # has bound its port (the map says so) but not yet reached accept.
-        for peer in range(self.world_rank):
-            addr = (self._host, self._port_map[peer])
-            sock = dial_with_retry(
-                lambda: socket.create_connection(addr, timeout=timeout),
-                timeout,
-                f"rank {self.world_rank} dialing rank {peer} at "
-                f"{addr[0]}:{addr[1]}",
-            )
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            sock.sendall(_HELLO.pack(self.world_rank))
-            self._register_peer(peer, sock)
-
-        if not self._mesh_ready.wait(timeout):
-            raise InternalError(
-                f"rank {self.world_rank}: mesh establishment timed out "
-                f"({len(self._peers)}/{self.world_size - 1} peers)"
-            )
-
-    def _accept_loop(self) -> None:
-        accepted = 0
-        while accepted < self._expected_inbound and not self._closed.is_set():
-            try:
-                sock, _addr = self._listen_sock.accept()
-            except OSError:
-                break
-            # A peer can die between connect() and sending its HELLO; a
-            # half-open socket must not kill the accept loop (which would
-            # wedge every later-arriving peer).
-            try:
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                (peer_rank,) = _HELLO.unpack(_recv_exact(sock, _HELLO.size))
-            except (ConnectionError, OSError, struct.error) as exc:
-                logger.warning(
-                    "rank %d: dropping half-open inbound connection "
-                    "(peer died mid-handshake: %r)", self.world_rank, exc,
-                )
-                try:
-                    sock.close()
-                except OSError:
-                    pass
-                continue
-            self._register_peer(peer_rank, sock)
-            accepted += 1
-        self._maybe_ready()
-
-    def _register_peer(self, peer_rank: int, sock: socket.socket) -> None:
-        self._peers[peer_rank] = sock
-        self._send_locks[peer_rank] = threading.Lock()
-        reader = threading.Thread(
-            target=self._read_loop, args=(peer_rank, sock),
-            name=f"tcp-read-r{self.world_rank}-from{peer_rank}", daemon=True,
-        )
-        reader.start()
-        self._readers.append(reader)
-        self._maybe_ready()
-
-    def _maybe_ready(self) -> None:
-        if len(self._peers) >= self.world_size - 1:
-            self._mesh_ready.set()
+    def _dial_peer(self, peer: int) -> socket.socket:
+        addr = (self._host, self._port_map[peer])
+        return socket.create_connection(addr, timeout=10.0)
 
     # -- data path -------------------------------------------------------
-    def _read_loop(self, peer_rank: int, sock: socket.socket) -> None:
-        try:
-            while not self._closed.is_set():
-                header = _recv_exact(sock, HEADER_SIZE)
-                env = unpack_header(header)
-                payload = (
-                    _recv_exact(sock, env.nbytes) if env.nbytes else b""
-                )
-                self._deliver_local(env, payload)
-        except (ConnectionError, OSError) as exc:
-            if self._closed.is_set():
-                return  # our own teardown
-            # Peer connection died while the job is live: either the peer
-            # crashed (report it) or it finalized cleanly (it sent GOODBYE
-            # first, which the detector uses to suppress the report).
-            self.report_peer_lost(
-                peer_rank, f"connection lost mid-run: {exc!r}"
-            )
-
     def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
         if dest_world_rank == self.world_rank:
             self._deliver_local(env, payload)
             return
-        try:
-            sock = self._peers[dest_world_rank]
-        except KeyError:
+        if dest_world_rank not in self._port_map:
             raise RankError(
-                f"no connection to rank {dest_world_rank} "
+                f"no route to rank {dest_world_rank} "
                 f"(world size {self.world_size})"
-            ) from None
-        header = pack_header(env)
-        # One lock per peer keeps concurrent senders from interleaving
-        # frames; send_frame gathers header+payload without concatenating.
-        try:
-            with self._send_locks[dest_world_rank]:
-                send_frame(sock, header, payload)
-        except (BrokenPipeError, ConnectionResetError, ConnectionError) as exc:
-            if self._closed.is_set():
-                raise
-            self.report_peer_lost(
-                dest_world_rank, f"send failed: {exc!r}"
             )
-            raise RankFailedError(
-                f"send to rank {dest_world_rank} failed: peer is dead "
-                f"({exc!r})", rank=dest_world_rank,
-            ) from exc
+        self._fabric.send(dest_world_rank, env, payload)
+
+    # -- fabric surface ---------------------------------------------------
+    def ensure_peer(self, peer_world_rank: int) -> None:
+        self._fabric.ensure(peer_world_rank)
+
+    def connected_peers(self) -> list[int]:
+        return self._fabric.connected()
+
+    def connection_stats(self) -> dict[str, int]:
+        """Connection-cache counters (dials, evictions, peak peers...)."""
+        return self._fabric.stats()
 
     def close(self) -> None:
-        if self._closed.is_set():
-            return
-        # Announce clean departure before tearing sockets down, so peers'
-        # read loops interpret the coming EOF as a goodbye, not a crash.
-        for peer in list(self._peers):
+        # Announce clean departure on *established* channels before
+        # tearing them down, so peers' readers interpret the coming EOF
+        # as a goodbye, not a crash.  Unestablished peers need nothing:
+        # there is no socket whose EOF could be misread.
+        for peer in self._fabric.connected():
             self.send_control(peer, CTRL_GOODBYE)
-        self._closed.set()
-        try:
-            self._listen_sock.close()
-        except OSError:
-            pass
-        for sock in self._peers.values():
-            try:
-                sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                sock.close()
-            except OSError:
-                pass
+        self._fabric.close()

@@ -1,41 +1,28 @@
-"""Unix-domain-socket mesh transport.
+"""Unix-domain-socket transport, on the lazy stream fabric.
 
-Same mesh topology and framing as the TCP transport, but over
-``AF_UNIX`` sockets — the lower-latency local path (no TCP/IP stack,
-no port allocation), standing in for the shared-memory channels real MPI
+Same framing and fabric as the TCP transport, but over ``AF_UNIX``
+sockets — the lower-latency local path (no TCP/IP stack, no port
+allocation), standing in for the shared-memory channels real MPI
 libraries use intra-node.  Selected with ``ombpy-run --transport uds``.
 
-Resilience mirrors the TCP transport: backed-off dial retries during
-mesh establishment, a half-open-handshake guard in the accept loop, and
-EOF/``ECONNRESET`` interpretation on the data path feeding the failure
-detector.
+UDS has no rendezvous step: a rank's address is its socket file, which
+appears when the rank binds.  A dial can therefore race rank startup —
+``ENOENT`` (file not there yet) is retried up to the full dial timeout,
+while a *refused* connect keeps the short dead-peer patience the fabric
+applies everywhere.
 """
 
 from __future__ import annotations
 
-import logging
+import errno
 import os
 import socket
-import struct
 import tempfile
-import threading
-import time
 
-from ..exceptions import InternalError, RankError, RankFailedError
+from ..exceptions import RankError
+from ..fabric.stream import LazyStreamFabric
 from ..matching import Envelope
-from .base import (
-    CTRL_GOODBYE, HEADER_SIZE, Transport, pack_header, recv_exact_into,
-    send_frame, unpack_header,
-)
-
-logger = logging.getLogger(__name__)
-
-_HELLO = struct.Struct("<i")
-
-
-def _recv_exact(sock: socket.socket, n: int) -> bytearray:
-    """Read exactly ``n`` bytes, copied once (see base.recv_exact_into)."""
-    return recv_exact_into(sock, n)
+from .base import CTRL_GOODBYE, Transport
 
 
 def socket_dir(job_id: str) -> str:
@@ -48,7 +35,7 @@ def socket_path(job_id: str, rank: int) -> str:
 
 
 class UdsTransport(Transport):
-    """Full-mesh AF_UNIX transport for one rank."""
+    """AF_UNIX transport for one rank (lazy connection cache)."""
 
     def __init__(self, world_rank: int, world_size: int, job_id: str) -> None:
         super().__init__(world_rank, world_size)
@@ -59,141 +46,54 @@ class UdsTransport(Transport):
             os.unlink(self._path)
         except FileNotFoundError:
             pass
-        self._listen = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._listen.bind(self._path)
-        self._listen.listen(world_size)
-        self._peers: dict[int, socket.socket] = {}
-        self._send_locks: dict[int, threading.Lock] = {}
-        self._closed = threading.Event()
-        self._mesh_ready = threading.Event()
-        self._expected_inbound = world_size - world_rank - 1
+        listen = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listen.bind(self._path)
+        listen.listen(max(world_size, 8))
+        self._fabric = LazyStreamFabric(
+            self, listen, self._dial_peer, label="uds",
+            startup_errnos=frozenset({errno.ENOENT}),
+        )
 
     def establish_mesh(self, timeout: float = 60.0) -> None:
-        """Accept higher ranks, dial lower ranks; blocks until complete."""
-        accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True,
-            name=f"uds-accept-r{self.world_rank}",
-        )
-        accept_thread.start()
-        for peer in range(self.world_rank):
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            # The peer's socket file may not exist yet (startup race):
-            # retry with capped exponential backoff until the deadline.
-            deadline = time.monotonic() + timeout
-            backoff = 0.005
-            while True:
-                try:
-                    sock.connect(socket_path(self._job_id, peer))
-                    break
-                except (FileNotFoundError, ConnectionRefusedError) as exc:
-                    if time.monotonic() >= deadline:
-                        raise InternalError(
-                            f"rank {self.world_rank}: peer {peer} socket "
-                            f"never appeared ({exc!r})"
-                        ) from exc
-                    time.sleep(backoff)
-                    backoff = min(backoff * 2, 0.25)
-            sock.sendall(_HELLO.pack(self.world_rank))
-            self._register_peer(peer, sock)
-        if not self._mesh_ready.wait(timeout):
-            raise InternalError(
-                f"rank {self.world_rank}: UDS mesh establishment timed out"
-            )
+        """Start the acceptor; O(1) — peers are dialed on first send."""
+        self._fabric.start()
 
-    def _accept_loop(self) -> None:
-        accepted = 0
-        while accepted < self._expected_inbound and not self._closed.is_set():
-            try:
-                sock, _addr = self._listen.accept()
-            except OSError:
-                break
-            try:
-                (peer_rank,) = _HELLO.unpack(_recv_exact(sock, _HELLO.size))
-            except (ConnectionError, OSError, struct.error) as exc:
-                logger.warning(
-                    "rank %d: dropping half-open UDS connection "
-                    "(peer died mid-handshake: %r)", self.world_rank, exc,
-                )
-                try:
-                    sock.close()
-                except OSError:
-                    pass
-                continue
-            self._register_peer(peer_rank, sock)
-            accepted += 1
-        self._maybe_ready()
-
-    def _register_peer(self, peer_rank: int, sock: socket.socket) -> None:
-        self._peers[peer_rank] = sock
-        self._send_locks[peer_rank] = threading.Lock()
-        threading.Thread(
-            target=self._read_loop, args=(peer_rank, sock), daemon=True,
-            name=f"uds-read-r{self.world_rank}-from{peer_rank}",
-        ).start()
-        self._maybe_ready()
-
-    def _maybe_ready(self) -> None:
-        if len(self._peers) >= self.world_size - 1:
-            self._mesh_ready.set()
-
-    def _read_loop(self, peer_rank: int, sock: socket.socket) -> None:
+    def _dial_peer(self, peer: int) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         try:
-            while not self._closed.is_set():
-                env = unpack_header(_recv_exact(sock, HEADER_SIZE))
-                payload = _recv_exact(sock, env.nbytes) if env.nbytes else b""
-                self._deliver_local(env, payload)
-        except (ConnectionError, OSError) as exc:
-            if self._closed.is_set():
-                return
-            self.report_peer_lost(
-                peer_rank, f"connection lost mid-run: {exc!r}"
-            )
+            sock.connect(socket_path(self._job_id, peer))
+        except BaseException:
+            sock.close()
+            raise
+        return sock
 
+    # -- data path -------------------------------------------------------
     def send(self, dest_world_rank: int, env: Envelope, payload: bytes) -> None:
         if dest_world_rank == self.world_rank:
             self._deliver_local(env, payload)
             return
-        try:
-            sock = self._peers[dest_world_rank]
-        except KeyError:
+        if not 0 <= dest_world_rank < self.world_size:
             raise RankError(
-                f"no UDS connection to rank {dest_world_rank}"
-            ) from None
-        header = pack_header(env)
-        # send_frame gathers header+payload in one syscall, no concat copy.
-        try:
-            with self._send_locks[dest_world_rank]:
-                send_frame(sock, header, payload)
-        except (BrokenPipeError, ConnectionResetError, ConnectionError) as exc:
-            if self._closed.is_set():
-                raise
-            self.report_peer_lost(
-                dest_world_rank, f"send failed: {exc!r}"
+                f"no route to rank {dest_world_rank} "
+                f"(world size {self.world_size})"
             )
-            raise RankFailedError(
-                f"send to rank {dest_world_rank} failed: peer is dead "
-                f"({exc!r})", rank=dest_world_rank,
-            ) from exc
+        self._fabric.send(dest_world_rank, env, payload)
+
+    # -- fabric surface ---------------------------------------------------
+    def ensure_peer(self, peer_world_rank: int) -> None:
+        self._fabric.ensure(peer_world_rank)
+
+    def connected_peers(self) -> list[int]:
+        return self._fabric.connected()
+
+    def connection_stats(self) -> dict[str, int]:
+        """Connection-cache counters (dials, evictions, peak peers...)."""
+        return self._fabric.stats()
 
     def close(self) -> None:
-        if self._closed.is_set():
-            return
-        for peer in list(self._peers):
+        for peer in self._fabric.connected():
             self.send_control(peer, CTRL_GOODBYE)
-        self._closed.set()
-        try:
-            self._listen.close()
-        except OSError:
-            pass
-        for sock in self._peers.values():
-            try:
-                sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                sock.close()
-            except OSError:
-                pass
+        self._fabric.close()
         try:
             os.unlink(self._path)
         except OSError:

@@ -139,6 +139,9 @@ def _assemble_world(
         wrapped = _wrap_faults(transport, plan)
     wrapped = reliable_from_env(wrapped)
     endpoint = Endpoint(wrapped)
+    from .topology import group_map_from_env
+
+    endpoint.group_map = group_map_from_env(size)
     tele = telemetry_from_env(transport.world_rank)
     if tele is not None:
         install_on_endpoint(endpoint, tele)
@@ -177,6 +180,20 @@ def init(thread_level: int = C.THREAD_MULTIPLE) -> World:
         transport = UdsTransport(rank, size, os.environ[ENV_JOB])
         return _assemble_world(transport, size, thread_level, establish=True)
     if fabric_kind == "shm":
+        from .topology import group_map_from_env
+
+        group_map = group_map_from_env(size)
+        if group_map is not None and group_map.n_groups > 1:
+            # Grouped launch: the launcher only created intra-group ring
+            # segments — cross-group traffic rides lazy UDS streams.
+            from .fabric.hybrid import HybridTransport
+
+            transport = HybridTransport(
+                rank, size, os.environ[ENV_JOB], group_map
+            )
+            return _assemble_world(
+                transport, size, thread_level, establish=True
+            )
         from .transport.shm import ShmTransport
 
         # Segments are created by the launcher before spawn, so attaching
@@ -212,6 +229,7 @@ def run_on_threads(
     fault_plan=None,
     reliable: bool = False,
     tolerate_crashes: bool = False,
+    groups: str | None = None,
 ) -> list[Any]:
     """Run ``fn(comm)`` on ``n`` ranks-as-threads; return per-rank results.
 
@@ -232,7 +250,17 @@ def run_on_threads(
     death), its own :class:`~repro.faults.InjectedCrash` is not
     re-raised, and its result stays ``None`` — the ULFM recovery path
     for the threads fabric.
+
+    ``groups`` (a ``--groups``-style spec, or the ``OMBPY_GROUPS`` env
+    as fallback) attaches a node-group map to every endpoint, switching
+    eligible collectives to their hierarchical two-level algorithms —
+    the threads-fabric way to exercise the topology layer.
     """
+    from .topology import group_map_from_env, parse_groups
+
+    group_map = (
+        parse_groups(groups, n) if groups else group_map_from_env(n)
+    )
     fabric = InprocFabric(n)
 
     def make_transport(r: int):
@@ -249,6 +277,7 @@ def run_on_threads(
 
     endpoints = [Endpoint(make_transport(r)) for r in range(n)]
     for ep in endpoints:
+        ep.group_map = group_map
         tele = telemetry_from_env(ep.world_rank)
         if tele is not None:
             install_on_endpoint(ep, tele)

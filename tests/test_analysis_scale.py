@@ -193,9 +193,13 @@ class TestLogGPContract:
         by_rule = {}
         for s in scale_inventory(program):
             by_rule.setdefault(s.rule, set()).add(s.path)
-        assert "src/repro/mpi/transport/tcp.py" in by_rule["OMB510"]
         assert "src/repro/mpi/reliability.py" in by_rule["OMB515"]
-        assert any(
-            re.search(r"transport/(tcp|uds)\.py", p)
-            for p in by_rule["OMB513"]
-        )
+        # Burned down by the lazy connection fabric: the stream
+        # transports no longer dial an eager mesh (OMB510) or spawn a
+        # reader thread ahead of need (OMB513 is per-established-
+        # channel now, not per-peer at startup).
+        for rule in ("OMB510", "OMB513", "OMB514"):
+            assert not any(
+                re.search(r"transport/(tcp|uds)\.py", p)
+                for p in by_rule.get(rule, ())
+            ), (rule, by_rule[rule])

@@ -1,0 +1,195 @@
+"""Hierarchical (two-level) collectives: equivalence with the flat
+algorithms, and the connection-scaling regression they exist for.
+
+The equivalence property is the load-bearing one: for any communicator
+size, group shape, op, dtype, and payload size, the hierarchical
+algorithm must produce byte-for-byte the result of its flat counterpart
+— integer ops are bitwise-deterministic regardless of combining order,
+and the grouped float check pins the reduction tree shape instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import ops
+from repro.mpi.collectives import selector
+from repro.mpi.topology import parse_groups
+from repro.mpi.world import run_on_threads
+
+_SETTINGS = dict(max_examples=15, deadline=None)
+
+world_sizes = st.integers(3, 8)
+seeds = st.integers(0, 2**31 - 1)
+#: Integer ops are exact under any association — bitwise comparison.
+exact_ops = st.sampled_from(["SUM", "MAX", "MIN", "BAND", "BOR", "BXOR"])
+int_dtypes = st.sampled_from(["i4", "i8", "u8"])
+elem_counts = st.integers(1, 33)
+
+
+@st.composite
+def group_specs(draw, n):
+    """A random group shape for an n-rank world: uniform, ragged, or
+    auto."""
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return "auto"
+    if kind == 1:
+        return str(draw(st.integers(1, n)))  # uniform size, ragged tail
+    sizes = []
+    left = n
+    while left > 0:
+        g = draw(st.integers(1, left))
+        sizes.append(g)
+        left -= g
+    return ",".join(str(g) for g in sizes)
+
+
+def _rank_ints(seed: int, rank: int, count: int, dtype: str) -> np.ndarray:
+    rng = np.random.default_rng(seed * 4099 + rank)
+    return rng.integers(0, 2**31 - 1, count).astype(dtype)
+
+
+def _flat_and_hier(n: int, spec: str, fn):
+    """Run fn(comm) once without and once with the group map."""
+    flat = run_on_threads(n, fn)
+    hier = run_on_threads(n, fn, groups=spec)
+    return flat, hier
+
+
+@given(st.data())
+@settings(**_SETTINGS)
+def test_hier_allreduce_bitwise_matches_flat(data):
+    n = data.draw(world_sizes)
+    spec = data.draw(group_specs(n))
+    opname = data.draw(exact_ops)
+    dtype = data.draw(int_dtypes)
+    count = data.draw(elem_counts)
+    seed = data.draw(seeds)
+    op = getattr(ops, opname)
+
+    def work(comm):
+        return comm.allreduce_array(
+            _rank_ints(seed, comm.rank, count, dtype), op
+        )
+
+    flat, hier = _flat_and_hier(n, spec, work)
+    for f, h in zip(flat, hier):
+        assert f.dtype == h.dtype
+        assert f.tobytes() == h.tobytes()
+
+
+@given(st.data())
+@settings(**_SETTINGS)
+def test_hier_bcast_gather_allgather_bitwise_match_flat(data):
+    n = data.draw(world_sizes)
+    spec = data.draw(group_specs(n))
+    nbytes = data.draw(st.integers(0, 96))
+    seed = data.draw(seeds)
+    root = seed % n
+    rng = np.random.default_rng(seed)
+    payload = bytes(rng.integers(0, 256, nbytes, dtype=np.uint8))
+    blocks = [
+        bytes(rng.integers(0, 256, max(1, nbytes), dtype=np.uint8))
+        for _ in range(n)
+    ]
+
+    def work(comm):
+        got = comm.bcast_bytes(
+            payload if comm.rank == root else None, root
+        )
+        gathered = comm.gather_bytes(blocks[comm.rank], root)
+        comm.barrier()
+        everyone = comm.allgather_bytes(blocks[comm.rank])
+        return got, gathered, everyone
+
+    flat, hier = _flat_and_hier(n, spec, work)
+    assert flat == hier
+    for got, gathered, everyone in hier:
+        assert got == payload
+        assert everyone == blocks
+    assert hier[root][1] == blocks
+
+
+@given(world_sizes, st.data())
+@settings(**_SETTINGS)
+def test_hier_float_sum_allclose_to_flat(n, data):
+    """Float sums may legally differ between trees; they must still be
+    numerically indistinguishable for benign magnitudes."""
+    spec = data.draw(group_specs(n))
+    seed = data.draw(seeds)
+
+    def work(comm):
+        rng = np.random.default_rng(seed * 31 + comm.rank)
+        return comm.allreduce_array(rng.random(17), ops.SUM)
+
+    flat, hier = _flat_and_hier(n, spec, work)
+    for f, h in zip(flat, hier):
+        assert np.allclose(f, h)
+
+
+def test_selector_goes_hierarchical_only_with_groups():
+    part = [[0, 1], [2, 3]]
+    assert selector.pick("allreduce", 64, 4, groups=part) == "hierarchical"
+    assert selector.pick("allreduce", 64, 4, groups=None) != "hierarchical"
+    # Ops without a two-level variant keep their flat choice.
+    assert selector.pick("alltoall", 64, 4, groups=part) != "hierarchical"
+
+
+def test_partition_none_for_singleton_groups():
+    """A map of all-singleton groups degenerates to the flat path."""
+    from repro.mpi.collectives.hierarchy import partition
+
+    def work(comm):
+        part = partition(comm)
+        comm.barrier()
+        return part
+
+    for part in run_on_threads(4, work, groups="1,1,1,1"):
+        assert part is None
+
+
+@pytest.mark.slow
+def test_grouped_process_connections_stay_o_group_plus_groups():
+    """The acceptance regression: at 32 process ranks with a group map,
+    no rank's established-connection count may reach the flat mesh's
+    O(N) — the bound is group_size + n_groups."""
+    from repro.core.scaling import measure_process
+
+    ranks = 32
+    gmap = parse_groups("auto", ranks)
+    result = measure_process(
+        "allreduce", ranks, 64, transport="uds", groups="auto",
+        iterations=4, warmup=1, timeout=240.0,
+    )
+    bound = gmap.max_group_size + gmap.n_groups
+    assert result["max_connections"] is not None
+    assert result["max_connections"] <= bound, (
+        f"per-rank connections {result['connections']} exceed "
+        f"group_size + n_groups = {bound}"
+    )
+    assert result["max_connections"] < ranks - 1
+
+
+@pytest.mark.slow
+def test_grouped_connections_strictly_below_flat():
+    """Contrast case: at the same N the grouped fabric opens strictly
+    fewer channels than the flat algorithms — the bound above is not
+    vacuously true.  (Flat is already sub-mesh because the lazy fabric
+    dials only algorithm-used peers; grouping must still beat it.)"""
+    from repro.core.scaling import measure_process
+
+    flat = measure_process(
+        "allreduce", 8, 64, transport="uds", groups=None,
+        iterations=4, warmup=1, timeout=120.0,
+    )
+    hier = measure_process(
+        "allreduce", 8, 64, transport="uds", groups="auto",
+        iterations=4, warmup=1, timeout=120.0,
+    )
+    assert hier["max_connections"] is not None
+    assert flat["max_connections"] is not None
+    assert hier["max_connections"] < flat["max_connections"]

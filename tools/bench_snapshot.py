@@ -334,6 +334,79 @@ def campaign_snapshot(repeats: int) -> dict:
     }
 
 
+#: The scaling-snapshot grid: the hierarchical set's flagship collective
+#: on real process ranks, flat vs grouped, small and medium payloads.
+_SCALING_RANKS = (2, 8, 32)
+_SCALING_SIZES = (8, 1024)
+
+
+def scaling_snapshot(repeats: int) -> dict:
+    """Collective time vs N on the process (uds) transport, flat vs
+    hierarchical, with per-rank connection counts.
+
+    The point of the fabric: at 32 ranks a flat mesh holds ~N
+    connections per rank while the grouped run holds O(group_size +
+    n_groups) — and the two-level allreduce is *faster*, not just
+    cheaper.  Both claims are recorded here and asserted by the
+    regression tests.
+    """
+    from repro.core.scaling import measure_process, predict_ratio
+
+    op = "allreduce"
+    points = []
+    for ranks in _SCALING_RANKS:
+        for size in _SCALING_SIZES:
+            flat_us, hier_us = float("inf"), float("inf")
+            flat_conns = hier_conns = None
+            for _ in range(repeats):
+                flat = measure_process(
+                    op, ranks, size, transport="uds", groups=None,
+                    iterations=20, warmup=3,
+                )
+                if flat["latency_us"] < flat_us:
+                    flat_us = flat["latency_us"]
+                    flat_conns = flat["max_connections"]
+                if ranks <= 2:
+                    continue
+                hier = measure_process(
+                    op, ranks, size, transport="uds", groups="auto",
+                    iterations=20, warmup=3,
+                )
+                if hier["latency_us"] < hier_us:
+                    hier_us = hier["latency_us"]
+                    hier_conns = hier["max_connections"]
+            point = {
+                "ranks": ranks,
+                "size": size,
+                "flat_us": round(flat_us, 3),
+                "hier_us": None if ranks <= 2 else round(hier_us, 3),
+                "speedup": None if ranks <= 2
+                else round(flat_us / hier_us, 3),
+                "predicted_ratio": None if ranks <= 2
+                else round(predict_ratio(op, ranks, size, "auto"), 4),
+                "flat_max_connections": flat_conns,
+                "hier_max_connections": hier_conns,
+            }
+            points.append(point)
+            speedup = f"{point['speedup']}x" if point["speedup"] else "-"
+            print(
+                f"scaling: {op} n={ranks} size={size}: flat "
+                f"{point['flat_us']:.1f}us ({flat_conns} conns) vs hier "
+                f"{point['hier_us'] or '-'}us ({hier_conns or '-'} conns, "
+                f"{speedup})"
+            )
+    return {
+        "schema": "ombpy-bench-scaling/1",
+        "collective": op,
+        "transport": "uds",
+        "groups": "auto",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "points": points,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -354,8 +427,18 @@ def main(argv=None) -> int:
         help="snapshot campaign throughput (cells/sec warm vs cold, "
         "no-op resume overhead) into BENCH_campaign.json",
     )
+    parser.add_argument(
+        "--scaling", action="store_true",
+        help="snapshot collective-vs-N scaling (flat vs hierarchical "
+        "on the uds process transport, with connection counts) into "
+        "BENCH_scaling.json",
+    )
     args = parser.parse_args(argv)
-    if args.service:
+    if args.scaling:
+        if args.out is None:
+            args.out = os.path.join(REPO, "BENCH_scaling.json")
+        doc = scaling_snapshot(args.repeats)
+    elif args.service:
         if args.out is None:
             args.out = os.path.join(REPO, "BENCH_service.json")
         doc = service_snapshot(args.repeats)
